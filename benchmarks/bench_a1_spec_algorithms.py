@@ -1,0 +1,56 @@
+"""A1 — S_e via the paper's V_a-intersection vs. the direct subset scan.
+
+Both compute the same sets (asserted); the ablation measures their cost
+as the schema grows.  The intersection route pays for building every V_a;
+the scan is linear in |E| per query — the bench shows who wins where.
+"""
+
+import random
+
+import pytest
+
+from conftest import show
+
+from repro.core import SpecialisationStructure
+from repro.workloads import random_schema
+
+SIZES = [10, 40, 120]
+
+
+def make(n_types):
+    return random_schema(random.Random(n_types), n_attrs=12,
+                         n_types=n_types, shape="tree")
+
+
+@pytest.mark.parametrize("n_types", SIZES)
+def test_a1_intersection_construction(benchmark, n_types):
+    schema = make(n_types)
+    spec = SpecialisationStructure(schema)
+
+    def all_S_by_intersection():
+        return [spec.S_by_intersection(e) for e in schema]
+
+    result = benchmark(all_S_by_intersection)
+    assert len(result) == len(schema)
+
+
+@pytest.mark.parametrize("n_types", SIZES)
+def test_a1_subset_scan(benchmark, n_types):
+    schema = make(n_types)
+    spec = SpecialisationStructure(schema)
+
+    def all_S_by_scan():
+        return [spec.S(e) for e in schema]
+
+    result = benchmark(all_S_by_scan)
+    assert len(result) == len(schema)
+
+
+def test_a1_agreement(benchmark):
+    schema = make(60)
+
+    def agree():
+        return SpecialisationStructure(schema).cross_check()
+
+    assert benchmark(agree)
+    show("A1: both algorithms agree", "60-type schema, identical S_e families")

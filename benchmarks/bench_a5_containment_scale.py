@@ -1,0 +1,56 @@
+"""A5 — containment checking as extensions grow.
+
+Global re-checks walk every (s, e) pair and every tuple; the propagating
+insert maintains the invariant incrementally.  The bench compares one
+global check against one maintained insert across extension sizes.
+"""
+
+import random
+
+import pytest
+
+from conftest import show
+
+from repro.workloads import random_extension, random_schema, random_tuple
+
+SIZES = [5, 20, 60]
+
+
+def state(rows_per_leaf, seed=13):
+    rng = random.Random(seed)
+    schema = random_schema(rng, n_attrs=8, n_types=8, shape="tree")
+    return schema, random_extension(rng, schema, rows_per_leaf=rows_per_leaf), rng
+
+
+@pytest.mark.parametrize("rows", SIZES)
+def test_a5_global_recheck(benchmark, rows):
+    _, db, _ = state(rows)
+    assert benchmark(db.satisfies_containment)
+
+
+@pytest.mark.parametrize("rows", SIZES)
+def test_a5_incremental_insert(benchmark, rows):
+    schema, db, rng = state(rows)
+    leaf = max(schema, key=lambda e: len(e.attributes))
+
+    def insert_maintained():
+        return db.insert(leaf, random_tuple(rng, schema, leaf.attributes))
+
+    grown = benchmark(insert_maintained)
+    assert grown.total_instances() >= db.total_instances()
+
+
+def test_a5_invariant_after_many_inserts(benchmark):
+    schema, db, rng = state(10)
+    leaf = max(schema, key=lambda e: len(e.attributes))
+
+    def grow_many():
+        current = db
+        for _ in range(10):
+            current = current.insert(leaf, random_tuple(rng, schema, leaf.attributes))
+        return current
+
+    final = benchmark(grow_many)
+    assert final.satisfies_containment()
+    show("A5: propagation keeps containment invariant",
+         f"{final.total_instances()} instances after repeated inserts, 0 violations")

@@ -1,0 +1,55 @@
+"""A6 — contribution of each Armstrong rule to the derivable set.
+
+Disables one rule at a time and measures the closure that remains.  Pins
+the structural facts: A2-decomposition is redundant (derivable from
+A1 + A3 + propagation), while A1, A3, propagation, and A2-union each
+contribute dependencies on the employee schema's constraint set.
+"""
+
+import pytest
+
+from conftest import show
+
+from repro.core import ALL_RULES, ArmstrongEngine
+from repro.core.employee import employee_constraints, employee_schema
+
+
+def closure_size(schema, premises, rules):
+    return len(ArmstrongEngine(schema, premises, rules=rules).closure())
+
+
+@pytest.fixture(scope="module")
+def setup():
+    schema = employee_schema()
+    premises = employee_constraints(schema).functional_dependencies()
+    return schema, premises
+
+
+@pytest.mark.parametrize("dropped", sorted(ALL_RULES))
+def test_a6_drop_one_rule(benchmark, setup, dropped):
+    schema, premises = setup
+    rules = ALL_RULES - {dropped}
+    size = benchmark(closure_size, schema, premises, rules)
+    full = closure_size(schema, premises, ALL_RULES)
+    if dropped == "A2-decomposition":
+        assert size == full  # redundant rule
+    else:
+        assert size < full  # every other rule earns its keep here
+
+
+def test_a6_summary_table(benchmark, setup):
+    schema, premises = setup
+
+    def build_table():
+        full = closure_size(schema, premises, ALL_RULES)
+        rows = [("all rules", full, 0)]
+        for dropped in sorted(ALL_RULES):
+            size = closure_size(schema, premises, ALL_RULES - {dropped})
+            rows.append((f"without {dropped}", size, full - size))
+        return rows
+
+    rows = benchmark(build_table)
+    body = f"{'configuration':28s} {'closure':>8s} {'lost':>6s}\n" + "\n".join(
+        f"{name:28s} {size:8d} {lost:6d}" for name, size, lost in rows
+    )
+    show("A6: per-rule contribution to the closure", body)

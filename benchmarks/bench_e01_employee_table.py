@@ -1,0 +1,25 @@
+"""E1 — the section-2 employee table: A, E, and the attribute sets.
+
+Regenerates the paper's table verbatim from the schema object and checks
+every row; the benchmark times schema construction plus rendering.
+"""
+
+from conftest import show
+
+from repro.core.employee import ATTRIBUTE_SETS, employee_schema
+from repro.viz import entity_table
+
+
+def build_and_render():
+    schema = employee_schema()
+    return schema, entity_table(schema)
+
+
+def test_e01_employee_table(benchmark):
+    schema, text = benchmark(build_and_render)
+    assert "A = {age, budget, depname, location, name}" in text
+    assert "E = {department, employee, manager, person, worksfor}" in text
+    for name, attrs in ATTRIBUTE_SETS.items():
+        assert schema[name].attributes == attrs
+        assert "{" + ", ".join(sorted(attrs)) + "}" in text
+    show("E1: section-2 entity table", text)

@@ -1,0 +1,25 @@
+"""E2 — the section-2 disk-cut figure.
+
+Each attribute is a disk; each entity type is a cut across the disks of
+its attributes; a cut instance carries the values.  The bench regenerates
+both the type-level matrix and the instance cuts for one entity type.
+"""
+
+from conftest import show
+
+from repro.viz import disk_matrix, instance_cut
+
+
+def test_e02_disk_matrix(benchmark, schema):
+    text = benchmark(disk_matrix, schema)
+    manager_row = next(l for l in text.splitlines() if l.startswith("manager"))
+    assert manager_row.count("●") == 4  # name, age, depname, budget
+    person_row = next(l for l in text.splitlines() if l.startswith("person"))
+    assert person_row.count("●") == 2
+    show("E2: disk-cut figure (types over attribute disks)", text)
+
+
+def test_e02_instance_cuts(benchmark, db):
+    text = benchmark(instance_cut, db, "worksfor")
+    assert "ann" in text and "amsterdam" in text
+    show("E2: cuts through worksfor (instances)", text)

@@ -1,0 +1,35 @@
+"""E3 — section 3.1: V_a, S_e and the Venn/containment figure.
+
+Asserts the exact S_e sets the paper lists and regenerates the figure;
+the benchmark times the full specialisation analysis (usage sets, S sets,
+topology generation).
+"""
+
+from conftest import show
+
+from repro.core import SpecialisationStructure
+from repro.core.employee import PAPER_S_SETS
+from repro.viz import isa_forest, nested_regions, specialisation_table
+
+
+def analyse(schema):
+    spec = SpecialisationStructure(schema)
+    sets = {e.name: spec.S(e) for e in schema}
+    return spec, sets, len(spec.space.opens)
+
+
+def test_e03_S_sets_and_topology(benchmark, schema):
+    spec, sets, n_opens = benchmark(analyse, schema)
+    for name, expected in PAPER_S_SETS.items():
+        assert {e.name for e in sets[name]} == set(expected)
+    assert spec.is_open_cover()
+    assert spec.minimal_open_is_S()
+    assert n_opens >= 8
+    show("E3: V_a and S_e tables", specialisation_table(schema))
+
+
+def test_e03_venn_figure(benchmark, schema):
+    text = benchmark(isa_forest, schema)
+    assert "manager" in text and "shared" in text
+    show("E3: containment (Venn) figure as ISA forest",
+         text + "\n\n" + nested_regions(schema))

@@ -1,0 +1,37 @@
+"""E4 — section 3.1: the chosen subbase R_T and the constructed type.
+
+The paper reports R_T = {person, department, employee, manager} with
+worksfor the only constructed element; this bench re-derives that result
+by exhaustive minimal-subbase search and times the search.
+"""
+
+from conftest import show
+
+from repro.core import SubbaseChoice, minimal_subbase_choices, redundant_types
+from repro.core.employee import PAPER_CONSTRUCTED, PAPER_SUBBASE
+
+
+def test_e04_minimal_subbase_search(benchmark, schema):
+    choices = benchmark(minimal_subbase_choices, schema)
+    assert len(choices) == 1
+    assert {e.name for e in choices[0]} == set(PAPER_SUBBASE)
+    body = "minimal R_T candidates:\n" + "\n".join(
+        "  {" + ", ".join(sorted(e.name for e in c)) + "}" for c in choices
+    )
+    show("E4: the paper's R_T is the unique minimal subbase", body)
+
+
+def test_e04_constructed_types(benchmark, schema):
+    def constructed():
+        return SubbaseChoice(schema, PAPER_SUBBASE).constructed_types()
+
+    result = benchmark(constructed)
+    assert {e.name for e in result} == set(PAPER_CONSTRUCTED)
+    choice = SubbaseChoice(schema, PAPER_SUBBASE)
+    expr = choice.expression_for(schema["worksfor"])
+    body = (
+        f"constructed: {sorted(e.name for e in result)}\n"
+        f"S_worksfor = intersection of S_e over {sorted(e.name for e in expr)}\n"
+        f"redundant anywhere: {sorted(e.name for e in redundant_types(schema))}"
+    )
+    show("E4: worksfor is the only constructed element", body)

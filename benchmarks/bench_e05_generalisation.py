@@ -1,0 +1,59 @@
+"""E5 — section 3.2: G_e sets, duality corollary, non-complement example.
+
+Checks the exact G sets, the corollary ``y in S_x iff x in G_y`` on the
+employee schema and on random schemas up to 200 types, and the paper's
+S_person/G_person counterexample.  The benchmark times the duality sweep
+at the largest size.
+"""
+
+import random
+
+from conftest import show
+
+from repro.core import GeneralisationStructure, SpecialisationStructure
+from repro.core.employee import PAPER_G_SETS
+from repro.viz import generalisation_table
+from repro.workloads import random_schema
+
+
+def test_e05_G_sets(benchmark, schema):
+    def analyse():
+        gen = GeneralisationStructure(schema)
+        return {e.name: gen.G(e) for e in schema}
+
+    sets = benchmark(analyse)
+    for name, expected in PAPER_G_SETS.items():
+        assert {e.name for e in sets[name]} == set(expected)
+    show("E5: G_e table", generalisation_table(schema))
+
+
+def test_e05_duality_at_scale(benchmark):
+    big = random_schema(random.Random(5), n_attrs=16, n_types=200, shape="tree")
+
+    def duality_sweep():
+        spec = SpecialisationStructure(big)
+        gen = GeneralisationStructure(big)
+        return all(
+            (y in spec.S(x)) == (x in gen.G(y))
+            for x in big
+            for y in big
+        )
+
+    assert benchmark(duality_sweep)
+    show("E5: duality corollary", f"verified over {len(big)}^2 type pairs")
+
+
+def test_e05_not_complements(benchmark, schema):
+    def witness():
+        return GeneralisationStructure(schema).not_complement_witness(
+            schema["person"]
+        )
+
+    result = benchmark(witness)
+    assert not result["union_is_E"]
+    assert result["intersection_is_singleton"]
+    body = (
+        f"S_person | G_person = {sorted(e.name for e in result['union'])} != E\n"
+        f"S_person & G_person = {sorted(e.name for e in result['intersection'])}"
+    )
+    show("E5: S and G are not complements (person)", body)

@@ -1,0 +1,59 @@
+"""E7 — section 4: Containment Condition, E_e, and corollary (a)-(c).
+
+Validates the mappings on the employee state and on random consistent
+extensions; the benchmark times the all-chains corollary verification.
+"""
+
+import random
+
+from conftest import show
+
+from repro.core import all_chains, verify_corollary
+from repro.viz import extension_table
+from repro.workloads import random_extension, random_schema
+
+
+def test_e07_corollary_on_employee(benchmark, db):
+    result = benchmark(verify_corollary, db)
+    assert result == {"a": True, "b": True, "c": True}
+    chains = all_chains(db)
+    body = (
+        extension_table(db)
+        + f"\n\ncorollary (a), (b), (c) verified on {len(chains)} chains: {result}"
+    )
+    show("E7: extension mappings corollary", body)
+
+
+def test_e07_corollary_on_random_states(benchmark):
+    rng = random.Random(17)
+    states = []
+    for seed in range(6):
+        local = random.Random(seed)
+        s = random_schema(local, n_attrs=7, n_types=6,
+                          shape=rng.choice(["chain", "tree", "diamond"]))
+        states.append(random_extension(local, s, rows_per_leaf=3))
+
+    def verify_all():
+        return [verify_corollary(state) for state in states]
+
+    results = benchmark(verify_all)
+    assert all(r == {"a": True, "b": True, "c": True} for r in results)
+    show("E7: corollary on random consistent states",
+         f"{len(results)} states, all pass")
+
+
+def test_e07_containment_detection(benchmark, db):
+    broken = db.insert(
+        "manager",
+        {"name": "eva", "age": 47, "depname": "admin", "budget": 100},
+        propagate=False,
+    )
+
+    def diagnose():
+        return broken.containment_violations()
+
+    violations = benchmark(diagnose)
+    assert violations
+    pairs = sorted((s.name, e.name) for s, e, _ in violations)
+    show("E7: containment diagnosis on an injected violation",
+         "\n".join(f"pi_{e}^{s}(R_{s}) escapes R_{e}" for s, e in pairs))

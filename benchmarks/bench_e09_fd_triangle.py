@@ -1,0 +1,62 @@
+"""E9 — section 5.1: the FD definition and the commuting-triangle theorem.
+
+fd(employee, department, worksfor) holds on the example state, the
+lambda mapping exists and commutes; breaking the dependency kills the
+mapping.  Timed: lambda construction over growing context relations.
+"""
+
+import random
+
+from conftest import show
+
+from repro.core import EntityFD, holds, lambda_mapping, triangle_commutes
+from repro.core.employee import employee_fd
+from repro.workloads import random_extension, random_schema, random_fd
+
+
+def test_e09_triangle_on_employee(benchmark, db, schema):
+    fd = employee_fd(schema)
+
+    def construct():
+        return lambda_mapping(fd, db)
+
+    lam = benchmark(construct)
+    assert lam is not None
+    assert triangle_commutes(fd, db, lam)
+    body = "\n".join(
+        f"lambda({dict(k)!r}) = {dict(v)!r}" for k, v in sorted(
+            lam.items(), key=repr,
+        )
+    )
+    show("E9: lambda for fd(employee, department, worksfor)", body)
+
+
+def test_e09_iff_direction(benchmark, db, schema):
+    fd = employee_fd(schema)
+    broken = db.insert("worksfor", {
+        "name": "ann", "age": 31, "depname": "sales", "location": "delft",
+    }, propagate=False)
+
+    def both():
+        return lambda_mapping(fd, db), lambda_mapping(fd, broken)
+
+    good, bad = benchmark(both)
+    assert good is not None and bad is None
+    show("E9: theorem's iff", "fd holds -> lambda exists; fd broken -> no lambda")
+
+
+def test_e09_lambda_at_scale(benchmark):
+    rng = random.Random(31)
+    schema = random_schema(rng, n_attrs=10, n_types=8, shape="tree")
+    db = random_extension(rng, schema, rows_per_leaf=40)
+    fd = random_fd(rng, schema)
+    assert fd is not None
+
+    def construct():
+        return lambda_mapping(fd, db)
+
+    lam = benchmark(construct)
+    verdict = holds(fd, db)
+    assert (lam is not None) == verdict
+    show("E9: lambda at scale",
+         f"context size {len(db.R(fd.context))}, fd holds: {verdict}")

@@ -1,0 +1,63 @@
+"""E11 — section 5.3: nucleus, F_e, DF_e, and the mapping corollary.
+
+Checks that every context's semantic dependency set is a DF member, that
+the pair-set inclusions mirror propagation, and the section's corollary;
+timed on the employee state and on random consistent states.
+"""
+
+import random
+
+from conftest import show
+
+from repro.core import DependencyMappings, fd_pairs, in_DF, nucleus
+from repro.workloads import random_extension, random_schema
+
+
+def test_e11_fd_sets_in_DF(benchmark, db, schema):
+    def analyse():
+        return {e.name: fd_pairs(db, e) for e in schema}
+
+    pairs = benchmark(analyse)
+    for e in schema:
+        assert in_DF(schema, e, pairs[e.name])
+    body = "\n".join(
+        f"fd_{name}: {len(p)} pairs (nucleus "
+        f"{len(nucleus(schema, schema[name]))})"
+        for name, p in sorted(pairs.items())
+    )
+    show("E11: dependency sets per context, all members of DF_e", body)
+
+
+def test_e11_mapping_corollary(benchmark, db, schema):
+    def verify():
+        dm = DependencyMappings(db, schema["person"])
+        return dm.corollary_holds(schema["employee"], schema["manager"])
+
+    assert benchmark(verify)
+    show("E11: corollary on the person/employee/manager chain", "holds")
+
+
+def test_e11_propagation_inclusions_random(benchmark):
+    rng = random.Random(41)
+    cases = []
+    for seed in range(5):
+        local = random.Random(seed)
+        s = random_schema(local, n_attrs=6, n_types=6, shape="chain")
+        cases.append(random_extension(local, s, rows_per_leaf=3))
+
+    def verify_all():
+        from repro.core import SpecialisationStructure
+
+        checked = 0
+        for state in cases:
+            spec = SpecialisationStructure(state.schema)
+            for e in state.schema:
+                dm = DependencyMappings(state, e)
+                for f in spec.S(e):
+                    for g in spec.S(f):
+                        assert dm.F(f) <= dm.F(g)
+                        checked += 1
+        return checked
+
+    checked = benchmark(verify_all)
+    show("E11: F_e(f) subseteq F_e(g) inclusions", f"{checked} chain pairs verified")

@@ -1,0 +1,64 @@
+"""E12 — sections 1/6: view-update ambiguity, axiom model vs Universal
+Relation.
+
+The paper's motivating claim: restricting views to sets of entity types
+gives every update a unique translation, while the UR's windows admit
+several.  The bench counts translations for the same logical updates under
+both models — the axiom model must report exactly 1, the UR strictly more.
+"""
+
+from conftest import show
+
+from repro.core import EntityViewType, ViewUpdate, translation_count
+from repro.relational import Tuple
+from repro.universal import (
+    UniversalRelation,
+    deletion_translations,
+    insertion_translations,
+)
+
+UPDATES = [
+    ("insert person (name, age)", "person", {"name": "eva", "age": 47}),
+    ("insert employee row", "employee",
+     {"name": "eva", "age": 47, "depname": "sales"}),
+    ("insert department row", "department",
+     {"depname": "admin", "location": "delft"}),
+]
+
+
+def compare(db, schema):
+    ur = UniversalRelation.from_extension(db)
+    rows = []
+    for label, member, payload in UPDATES:
+        view = EntityViewType(f"view_{member}", {schema[member]})
+        update = ViewUpdate(view, "insert", schema[member], Tuple(payload))
+        axiom = translation_count(update, db)
+        window_attrs = frozenset(payload)
+        ur_count = len(insertion_translations(ur, payload))
+        rows.append((label, axiom, ur_count, len(window_attrs)))
+    return rows
+
+
+def test_e12_insertion_ambiguity(benchmark, db, schema):
+    rows = benchmark(compare, db, schema)
+    for label, axiom, ur_count, _ in rows:
+        assert axiom == 1, label
+        assert ur_count >= 1
+    assert any(ur_count > 1 for _, _, ur_count, _ in rows)
+    header = f"{'update':35s} {'axiom model':>12s} {'UR windows':>11s}"
+    body = header + "\n" + "\n".join(
+        f"{label:35s} {axiom:12d} {ur:11d}" for label, axiom, ur, _ in rows
+    )
+    show("E12: translations per view update (1 vs many)", body)
+
+
+def test_e12_deletion_ambiguity(benchmark, db):
+    ur = UniversalRelation.from_extension(db)
+
+    def count():
+        return len(deletion_translations(ur, {"name": "ann", "age": 31}))
+
+    ur_deletes = benchmark(count)
+    assert ur_deletes > 1  # ann appears in person/employee/manager/worksfor
+    show("E12: deleting (ann, 31) from the UR window",
+         f"{ur_deletes} candidate base deletions vs 1 under the View Axiom")

@@ -1,0 +1,66 @@
+"""E13 — section 4's closing remark, carried out.
+
+"[The extension mappings] allow us to define the extension as a
+topological space, but, once again, this is beyond the scope of this
+paper" / "the extension of a database can be seen as a topological space
+built out of entities rather than entity types" (section 1).
+
+The bench builds the instance space for the employee state, times the
+construction, and pins the structural verdicts: the type projection is
+continuous and S-compatible; openness fails exactly because dee has no
+employee instance.
+"""
+
+import random
+
+from conftest import show
+
+from repro.core import intension_extension_report
+from repro.core.extension_space import extension_space, type_projection
+from repro.workloads import random_extension, random_schema
+
+
+def test_e13_employee_instance_space(benchmark, db):
+    report = benchmark(intension_extension_report, db)
+    assert report["continuous"]
+    assert report["s_compatible"]
+    assert not report["open_map"]  # dee: person without employee instance
+    body = (
+        f"points (instances): {report['points']}\n"
+        f"open sets:          {report['opens']}\n"
+        f"type projection:    continuous={report['continuous']}, "
+        f"open={report['open_map']}, S-compatible={report['s_compatible']}\n"
+        f"fibers (= R_e):     {report['fiber_sizes']}"
+    )
+    show("E13: the extension as a topological space of entities", body)
+
+
+def test_e13_projection_continuity_at_scale(benchmark):
+    """Large states: the order-level check replaces open-set
+    materialisation (which is exponential in the antichain width)."""
+    from repro.core.extension_space import instance_points, projection_is_monotone
+
+    rng = random.Random(47)
+    schema = random_schema(rng, n_attrs=8, n_types=7, shape="tree")
+    db = random_extension(rng, schema, rows_per_leaf=20)
+
+    assert benchmark(projection_is_monotone, db)
+    show("E13: instance order at scale",
+         f"{len(instance_points(db))} instances, projection monotone "
+         "(== continuous, by the Alexandrov correspondence)")
+
+
+def test_e13_small_space_matches_order_check(benchmark, db):
+    """Cross-validation: on example-sized states the materialised space's
+    continuity verdict equals the order-level one."""
+    from repro.core.extension_space import projection_is_monotone
+
+    def both():
+        return type_projection(db).is_continuous(), projection_is_monotone(db)
+
+    continuous, monotone = benchmark(both)
+    assert continuous and monotone
+    space = extension_space(db)
+    show("E13: small-state cross-check",
+         f"{len(space.points)} instances, {len(space.opens)} opens; "
+         "topological and order-level verdicts agree")

@@ -1,0 +1,23 @@
+"""Shared fixtures for the experiment benches (see DESIGN.md section 4)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.employee import employee_extension, employee_schema
+
+
+@pytest.fixture(scope="module")
+def schema():
+    return employee_schema()
+
+
+@pytest.fixture(scope="module")
+def db(schema):
+    return employee_extension(schema)
+
+
+def show(title: str, body: str) -> None:
+    """Print a regenerated paper artifact under a banner (use pytest -s)."""
+    bar = "=" * max(len(title), 8)
+    print(f"\n{bar}\n{title}\n{bar}\n{body}")

@@ -1,0 +1,88 @@
+"""Compiling a classical EAR design into the axiom model.
+
+The paper credits the EAR model's entity/relationship distinction but
+faults its lack of formalisation.  This example takes a Chen-style design
+(entity sets, relationship sets, cardinalities, total participation) and
+compiles it into a validated axiom-model schema with contributors and
+constraints — making the EAR semantics formal and checkable.
+
+Run:  python examples/ear_migration.py
+"""
+
+from repro.core import DatabaseExtension, check_all
+from repro.ear import EAREntitySet, EARRelationshipSet, EARSchema, translate
+from repro.viz import contributor_table, entity_table, isa_forest
+
+ear = EARSchema(
+    entities=[
+        EAREntitySet("patient", frozenset({"pname", "insurance"})),
+        EAREntitySet("doctor", frozenset({"dname", "specialty"})),
+        EAREntitySet("ward", frozenset({"wname", "floor"})),
+    ],
+    relationships=[
+        EARRelationshipSet(
+            "treats", "doctor", "patient",
+            cardinality="1:n",                 # one doctor, many patients
+            total=frozenset({"patient"}),      # every patient is treated
+        ),
+        EARRelationshipSet(
+            "assigned", "patient", "ward",
+            cardinality="n:1",                 # each patient in one ward
+            attributes=frozenset({"bed"}),
+        ),
+    ],
+)
+
+result = translate(ear, domains={
+    "pname": ["p1", "p2", "p3"],
+    "insurance": ["basic", "full"],
+    "dname": ["dr_a", "dr_b"],
+    "specialty": ["cardio", "neuro"],
+    "wname": ["w1", "w2"],
+    "floor": [1, 2],
+    "bed": [1, 2, 3, 4],
+})
+
+print("compiled schema")
+print("-" * 60)
+print(entity_table(result.schema))
+print()
+print(isa_forest(result.schema))
+print()
+print(contributor_table(result.schema))
+
+print("\nconstraints compiled from cardinalities / participation:")
+for constraint in result.constraints.constraints:
+    print(" ", constraint.name)
+if result.notes:
+    print("\ntranslator notes:")
+    for note in result.notes:
+        print(" ", note)
+
+audit = check_all(result.schema,
+                  constraints=result.constraints.constraints,
+                  contributors=result.contributors)
+print("\naxiom audit:", audit.render())
+
+# Populate and validate the semantics the EAR diagram only implied.
+db = DatabaseExtension(result.schema, {
+    "patient": [
+        {"pname": "p1", "insurance": "basic"},
+        {"pname": "p2", "insurance": "full"},
+    ],
+    "doctor": [{"dname": "dr_a", "specialty": "cardio"}],
+    "ward": [{"wname": "w1", "floor": 1}],
+    "treats": [
+        {"dname": "dr_a", "specialty": "cardio", "pname": "p1", "insurance": "basic"},
+        {"dname": "dr_a", "specialty": "cardio", "pname": "p2", "insurance": "full"},
+    ],
+    "assigned": [
+        {"pname": "p1", "insurance": "basic", "wname": "w1", "floor": 1, "bed": 2},
+    ],
+}, result.contributors)
+
+print("\nextension consistent:", db.is_consistent())
+report = result.constraints.report(db)
+print("constraint check:", "all hold" if not report else report)
+# p2 is treated but not assigned: total participation in 'treats' holds,
+# and 'assigned' imposes none, so the state is legal.

@@ -1,0 +1,68 @@
+"""View updates: the View Axiom vs. Maier's Universal Relation (E12 live).
+
+The same logical change — "record that eva, 47, exists" — has exactly one
+translation under the axiom model and four under the Universal Relation.
+
+Run:  python examples/view_updates_vs_universal_relation.py
+"""
+
+from repro.core import EntityViewType, ViewInstance, ViewUpdate, translation_count
+from repro.core.employee import employee_extension, employee_schema
+from repro.relational import Tuple
+from repro.universal import (
+    UniversalRelation,
+    deletion_translations,
+    insertion_translations,
+)
+
+schema = employee_schema()
+db = employee_extension(schema)
+
+print("the task: insert the fact (name=eva, age=47)")
+print("=" * 60)
+
+# --- axiom model ---------------------------------------------------------
+view = EntityViewType("people", {schema["person"]})
+update = ViewUpdate(view, "insert", schema["person"],
+                    Tuple({"name": "eva", "age": 47}))
+print("\naxiom model (View Axiom):")
+print(f"  view 'people' = set of entity types {sorted(e.name for e in view.members)}")
+print(f"  translations: {translation_count(update, db)}")
+updated = update.translate(db)
+print(f"  applied; person now has {len(updated.R('person'))} instances;"
+      f" containment: {updated.satisfies_containment()}")
+
+# --- universal relation --------------------------------------------------
+ur = UniversalRelation.from_extension(db)
+translations = insertion_translations(ur, {"name": "eva", "age": 47})
+print("\nuniversal relation (windows over one big scheme):")
+print(f"  translations: {len(translations)}")
+for i, translation in enumerate(translations):
+    targets = []
+    for idx, t in translation.items():
+        rel_schema = sorted(ur.relations[idx].schema)
+        targets.append(f"relation{idx}{rel_schema}")
+    print(f"    option {i + 1}: insert into {', '.join(targets)}")
+
+print("\nwhy it matters: each option leaves different placeholders behind "
+      "and changes different windows — the system must guess.")
+
+# --- deletion side -------------------------------------------------------
+print("\nthe task: delete the fact (name=ann, age=31)")
+print("=" * 60)
+candidates = deletion_translations(ur, {"name": "ann", "age": 31})
+print(f"universal relation candidate deletions: {len(candidates)}")
+view_update = ViewUpdate(view, "delete", schema["person"],
+                         Tuple({"name": "ann", "age": 31}))
+print(f"axiom model translations: {translation_count(view_update, db)} "
+      "(delete the person; specialisation facts cascade deterministically)")
+after = view_update.translate(db)
+print(f"after the axiom-model delete: person={len(after.R('person'))}, "
+      f"manager={len(after.R('manager'))} (ann's manager fact cascaded)")
+
+# --- what the user actually sees ----------------------------------------
+print("\nview presentation (read-only join is still available):")
+staffing = EntityViewType("staffing", {schema["employee"], schema["department"]})
+presented = ViewInstance(staffing, db).presented_relation()
+for t in presented:
+    print(" ", dict(t))

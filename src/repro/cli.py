@@ -1,0 +1,162 @@
+"""Command-line interface: inspect, audit, and render database documents.
+
+Usage (after installation)::
+
+    python -m repro.cli inspect db.json            # tables + figures
+    python -m repro.cli check db.json              # axiom + constraint audit
+    python -m repro.cli topology db.json           # S/G/CO and subbase report
+    python -m repro.cli fd db.json --closure       # dependency closure
+    python -m repro.cli example employee out.json  # write the paper's example
+
+Documents use the JSON format of :mod:`repro.io`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro import io
+from repro.core import (
+    ArmstrongEngine,
+    check_all,
+    designer_bias_report,
+)
+from repro.viz import (
+    contributor_table,
+    disk_matrix,
+    entity_table,
+    extension_table,
+    generalisation_table,
+    isa_forest,
+    specialisation_table,
+)
+
+
+def _cmd_inspect(args: argparse.Namespace) -> int:
+    db, _ = io.load(args.document)
+    print(entity_table(db.schema))
+    print()
+    print(disk_matrix(db.schema))
+    print()
+    print(isa_forest(db.schema))
+    print()
+    print(extension_table(db))
+    return 0
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    db, constraints = io.load(args.document)
+    report = check_all(db.schema, db, constraints=constraints.constraints,
+                       contributors=db.contributors)
+    print(report.render())
+    problems = constraints.report(db)
+    for name, messages in problems.items():
+        for message in messages:
+            print(f"[constraint {name}] {message}")
+    ok = report.ok() and not problems
+    print("verdict:", "CONSISTENT" if ok else "VIOLATIONS FOUND")
+    return 0 if ok else 1
+
+
+def _cmd_topology(args: argparse.Namespace) -> int:
+    db, _ = io.load(args.document)
+    schema = db.schema
+    print(specialisation_table(schema))
+    print()
+    print(generalisation_table(schema))
+    print()
+    print(contributor_table(schema))
+    print()
+    bias = designer_bias_report(schema)
+    print("essential entity types:",
+          sorted(e.name for e in bias["essential"]))
+    print("derivable (constructed) candidates:",
+          sorted(e.name for e in bias["redundant"]))
+    return 0
+
+
+def _cmd_fd(args: argparse.Namespace) -> int:
+    db, constraints = io.load(args.document)
+    premises = constraints.functional_dependencies()
+    if not premises:
+        print("no functional dependencies declared in the document")
+        return 0
+    print("declared dependencies:")
+    for fd in premises:
+        print(f"  {fd!r}")
+    if args.closure:
+        engine = ArmstrongEngine(db.schema, premises)
+        derived = sorted(engine.nontrivial_derived(), key=repr)
+        print(f"\nnon-trivial closure ({len(derived)} dependencies):")
+        for fd in derived:
+            print(f"  {fd!r}")
+    from repro.core.fd import holds
+
+    broken = [fd for fd in premises if not holds(fd, db)]
+    print("\nall declared dependencies hold in the state"
+          if not broken else f"\nVIOLATED: {broken}")
+    return 0 if not broken else 1
+
+
+def _cmd_example(args: argparse.Namespace) -> int:
+    if args.name != "employee":
+        print(f"unknown example {args.name!r}; available: employee",
+              file=sys.stderr)
+        return 2
+    from repro.core.employee import employee_constraints, employee_extension
+
+    db = employee_extension()
+    io.save(args.output, db, employee_constraints(db.schema))
+    print(f"wrote the paper's employee database to {args.output}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Siebes & Kersten (1987) axiom-model toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_inspect = sub.add_parser("inspect", help="render tables and figures")
+    p_inspect.add_argument("document")
+    p_inspect.set_defaults(func=_cmd_inspect)
+
+    p_check = sub.add_parser("check", help="axiom and constraint audit")
+    p_check.add_argument("document")
+    p_check.set_defaults(func=_cmd_check)
+
+    p_topology = sub.add_parser("topology", help="S/G/CO and subbase report")
+    p_topology.add_argument("document")
+    p_topology.set_defaults(func=_cmd_topology)
+
+    p_fd = sub.add_parser("fd", help="dependency report")
+    p_fd.add_argument("document")
+    p_fd.add_argument("--closure", action="store_true",
+                      help="print the Armstrong closure")
+    p_fd.set_defaults(func=_cmd_fd)
+
+    p_example = sub.add_parser("example", help="write a bundled example document")
+    p_example.add_argument("name")
+    p_example.add_argument("output")
+    p_example.set_defaults(func=_cmd_example)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe; exit quietly like other
+        # well-behaved CLI tools.
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,241 @@
+"""The axiom-and-topology model — the paper's primary contribution.
+
+Layered exactly as the paper's sections:
+
+* section 2 — :mod:`attributes`, :mod:`entity_types`, :mod:`schema`,
+  :mod:`axioms`, :mod:`views`, :mod:`design_process`;
+* section 3 — :mod:`specialisation`, :mod:`generalisation`,
+  :mod:`contributors`, :mod:`subbase`;
+* section 4 — :mod:`extension`, :mod:`mappings`, :mod:`evolution`;
+* section 5 — :mod:`fd`, :mod:`armstrong`, :mod:`semantics`,
+  :mod:`nucleus`, :mod:`integrity`;
+* the running example — :mod:`employee`.
+"""
+
+from repro.core.attributes import (
+    Attribute,
+    AtomicValueSet,
+    AttributeUniverse,
+    is_atomic_value,
+)
+from repro.core.entity_types import EntityType
+from repro.core.schema import Schema
+from repro.core.specialisation import SpecialisationStructure
+from repro.core.generalisation import GeneralisationStructure
+from repro.core.contributors import (
+    ContributorAssignment,
+    augmented_attributes,
+    canonical_contributors,
+    contributed_attributes,
+    is_compound,
+    primitive_types,
+)
+from repro.core.subbase import (
+    SubbaseChoice,
+    designer_bias_report,
+    minimal_subbase_choices,
+    redundant_types,
+)
+from repro.core.extension import DatabaseExtension
+from repro.core.mappings import (
+    all_chains,
+    corollary_a,
+    corollary_b,
+    corollary_c,
+    gluing_report,
+    instance_presheaf,
+    pi_tuple,
+    rho,
+    verify_corollary,
+)
+from repro.core.views import (
+    EntityViewType,
+    ViewInstance,
+    ViewUpdate,
+    decompose_presented_tuple,
+    translation_count,
+)
+from repro.core.fd import (
+    EntityFD,
+    holds,
+    lambda_mapping,
+    propagates_to,
+    triangle_commutes,
+    violations,
+)
+from repro.core.armstrong import ALL_RULES, ArmstrongEngine, Derivation
+from repro.core.semantics import (
+    a2_union_soundness_example,
+    agreement_report,
+    attribute_theory,
+    completeness_gap_example,
+    counterexample_extension,
+    is_intersection_closed,
+    semantically_implies,
+)
+from repro.core.nucleus import (
+    DependencyMappings,
+    fd_pairs,
+    in_DF,
+    in_F,
+    is_transitively_closed,
+    nucleus,
+    transitive_closure,
+)
+from repro.core.integrity import (
+    CardinalityConstraint,
+    ConstraintSet,
+    FunctionalConstraint,
+    IntegrityConstraint,
+    ParticipationConstraint,
+    SubsetConstraint,
+)
+from repro.core.axioms import (
+    AxiomFinding,
+    AxiomReport,
+    check_all,
+    check_attribute_axiom,
+    check_containment,
+    check_entity_type_axiom,
+    check_extension_axiom,
+    check_integrity_axiom,
+    check_relationship_axiom,
+    check_view_axiom,
+)
+from repro.core.design_process import (
+    DesignAction,
+    DesignDraft,
+    DesignReport,
+    DraftDependency,
+    DraftEntity,
+    run_design_process,
+)
+from repro.core.evolution import (
+    AddAttribute,
+    AddEntityType,
+    EvolutionReport,
+    RemoveAttribute,
+    RemoveEntityType,
+    RenameEntityType,
+    SchemaChange,
+    analyse,
+    intension_map,
+    migrate,
+)
+from repro.core.extension_space import (
+    extension_space,
+    fibers,
+    instance_minimal_open,
+    instance_points,
+    intension_extension_report,
+    type_projection,
+)
+from repro.core.domain_constraints import (
+    DomainConstraint,
+    EntityMVD,
+    fd_domain_constraint,
+    mvd_domain_constraint,
+)
+from repro.core import employee
+
+__all__ = [
+    "Attribute",
+    "AtomicValueSet",
+    "AttributeUniverse",
+    "is_atomic_value",
+    "EntityType",
+    "Schema",
+    "SpecialisationStructure",
+    "GeneralisationStructure",
+    "ContributorAssignment",
+    "augmented_attributes",
+    "canonical_contributors",
+    "contributed_attributes",
+    "is_compound",
+    "primitive_types",
+    "SubbaseChoice",
+    "designer_bias_report",
+    "minimal_subbase_choices",
+    "redundant_types",
+    "DatabaseExtension",
+    "all_chains",
+    "corollary_a",
+    "corollary_b",
+    "corollary_c",
+    "gluing_report",
+    "instance_presheaf",
+    "pi_tuple",
+    "rho",
+    "verify_corollary",
+    "EntityViewType",
+    "ViewInstance",
+    "ViewUpdate",
+    "decompose_presented_tuple",
+    "translation_count",
+    "EntityFD",
+    "holds",
+    "lambda_mapping",
+    "propagates_to",
+    "triangle_commutes",
+    "violations",
+    "ALL_RULES",
+    "ArmstrongEngine",
+    "Derivation",
+    "a2_union_soundness_example",
+    "agreement_report",
+    "attribute_theory",
+    "completeness_gap_example",
+    "counterexample_extension",
+    "is_intersection_closed",
+    "semantically_implies",
+    "DependencyMappings",
+    "fd_pairs",
+    "in_DF",
+    "in_F",
+    "is_transitively_closed",
+    "nucleus",
+    "transitive_closure",
+    "CardinalityConstraint",
+    "ConstraintSet",
+    "FunctionalConstraint",
+    "IntegrityConstraint",
+    "ParticipationConstraint",
+    "SubsetConstraint",
+    "AxiomFinding",
+    "AxiomReport",
+    "check_all",
+    "check_attribute_axiom",
+    "check_containment",
+    "check_entity_type_axiom",
+    "check_extension_axiom",
+    "check_integrity_axiom",
+    "check_relationship_axiom",
+    "check_view_axiom",
+    "DesignAction",
+    "DesignDraft",
+    "DesignReport",
+    "DraftDependency",
+    "DraftEntity",
+    "run_design_process",
+    "AddAttribute",
+    "AddEntityType",
+    "EvolutionReport",
+    "RemoveAttribute",
+    "RemoveEntityType",
+    "RenameEntityType",
+    "SchemaChange",
+    "analyse",
+    "intension_map",
+    "migrate",
+    "extension_space",
+    "fibers",
+    "instance_minimal_open",
+    "instance_points",
+    "intension_extension_report",
+    "type_projection",
+    "DomainConstraint",
+    "EntityMVD",
+    "fd_domain_constraint",
+    "mvd_domain_constraint",
+    "employee",
+]

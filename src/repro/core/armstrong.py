@@ -1,0 +1,223 @@
+"""The entity-level Armstrong system and the propagation theorem (section 5.2).
+
+The paper rephrases the Armstrong axioms over entity types:
+
+    A1  g in G_e                        implies  fd(e, g, e)
+    A2  fd(f, g, e)  iff  for all h in G_g: fd(f, h, e)
+    A3  fd(f, g, e) and fd(g, h, e)     imply   fd(f, h, e)
+
+plus the **propagation theorem** — a dependency valid in context ``g``
+is valid in every specialisation ``h in S_g`` — and claims the combined
+system is globally *sound and complete*.
+
+Readings fixed by this implementation:
+
+* A2's forward direction is *decomposition*: ``fd(f, g, e)`` yields
+  ``fd(f, h, e)`` for every ``h in G_g`` (h's attributes sit inside g's).
+  It is derivable from A1 + A3 + propagation; we keep it as an explicit
+  rule so the redundancy can be demonstrated (`rules` parameter).
+* A2's backward direction is the *union* rule.  The paper notes it "is
+  sound because of the Extension Axiom": agreement on all components only
+  forces agreement on a compound because a combination of contributor
+  instances forms at most one compound instance.  Accordingly the rule
+  fires through the *contributors* ``CO_g`` — determination of every
+  contributor of a compound determines the compound itself, extra
+  attributes included.
+
+Every derived dependency carries a :class:`Derivation` tree, so proofs can
+be rendered, audited, and minimised.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from dataclasses import dataclass, field
+
+from repro.core.contributors import ContributorAssignment
+from repro.core.entity_types import EntityType
+from repro.core.fd import EntityFD
+from repro.core.generalisation import GeneralisationStructure
+from repro.core.schema import Schema
+from repro.core.specialisation import SpecialisationStructure
+from repro.errors import DependencyError
+
+ALL_RULES = frozenset({"A1", "A2-decomposition", "A2-union", "A3", "propagation"})
+
+
+@dataclass(frozen=True)
+class Derivation:
+    """A proof tree: one rule application with its sub-derivations."""
+
+    conclusion: EntityFD
+    rule: str
+    premises: tuple["Derivation", ...] = field(default_factory=tuple)
+
+    def depth(self) -> int:
+        """Longest path to an axiom/premise leaf."""
+        if not self.premises:
+            return 1
+        return 1 + max(p.depth() for p in self.premises)
+
+    def size(self) -> int:
+        """Total number of rule applications in the tree."""
+        return 1 + sum(p.size() for p in self.premises)
+
+    def render(self, indent: int = 0) -> str:
+        """A human-readable proof listing."""
+        pad = "  " * indent
+        lines = [f"{pad}{self.conclusion!r}   [{self.rule}]"]
+        for p in self.premises:
+            lines.append(p.render(indent + 1))
+        return "\n".join(lines)
+
+
+class ArmstrongEngine:
+    """Fixpoint closure of a premise set under the entity-level rules.
+
+    Parameters
+    ----------
+    schema:
+        The schema fixing the statement space (all ``fd(e, f, h)`` with
+        ``e, f in G_h``).
+    premises:
+        The designer's declared dependencies.
+    contributors:
+        Contributor assignment used by the A2-union rule; canonical when
+        omitted.
+    rules:
+        Subset of :data:`ALL_RULES` to apply — ablation studies disable
+        rules to measure their contribution.
+    """
+
+    def __init__(self,
+                 schema: Schema,
+                 premises: Iterable[EntityFD] = (),
+                 contributors: ContributorAssignment | None = None,
+                 rules: frozenset[str] = ALL_RULES):
+        unknown = rules - ALL_RULES
+        if unknown:
+            raise DependencyError(f"unknown rules: {sorted(unknown)}")
+        self.schema = schema
+        self.rules = rules
+        self.gen = GeneralisationStructure(schema)
+        self.spec = SpecialisationStructure(schema)
+        self.contributors = contributors or ContributorAssignment(schema)
+        self.premises = tuple(fd.validate(schema) for fd in premises)
+        self._closure: dict[EntityFD, Derivation] | None = None
+
+    # ------------------------------------------------------------------
+    # closure computation
+    # ------------------------------------------------------------------
+    def closure(self) -> dict[EntityFD, Derivation]:
+        """All derivable dependencies, each with one (first-found) proof."""
+        if self._closure is not None:
+            return self._closure
+        derived: dict[EntityFD, Derivation] = {}
+
+        def add(fd: EntityFD, rule: str, parents: tuple[Derivation, ...]) -> bool:
+            if fd in derived:
+                return False
+            derived[fd] = Derivation(fd, rule, parents)
+            return True
+
+        for fd in self.premises:
+            add(fd, "premise", ())
+
+        if "A1" in self.rules:
+            for e in self.schema:
+                for g in self.gen.G(e):
+                    add(EntityFD(e, g, e), "A1", ())
+
+        changed = True
+        while changed:
+            changed = False
+            current = list(derived.items())
+
+            if "propagation" in self.rules:
+                for fd, proof in current:
+                    for h in self.spec.S(fd.context):
+                        if h == fd.context:
+                            continue
+                        if add(EntityFD(fd.determinant, fd.dependent, h),
+                               "propagation", (proof,)):
+                            changed = True
+
+            if "A2-decomposition" in self.rules:
+                for fd, proof in current:
+                    for h in self.gen.G(fd.dependent):
+                        if h == fd.dependent:
+                            continue
+                        if add(EntityFD(fd.determinant, h, fd.context),
+                               "A2-decomposition", (proof,)):
+                            changed = True
+
+            if "A3" in self.rules:
+                by_context: dict[EntityType, list[tuple[EntityFD, Derivation]]] = {}
+                for fd, proof in derived.items():
+                    by_context.setdefault(fd.context, []).append((fd, proof))
+                for context, fds in by_context.items():
+                    by_determinant: dict[EntityType, list[tuple[EntityFD, Derivation]]] = {}
+                    for fd, proof in fds:
+                        by_determinant.setdefault(fd.determinant, []).append((fd, proof))
+                    for fd1, proof1 in fds:
+                        for fd2, proof2 in by_determinant.get(fd1.dependent, ()):
+                            if add(EntityFD(fd1.determinant, fd2.dependent, context),
+                                   "A3", (proof1, proof2)):
+                                changed = True
+
+            if "A2-union" in self.rules:
+                for h in self.schema:
+                    g_h = self.gen.G(h)
+                    for g in g_h:
+                        cos = self.contributors.contributors(g)
+                        if not cos:
+                            continue
+                        for f in g_h:
+                            target = EntityFD(f, g, h)
+                            if target in derived:
+                                continue
+                            parents = []
+                            complete = True
+                            for c in sorted(cos):
+                                need = EntityFD(f, c, h)
+                                if need in derived:
+                                    parents.append(derived[need])
+                                else:
+                                    complete = False
+                                    break
+                            if complete and add(target, "A2-union", tuple(parents)):
+                                changed = True
+
+        self._closure = derived
+        return derived
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def derivable(self, fd: EntityFD) -> bool:
+        """Whether the dependency is syntactically derivable."""
+        fd.validate(self.schema)
+        return fd in self.closure()
+
+    def derivation(self, fd: EntityFD) -> Derivation | None:
+        """A proof tree for ``fd``, or ``None``."""
+        fd.validate(self.schema)
+        return self.closure().get(fd)
+
+    def derived_in_context(self, context: EntityType) -> frozenset[EntityFD]:
+        """All derivable dependencies whose context is ``context``."""
+        return frozenset(fd for fd in self.closure() if fd.context == context)
+
+    def nontrivial_derived(self) -> frozenset[EntityFD]:
+        """Derivable dependencies that are not nucleus/trivial ones."""
+        return frozenset(fd for fd in self.closure() if not fd.is_trivial())
+
+    def statement_space(self) -> list[EntityFD]:
+        """Every well-typed ``fd(e, f, h)`` statement over the schema."""
+        out = []
+        for h in self.schema.sorted_types():
+            g_h = sorted(self.gen.G(h))
+            for e in g_h:
+                for f in g_h:
+                    out.append(EntityFD(e, f, h))
+        return out

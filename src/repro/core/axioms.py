@@ -1,0 +1,203 @@
+"""The six design axioms as machine-checkable validators (section 2).
+
+Each axiom gets a checker returning a list of :class:`AxiomFinding`
+diagnostics; :func:`check_all` aggregates them into an :class:`AxiomReport`
+for a schema (intension-level axioms) or a full database state (adding the
+extension-level axioms).  Constructors elsewhere already *enforce* several
+of these; the checkers re-derive the verdicts independently so audits do
+not rely on construction-time behaviour.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from dataclasses import dataclass, field
+
+from repro.core.attributes import AttributeUniverse, is_atomic_value
+from repro.core.contributors import ContributorAssignment
+from repro.core.entity_types import EntityType
+from repro.core.extension import DatabaseExtension
+from repro.core.integrity import IntegrityConstraint
+from repro.core.schema import Schema
+from repro.core.views import EntityViewType
+
+
+@dataclass(frozen=True)
+class AxiomFinding:
+    """One diagnostic: which axiom, what's wrong, who is involved."""
+
+    axiom: str
+    message: str
+    offenders: tuple = ()
+
+    def __str__(self) -> str:
+        return f"[{self.axiom}] {self.message}"
+
+
+@dataclass
+class AxiomReport:
+    """Aggregated findings, queryable per axiom."""
+
+    findings: list[AxiomFinding] = field(default_factory=list)
+
+    def ok(self) -> bool:
+        return not self.findings
+
+    def by_axiom(self, axiom: str) -> list[AxiomFinding]:
+        return [f for f in self.findings if f.axiom == axiom]
+
+    def render(self) -> str:
+        if self.ok():
+            return "all axioms satisfied"
+        return "\n".join(str(f) for f in self.findings)
+
+
+def check_attribute_axiom(universe: AttributeUniverse) -> list[AxiomFinding]:
+    """Each attribute: one property name, one atomic value set, atomic values."""
+    findings = []
+    for name in sorted(universe.property_names):
+        domain = universe.domain(name)
+        for value in domain.values:
+            if not is_atomic_value(value):
+                findings.append(AxiomFinding(
+                    "Attribute Axiom",
+                    f"property {name!r} admits decomposable value {value!r}",
+                    (name, value),
+                ))
+    return findings
+
+
+def check_entity_type_axiom(entity_types: Iterable[EntityType]) -> list[AxiomFinding]:
+    """No two entity types may share a property set."""
+    findings = []
+    seen: dict[frozenset[str], EntityType] = {}
+    for et in sorted(entity_types):
+        twin = seen.get(et.attributes)
+        if twin is not None:
+            findings.append(AxiomFinding(
+                "Entity Type Axiom",
+                f"{twin.name!r} and {et.name!r} share the property set "
+                f"{sorted(et.attributes)}: synonyms or missing role attribute",
+                (twin, et),
+            ))
+        else:
+            seen[et.attributes] = et
+    return findings
+
+
+def check_relationship_axiom(schema: Schema,
+                             contributors: ContributorAssignment) -> list[AxiomFinding]:
+    """A relationship is an entity type; contributors are generalisations.
+
+    Structurally, compound types being members of E discharges the axiom;
+    the remaining checkable content is the contributor Property and that
+    each compound's attribute set really unions its contributors' plus
+    descriptive extras (it always does, set-theoretically — reported when
+    a contributor is somehow not contained, which indicates an assignment
+    constructed against a different schema).
+    """
+    findings = []
+    for e in schema.sorted_types():
+        for c in sorted(contributors.contributors(e)):
+            if c not in schema:
+                findings.append(AxiomFinding(
+                    "Relationship Axiom",
+                    f"contributor {c.name!r} of {e.name!r} is not an entity type",
+                    (e, c),
+                ))
+            elif not c.attributes <= e.attributes:
+                findings.append(AxiomFinding(
+                    "Relationship Axiom",
+                    f"contributor {c.name!r} is not a generalisation of {e.name!r}",
+                    (e, c),
+                ))
+    return findings
+
+
+def check_extension_axiom(db: DatabaseExtension) -> list[AxiomFinding]:
+    """Compound extensions embed injectively in their contributor joins."""
+    findings = []
+    for e in sorted(db.contributors.compound_types()):
+        report = db.extension_axiom_violations(e)
+        for t in report["unsupported"]:
+            findings.append(AxiomFinding(
+                "Extension Axiom",
+                f"R_{e.name} tuple {t!r} is not supported by the contributor join",
+                (e, t),
+            ))
+        for group in report["collisions"]:
+            findings.append(AxiomFinding(
+                "Extension Axiom",
+                f"R_{e.name} tuples {group!r} share one contributor combination "
+                "(injectivity fails)",
+                (e, tuple(group)),
+            ))
+    return findings
+
+
+def check_view_axiom(schema: Schema,
+                     views: Iterable[EntityViewType]) -> list[AxiomFinding]:
+    """Views are sets of existing entity types."""
+    findings = []
+    for view in views:
+        for member in sorted(view.members):
+            if member not in schema:
+                findings.append(AxiomFinding(
+                    "View Axiom",
+                    f"view {view.name!r} aggregates {member.name!r}, which is "
+                    "not an entity type of the schema",
+                    (view, member),
+                ))
+    return findings
+
+
+def check_integrity_axiom(schema: Schema,
+                          constraints: Iterable[IntegrityConstraint]) -> list[AxiomFinding]:
+    """Constraints are predicates over entity types, implying an entity type."""
+    findings = []
+    for constraint in constraints:
+        for e in sorted(constraint.entity_types() | {constraint.context}):
+            if e not in schema:
+                findings.append(AxiomFinding(
+                    "Integrity Axiom",
+                    f"constraint {constraint.name!r} ranges over {e.name!r}, "
+                    "which is not an entity type",
+                    (constraint, e),
+                ))
+    return findings
+
+
+def check_containment(db: DatabaseExtension) -> list[AxiomFinding]:
+    """The Containment Condition, reported in axiom style.
+
+    Not one of the six axioms by name, but the section 4 condition the
+    whole extension mapping rests on — included in full-state audits.
+    """
+    findings = []
+    for s, e, stray in db.containment_violations():
+        findings.append(AxiomFinding(
+            "Containment Condition",
+            f"pi_{e.name}^{s.name}(R_{s.name}) has {len(stray)} tuple(s) "
+            f"outside R_{e.name}",
+            (s, e),
+        ))
+    return findings
+
+
+def check_all(schema: Schema,
+              db: DatabaseExtension | None = None,
+              views: Iterable[EntityViewType] = (),
+              constraints: Iterable[IntegrityConstraint] = (),
+              contributors: ContributorAssignment | None = None) -> AxiomReport:
+    """Run every applicable checker and aggregate the findings."""
+    contributors = contributors or ContributorAssignment(schema)
+    report = AxiomReport()
+    report.findings += check_attribute_axiom(schema.universe)
+    report.findings += check_entity_type_axiom(schema.entity_types)
+    report.findings += check_relationship_axiom(schema, contributors)
+    report.findings += check_view_axiom(schema, views)
+    report.findings += check_integrity_axiom(schema, constraints)
+    if db is not None:
+        report.findings += check_containment(db)
+        report.findings += check_extension_axiom(db)
+    return report

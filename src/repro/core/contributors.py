@@ -1,0 +1,138 @@
+"""Contributors: the components of compound entity types (section 3.3).
+
+"Every entity that has a generalisation can be seen as a compound entity",
+and the Extension Axiom makes the designated *contributors* determine the
+compound's information.  The paper's closing observation — "the
+contributers are the direct generalisations of an entity type" — is the
+canonical assignment implemented here; designers may override it (the text
+allows them to designate contributors) as long as the stated Property
+(every contributor is a proper generalisation) holds.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+
+from repro.core.entity_types import EntityType
+from repro.core.generalisation import GeneralisationStructure
+from repro.core.schema import Schema
+from repro.errors import SchemaError
+
+
+def canonical_contributors(schema: Schema, e: EntityType) -> frozenset[EntityType]:
+    """``CO_e``: the direct (maximal proper) generalisations of ``e``.
+
+    ``f`` contributes to ``e`` iff ``f in G_e``, ``f != e``, and no other
+    ``g in G_e`` lies strictly between: ``f in G_g`` with ``g != e, f``.
+    This implements the paper's definition, whose conclusion is that the
+    contributors are the direct generalisations.
+    """
+    gen = GeneralisationStructure(schema)
+    g_e = gen.G(e)
+    out: set[EntityType] = set()
+    for f in g_e:
+        if f == e:
+            continue
+        between = any(
+            g not in (e, f) and f.attributes < g.attributes
+            for g in g_e
+        )
+        if not between:
+            out.add(f)
+    return frozenset(out)
+
+
+def is_compound(schema: Schema, e: EntityType) -> bool:
+    """Whether ``e`` has at least one contributor (a proper generalisation)."""
+    return bool(canonical_contributors(schema, e))
+
+
+def primitive_types(schema: Schema) -> frozenset[EntityType]:
+    """Entity types with no proper generalisation in ``E``.
+
+    These are the atoms of information: the Extension Axiom never
+    constrains them, and every compound's extension is ultimately bounded
+    by theirs.
+    """
+    return frozenset(e for e in schema if not canonical_contributors(schema, e))
+
+
+def contributed_attributes(schema: Schema, e: EntityType) -> frozenset[str]:
+    """The attributes of ``e`` covered by its contributors."""
+    covered: set[str] = set()
+    for c in canonical_contributors(schema, e):
+        covered |= c.attributes
+    return frozenset(covered)
+
+
+def augmented_attributes(schema: Schema, e: EntityType) -> frozenset[str]:
+    """The relationship's own descriptive attributes: ``A_e`` minus covered.
+
+    Section 2: "a relationship [is] a union of existing entities,
+    augmented with attributes that represent the properties of the
+    relationship"; these augmented attributes "should play a fairly
+    unimportant role" — the Extension Axiom's injectivity makes that
+    precise.
+    """
+    return e.attributes - contributed_attributes(schema, e)
+
+
+class ContributorAssignment:
+    """A designer-chosen contributor map, validated against the Property.
+
+    Parameters
+    ----------
+    schema:
+        The schema the assignment is about.
+    assignment:
+        Mapping from entity-type name to an iterable of contributor names.
+        Types not mentioned get their canonical contributors.
+
+    The paper's Property — "If f in CO_e, then f in G_e and f != e" — is
+    enforced; assigning a non-generalisation raises
+    :class:`~repro.errors.SchemaError`.
+    """
+
+    def __init__(self, schema: Schema,
+                 assignment: Mapping[str, Iterable[str]] | None = None):
+        self.schema = schema
+        gen = GeneralisationStructure(schema)
+        self._map: dict[EntityType, frozenset[EntityType]] = {}
+        assignment = dict(assignment or {})
+        for name, contributor_names in assignment.items():
+            e = schema[name]
+            contributors = frozenset(schema[c] for c in contributor_names)
+            for f in contributors:
+                if f == e:
+                    raise SchemaError(f"{e.name!r} cannot contribute to itself")
+                if f not in gen.G(e):
+                    raise SchemaError(
+                        f"{f.name!r} is not a generalisation of {e.name!r}; "
+                        "the contributor Property requires f in G_e"
+                    )
+            self._map[e] = contributors
+        for e in schema:
+            self._map.setdefault(e, canonical_contributors(schema, e))
+
+    def contributors(self, e: EntityType) -> frozenset[EntityType]:
+        """``CO_e`` under this assignment."""
+        if e not in self._map:
+            raise SchemaError(f"{e!r} is not an entity type of this schema")
+        return self._map[e]
+
+    def matches_canonical(self) -> bool:
+        """Whether the assignment coincides with direct generalisations.
+
+        The paper: "by choosing the attributes carefully, the designer can
+        achieve that the [direct-generalisation] definition captures
+        exactly the contributers" — this predicate tells the designer
+        whether they have.
+        """
+        return all(
+            self._map[e] == canonical_contributors(self.schema, e)
+            for e in self.schema
+        )
+
+    def compound_types(self) -> frozenset[EntityType]:
+        """Types with a nonempty contributor set under this assignment."""
+        return frozenset(e for e, cos in self._map.items() if cos)

@@ -1,0 +1,300 @@
+"""The section-2 design procedure as an executable engine.
+
+The paper closes its axiom section with a six-step recipe: derive
+attributes, enumerate entity types, resolve synonym types, validate
+relationships, remove view entities, and analyse dependencies.  This
+module runs that recipe over a *draft* — the messy, pre-axiomatic material
+a designer collects — and produces a :class:`DesignReport` of actions plus,
+when the draft can be repaired automatically, a valid :class:`Schema`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+from dataclasses import dataclass, field
+
+from repro.core.attributes import AttributeUniverse, is_atomic_value
+from repro.core.schema import Schema
+from repro.core.entity_types import EntityType
+from repro.errors import SchemaError
+
+
+@dataclass
+class DraftEntity:
+    """A candidate entity type, before the axioms are applied."""
+
+    name: str
+    attributes: frozenset[str]
+    is_relationship: bool = False
+    claimed_contributors: frozenset[str] = frozenset()
+    is_cluster: bool = False  # the designer suspects it is a mere view
+
+
+@dataclass
+class DraftDependency:
+    """A dependency observation: determinant/dependent may be raw attributes."""
+
+    determinant: str  # entity name or attribute name
+    dependent: str
+    context: str
+
+
+@dataclass
+class DesignDraft:
+    """Raw design material: attributes with domains, entities, dependencies."""
+
+    domains: Mapping[str, Iterable]
+    entities: list[DraftEntity]
+    dependencies: list[DraftDependency] = field(default_factory=list)
+
+
+@dataclass(frozen=True)
+class DesignAction:
+    """One recommendation/transformation produced by the procedure."""
+
+    step: int
+    kind: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"step {self.step} [{self.kind}]: {self.message}"
+
+
+@dataclass
+class DesignReport:
+    """The outcome: actions taken/recommended and the resulting schema."""
+
+    actions: list[DesignAction] = field(default_factory=list)
+    schema: Schema | None = None
+
+    def by_kind(self, kind: str) -> list[DesignAction]:
+        return [a for a in self.actions if a.kind == kind]
+
+    def render(self) -> str:
+        lines = [str(a) for a in self.actions]
+        if self.schema is not None:
+            lines.append(f"resulting schema: {self.schema!r}")
+        return "\n".join(lines)
+
+
+def run_design_process(draft: DesignDraft,
+                       synonym_strategy: str = "merge") -> DesignReport:
+    """Apply the six design steps to a draft.
+
+    ``synonym_strategy`` decides step 2's repair for duplicate attribute
+    sets: ``"merge"`` keeps the lexicographically first name; ``"role"``
+    adds a distinguishing role attribute to each duplicate.
+    """
+    if synonym_strategy not in ("merge", "role"):
+        raise SchemaError(f"unknown synonym strategy: {synonym_strategy!r}")
+    report = DesignReport()
+    domains: dict[str, list] = {k: list(v) for k, v in draft.domains.items()}
+
+    # ------------------------------------------------------------------
+    # Step 1 — attribute axiom: unambiguous atomic value sets.
+    # ------------------------------------------------------------------
+    for attr, values in sorted(domains.items()):
+        bad = [v for v in values if not is_atomic_value(v)]
+        if bad:
+            report.actions.append(DesignAction(
+                1, "attribute-axiom",
+                f"attribute {attr!r} has decomposable values {bad!r}; split it "
+                "into one attribute per role",
+            ))
+    used: set[str] = set()
+    for entity in draft.entities:
+        used |= entity.attributes
+    unknown = used - set(domains)
+    for attr in sorted(unknown):
+        domains[attr] = list(range(8))
+        report.actions.append(DesignAction(
+            1, "attribute-axiom",
+            f"attribute {attr!r} has no declared atomic value set; a default "
+            "was assigned — confirm its semantic concept",
+        ))
+
+    # ------------------------------------------------------------------
+    # Step 2 — entity type axiom: resolve synonym types.
+    # ------------------------------------------------------------------
+    by_attrs: dict[frozenset[str], list[DraftEntity]] = {}
+    for entity in draft.entities:
+        by_attrs.setdefault(entity.attributes, []).append(entity)
+    final_entities: dict[str, frozenset[str]] = {}
+    for attrs, group in sorted(by_attrs.items(), key=lambda kv: sorted(kv[0])):
+        group = sorted(group, key=lambda d: d.name)
+        if len(group) == 1:
+            final_entities[group[0].name] = attrs
+            continue
+        names = [g.name for g in group]
+        if synonym_strategy == "merge":
+            keeper = names[0]
+            final_entities[keeper] = attrs
+            report.actions.append(DesignAction(
+                2, "synonym-merge",
+                f"entity types {names} share {sorted(attrs)}; kept {keeper!r}, "
+                f"dropped {names[1:]} as synonyms",
+            ))
+        else:
+            # One marker attribute per duplicate: equal sets with one shared
+            # role attribute would violate the Entity Type Axiom again.
+            for g in group:
+                role_attr = f"role_{g.name}"
+                domains.setdefault(role_attr, [g.name])
+                final_entities[g.name] = attrs | {role_attr}
+            report.actions.append(DesignAction(
+                2, "synonym-role",
+                f"entity types {names} share {sorted(attrs)}; added role "
+                "attributes to keep them distinct",
+            ))
+
+    # ------------------------------------------------------------------
+    # Step 3 — relationship axiom: contributors must be entity types and
+    # common attributes flag multiple roles / hidden aggregation.
+    # ------------------------------------------------------------------
+    for entity in draft.entities:
+        if not entity.is_relationship:
+            continue
+        for contributor in sorted(entity.claimed_contributors):
+            if contributor not in final_entities:
+                report.actions.append(DesignAction(
+                    3, "relationship-axiom",
+                    f"relationship {entity.name!r} claims contributor "
+                    f"{contributor!r}, which is not an entity type",
+                ))
+                continue
+            if not final_entities[contributor] <= entity.attributes:
+                report.actions.append(DesignAction(
+                    3, "relationship-axiom",
+                    f"relationship {entity.name!r} does not carry all "
+                    f"attributes of contributor {contributor!r}; a relationship "
+                    "is the union of its contributing entities",
+                ))
+        contributor_sets = [
+            final_entities[c] for c in entity.claimed_contributors
+            if c in final_entities
+        ]
+        for i, left in enumerate(contributor_sets):
+            for right in contributor_sets[i + 1:]:
+                common = left & right
+                if common:
+                    report.actions.append(DesignAction(
+                        3, "shared-attribute",
+                        f"contributors of {entity.name!r} share attributes "
+                        f"{sorted(common)}: check for multiple semantic roles "
+                        "or an aggregation not yet recognised",
+                    ))
+
+    # ------------------------------------------------------------------
+    # Step 4 — identification: extra relationship attributes must not be
+    # needed for identity unless covered by an (explicit) entity type.
+    # ------------------------------------------------------------------
+    for entity in draft.entities:
+        if not entity.is_relationship:
+            continue
+        covered: set[str] = set()
+        for contributor in entity.claimed_contributors:
+            covered |= final_entities.get(contributor, frozenset())
+        extras = entity.attributes - covered
+        if extras:
+            covering = [
+                name for name, attrs in final_entities.items()
+                if extras <= attrs and name != entity.name
+            ]
+            if not covering:
+                report.actions.append(DesignAction(
+                    4, "identification",
+                    f"relationship {entity.name!r} has descriptive attributes "
+                    f"{sorted(extras)} covered by no entity type; if they "
+                    "identify occurrences, promote them to an entity type",
+                ))
+
+    # ------------------------------------------------------------------
+    # Step 5 — remove entities that are entity views (pure clusters).
+    # ------------------------------------------------------------------
+    for entity in draft.entities:
+        if not entity.is_cluster or entity.name not in final_entities:
+            continue
+        attrs = final_entities[entity.name]
+        others = {n: a for n, a in final_entities.items() if n != entity.name}
+        union_cover = [
+            sorted(names) for names in _covering_unions(attrs, others)
+        ]
+        if union_cover:
+            del final_entities[entity.name]
+            report.actions.append(DesignAction(
+                5, "view-removal",
+                f"entity {entity.name!r} equals the aggregation of "
+                f"{union_cover[0]}; modelled as an entity view type instead",
+            ))
+        else:
+            report.actions.append(DesignAction(
+                5, "view-kept",
+                f"cluster {entity.name!r} carries information beyond other "
+                "entities (attributes were missing anyway); kept as an entity",
+            ))
+
+    # ------------------------------------------------------------------
+    # Step 6 — dependency analysis: promote attribute-ranging variables.
+    # ------------------------------------------------------------------
+    for dep in draft.dependencies:
+        for role, variable in (("determinant", dep.determinant),
+                               ("dependent", dep.dependent)):
+            if variable in final_entities:
+                continue
+            if variable in domains:
+                type_name = f"{variable}_entity"
+                if type_name not in final_entities:
+                    final_entities[type_name] = frozenset({variable})
+                report.actions.append(DesignAction(
+                    6, "promote-attribute",
+                    f"dependency {role} {variable!r} ranges over an attribute; "
+                    f"promoted it to entity type {type_name!r}",
+                ))
+            else:
+                report.actions.append(DesignAction(
+                    6, "unknown-dependency-variable",
+                    f"dependency {role} {variable!r} is neither an entity type "
+                    "nor an attribute",
+                ))
+        if dep.context not in final_entities:
+            report.actions.append(DesignAction(
+                6, "missing-context",
+                f"dependency context {dep.context!r} has not been observed as "
+                "an entity type",
+            ))
+
+    # ------------------------------------------------------------------
+    # Assemble the final schema if possible.
+    # ------------------------------------------------------------------
+    try:
+        used_attrs = {x for s in final_entities.values() for x in s}
+        universe = AttributeUniverse.from_values({
+            a: domains[a] for a in sorted(used_attrs) if a in domains
+        })
+        types = [EntityType(name, attrs) for name, attrs in final_entities.items()]
+        report.schema = Schema(universe, types)
+    except SchemaError as exc:
+        report.actions.append(DesignAction(
+            6, "unresolved",
+            f"the draft could not be repaired into a valid schema: {exc}",
+        ))
+    return report
+
+
+def _covering_unions(target: frozenset[str],
+                     candidates: Mapping[str, frozenset[str]],
+                     max_size: int = 3) -> list[frozenset[str]]:
+    """Subsets of candidate names whose attribute union is exactly ``target``."""
+    from itertools import combinations
+
+    usable = {n: a for n, a in candidates.items() if a <= target}
+    out: list[frozenset[str]] = []
+    names = sorted(usable)
+    for size in range(1, min(max_size, len(names)) + 1):
+        for combo in combinations(names, size):
+            union: set[str] = set()
+            for n in combo:
+                union |= usable[n]
+            if union == set(target):
+                out.append(frozenset(combo))
+    return out

@@ -1,0 +1,161 @@
+"""Domain constraints — and MVDs as their special case (section 6).
+
+"Currently we investigate more complex constraints ... It can be shown
+that multi-valued dependencies are a special case of domain constraints."
+
+A *domain constraint* restricts which members of ``P(D_e)`` are allowed
+extensions: it is a predicate on whole relation states, not on tuple
+pairs.  Following the Integrity Axiom it is anchored at an entity type
+(the context).  The executable version of the paper's claim is
+:func:`mvd_domain_constraint`: the MVD ``X ->> Y`` in context ``h`` is the
+domain constraint "``R_h`` is closed under the swap operation" — a
+condition on the *set* ``R_h``, not expressible tuple-pairwise, which is
+precisely what makes it a domain constraint rather than an implication
+between projections.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.core.entity_types import EntityType
+from repro.core.extension import DatabaseExtension
+from repro.core.generalisation import GeneralisationStructure
+from repro.core.integrity import IntegrityConstraint
+from repro.core.schema import Schema
+from repro.errors import DependencyError
+from repro.relational import Relation
+from repro.relational.mvd import MVD, holds_in as mvd_holds, violating_swaps
+
+
+class DomainConstraint(IntegrityConstraint):
+    """An arbitrary predicate over the extension set ``R_context``.
+
+    Parameters
+    ----------
+    name:
+        Display name for reports.
+    context:
+        The entity type whose extension is constrained.
+    predicate:
+        ``Relation -> bool``; True when the state is allowed.
+    explain:
+        Optional ``Relation -> list[str]`` producing violation messages;
+        a generic message is emitted otherwise.
+    """
+
+    def __init__(self, name: str, context: EntityType,
+                 predicate: Callable[[Relation], bool],
+                 explain: Callable[[Relation], list[str]] | None = None):
+        self.name = name
+        self.context = context
+        self._predicate = predicate
+        self._explain = explain
+
+    def entity_types(self) -> frozenset[EntityType]:
+        return frozenset({self.context})
+
+    def holds(self, db: DatabaseExtension) -> bool:
+        return bool(self._predicate(db.R(self.context)))
+
+    def violation_report(self, db: DatabaseExtension) -> list[str]:
+        if self.holds(db):
+            return []
+        if self._explain is not None:
+            return [f"{self.name}: {msg}" for msg in self._explain(db.R(self.context))]
+        return [f"{self.name}: the extension of {self.context.name!r} is not allowed"]
+
+
+class EntityMVD:
+    """An entity-level multi-valued dependency ``mvd(e, f, h)``.
+
+    ``e`` multi-determines ``f`` in the context ``h``: within ``R_h``,
+    fixing the e-part makes the set of f-parts independent of the rest.
+    Typing matches :class:`~repro.core.fd.EntityFD` (both sides generalise
+    the context).
+    """
+
+    __slots__ = ("determinant", "dependent", "context")
+
+    def __init__(self, determinant: EntityType, dependent: EntityType,
+                 context: EntityType):
+        self.determinant = determinant
+        self.dependent = dependent
+        self.context = context
+
+    def validate(self, schema: Schema) -> "EntityMVD":
+        gen = GeneralisationStructure(schema)
+        for part, role in ((self.determinant, "determinant"),
+                           (self.dependent, "dependent")):
+            if part not in gen.G(self.context):
+                raise DependencyError(
+                    f"{role} {part.name!r} is not a generalisation of the "
+                    f"context {self.context.name!r}"
+                )
+        return self
+
+    def as_relational(self) -> MVD:
+        """The attribute-level MVD over the context's schema."""
+        return MVD(self.determinant.attributes, self.dependent.attributes,
+                   self.context.attributes)
+
+    def __repr__(self) -> str:
+        return (f"mvd({self.determinant.name}, {self.dependent.name}, "
+                f"{self.context.name})")
+
+
+def holds(entity_mvd: EntityMVD, db: DatabaseExtension) -> bool:
+    """Whether the state satisfies the entity-level MVD."""
+    entity_mvd.validate(db.schema)
+    return mvd_holds(entity_mvd.as_relational(), db.R(entity_mvd.context))
+
+
+def mvd_domain_constraint(schema: Schema, entity_mvd: EntityMVD) -> DomainConstraint:
+    """The paper's claim, executably: an MVD *is* a domain constraint.
+
+    The returned constraint allows exactly the extensions of the context
+    that are closed under the MVD's swap operation.  Tests assert that
+    for every state, ``holds(entity_mvd, db) == constraint.holds(db)`` —
+    the two formulations coincide.
+    """
+    entity_mvd.validate(schema)
+    relational = entity_mvd.as_relational()
+
+    def predicate(relation: Relation) -> bool:
+        return mvd_holds(relational, relation)
+
+    def explain(relation: Relation) -> list[str]:
+        return [
+            f"swap tuple {t!r} is missing"
+            for t in violating_swaps(relational, relation)
+        ]
+
+    return DomainConstraint(
+        f"domain[{entity_mvd!r}]", entity_mvd.context, predicate, explain,
+    )
+
+
+def fd_domain_constraint(schema: Schema, fd) -> DomainConstraint:
+    """FDs are domain constraints too (the inclusion is strict the other way).
+
+    Provided for completeness of the section-6 picture: the hierarchy is
+    FD < MVD < domain constraint, and tests confirm both inclusions on
+    concrete states.
+    """
+    from repro.core.fd import EntityFD, holds as fd_holds
+
+    if not isinstance(fd, EntityFD):
+        raise DependencyError("fd_domain_constraint expects an EntityFD")
+    fd.validate(schema)
+
+    def predicate(relation: Relation) -> bool:
+        witness = {}
+        for t in relation.tuples:
+            key = t.project(fd.determinant.attributes)
+            value = t.project(fd.dependent.attributes)
+            if key in witness and witness[key] != value:
+                return False
+            witness[key] = value
+        return True
+
+    return DomainConstraint(f"domain[{fd!r}]", fd.context, predicate)

@@ -1,0 +1,151 @@
+"""The paper's running example: the prototype employee database (section 2).
+
+    A = {name, depname, budget, age, location}
+    E = {employee, person, department, manager, worksfor}
+
+    entity       attribute set
+    ---------    -------------------------------------
+    person       {name, age}
+    employee     {name, age, depname}
+    department   {depname, location}
+    manager      {name, age, depname, budget}
+    worksfor     {name, age, depname, location}
+
+"The semantic distinction between persons' name and departments' name has
+been made explicit.  Integrity constraints such as 'each manager should be
+an employee', i.e. subset dependencies, are represented as subset
+hierarchies."
+
+Section 3.1's reported subbase: R_T = {person, department, employee,
+manager}; *worksfor* is the only constructed element.
+"""
+
+from __future__ import annotations
+
+from repro.core.entity_types import EntityType
+from repro.core.extension import DatabaseExtension
+from repro.core.fd import EntityFD
+from repro.core.integrity import (
+    CardinalityConstraint,
+    ConstraintSet,
+    SubsetConstraint,
+)
+from repro.core.schema import Schema
+
+ATTRIBUTE_SETS: dict[str, frozenset[str]] = {
+    "person": frozenset({"name", "age"}),
+    "employee": frozenset({"name", "age", "depname"}),
+    "department": frozenset({"depname", "location"}),
+    "manager": frozenset({"name", "age", "depname", "budget"}),
+    "worksfor": frozenset({"name", "age", "depname", "location"}),
+}
+
+DOMAINS: dict[str, tuple] = {
+    "name": ("ann", "bob", "cas", "dee", "eva", "fay"),
+    "age": (28, 31, 35, 42, 47, 53),
+    "depname": ("sales", "research", "admin"),
+    "budget": (100, 250, 500),
+    "location": ("amsterdam", "utrecht", "delft"),
+}
+
+PAPER_SUBBASE: frozenset[str] = frozenset({"person", "department", "employee", "manager"})
+PAPER_CONSTRUCTED: frozenset[str] = frozenset({"worksfor"})
+
+
+def employee_schema() -> Schema:
+    """The exact schema of the paper's figure and table."""
+    return Schema.from_attribute_sets(ATTRIBUTE_SETS, DOMAINS)
+
+
+def employee_entity(schema: Schema | None = None, name: str = "employee") -> EntityType:
+    """Convenience lookup against a (fresh by default) employee schema."""
+    schema = schema or employee_schema()
+    return schema[name]
+
+
+def employee_extension(schema: Schema | None = None) -> DatabaseExtension:
+    """A small consistent database state for the employee schema.
+
+    Satisfies the Containment Condition and the Extension Axiom; sized to
+    keep presheaf/gluing computations comfortable in tests and benches.
+    """
+    schema = schema or employee_schema()
+    departments = [
+        {"depname": "sales", "location": "amsterdam"},
+        {"depname": "research", "location": "utrecht"},
+    ]
+    employees = [
+        {"name": "ann", "age": 31, "depname": "sales"},
+        {"name": "bob", "age": 42, "depname": "research"},
+        {"name": "cas", "age": 28, "depname": "sales"},
+    ]
+    persons = [{"name": t["name"], "age": t["age"]} for t in employees] + [
+        {"name": "dee", "age": 53},
+    ]
+    managers = [
+        {"name": "ann", "age": 31, "depname": "sales", "budget": 250},
+    ]
+    worksfor = [
+        {**e, "location": d["location"]}
+        for e in employees
+        for d in departments
+        if d["depname"] == e["depname"]
+    ]
+    return DatabaseExtension(schema, {
+        "person": persons,
+        "employee": employees,
+        "department": departments,
+        "manager": managers,
+        "worksfor": worksfor,
+    })
+
+
+def employee_constraints(schema: Schema | None = None) -> ConstraintSet:
+    """The constraints the paper names plus the natural cardinality.
+
+    * "each manager should be an employee" — the subset dependency;
+    * each employee works for exactly one department — the 1:n
+      cardinality of *worksfor*, i.e. ``fd(employee, department,
+      worksfor)``.
+    """
+    schema = schema or employee_schema()
+    constraints = ConstraintSet(schema)
+    constraints.add(SubsetConstraint(schema["manager"], schema["employee"]))
+    constraints.add(SubsetConstraint(schema["employee"], schema["person"]))
+    constraints.add(CardinalityConstraint(
+        schema["worksfor"], schema["employee"], schema["department"], "1:n",
+    ))
+    return constraints
+
+
+def employee_fd(schema: Schema | None = None) -> EntityFD:
+    """The example dependency used throughout section 5's discussion."""
+    schema = schema or employee_schema()
+    return EntityFD(schema["employee"], schema["department"], schema["worksfor"])
+
+
+# The S_e and G_e sets the paper reports (by entity-type name), used by
+# tests and by the E3/E5 benches as the expected values.
+PAPER_S_SETS: dict[str, frozenset[str]] = {
+    "person": frozenset({"person", "employee", "manager", "worksfor"}),
+    "employee": frozenset({"employee", "manager", "worksfor"}),
+    "department": frozenset({"department", "worksfor"}),
+    "manager": frozenset({"manager"}),
+    "worksfor": frozenset({"worksfor"}),
+}
+
+PAPER_G_SETS: dict[str, frozenset[str]] = {
+    "person": frozenset({"person"}),
+    "employee": frozenset({"person", "employee"}),
+    "department": frozenset({"department"}),
+    "manager": frozenset({"person", "employee", "manager"}),
+    "worksfor": frozenset({"person", "employee", "department", "worksfor"}),
+}
+
+PAPER_CONTRIBUTORS: dict[str, frozenset[str]] = {
+    "person": frozenset(),
+    "employee": frozenset({"person"}),
+    "department": frozenset(),
+    "manager": frozenset({"employee"}),
+    "worksfor": frozenset({"employee", "department"}),
+}

@@ -1,0 +1,90 @@
+"""Entity types: names for sets of property names (section 2).
+
+The paper takes the "opposite position" to classical ER modelling: an
+entity is *nothing more than a name for a set of attributes*; the name
+carries no semantic information of its own.  Abstracting the value part
+away leaves the entity type — a named subset ``A_e`` of the property
+universe ``A``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.core.attributes import PropertyName
+from repro.errors import SchemaError
+
+
+class EntityType:
+    """A named subset of the property-name universe.
+
+    Equality and hashing include both the name and the attribute set so
+    that entity types can serve as points of the intension topology.  The
+    Entity Type Axiom (no two types with the same attribute set) is a
+    *schema-level* constraint, enforced by :class:`repro.core.schema.Schema`,
+    not here — individual values must be constructible to report the
+    violation.
+
+    Examples
+    --------
+    >>> person = EntityType("person", {"name", "age"})
+    >>> person.attributes == frozenset({"name", "age"})
+    True
+    """
+
+    __slots__ = ("name", "attributes")
+
+    def __init__(self, name: str, attributes: Iterable[PropertyName]):
+        if not isinstance(name, str) or not name:
+            raise SchemaError("an entity type needs a nonempty string name")
+        attrs = frozenset(attributes)
+        if not attrs:
+            raise SchemaError(
+                f"entity type {name!r} has no attributes; the paper's entities "
+                "are fully described by their attributes, so an empty set would "
+                "move all information into the name"
+            )
+        for a in attrs:
+            if not isinstance(a, str) or not a:
+                raise SchemaError(f"entity type {name!r} has a bad property name: {a!r}")
+        self.name = name
+        self.attributes = attrs
+
+    def is_specialisation_of(self, other: "EntityType") -> bool:
+        """Whether ``self`` carries at least all attributes of ``other``.
+
+        ``x.is_specialisation_of(y)`` is the pointwise form of ``x in S_y``.
+        Every type specialises itself.
+        """
+        return other.attributes <= self.attributes
+
+    def is_generalisation_of(self, other: "EntityType") -> bool:
+        """Whether ``self``'s attributes are contained in ``other``'s.
+
+        ``x.is_generalisation_of(y)`` is the pointwise form of ``x in G_y``.
+        """
+        return self.attributes <= other.attributes
+
+    def shared_attributes(self, other: "EntityType") -> frozenset[PropertyName]:
+        """The common attributes of two types (section 2's relationship cue)."""
+        return self.attributes & other.attributes
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, EntityType):
+            return NotImplemented
+        return self.name == other.name and self.attributes == other.attributes
+
+    def __hash__(self) -> int:
+        return hash((self.name, self.attributes))
+
+    def __lt__(self, other: "EntityType") -> bool:
+        """Sort by name for deterministic renders; not the ISA order."""
+        if not isinstance(other, EntityType):
+            return NotImplemented
+        return self.name < other.name
+
+    def __repr__(self) -> str:
+        return f"EntityType({self.name!r}, {sorted(self.attributes)})"
+
+    def __str__(self) -> str:
+        return self.name

@@ -1,0 +1,247 @@
+"""Schema evolution analysis (sections 4 and 6).
+
+"The relationship between database intension and extension ... is an
+injective mapping between two topological spaces.  The main benefit is
+that changes in the database intension can be translated directly into
+information preserving properties of the database extension.  This makes a
+formal analysis of an evolutionary database schema more tractable."
+
+This module implements that programme concretely: a vocabulary of schema
+changes, application with axiom revalidation, an intension-level analysis
+(does the old topology embed in the new one?) and an extension-level
+migration whose information preservation is decided by an actual
+round-trip.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+
+from repro.core.entity_types import EntityType
+from repro.core.extension import DatabaseExtension
+from repro.core.schema import Schema
+from repro.core.specialisation import SpecialisationStructure
+from repro.errors import EvolutionError, SchemaError
+from repro.relational import Relation
+from repro.topology import SpaceMap
+
+
+class SchemaChange(ABC):
+    """One evolutionary step on the intension."""
+
+    @abstractmethod
+    def apply(self, schema: Schema) -> Schema:
+        """The changed schema; raises when the result violates the axioms."""
+
+    @abstractmethod
+    def type_mapping(self, old: Schema, new: Schema) -> dict[EntityType, EntityType]:
+        """Where each surviving old entity type went (by identity or rename)."""
+
+
+@dataclass(frozen=True)
+class AddEntityType(SchemaChange):
+    """Introduce a new entity type (e.g. a newly recognised relationship)."""
+
+    name: str
+    attributes: frozenset[str]
+
+    def apply(self, schema: Schema) -> Schema:
+        return schema.with_entity_type(EntityType(self.name, self.attributes))
+
+    def type_mapping(self, old: Schema, new: Schema) -> dict[EntityType, EntityType]:
+        return {e: new[e.name] for e in old}
+
+
+@dataclass(frozen=True)
+class RemoveEntityType(SchemaChange):
+    """Drop an entity type (its instances are forgotten)."""
+
+    name: str
+
+    def apply(self, schema: Schema) -> Schema:
+        return schema.without_entity_type(self.name)
+
+    def type_mapping(self, old: Schema, new: Schema) -> dict[EntityType, EntityType]:
+        return {e: new[e.name] for e in old if e.name != self.name}
+
+
+@dataclass(frozen=True)
+class RenameEntityType(SchemaChange):
+    """Rename a type — pure intension cosmetics, always preserving."""
+
+    old_name: str
+    new_name: str
+
+    def apply(self, schema: Schema) -> Schema:
+        target = schema[self.old_name]
+        renamed = EntityType(self.new_name, target.attributes)
+        return schema.without_entity_type(self.old_name).with_entity_type(renamed)
+
+    def type_mapping(self, old: Schema, new: Schema) -> dict[EntityType, EntityType]:
+        out = {}
+        for e in old:
+            out[e] = new[self.new_name if e.name == self.old_name else e.name]
+        return out
+
+
+@dataclass(frozen=True)
+class AddAttribute(SchemaChange):
+    """Extend one entity type with a new attribute.
+
+    ``default`` supplies the value for existing instances during
+    migration; it must belong to the attribute's value set.
+    """
+
+    type_name: str
+    attribute: str
+    default: object = None
+
+    def apply(self, schema: Schema) -> Schema:
+        target = schema[self.type_name]
+        if self.attribute not in schema.universe:
+            raise EvolutionError(
+                f"attribute {self.attribute!r} is not in the universe; extend "
+                "the universe first (new value sets are a separate design act)"
+            )
+        grown = EntityType(target.name, target.attributes | {self.attribute})
+        return schema.without_entity_type(self.type_name).with_entity_type(grown)
+
+    def type_mapping(self, old: Schema, new: Schema) -> dict[EntityType, EntityType]:
+        return {e: new[e.name] for e in old}
+
+
+@dataclass(frozen=True)
+class RemoveAttribute(SchemaChange):
+    """Shrink one entity type by an attribute (projection at migration)."""
+
+    type_name: str
+    attribute: str
+
+    def apply(self, schema: Schema) -> Schema:
+        target = schema[self.type_name]
+        if self.attribute not in target.attributes:
+            raise EvolutionError(
+                f"{self.type_name!r} has no attribute {self.attribute!r}"
+            )
+        shrunk = EntityType(target.name, target.attributes - {self.attribute})
+        return schema.without_entity_type(self.type_name).with_entity_type(shrunk)
+
+    def type_mapping(self, old: Schema, new: Schema) -> dict[EntityType, EntityType]:
+        return {e: new[e.name] for e in old}
+
+
+@dataclass
+class EvolutionReport:
+    """The verdicts of one analysed change."""
+
+    change: SchemaChange
+    new_schema: Schema
+    intension_embeds: bool
+    migrated: DatabaseExtension | None
+    information_preserved: bool
+    notes: list[str] = field(default_factory=list)
+
+
+def intension_map(old: Schema, new: Schema,
+                  mapping: dict[EntityType, EntityType]) -> SpaceMap:
+    """The induced map between the two specialisation spaces."""
+    old_space = SpecialisationStructure(old).space
+    new_space = SpecialisationStructure(new).space
+    missing = old_space.points - frozenset(mapping)
+    if missing:
+        raise EvolutionError(
+            f"no destination for old types: {sorted(e.name for e in missing)}"
+        )
+    return SpaceMap(old_space, new_space, mapping)
+
+
+def migrate(db: DatabaseExtension, change: SchemaChange) -> DatabaseExtension:
+    """Carry the extension across a change.
+
+    Surviving relations are copied; a grown type pads existing instances
+    with the declared default; a shrunk type projects; a removed type's
+    relation is dropped.
+    """
+    new_schema = change.apply(db.schema)
+    mapping = change.type_mapping(db.schema, new_schema)
+    relations: dict[str, Relation] = {}
+    for old_type, new_type in mapping.items():
+        rel = db.R(old_type)
+        if new_type.attributes == old_type.attributes:
+            relations[new_type.name] = Relation(new_type.attributes, rel.tuples)
+        elif old_type.attributes < new_type.attributes:
+            extra = new_type.attributes - old_type.attributes
+            default = getattr(change, "default", None)
+            if default is None and len(rel):
+                raise EvolutionError(
+                    f"growing {old_type.name!r} needs a default for {sorted(extra)}"
+                )
+            rows = []
+            for t in rel.tuples:
+                padded = t.as_dict()
+                for a in extra:
+                    padded[a] = default
+                rows.append(padded)
+            relations[new_type.name] = Relation(new_type.attributes, rows)
+        else:
+            from repro.relational import project
+
+            relations[new_type.name] = project(rel, new_type.attributes)
+    return DatabaseExtension(new_schema, relations)
+
+
+def analyse(db: DatabaseExtension, change: SchemaChange) -> EvolutionReport:
+    """Full analysis: apply, map intensions, migrate, check round-trip.
+
+    *Information preserved* means every old relation is recoverable from
+    the migrated state by name lookup and (for grown types) projection —
+    the extensional counterpart of the intension embedding the paper
+    points at.
+    """
+    notes: list[str] = []
+    try:
+        new_schema = change.apply(db.schema)
+    except (SchemaError, EvolutionError) as exc:
+        raise EvolutionError(f"change is not applicable: {exc}") from exc
+    mapping = change.type_mapping(db.schema, new_schema)
+    dropped = [e for e in db.schema if e not in mapping]
+    for e in dropped:
+        if len(db.R(e)):
+            notes.append(
+                f"dropping {e.name!r} forgets {len(db.R(e))} instance(s)"
+            )
+    try:
+        space_map = intension_map(db.schema, new_schema, mapping)
+        embeds = space_map.is_embedding()
+    except EvolutionError:
+        embeds = False
+    if not embeds:
+        notes.append("the old intension space does not embed in the new one")
+
+    try:
+        migrated = migrate(db, change)
+    except EvolutionError as exc:
+        notes.append(str(exc))
+        return EvolutionReport(change, new_schema, embeds, None, False, notes)
+
+    preserved = not dropped or all(len(db.R(e)) == 0 for e in dropped)
+    for old_type, new_type in mapping.items():
+        original = db.R(old_type)
+        arrived = migrated.R(new_type)
+        if old_type.attributes <= new_type.attributes:
+            from repro.relational import project
+
+            recovered = project(arrived, old_type.attributes)
+            if recovered != Relation(old_type.attributes, original.tuples):
+                preserved = False
+                notes.append(f"round-trip failed for {old_type.name!r}")
+        else:
+            lossy = len({t.project(new_type.attributes) for t in original.tuples}) \
+                < len(original)
+            if lossy:
+                preserved = False
+                notes.append(
+                    f"shrinking {old_type.name!r} merged distinct instances"
+                )
+    return EvolutionReport(change, new_schema, embeds, migrated, preserved, notes)

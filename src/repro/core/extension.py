@@ -1,0 +1,283 @@
+"""Database extensions (section 4).
+
+The domain of an entity type is the product of its attribute domains,
+``D_e = product of d_a over a in A_e``; the instance set ``R_e`` is a
+member of ``P(D_e)`` — "in the old terminology: R_e is a relation over e
+and t_e is a tuple in R_e".
+
+Two conditions tie the extension to the intension:
+
+* the **Containment Condition** — for ``s in S_e``,
+  ``pi_e^s(R_s) subseteq R_e`` (a specialisation's instances, with the
+  extra attributes forgotten, are instances of the general type), and
+* the **Extension Axiom** — for compound ``e`` there is an *injective*
+  ``i : E_e(e) -> join of E_c(c) over c in CO_e``: a combination of
+  contributor entities forms at most one compound entity ("an employee can
+  be a manager in at most one way").
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+
+from repro.core.contributors import ContributorAssignment
+from repro.core.entity_types import EntityType
+from repro.core.generalisation import GeneralisationStructure
+from repro.core.schema import Schema
+from repro.core.specialisation import SpecialisationStructure
+from repro.errors import ContainmentError, ExtensionError
+from repro.relational import Relation, Tuple, join_all, project
+
+
+class DatabaseExtension:
+    """An assignment of a relation ``R_e`` to every entity type.
+
+    Parameters
+    ----------
+    schema:
+        The intension the extension instantiates.
+    relations:
+        Mapping from entity-type name to :class:`Relation` (or iterable of
+        tuple-like mappings).  Missing types get empty relations.
+    contributors:
+        Optional designer contributor assignment; defaults to canonical
+        (direct generalisations).
+
+    The constructor validates shape (relation schema == ``A_e``) and value
+    membership in the attribute domains; the Containment Condition and
+    Extension Axiom are *checked on demand* so that violating states can be
+    represented, diagnosed, and repaired.
+    """
+
+    def __init__(self,
+                 schema: Schema,
+                 relations: Mapping[str, object] | None = None,
+                 contributors: ContributorAssignment | None = None):
+        self.schema = schema
+        self.spec = SpecialisationStructure(schema)
+        self.gen = GeneralisationStructure(schema)
+        self.contributors = contributors or ContributorAssignment(schema)
+        self._relations: dict[EntityType, Relation] = {}
+        relations = dict(relations or {})
+        for name, rel in relations.items():
+            e = schema[name]
+            if not isinstance(rel, Relation):
+                try:
+                    rel = Relation(e.attributes, rel)
+                except Exception as exc:
+                    raise ExtensionError(
+                        f"bad relation for {e.name!r}: {exc}"
+                    ) from exc
+            if rel.schema != e.attributes:
+                raise ExtensionError(
+                    f"relation for {e.name!r} has schema {sorted(rel.schema)}, "
+                    f"expected {sorted(e.attributes)}"
+                )
+            self._validate_domains(e, rel)
+            self._relations[e] = rel
+        for e in schema:
+            self._relations.setdefault(e, Relation(e.attributes))
+
+    def _validate_domains(self, e: EntityType, rel: Relation) -> None:
+        for t in rel.tuples:
+            for a in e.attributes:
+                domain = self.schema.universe.domain(a)
+                if t[a] not in domain:
+                    raise ExtensionError(
+                        f"value {t[a]!r} for attribute {a!r} of {e.name!r} is "
+                        f"outside its atomic value set {domain.name!r}"
+                    )
+
+    # ------------------------------------------------------------------
+    # accessors
+    # ------------------------------------------------------------------
+    def R(self, e: EntityType | str) -> Relation:
+        """The stored instance set ``R_e``."""
+        return self._relations[self._resolve(e)]
+
+    def _resolve(self, e: EntityType | str) -> EntityType:
+        if isinstance(e, str):
+            return self.schema[e]
+        if e not in self.schema:
+            raise ExtensionError(f"{e!r} is not an entity type of this schema")
+        return e
+
+    def total_instances(self) -> int:
+        """Total tuple count across all relations."""
+        return sum(len(r) for r in self._relations.values())
+
+    # ------------------------------------------------------------------
+    # projections and extension mappings (section 4.1-4.2)
+    # ------------------------------------------------------------------
+    def pi(self, s: EntityType | str, e: EntityType | str) -> Relation:
+        """``pi_e^s(R_s)`` — project the specialisation's instances onto D_e."""
+        s, e = self._resolve(s), self._resolve(e)
+        if not e.attributes <= s.attributes:
+            raise ExtensionError(
+                f"pi is only defined from a specialisation: {s.name!r} does not "
+                f"carry all attributes of {e.name!r}"
+            )
+        return project(self.R(s), e.attributes)
+
+    def E(self, e: EntityType | str, s: EntityType | str) -> Relation:
+        """``E_e(s) = pi_e^s(R_s)`` for ``s in S_e`` — the extension mapping.
+
+        "With this definition we take care of the situation that
+        information about entity type instances might be 'stored' within
+        its specialisations only."
+        """
+        s, e = self._resolve(s), self._resolve(e)
+        if s not in self.spec.S(e):
+            raise ExtensionError(f"{s.name!r} is not a specialisation of {e.name!r}")
+        return self.pi(s, e)
+
+    # ------------------------------------------------------------------
+    # Containment Condition
+    # ------------------------------------------------------------------
+    def containment_violations(self) -> list[tuple[EntityType, EntityType, Relation]]:
+        """All pairs ``(s, e)`` where ``pi_e^s(R_s)`` escapes ``R_e``.
+
+        Returns the offending projected tuples as a relation per pair;
+        empty list means the Containment Condition holds.
+        """
+        out: list[tuple[EntityType, EntityType, Relation]] = []
+        for e in self.schema:
+            r_e = self.R(e)
+            for s in self.spec.S(e):
+                if s == e:
+                    continue
+                projected = self.pi(s, e)
+                stray = projected.tuples - r_e.tuples
+                if stray:
+                    out.append((s, e, Relation(e.attributes, stray)))
+        return out
+
+    def satisfies_containment(self) -> bool:
+        """Whether the Containment Condition holds everywhere."""
+        return not self.containment_violations()
+
+    def require_containment(self) -> None:
+        """Raise :class:`ContainmentError` describing the first violation."""
+        violations = self.containment_violations()
+        if violations:
+            s, e, stray = violations[0]
+            raise ContainmentError(
+                f"pi_{e.name}^{s.name}(R_{s.name}) has {len(stray)} tuple(s) "
+                f"missing from R_{e.name}"
+            )
+
+    # ------------------------------------------------------------------
+    # Extension Axiom
+    # ------------------------------------------------------------------
+    def contributor_join(self, e: EntityType | str) -> Relation:
+        """``join of E_c(c) over c in CO_e`` — the bound on a compound type."""
+        e = self._resolve(e)
+        cos = self.contributors.contributors(e)
+        if not cos:
+            raise ExtensionError(f"{e.name!r} has no contributors; the join is undefined")
+        return join_all(self.R(c) for c in sorted(cos))
+
+    def extension_axiom_violations(self, e: EntityType | str) -> dict[str, object]:
+        """Diagnose the Extension Axiom for one compound type.
+
+        The injective ``i`` sends a compound instance to its combination
+        of contributor instances, i.e. to its projection onto the union of
+        contributor attributes.  Two failure modes:
+
+        * ``unsupported``: compound tuples whose contributor projection is
+          not in the contributor join (information not represented by the
+          contributors), and
+        * ``collisions``: groups of distinct compound tuples mapping to the
+          same combination (injectivity failure — "an employee can be a
+          manager in at most one way" would be violated).
+        """
+        e = self._resolve(e)
+        cos = self.contributors.contributors(e)
+        if not cos:
+            return {"unsupported": Relation(e.attributes), "collisions": []}
+        joined = self.contributor_join(e)
+        combined_attrs = frozenset().union(*(c.attributes for c in cos))
+        unsupported: list[Tuple] = []
+        groups: dict[Tuple, list[Tuple]] = {}
+        for t in self.R(e).tuples:
+            image = t.project(combined_attrs)
+            if image not in joined.tuples:
+                unsupported.append(t)
+            groups.setdefault(image, []).append(t)
+        collisions = [sorted(g, key=repr) for g in groups.values() if len(g) > 1]
+        return {
+            "unsupported": Relation(e.attributes, unsupported),
+            "collisions": collisions,
+        }
+
+    def satisfies_extension_axiom(self, e: EntityType | str | None = None) -> bool:
+        """Whether the Extension Axiom holds (for one type or all compounds)."""
+        if e is not None:
+            report = self.extension_axiom_violations(e)
+            return not len(report["unsupported"]) and not report["collisions"]
+        return all(
+            self.satisfies_extension_axiom(c)
+            for c in self.contributors.compound_types()
+        )
+
+    def is_consistent(self) -> bool:
+        """Containment plus the Extension Axiom for every compound type."""
+        return self.satisfies_containment() and self.satisfies_extension_axiom()
+
+    # ------------------------------------------------------------------
+    # updates with semantic propagation
+    # ------------------------------------------------------------------
+    def insert(self, e: EntityType | str, row: Mapping, propagate: bool = True) -> "DatabaseExtension":
+        """Insert a tuple into ``R_e``; optionally repair containment upward.
+
+        With ``propagate`` the projections of the new tuple are inserted
+        into every proper generalisation, keeping the Containment
+        Condition invariant — the semantic reading of "each manager should
+        be an employee".
+        """
+        e = self._resolve(e)
+        t = row if isinstance(row, Tuple) else Tuple(dict(row))
+        if t.schema != e.attributes:
+            raise ExtensionError(
+                f"tuple schema {sorted(t.schema)} does not match {e.name!r}"
+            )
+        new = {et.name: rel for et, rel in self._relations.items()}
+        new[e.name] = self.R(e).with_tuples([t])
+        if propagate:
+            for g in self.gen.proper_generalisations(e):
+                new[g.name] = new[g.name].with_tuples([t.project(g.attributes)])
+        return DatabaseExtension(self.schema, new, self.contributors)
+
+    def delete(self, e: EntityType | str, row: Mapping, propagate: bool = True) -> "DatabaseExtension":
+        """Delete a tuple from ``R_e``; optionally cascade to specialisations.
+
+        With ``propagate`` every specialisation tuple projecting onto the
+        deleted one is removed too, keeping containment — deleting a
+        person deletes the employee and manager facts about them.
+        """
+        e = self._resolve(e)
+        t = row if isinstance(row, Tuple) else Tuple(dict(row))
+        new = {et.name: rel for et, rel in self._relations.items()}
+        new[e.name] = self.R(e).without_tuples([t])
+        if propagate:
+            for s in self.spec.proper_specialisations(e):
+                doomed = [u for u in self.R(s).tuples if u.project(e.attributes) == t]
+                if doomed:
+                    new[s.name] = new[s.name].without_tuples(doomed)
+        return DatabaseExtension(self.schema, new, self.contributors)
+
+    def replace(self, e: EntityType | str, relation: Relation | Iterable) -> "DatabaseExtension":
+        """A copy with ``R_e`` wholesale replaced (no propagation)."""
+        e = self._resolve(e)
+        new = {et.name: rel for et, rel in self._relations.items()}
+        new[e.name] = relation if isinstance(relation, Relation) else Relation(e.attributes, relation)
+        return DatabaseExtension(self.schema, new, self.contributors)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, DatabaseExtension):
+            return NotImplemented
+        return self.schema == other.schema and self._relations == other._relations
+
+    def __repr__(self) -> str:
+        return (f"DatabaseExtension({len(self.schema)} types, "
+                f"{self.total_instances()} instances)")

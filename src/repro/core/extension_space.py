@@ -1,0 +1,154 @@
+"""The extension as a topological space of entities (section 4).
+
+"The extension of a database can be seen as a topological space built out
+of entities rather than entity types.  The relationship between database
+intension and extension then is an injective mapping between two
+topological spaces."  The paper leaves the construction "beyond the scope
+of this paper"; this module carries it out.
+
+Points are *instances* ``(type name, tuple)``.  Instance ``(e, t)``
+specialises ``(f, u)`` when ``f`` generalises ``e`` and ``u`` is the
+projection of ``t`` — the data-level ISA.  The Containment Condition is
+exactly what makes this well-defined (every projection target exists), and
+the Alexandrov topology of the order is the extension space.  Projecting
+an instance to its type is then a continuous, open map onto the intension
+space, whose fibers are the relations ``R_e``.
+"""
+
+from __future__ import annotations
+
+from repro.core.extension import DatabaseExtension
+from repro.core.generalisation import GeneralisationStructure
+from repro.errors import ContainmentError
+from repro.relational import Tuple
+from repro.topology import FiniteSpace, SpaceMap, alexandrov_space
+
+InstancePoint = tuple[str, Tuple]
+
+
+def instance_points(db: DatabaseExtension) -> frozenset[InstancePoint]:
+    """All instances of the state, tagged with their entity-type name."""
+    return frozenset(
+        (e.name, t)
+        for e in db.schema
+        for t in db.R(e).tuples
+    )
+
+
+def instance_generalisations(db: DatabaseExtension,
+                             point: InstancePoint) -> frozenset[InstancePoint]:
+    """The data-level generalisations of one instance (including itself).
+
+    Raises :class:`ContainmentError` when a projection target is missing —
+    the extension space only exists over containment-satisfying states,
+    which is the topological restatement of the Containment Condition.
+    """
+    name, t = point
+    e = db.schema[name]
+    gen = GeneralisationStructure(db.schema)
+    out: set[InstancePoint] = set()
+    for f in gen.G(e):
+        projected = t.project(f.attributes)
+        if projected not in db.R(f).tuples:
+            raise ContainmentError(
+                f"instance {t!r} of {name!r} has no {f.name!r} counterpart; "
+                "the extension space requires the Containment Condition"
+            )
+        out.add((f.name, projected))
+    return frozenset(out)
+
+
+def extension_space(db: DatabaseExtension) -> FiniteSpace:
+    """The Alexandrov topology of the instance-specialisation order.
+
+    Materialises every open set; the open-set count is exponential in the
+    number of *incomparable* instances (an antichain of k instances yields
+    2^k unions), so this is for example-sized states.  For large states
+    use the order-level predicates (:func:`projection_is_monotone`), which
+    answer the same questions in O(n^2) without materialising opens.
+    """
+    points = instance_points(db)
+    up = {p: instance_generalisations(db, p) for p in points}
+    return alexandrov_space(points, up)
+
+
+def projection_is_monotone(db: DatabaseExtension) -> bool:
+    """Order-level continuity of the type projection (no topology built).
+
+    For Alexandrov spaces a map is continuous iff it is monotone for the
+    specialisation preorders; the instance order projects to the type
+    order by construction, and this predicate verifies it directly —
+    O(instances^2) instead of exponential open-set materialisation.
+    """
+    points = instance_points(db)
+    gen = GeneralisationStructure(db.schema)
+    for p in points:
+        e = db.schema[p[0]]
+        for name, _ in instance_generalisations(db, p):
+            if db.schema[name] not in gen.G(e):
+                return False
+    return True
+
+
+def type_projection(db: DatabaseExtension) -> SpaceMap:
+    """The continuous map extension space -> intension space.
+
+    Sends each instance to its entity type.  Continuity is the formal
+    content of "the structure of the entity type space is neatly mapped
+    into the extension space".  The map is generally *not* open: an
+    instance with no counterpart in some specialisation (a person who is
+    not an employee) has a minimal open whose image misses that
+    specialising type — tests pin this asymmetry on the employee state.
+    """
+    ext = extension_space(db)
+    intension = db.spec.space
+    mapping = {p: db.schema[p[0]] for p in ext.points}
+    return SpaceMap(ext, intension, mapping)
+
+
+def fibers(db: DatabaseExtension) -> dict[str, frozenset[InstancePoint]]:
+    """The preimages of the projection: one fiber per entity type = R_e."""
+    points = instance_points(db)
+    out: dict[str, set[InstancePoint]] = {e.name: set() for e in db.schema}
+    for name, t in points:
+        out[name].add((name, t))
+    return {name: frozenset(pts) for name, pts in out.items()}
+
+
+def instance_minimal_open(db: DatabaseExtension,
+                          point: InstancePoint) -> frozenset[InstancePoint]:
+    """The specialising instances of one instance — its ``S`` set.
+
+    Mirrors ``S_e`` at the data level: the instances whose projection is
+    this instance.
+    """
+    space = extension_space(db)
+    return space.minimal_open(point)
+
+
+def intension_extension_report(db: DatabaseExtension) -> dict[str, object]:
+    """The section-4 relationship, verified on one state.
+
+    Returns the projection map's continuity/openness, whether instance
+    minimal opens project into type minimal opens (S-compatibility), and
+    the fiber sizes.
+    """
+    projection = type_projection(db)
+    ext = projection.source
+    compatible = True
+    for point in ext.points:
+        instance_open = ext.minimal_open(point)
+        type_open = db.spec.S(db.schema[point[0]])
+        if not {db.schema[q[0]] for q in instance_open} <= type_open:
+            compatible = False
+            break
+    return {
+        "continuous": projection.is_continuous(),
+        "open_map": projection.is_open_map(),
+        "s_compatible": compatible,
+        "fiber_sizes": {
+            name: len(pts) for name, pts in fibers(db).items()
+        },
+        "points": len(ext.points),
+        "opens": len(ext.opens),
+    }

@@ -1,0 +1,141 @@
+"""Functional dependencies over entity types (section 5.1).
+
+The Integrity Axiom makes dependencies range over *entity types*, not
+attributes, and gives them a *context*: ``fd(e, f, h)`` says that within
+the instances of ``h`` (a common specialisation of both), the e-part of a
+tuple determines its f-part:
+
+    for all t1, t2 in R_h:  pi_e(t1) = pi_e(t2)  implies  pi_f(t1) = pi_f(t2).
+
+"Note that the context is necessary to disambiguate dependencies as well,
+since entity types may be related in several ways."
+
+The section's theorem is constructive here: :func:`lambda_mapping` builds
+the map ``lambda : E_e(h) -> E_f(h)`` making the projection triangle
+commute exactly when the dependency holds, and returns the witnessing
+conflict otherwise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.entity_types import EntityType
+from repro.core.extension import DatabaseExtension
+from repro.core.generalisation import GeneralisationStructure
+from repro.core.schema import Schema
+from repro.errors import DependencyError
+from repro.relational import Tuple
+
+
+@dataclass(frozen=True)
+class EntityFD:
+    """``fd(determinant, dependent, context)`` — an entity-level dependency.
+
+    Validity of the typing (both sides generalise the context) is checked
+    against a schema via :meth:`validate`, kept separate so that FD values
+    can be constructed in bulk by generators before filtering.
+    """
+
+    determinant: EntityType
+    dependent: EntityType
+    context: EntityType
+
+    def validate(self, schema: Schema) -> "EntityFD":
+        """Raise :class:`DependencyError` unless the typing is legal."""
+        gen = GeneralisationStructure(schema)
+        for part, role in ((self.determinant, "determinant"),
+                           (self.dependent, "dependent")):
+            if part not in schema:
+                raise DependencyError(f"{role} {part!r} is not in the schema")
+            if part not in gen.G(self.context):
+                raise DependencyError(
+                    f"{role} {part.name!r} is not a generalisation of the "
+                    f"context {self.context.name!r}; the Integrity Axiom "
+                    "requires a common specialisation as context"
+                )
+        if self.context not in schema:
+            raise DependencyError(f"context {self.context!r} is not in the schema")
+        return self
+
+    def is_trivial(self) -> bool:
+        """Whether the dependent's attributes sit inside the determinant's.
+
+        These are the nucleus dependencies of section 5.3 — they hold in
+        every extension.
+        """
+        return self.dependent.attributes <= self.determinant.attributes
+
+    def __repr__(self) -> str:
+        return (f"fd({self.determinant.name}, {self.dependent.name}, "
+                f"{self.context.name})")
+
+
+def holds(fd: EntityFD, db: DatabaseExtension) -> bool:
+    """Whether the extension satisfies ``fd`` (the section 5.1 definition)."""
+    fd.validate(db.schema)
+    witness: dict[Tuple, Tuple] = {}
+    for t in db.R(fd.context).tuples:
+        key = t.project(fd.determinant.attributes)
+        value = t.project(fd.dependent.attributes)
+        if key in witness and witness[key] != value:
+            return False
+        witness[key] = value
+    return True
+
+
+def violations(fd: EntityFD, db: DatabaseExtension) -> list[tuple[Tuple, Tuple]]:
+    """All witnessing pairs of context tuples violating ``fd``."""
+    fd.validate(db.schema)
+    tuples = sorted(db.R(fd.context).tuples, key=repr)
+    out = []
+    for i, t1 in enumerate(tuples):
+        for t2 in tuples[i + 1:]:
+            if t1.project(fd.determinant.attributes) == t2.project(fd.determinant.attributes) \
+                    and t1.project(fd.dependent.attributes) != t2.project(fd.dependent.attributes):
+                out.append((t1, t2))
+    return out
+
+
+def lambda_mapping(fd: EntityFD, db: DatabaseExtension) -> dict[Tuple, Tuple] | None:
+    """The commuting-triangle witness of the section 5.1 theorem.
+
+    Builds ``lambda : E_e(h) -> E_f(h)`` with
+    ``lambda(pi_e(t)) = pi_f(t)`` for every ``t in R_h``.  The map is
+    well-defined iff the dependency holds; ``None`` is returned when it
+    does not (the construction meets a conflict).
+    """
+    fd.validate(db.schema)
+    mapping: dict[Tuple, Tuple] = {}
+    for t in db.R(fd.context).tuples:
+        key = t.project(fd.determinant.attributes)
+        value = t.project(fd.dependent.attributes)
+        if key in mapping and mapping[key] != value:
+            return None
+        mapping[key] = value
+    return mapping
+
+
+def triangle_commutes(fd: EntityFD, db: DatabaseExtension,
+                      mapping: dict[Tuple, Tuple]) -> bool:
+    """Verify ``lambda o pi_e = pi_f`` on every context tuple."""
+    for t in db.R(fd.context).tuples:
+        image = mapping.get(t.project(fd.determinant.attributes))
+        if image != t.project(fd.dependent.attributes):
+            return False
+    return True
+
+
+def propagates_to(fd: EntityFD, db: DatabaseExtension) -> list[tuple[EntityFD, bool]]:
+    """The propagation theorem, instantiated.
+
+    "Let e, f, g in E such that e, f in G_g and fd(e, f, g); furthermore
+    let h in S_g; then fd(e, f, h) also holds."  Returns each propagated
+    dependency together with its verdict in ``db`` — all True whenever the
+    root dependency holds and the Containment Condition is satisfied.
+    """
+    out = []
+    for h in sorted(db.spec.S(fd.context)):
+        propagated = EntityFD(fd.determinant, fd.dependent, h)
+        out.append((propagated, holds(propagated, db)))
+    return out

@@ -1,0 +1,228 @@
+"""Integrity constraints (Integrity Axiom, sections 2 and 5).
+
+"An integrity constraint is a predicate over entity types and implies an
+entity type."  Constraints therefore name the entity types they range over
+and the *context* entity type their satisfaction is judged in; dependencies
+among entities are "a generalisation of relationships".
+
+Built-in constraint kinds:
+
+* :class:`SubsetConstraint` — "each manager should be an employee":
+  extensional containment along an ISA edge (the Containment Condition
+  localised to one pair),
+* :class:`FunctionalConstraint` — wraps an entity-level FD,
+* :class:`CardinalityConstraint` — EAR-style 1:1 / 1:n / n:m between two
+  contributors of a relationship, expressed through FDs in its context,
+* :class:`ParticipationConstraint` — total participation of a contributor
+  in a relationship (existence dependency).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections.abc import Iterable
+
+from repro.core.entity_types import EntityType
+from repro.core.extension import DatabaseExtension
+from repro.core.fd import EntityFD, holds, violations
+from repro.core.schema import Schema
+from repro.errors import DependencyError
+from repro.relational import project
+
+
+class IntegrityConstraint(ABC):
+    """A predicate over entity types implying a context entity type."""
+
+    name: str
+    context: EntityType
+
+    @abstractmethod
+    def entity_types(self) -> frozenset[EntityType]:
+        """The entity types the predicate ranges over."""
+
+    @abstractmethod
+    def holds(self, db: DatabaseExtension) -> bool:
+        """Whether the database state satisfies the constraint."""
+
+    @abstractmethod
+    def violation_report(self, db: DatabaseExtension) -> list[str]:
+        """Human-readable descriptions of each violation (empty when ok)."""
+
+    def validate(self, schema: Schema) -> "IntegrityConstraint":
+        """Check the Integrity Axiom: everything mentioned is an entity type."""
+        for e in self.entity_types() | {self.context}:
+            if e not in schema:
+                raise DependencyError(
+                    f"constraint {self.name!r} mentions {e!r}, which is not an "
+                    "entity type; the Integrity Axiom requires constraints "
+                    "over existing entity types only"
+                )
+        return self
+
+
+class SubsetConstraint(IntegrityConstraint):
+    """``pi_general(R_special) subseteq R_general`` for one ISA pair."""
+
+    def __init__(self, special: EntityType, general: EntityType):
+        if not general.attributes <= special.attributes:
+            raise DependencyError(
+                f"{general.name!r} is not a generalisation of {special.name!r}; "
+                "a subset dependency needs an ISA pair"
+            )
+        self.special = special
+        self.general = general
+        self.context = special
+        self.name = f"{special.name} ISA {general.name}"
+
+    def entity_types(self) -> frozenset[EntityType]:
+        return frozenset({self.special, self.general})
+
+    def holds(self, db: DatabaseExtension) -> bool:
+        return project(db.R(self.special), self.general.attributes).is_subset_of(
+            db.R(self.general)
+        )
+
+    def violation_report(self, db: DatabaseExtension) -> list[str]:
+        projected = project(db.R(self.special), self.general.attributes)
+        stray = projected.tuples - db.R(self.general).tuples
+        return [
+            f"{self.name}: {t!r} has no counterpart in R_{self.general.name}"
+            for t in sorted(stray, key=repr)
+        ]
+
+
+class FunctionalConstraint(IntegrityConstraint):
+    """An entity-level functional dependency as an integrity constraint."""
+
+    def __init__(self, fd: EntityFD):
+        self.fd = fd
+        self.context = fd.context
+        self.name = repr(fd)
+
+    def entity_types(self) -> frozenset[EntityType]:
+        return frozenset({self.fd.determinant, self.fd.dependent, self.fd.context})
+
+    def holds(self, db: DatabaseExtension) -> bool:
+        return holds(self.fd, db)
+
+    def violation_report(self, db: DatabaseExtension) -> list[str]:
+        return [
+            f"{self.name}: tuples {t1!r} and {t2!r} agree on the determinant "
+            "but not the dependent"
+            for t1, t2 in violations(self.fd, db)
+        ]
+
+
+class CardinalityConstraint(IntegrityConstraint):
+    """A relationship cardinality between two contributors.
+
+    ``kind`` is ``"1:1"``, ``"1:n"`` or ``"n:m"`` read left-to-right:
+    ``1:n`` means each left instance relates to at most one right instance
+    — i.e. ``fd(left, right, relationship)`` — matching the EAR usage the
+    paper's introduction cites.  ``n:m`` imposes nothing but is
+    representable so translations from EAR schemas are total.
+    """
+
+    def __init__(self, relationship: EntityType, left: EntityType,
+                 right: EntityType, kind: str):
+        if kind not in ("1:1", "1:n", "n:m"):
+            raise DependencyError(f"unknown cardinality kind: {kind!r}")
+        self.relationship = relationship
+        self.left = left
+        self.right = right
+        self.kind = kind
+        self.context = relationship
+        self.name = f"{left.name}:{right.name} {kind} in {relationship.name}"
+        self._fds: list[EntityFD] = []
+        if kind in ("1:1", "1:n"):
+            self._fds.append(EntityFD(left, right, relationship))
+        if kind == "1:1":
+            self._fds.append(EntityFD(right, left, relationship))
+
+    def entity_types(self) -> frozenset[EntityType]:
+        return frozenset({self.relationship, self.left, self.right})
+
+    def as_fds(self) -> list[EntityFD]:
+        """The entity-level FDs the cardinality compiles to."""
+        return list(self._fds)
+
+    def holds(self, db: DatabaseExtension) -> bool:
+        return all(holds(fd, db) for fd in self._fds)
+
+    def violation_report(self, db: DatabaseExtension) -> list[str]:
+        out = []
+        for fd in self._fds:
+            out += [
+                f"{self.name}: {t1!r} / {t2!r} violate {fd!r}"
+                for t1, t2 in violations(fd, db)
+            ]
+        return out
+
+
+class ParticipationConstraint(IntegrityConstraint):
+    """Total participation: every member instance occurs in the relationship.
+
+    ``pi_member(R_relationship) superseteq R_member`` — e.g. "every
+    department has at least one employee working for it".
+    """
+
+    def __init__(self, relationship: EntityType, member: EntityType):
+        if not member.attributes <= relationship.attributes:
+            raise DependencyError(
+                f"{member.name!r} is not a generalisation of "
+                f"{relationship.name!r}; participation needs a contributor"
+            )
+        self.relationship = relationship
+        self.member = member
+        self.context = relationship
+        self.name = f"total({member.name} in {relationship.name})"
+
+    def entity_types(self) -> frozenset[EntityType]:
+        return frozenset({self.relationship, self.member})
+
+    def holds(self, db: DatabaseExtension) -> bool:
+        covered = project(db.R(self.relationship), self.member.attributes)
+        return db.R(self.member).tuples <= covered.tuples
+
+    def violation_report(self, db: DatabaseExtension) -> list[str]:
+        covered = project(db.R(self.relationship), self.member.attributes)
+        lonely = db.R(self.member).tuples - covered.tuples
+        return [
+            f"{self.name}: {t!r} does not participate"
+            for t in sorted(lonely, key=repr)
+        ]
+
+
+class ConstraintSet:
+    """A named collection of constraints with batch checking."""
+
+    def __init__(self, schema: Schema, constraints: Iterable[IntegrityConstraint] = ()):
+        self.schema = schema
+        self.constraints: list[IntegrityConstraint] = [
+            c.validate(schema) for c in constraints
+        ]
+
+    def add(self, constraint: IntegrityConstraint) -> None:
+        self.constraints.append(constraint.validate(self.schema))
+
+    def holds(self, db: DatabaseExtension) -> bool:
+        return all(c.holds(db) for c in self.constraints)
+
+    def report(self, db: DatabaseExtension) -> dict[str, list[str]]:
+        """Violations grouped by constraint name (empty dict = all good)."""
+        out: dict[str, list[str]] = {}
+        for c in self.constraints:
+            problems = c.violation_report(db)
+            if problems:
+                out[c.name] = problems
+        return out
+
+    def functional_dependencies(self) -> list[EntityFD]:
+        """All entity-level FDs contributed by the constraints."""
+        fds: list[EntityFD] = []
+        for c in self.constraints:
+            if isinstance(c, FunctionalConstraint):
+                fds.append(c.fd)
+            elif isinstance(c, CardinalityConstraint):
+                fds.extend(c.as_fds())
+        return fds

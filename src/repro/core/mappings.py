@@ -1,0 +1,196 @@
+"""The mapping family (pi, rho) and its corollary; the extension presheaf.
+
+Section 4.2 defines, for chains ``S_h subseteq S_f subseteq S_e`` (h
+specialises f specialises e), the mapping ``rho(h, f, e) : E_e(h) ->
+E_e(f)`` and states the corollary
+
+    (a)  pi_h^e = pi_f^e  after  pi_h^f        (projections compose)
+    (b)  rho(f,e,e) o rho(h,f,e) = rho(h,e,e)  (restrictions compose)
+    (c)  pi o rho = rho o pi                   (the square commutes)
+
+Because the Containment Condition makes ``E_e(h) subseteq E_e(f)`` (both
+are subsets of D_e), every ``rho`` is concretely an inclusion; the
+functions below build the mappings explicitly and verify the corollary on
+actual extensions.  Section 6's sheaf-theoretic programme is realised by
+:func:`instance_presheaf`, which packages the instance data as a presheaf
+on the specialisation topology whose gluing condition expresses global
+consistency of the database state.
+"""
+
+from __future__ import annotations
+
+from repro.core.entity_types import EntityType
+from repro.core.extension import DatabaseExtension
+from repro.errors import ExtensionError
+from repro.relational import Relation, Tuple
+from repro.topology import Presheaf
+
+
+def _require_chain(db: DatabaseExtension, h: EntityType, f: EntityType, e: EntityType) -> None:
+    s = db.spec
+    if h not in s.S(f) or f not in s.S(e):
+        raise ExtensionError(
+            f"rho needs S_{h.name} subseteq S_{f.name} subseteq S_{e.name}; "
+            "the chain does not hold"
+        )
+
+
+def pi_tuple(t: Tuple, e: EntityType) -> Tuple:
+    """``pi_e`` applied to one tuple (projection onto A_e)."""
+    return t.project(e.attributes)
+
+
+def rho(db: DatabaseExtension, h: EntityType, f: EntityType, e: EntityType) -> dict[Tuple, Tuple]:
+    """The concrete mapping ``rho(h,f,e) : E_e(h) -> E_e(f)``.
+
+    By containment ``E_e(h) subseteq E_e(f)``, so the mapping is the
+    inclusion; it is returned as an explicit dict so tests can compose
+    mappings without re-deriving them.  Raises when the chain condition or
+    the containment needed for well-definedness fails.
+    """
+    _require_chain(db, h, f, e)
+    source = db.E(e, h)
+    target = db.E(e, f)
+    mapping: dict[Tuple, Tuple] = {}
+    for t in source.tuples:
+        if t not in target.tuples:
+            raise ExtensionError(
+                f"rho({h.name},{f.name},{e.name}) undefined on {t!r}: "
+                "the Containment Condition fails for this extension"
+            )
+        mapping[t] = t
+    return mapping
+
+
+def corollary_a(db: DatabaseExtension, h: EntityType, f: EntityType, e: EntityType) -> bool:
+    """(a) projecting h -> e directly equals projecting h -> f -> e."""
+    _require_chain(db, h, f, e)
+    for t in db.R(h).tuples:
+        if pi_tuple(t, e) != pi_tuple(pi_tuple(t, f), e):
+            return False
+    return True
+
+
+def corollary_b(db: DatabaseExtension, h: EntityType, f: EntityType, e: EntityType) -> bool:
+    """(b) rho(f,e,e) o rho(h,f,e) = rho(h,e,e) as concrete mappings."""
+    _require_chain(db, h, f, e)
+    first = rho(db, h, f, e)
+    second = rho(db, f, e, e)
+    direct = rho(db, h, e, e)
+    return all(second[first[t]] == direct[t] for t in first)
+
+
+def corollary_c(db: DatabaseExtension, h: EntityType, f: EntityType, e: EntityType) -> bool:
+    """(c) the pi / rho square commutes.
+
+    Following the paper's ``pi_f o rho(h,f,f) = rho(h,f,e) o pi_f``-shaped
+    statement: restricting within D_f then projecting to D_e agrees with
+    projecting to D_e then restricting.  With inclusions this reduces to:
+    the E_e-image of E_f(h) equals the rho-image of E_e(h) on every tuple
+    of R_h.
+    """
+    _require_chain(db, h, f, e)
+    rho_hfe = rho(db, h, f, e)
+    for t in db.R(h).tuples:
+        via_f = pi_tuple(pi_tuple(t, f), e)
+        via_e = rho_hfe[pi_tuple(t, e)]
+        if via_f != via_e:
+            return False
+    return True
+
+
+def all_chains(db: DatabaseExtension) -> list[tuple[EntityType, EntityType, EntityType]]:
+    """Every triple ``(h, f, e)`` with ``S_h subseteq S_f subseteq S_e``."""
+    spec = db.spec
+    chains = []
+    for e in db.schema.sorted_types():
+        for f in sorted(spec.S(e)):
+            for h in sorted(spec.S(f)):
+                chains.append((h, f, e))
+    return chains
+
+
+def verify_corollary(db: DatabaseExtension) -> dict[str, bool]:
+    """Check (a), (b), (c) over every chain of the schema."""
+    chains = all_chains(db)
+    return {
+        "a": all(corollary_a(db, *chain) for chain in chains),
+        "b": all(corollary_b(db, *chain) for chain in chains),
+        "c": all(corollary_c(db, *chain) for chain in chains),
+    }
+
+
+# ----------------------------------------------------------------------
+# section 6: the extension as a presheaf on the intension topology
+# ----------------------------------------------------------------------
+def instance_presheaf(db: DatabaseExtension) -> Presheaf:
+    """The database state as a presheaf on the specialisation topology.
+
+    To an open set ``U`` of entity types we assign the *compatible
+    instance families* over U: choices of one tuple per type in U such
+    that whenever ``g in U`` generalises ``e in U``, the g-component is
+    the projection of the e-component.  Restriction along ``V subseteq U``
+    forgets components.
+
+    Sections over the minimal open ``S_e`` are "an entity seen with all
+    its specialisations"; the paper's mappings ``rho`` become the presheaf
+    restriction maps, and the sheaf *gluing* condition asks when locally
+    consistent instance choices assemble into a global database state —
+    exactly the continuity question section 6 raises.
+
+    The construction is exponential in ``len(U)`` per open set; intended
+    for example-sized schemas (tests, benches, teaching), not bulk data.
+    """
+    space = db.spec.space
+
+    def families(u: frozenset[EntityType]) -> frozenset:
+        members = sorted(u)
+        partial: list[dict[EntityType, Tuple]] = [{}]
+        for e in members:
+            partial = [
+                {**fam, e: t}
+                for fam in partial
+                for t in db.R(e).tuples
+            ]
+        good = []
+        for fam in partial:
+            ok = True
+            for e in members:
+                for g in members:
+                    if g != e and g.attributes <= e.attributes:
+                        if fam[e].project(g.attributes) != fam[g]:
+                            ok = False
+                            break
+                if not ok:
+                    break
+            if ok:
+                good.append(frozenset((e.name, t) for e, t in fam.items()))
+        return frozenset(good)
+
+    sections = {u: families(u) for u in space.opens}
+    restrictions: dict[tuple, dict] = {}
+    for u in space.opens:
+        for v in space.opens:
+            if not v <= u:
+                continue
+            keep = {e.name for e in v}
+            restrictions[(u, v)] = {
+                s: frozenset(item for item in s if item[0] in keep)
+                for s in sections[u]
+            }
+    return Presheaf(space, sections, restrictions)
+
+
+def gluing_report(db: DatabaseExtension) -> dict[str, object]:
+    """Check the sheaf condition of the instance presheaf on E with cover {S_e}.
+
+    Returns the failures (if any) and the verdict.  A consistent extension
+    of a schema whose instance families are determined by projections
+    glues uniquely; failures pinpoint instances that exist locally but
+    admit no (or several) global assemblies.
+    """
+    presheaf = instance_presheaf(db)
+    space = db.spec.space
+    cover = [db.spec.S(e) for e in db.schema.sorted_types()]
+    failures = presheaf.gluing_failures(space.points, cover)
+    return {"is_sheaf_on_E": not failures, "failures": failures}

@@ -1,0 +1,207 @@
+"""Dependency mappings: nucleus, F_e, DF_e (section 5.3).
+
+"Functional dependencies propagate just as extensions.  This similarity
+can be used to define a mapping connecting entity types to functional
+dependencies."
+
+With a context ``e`` fixed, a dependency ``fd(x, y, e)`` is written as the
+pair ``(x, y)`` in ``G_e x G_e``.  The paper defines:
+
+* the **nucleus** ``N_e`` — the dependencies that always hold in ``G_e``
+  (the trivial ones: ``y in G_x``),
+* ``F_e`` — the sets of pairs containing the nucleus,
+* ``DF_e`` — the members of ``F_e`` closed under the third Armstrong
+  axiom (transitivity): the *domain* for functional dependencies over e,
+* the mapping ``F_e : S_e -> DF_e`` with ``F_e(f) = fd_f intersect
+  (G_e x G_e)``, and
+* the maps ``pF(f, g, e)`` and ``piF_g^f`` mirroring ``rho`` and ``pi``,
+  with the same composition corollary.
+
+Pairs here are ``(determinant, dependent)`` tuples of entity types.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable
+
+from repro.core.entity_types import EntityType
+from repro.core.extension import DatabaseExtension
+from repro.core.fd import EntityFD, holds
+from repro.core.generalisation import GeneralisationStructure
+from repro.core.schema import Schema
+from repro.core.specialisation import SpecialisationStructure
+from repro.errors import DependencyError
+
+Pair = tuple[EntityType, EntityType]
+
+
+def nucleus(schema: Schema, e: EntityType) -> frozenset[Pair]:
+    """``N_e``: the smallest dependency set that must hold in ``G_e``.
+
+    These are the reflexivity pairs ``(x, y)`` with ``y in G_x`` — every
+    entity determines its own generalisations (Armstrong axiom 1).
+    """
+    gen = GeneralisationStructure(schema)
+    g_e = gen.G(e)
+    return frozenset(
+        (x, y)
+        for x in g_e
+        for y in g_e
+        if y.attributes <= x.attributes
+    )
+
+
+def transitive_closure(pairs: Iterable[Pair]) -> frozenset[Pair]:
+    """Close a pair set under the third Armstrong axiom."""
+    closed: set[Pair] = set(pairs)
+    changed = True
+    while changed:
+        changed = False
+        by_first: dict[EntityType, list[EntityType]] = {}
+        for a, b in closed:
+            by_first.setdefault(a, []).append(b)
+        for a, b in list(closed):
+            for c in by_first.get(b, ()):
+                if (a, c) not in closed:
+                    closed.add((a, c))
+                    changed = True
+    return frozenset(closed)
+
+
+def is_transitively_closed(pairs: Iterable[Pair]) -> bool:
+    """Whether a pair set already satisfies Armstrong axiom 3."""
+    pair_set = frozenset(pairs)
+    return transitive_closure(pair_set) == pair_set
+
+
+def in_F(schema: Schema, e: EntityType, pairs: Iterable[Pair]) -> bool:
+    """Membership in ``F_e``: pairs over ``G_e x G_e`` containing ``N_e``."""
+    gen = GeneralisationStructure(schema)
+    g_e = gen.G(e)
+    pair_set = frozenset(pairs)
+    if not all(x in g_e and y in g_e for x, y in pair_set):
+        return False
+    return nucleus(schema, e) <= pair_set
+
+
+def in_DF(schema: Schema, e: EntityType, pairs: Iterable[Pair]) -> bool:
+    """Membership in ``DF_e``: in ``F_e`` and transitively closed."""
+    return in_F(schema, e, pairs) and is_transitively_closed(pairs)
+
+
+def fd_pairs(db: DatabaseExtension, context: EntityType) -> frozenset[Pair]:
+    """``fd_context``: the dependencies semantically holding in a state.
+
+    The pair set of all ``(x, y)`` over ``G_context`` with
+    ``fd(x, y, context)`` true in ``db``.  Always a member of
+    ``DF_context`` (trivial dependencies hold; transitivity is a semantic
+    law) — tests assert this.
+    """
+    gen = GeneralisationStructure(db.schema)
+    g_ctx = sorted(gen.G(context))
+    return frozenset(
+        (x, y)
+        for x in g_ctx
+        for y in g_ctx
+        if holds(EntityFD(x, y, context), db)
+    )
+
+
+class DependencyMappings:
+    """The section 5.3 apparatus for one reference context ``e``.
+
+    Parameters
+    ----------
+    db:
+        The database state supplying the semantic ``fd_f`` sets.
+    e:
+        The reference entity type; specialisations ``f in S_e`` are the
+        mapping's domain.
+    fd_source:
+        Optional override: a callable ``f -> pair set`` replacing the
+        semantic source (e.g. the syntactic closure of an
+        :class:`~repro.core.armstrong.ArmstrongEngine`).
+    """
+
+    def __init__(self, db: DatabaseExtension, e: EntityType,
+                 fd_source: Callable[[EntityType], frozenset[Pair]] | None = None):
+        self.db = db
+        self.schema = db.schema
+        self.e = e
+        self.gen = GeneralisationStructure(self.schema)
+        self.spec = SpecialisationStructure(self.schema)
+        self._source = fd_source or (lambda f: fd_pairs(db, f))
+
+    def F(self, f: EntityType) -> frozenset[Pair]:
+        """``F_e(f) = fd_f intersect (G_e x G_e)`` for ``f in S_e``."""
+        if f not in self.spec.S(self.e):
+            raise DependencyError(f"{f.name!r} is not a specialisation of {self.e.name!r}")
+        g_e = self.gen.G(self.e)
+        return frozenset((x, y) for x, y in self._source(f) if x in g_e and y in g_e)
+
+    def pF(self, f: EntityType, g: EntityType) -> dict[Pair, Pair]:
+        """``pF(f, g, e) : F_e(f) -> F_e(g)`` for ``S_g subseteq S_f``.
+
+        The propagation theorem makes this an inclusion (dependencies
+        valid in context f remain valid in the specialisation g); the
+        concrete dict witnesses it, raising when propagation fails —
+        which only happens on states violating containment.
+        """
+        if g not in self.spec.S(f):
+            raise DependencyError(f"{g.name!r} is not a specialisation of {f.name!r}")
+        source, target = self.F(f), self.F(g)
+        mapping: dict[Pair, Pair] = {}
+        for pair in source:
+            if pair not in target:
+                raise DependencyError(
+                    f"propagation fails: {pair[0].name}->{pair[1].name} valid in "
+                    f"{f.name!r} but not in its specialisation {g.name!r}"
+                )
+            mapping[pair] = pair
+        return mapping
+
+    def piF(self, other: "DependencyMappings", g: EntityType) -> dict[Pair, Pair]:
+        """``piF_g^f : F_e(g) -> F_f(g)`` where ``other`` is built over ``f``.
+
+        Requires ``S_g subseteq S_f subseteq S_e``; since ``G_e subseteq
+        G_f`` the map is again an inclusion of pair sets.
+        """
+        f, e = other.e, self.e
+        if f not in self.spec.S(e) or g not in self.spec.S(f):
+            raise DependencyError("piF needs the chain S_g <= S_f <= S_e")
+        source = self.F(g)
+        target = other.F(g)
+        mapping: dict[Pair, Pair] = {}
+        for pair in source:
+            if pair not in target:
+                raise DependencyError(
+                    f"piF undefined on {pair!r}: G_e pair missing from the G_f view"
+                )
+            mapping[pair] = pair
+        return mapping
+
+    def corollary_holds(self, f: EntityType, g: EntityType) -> bool:
+        """The section 5.3 corollary on the chain ``S_g <= S_f <= S_e``.
+
+        (a) piF composes along the chain, (b) pF composes, (c) the square
+        of pF and piF commutes.  With all maps being inclusions this
+        amounts to the pair sets nesting coherently — checked concretely.
+        """
+        over_f = DependencyMappings(self.db, f, self._source)
+        # (a) piF is defined on all of F_e(g): the map exists along the chain.
+        a_ok = set(self.piF(over_f, g)) == self.F(g)
+        # (b) pF composes along the chain e -> f -> g.
+        first = self.pF(f, g)
+        prior = self.pF(self.e, f) if f in self.spec.S(self.e) else {}
+        composed = {pair: first[prior[pair]] for pair in prior if prior[pair] in first}
+        through = self.pF(self.e, g)
+        b_ok = all(composed[p] == through[p] for p in composed)
+        # (c) commuting square: restrict-then-propagate == propagate-then-restrict.
+        c_ok = True
+        for pair in self.F(f):
+            via_pf = self.pF(f, g).get(pair)
+            if pair in over_f.F(f):
+                via_pif = over_f.pF(f, g).get(pair)
+                if via_pf != via_pif:
+                    c_ok = False
+        return a_ok and b_ok and c_ok

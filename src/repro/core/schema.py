@@ -1,0 +1,163 @@
+"""Schemas: a property universe plus entity types (sections 2-3).
+
+"We start our formalisation process with a finite set A = {a_i} of
+property names and a set of entity types E = {e_j}.  In particular, each
+entity type e is a named subset of A: A_e."
+
+The :class:`Schema` is the anchor object of the library: it validates the
+Entity Type Axiom at construction, computes the usage sets ``V_a``
+(section 3.1) and offers name-based lookup for every other module.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+
+from repro.core.attributes import AttributeUniverse, PropertyName
+from repro.core.entity_types import EntityType
+from repro.errors import AxiomViolationError, SchemaError
+
+
+class Schema:
+    """The database intension's raw material: ``(A, E)``.
+
+    Parameters
+    ----------
+    universe:
+        The attribute universe supplying ``A`` and the value sets.
+    entity_types:
+        The designer's enumeration ``E``.  Every attribute used must be in
+        ``A`` and no two types may share an attribute set (Entity Type
+        Axiom).
+    """
+
+    __slots__ = ("universe", "_by_name", "_types")
+
+    def __init__(self, universe: AttributeUniverse, entity_types: Iterable[EntityType]):
+        self.universe = universe
+        self._types: tuple[EntityType, ...] = tuple(sorted(entity_types))
+        self._by_name: dict[str, EntityType] = {}
+        seen_attr_sets: dict[frozenset[PropertyName], EntityType] = {}
+        for et in self._types:
+            if et.name in self._by_name:
+                raise SchemaError(f"duplicate entity type name: {et.name!r}")
+            stray = et.attributes - universe.property_names
+            if stray:
+                raise SchemaError(
+                    f"entity type {et.name!r} uses property names outside A: {sorted(stray)}"
+                )
+            twin = seen_attr_sets.get(et.attributes)
+            if twin is not None:
+                raise AxiomViolationError(
+                    "Entity Type Axiom",
+                    f"entity types {twin.name!r} and {et.name!r} have the same "
+                    f"property set {sorted(et.attributes)}; they are synonyms "
+                    "or underspecified (add a role attribute)",
+                    offenders=(twin, et),
+                )
+            seen_attr_sets[et.attributes] = et
+            self._by_name[et.name] = et
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_attribute_sets(cls,
+                            entity_attrs: Mapping[str, Iterable[PropertyName]],
+                            domains: Mapping[PropertyName, Iterable] | None = None) -> "Schema":
+        """Build a schema from ``{type name: attribute names}``.
+
+        When ``domains`` is omitted, each property name receives a small
+        default integer value set — enough for intension-level work and for
+        generating test extensions.
+        """
+        all_attrs: set[PropertyName] = set()
+        for attrs in entity_attrs.values():
+            all_attrs.update(attrs)
+        if domains is None:
+            domains = {a: range(8) for a in sorted(all_attrs)}
+        else:
+            missing = all_attrs - set(domains)
+            if missing:
+                raise SchemaError(f"domains missing for properties: {sorted(missing)}")
+        universe = AttributeUniverse.from_values({a: domains[a] for a in sorted(set(domains) | all_attrs)})
+        types = [EntityType(name, attrs) for name, attrs in entity_attrs.items()]
+        return cls(universe, types)
+
+    # ------------------------------------------------------------------
+    # accessors
+    # ------------------------------------------------------------------
+    @property
+    def property_names(self) -> frozenset[PropertyName]:
+        """The universe ``A``."""
+        return self.universe.property_names
+
+    @property
+    def entity_types(self) -> frozenset[EntityType]:
+        """The enumeration ``E``."""
+        return frozenset(self._types)
+
+    def sorted_types(self) -> list[EntityType]:
+        """Entity types in name order (for deterministic output)."""
+        return list(self._types)
+
+    def __getitem__(self, name: str) -> EntityType:
+        if name not in self._by_name:
+            raise SchemaError(f"unknown entity type: {name!r}")
+        return self._by_name[name]
+
+    def get(self, name: str) -> EntityType | None:
+        return self._by_name.get(name)
+
+    def __contains__(self, item: object) -> bool:
+        if isinstance(item, EntityType):
+            return self._by_name.get(item.name) == item
+        return item in self._by_name
+
+    def __len__(self) -> int:
+        return len(self._types)
+
+    def __iter__(self):
+        return iter(self._types)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Schema):
+            return NotImplemented
+        return (self.entity_types == other.entity_types
+                and self.property_names == other.property_names)
+
+    def __repr__(self) -> str:
+        return f"Schema({len(self.universe)} properties, {len(self._types)} entity types)"
+
+    # ------------------------------------------------------------------
+    # section 3.1: the usage sets V_a
+    # ------------------------------------------------------------------
+    def using(self, attribute: PropertyName) -> frozenset[EntityType]:
+        """``V_a = {e in E | a in A_e}`` — entity types using ``attribute``."""
+        if attribute not in self.universe:
+            raise SchemaError(f"unknown property name: {attribute!r}")
+        return frozenset(e for e in self._types if attribute in e.attributes)
+
+    def usage_family(self) -> dict[PropertyName, frozenset[EntityType]]:
+        """The whole family ``V = {V_a | a in A}``."""
+        return {a: self.using(a) for a in sorted(self.property_names)}
+
+    def used_property_names(self) -> frozenset[PropertyName]:
+        """Property names appearing in at least one entity type."""
+        used: set[PropertyName] = set()
+        for et in self._types:
+            used |= et.attributes
+        return frozenset(used)
+
+    # ------------------------------------------------------------------
+    # convenience edits (schemas are immutable; these return copies)
+    # ------------------------------------------------------------------
+    def with_entity_type(self, entity_type: EntityType) -> "Schema":
+        """A copy with one more entity type (axioms re-validated)."""
+        return Schema(self.universe, list(self._types) + [entity_type])
+
+    def without_entity_type(self, name: str) -> "Schema":
+        """A copy lacking the named entity type."""
+        if name not in self._by_name:
+            raise SchemaError(f"unknown entity type: {name!r}")
+        return Schema(self.universe, [e for e in self._types if e.name != name])

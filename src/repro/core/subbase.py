@@ -1,0 +1,133 @@
+"""Subbase choice and constructed entity types (section 3.1).
+
+"Clearly, S doesn't have to be the smallest subbase.  Nor is the subbase
+per definition unique. ... This gives the freedom to choose a subbase for T
+which reflects the bias to the Universe of Discourse.  Denote by R_T the
+chosen subbase, the entity types not in the subbase are called constructed
+types."
+
+For the employee example the paper reports
+``R_T = {person, department, employee, manager}`` with *worksfor* the only
+constructed element: ``S_worksfor = S_employee intersect S_department``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.core.entity_types import EntityType
+from repro.core.schema import Schema
+from repro.core.specialisation import SpecialisationStructure
+from repro.errors import SchemaError
+from repro.topology import irredundant_subbases, topology_from_subbase
+
+
+class SubbaseChoice:
+    """A designer's choice ``R_T`` of subbase entity types.
+
+    Parameters
+    ----------
+    schema:
+        The schema under design.
+    chosen:
+        Names of the entity types whose ``S_e`` sets form the chosen
+        subbase.  Validity (generating the full intension topology) is
+        checked eagerly.
+    """
+
+    def __init__(self, schema: Schema, chosen: Iterable[str]):
+        self.schema = schema
+        self.spec = SpecialisationStructure(schema)
+        self.chosen: frozenset[EntityType] = frozenset(schema[name] for name in chosen)
+        if not self.is_valid():
+            raise SchemaError(
+                "the chosen entity types do not generate the intension topology; "
+                f"missing information about {sorted(e.name for e in self.constructed_types())}"
+            )
+
+    def subbase_sets(self) -> frozenset[frozenset[EntityType]]:
+        """The subbase ``{S_e | e in R_T}``."""
+        return frozenset(self.spec.S(e) for e in self.chosen)
+
+    def is_valid(self) -> bool:
+        """Whether the chosen family generates the same topology as ``{S_e}_E``."""
+        generated = topology_from_subbase(self.schema.entity_types, self.subbase_sets())
+        return generated.opens == self.spec.space.opens
+
+    def constructed_types(self) -> frozenset[EntityType]:
+        """The entity types not in ``R_T`` — derivable, per the paper."""
+        return self.schema.entity_types - self.chosen
+
+    def expression_for(self, e: EntityType) -> frozenset[EntityType] | None:
+        """An intersection expression for a constructed type's ``S_e``.
+
+        Returns the subset ``C`` of chosen types with
+        ``S_e = intersection of S_c over c in C`` when one exists (in an
+        Alexandrov topology the minimal open of ``e`` is the intersection
+        of all chosen subbase members containing ``e``), else ``None`` —
+        meaning a union is genuinely required.
+        """
+        containing = frozenset(c for c in self.chosen if e in self.spec.S(c))
+        if not containing:
+            return None
+        result = self.schema.entity_types
+        for c in containing:
+            result &= self.spec.S(c)
+        return containing if result == self.spec.S(e) else None
+
+
+def redundant_types(schema: Schema) -> frozenset[EntityType]:
+    """Entity types individually removable from the subbase.
+
+    ``e`` is redundant when ``{S_f | f != e}`` still generates the
+    intension topology — the designer may declare ``e`` constructed.
+    """
+    spec = SpecialisationStructure(schema)
+    reference = spec.space.opens
+    out: set[EntityType] = set()
+    for e in schema:
+        rest = frozenset(spec.S(f) for f in schema if f != e)
+        if topology_from_subbase(schema.entity_types, rest).opens == reference:
+            out.add(e)
+    return frozenset(out)
+
+
+def minimal_subbase_choices(schema: Schema,
+                            limit: int | None = 16) -> list[frozenset[EntityType]]:
+    """All inclusion-minimal valid choices of ``R_T`` (up to ``limit``).
+
+    Each answer is a set of entity types whose ``S_e`` family generates
+    the full topology and from which no member can be dropped.  Because
+    distinct entity types can have equal ``S_e`` sets is impossible here
+    (Entity Type Axiom makes ``e -> S_e`` injective), the translation from
+    set families back to entity types is unambiguous.
+    """
+    spec = SpecialisationStructure(schema)
+    by_set = {spec.S(e): e for e in schema}
+    families = irredundant_subbases(
+        schema.entity_types,
+        frozenset(by_set),
+        limit=limit,
+    )
+    return [frozenset(by_set[s] for s in family) for family in families]
+
+
+def designer_bias_report(schema: Schema) -> dict[str, object]:
+    """Summarise the freedom the designer has in choosing ``R_T``.
+
+    Returns the per-type redundancy verdicts, all minimal choices (capped)
+    and the "essential" types present in every minimal choice — the paper's
+    "hints to the database designer as to which entities are really
+    essential and which entities should be considered derivable".
+    """
+    choices = minimal_subbase_choices(schema)
+    essential: frozenset[EntityType]
+    if choices:
+        essential = frozenset.intersection(*choices)
+    else:
+        essential = frozenset()
+    return {
+        "redundant": redundant_types(schema),
+        "minimal_choices": choices,
+        "essential": essential,
+    }

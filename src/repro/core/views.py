@@ -1,0 +1,161 @@
+"""Entity view types and uniquely-translatable view updates (section 2).
+
+The **View Axiom**: an entity view type is a *set of entity types* — not an
+arbitrary projection/join expression.  "This limitation ensures that only
+those views can be constructed for which a unique translation exists for
+updates" — the view-update problem of the older models disappears because
+a view instance decomposes uniquely into its constituents.
+
+For contrast, :mod:`repro.universal.view_update` implements what happens
+when views are relations computed by joins: updates acquire several
+candidate translations.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+from dataclasses import dataclass
+
+from repro.core.entity_types import EntityType
+from repro.core.extension import DatabaseExtension
+from repro.core.schema import Schema
+from repro.errors import ViewError
+from repro.relational import Relation, Tuple
+
+
+class EntityViewType:
+    """A named set of entity types (the View Axiom's only legal shape)."""
+
+    __slots__ = ("name", "members")
+
+    def __init__(self, name: str, members: Iterable[EntityType]):
+        if not isinstance(name, str) or not name:
+            raise ViewError("a view type needs a nonempty string name")
+        self.name = name
+        self.members: frozenset[EntityType] = frozenset(members)
+        if not self.members:
+            raise ViewError(f"view type {name!r} has no member entity types")
+
+    def validate(self, schema: Schema) -> "EntityViewType":
+        """Check the View Axiom against a schema: members must be in E."""
+        stray = [e for e in self.members if e not in schema]
+        if stray:
+            raise ViewError(
+                f"view type {self.name!r} mentions non-schema entity types: "
+                f"{sorted(e.name for e in stray)}; the View Axiom requires a "
+                "set of existing entity types"
+            )
+        return self
+
+    def attributes(self) -> frozenset[str]:
+        """All attributes visible through the view."""
+        out: set[str] = set()
+        for e in self.members:
+            out |= e.attributes
+        return frozenset(out)
+
+    def __repr__(self) -> str:
+        return f"EntityViewType({self.name!r}, {sorted(e.name for e in self.members)})"
+
+
+class ViewInstance:
+    """The extension of a view: one relation per member entity type.
+
+    "Each view is a simple aggregation and all information about its
+    constituents remains available" — the instance is literally the
+    family of member relations, so decomposition is the identity and
+    updates translate uniquely.
+    """
+
+    def __init__(self, view: EntityViewType, db: DatabaseExtension):
+        view.validate(db.schema)
+        self.view = view
+        self.db = db
+        self.relations: dict[EntityType, Relation] = {
+            e: db.R(e) for e in sorted(view.members)
+        }
+
+    def member_relation(self, e: EntityType | str) -> Relation:
+        e = self.db.schema[e] if isinstance(e, str) else e
+        if e not in self.relations:
+            raise ViewError(f"{e.name!r} is not a member of view {self.view.name!r}")
+        return self.relations[e]
+
+    def presented_relation(self) -> Relation:
+        """The *display* join of the member relations (read-only).
+
+        Offered because users like looking at a single table; updates
+        against this display are what the View Axiom forbids — see
+        :meth:`ViewUpdate.translate` for the legal route.
+        """
+        from repro.relational import join_all
+
+        return join_all(self.relations[e] for e in sorted(self.relations))
+
+
+@dataclass(frozen=True)
+class ViewUpdate:
+    """An update addressed *through* a view at a specific member type.
+
+    ``kind`` is ``"insert"`` or ``"delete"``; ``member`` names the entity
+    type the change is about; ``row`` is the tuple.  Because the member is
+    part of the update, the translation to base relations is unique — the
+    application retains "all information to interpret updates".
+    """
+
+    view: EntityViewType
+    kind: str
+    member: EntityType
+    row: Tuple
+
+    def validate(self, schema: Schema) -> "ViewUpdate":
+        self.view.validate(schema)
+        if self.kind not in ("insert", "delete"):
+            raise ViewError(f"unknown view update kind: {self.kind!r}")
+        if self.member not in self.view.members:
+            raise ViewError(
+                f"{self.member.name!r} is not a member of view {self.view.name!r}"
+            )
+        if self.row.schema != self.member.attributes:
+            raise ViewError(
+                f"row schema {sorted(self.row.schema)} does not match member "
+                f"{self.member.name!r}"
+            )
+        return self
+
+    def translate(self, db: DatabaseExtension) -> DatabaseExtension:
+        """The unique base-table translation of the view update.
+
+        Inserts propagate projections to generalisations and deletes
+        cascade to specialisations, exactly as the direct operations on
+        the extension do — the view adds no ambiguity.
+        """
+        self.validate(db.schema)
+        if self.kind == "insert":
+            return db.insert(self.member, self.row)
+        return db.delete(self.member, self.row)
+
+
+def translation_count(update: ViewUpdate, db: DatabaseExtension) -> int:
+    """The number of distinct minimal translations of a view update.
+
+    Always 1 for axiom-model views — stated as a function so experiment
+    E12 can print it beside the Universal Relation's count.
+    """
+    update.validate(db.schema)
+    return 1
+
+
+def decompose_presented_tuple(view: EntityViewType,
+                              row: Mapping) -> dict[EntityType, Tuple]:
+    """Split a display-join tuple back into member constituents.
+
+    The decomposition is unique because each member's attribute set is
+    known — "all views should be uniquely decomposable to the underlying
+    semantic primitives".
+    """
+    t = row if isinstance(row, Tuple) else Tuple(dict(row))
+    missing = view.attributes() - t.schema
+    if missing:
+        raise ViewError(f"presented tuple lacks attributes: {sorted(missing)}")
+    return {e: t.project(e.attributes) for e in sorted(view.members)}

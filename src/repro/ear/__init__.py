@@ -1,0 +1,20 @@
+"""The Entity-Relationship baseline (Chen 1976) and its certified translation."""
+
+from repro.ear.model import (
+    CARDINALITIES,
+    EAREntitySet,
+    EARRelationshipSet,
+    EARSchema,
+    employee_ear_schema,
+)
+from repro.ear.translate import TranslationResult, translate
+
+__all__ = [
+    "CARDINALITIES",
+    "EAREntitySet",
+    "EARRelationshipSet",
+    "EARSchema",
+    "employee_ear_schema",
+    "TranslationResult",
+    "translate",
+]

@@ -1,0 +1,121 @@
+"""A compact Entity-Relationship (EAR) model (the Chen baseline).
+
+The paper credits the EAR model with separating entities from
+relationships but criticises its "lack of formalisation".  This module
+gives the usual informal ingredients — entity sets, relationship sets with
+cardinalities and total-participation marks — so that
+:mod:`repro.ear.translate` can compile them into the axiom model and make
+the comparison executable.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from dataclasses import dataclass, field
+
+from repro.errors import SchemaError
+
+CARDINALITIES = ("1:1", "1:n", "n:1", "n:m")
+
+
+@dataclass(frozen=True)
+class EAREntitySet:
+    """An EAR entity set with its attribute names."""
+
+    name: str
+    attributes: frozenset[str]
+
+    def __post_init__(self):
+        if not self.name:
+            raise SchemaError("an EAR entity set needs a name")
+        if not self.attributes:
+            raise SchemaError(f"EAR entity set {self.name!r} needs attributes")
+
+
+@dataclass(frozen=True)
+class EARRelationshipSet:
+    """An EAR relationship set between two entity sets.
+
+    ``cardinality`` is read left-to-right over ``(left, right)``;
+    ``total`` lists participants that must all take part (existence
+    dependency); ``attributes`` are the relationship's own descriptive
+    attributes.
+    """
+
+    name: str
+    left: str
+    right: str
+    cardinality: str = "n:m"
+    attributes: frozenset[str] = frozenset()
+    total: frozenset[str] = frozenset()
+
+    def __post_init__(self):
+        if self.cardinality not in CARDINALITIES:
+            raise SchemaError(
+                f"relationship {self.name!r} has unknown cardinality "
+                f"{self.cardinality!r}; expected one of {CARDINALITIES}"
+            )
+        if self.left == self.right:
+            raise SchemaError(
+                f"relationship {self.name!r} is recursive; give the two roles "
+                "distinct entity sets (the Attribute Axiom will demand role "
+                "attributes anyway)"
+            )
+        stray = self.total - {self.left, self.right}
+        if stray:
+            raise SchemaError(
+                f"relationship {self.name!r} marks non-participants as total: "
+                f"{sorted(stray)}"
+            )
+
+
+@dataclass
+class EARSchema:
+    """A full EAR design: entity sets plus binary relationship sets."""
+
+    entities: list[EAREntitySet] = field(default_factory=list)
+    relationships: list[EARRelationshipSet] = field(default_factory=list)
+
+    def __post_init__(self):
+        names = [e.name for e in self.entities] + [r.name for r in self.relationships]
+        duplicates = {n for n in names if names.count(n) > 1}
+        if duplicates:
+            raise SchemaError(f"duplicate EAR names: {sorted(duplicates)}")
+        known = {e.name for e in self.entities}
+        for r in self.relationships:
+            for participant in (r.left, r.right):
+                if participant not in known:
+                    raise SchemaError(
+                        f"relationship {r.name!r} references unknown entity "
+                        f"set {participant!r}"
+                    )
+
+    def entity(self, name: str) -> EAREntitySet:
+        for e in self.entities:
+            if e.name == name:
+                return e
+        raise SchemaError(f"unknown EAR entity set: {name!r}")
+
+    def all_attributes(self) -> frozenset[str]:
+        out: set[str] = set()
+        for e in self.entities:
+            out |= e.attributes
+        for r in self.relationships:
+            out |= r.attributes
+        return frozenset(out)
+
+
+def employee_ear_schema() -> EARSchema:
+    """The employee example as a classical EAR design, for comparisons."""
+    return EARSchema(
+        entities=[
+            EAREntitySet("employee", frozenset({"name", "age"})),
+            EAREntitySet("department", frozenset({"depname", "location"})),
+        ],
+        relationships=[
+            EARRelationshipSet(
+                "worksfor", "employee", "department",
+                cardinality="n:1", total=frozenset({"employee"}),
+            ),
+        ],
+    )

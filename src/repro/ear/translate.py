@@ -1,0 +1,119 @@
+"""Compiling an EAR design into the axiom model.
+
+The translation realises the paper's reductions:
+
+* an entity set becomes an entity type;
+* a relationship set becomes an entity type whose attribute set is the
+  union of its participants' (Relationship Axiom), its participants
+  becoming the contributors;
+* cardinalities become entity-level functional dependencies in the
+  relationship's context (:class:`~repro.core.integrity.CardinalityConstraint`);
+* total participation becomes a
+  :class:`~repro.core.integrity.ParticipationConstraint`;
+* attribute-name collisions between participants are resolved by role
+  prefixes — the Attribute Axiom "forces us to make this information
+  explicit by using a different name for each role".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.contributors import ContributorAssignment, canonical_contributors
+from repro.core.integrity import (
+    CardinalityConstraint,
+    ConstraintSet,
+    ParticipationConstraint,
+)
+from repro.core.schema import Schema
+from repro.ear.model import EARSchema
+from repro.errors import SchemaError
+
+
+@dataclass
+class TranslationResult:
+    """The compiled axiom-model design plus an audit trail."""
+
+    schema: Schema
+    contributors: ContributorAssignment
+    constraints: ConstraintSet
+    renamed_attributes: dict[str, str] = field(default_factory=dict)
+    notes: list[str] = field(default_factory=list)
+
+
+def translate(ear: EARSchema,
+              domains: dict[str, list] | None = None) -> TranslationResult:
+    """Compile ``ear`` into a schema, contributor map, and constraints."""
+    notes: list[str] = []
+    renamed: dict[str, str] = {}
+
+    entity_attrs: dict[str, set[str]] = {
+        e.name: set(e.attributes) for e in ear.entities
+    }
+
+    # Resolve attribute collisions between distinct entity sets up front:
+    # a shared name would merge the columns inside any relationship type.
+    owner: dict[str, str] = {}
+    for e in ear.entities:
+        for a in sorted(e.attributes):
+            if a in owner and owner[a] != e.name:
+                fresh = f"{e.name}_{a}"
+                entity_attrs[e.name].discard(a)
+                entity_attrs[e.name].add(fresh)
+                renamed[f"{e.name}.{a}"] = fresh
+                notes.append(
+                    f"attribute {a!r} is used by both {owner[a]!r} and "
+                    f"{e.name!r}; renamed the latter's to {fresh!r} (Attribute "
+                    "Axiom: one semantic role per name)"
+                )
+            else:
+                owner.setdefault(a, e.name)
+
+    relationship_attrs: dict[str, set[str]] = {}
+    contributor_map: dict[str, list[str]] = {}
+    for r in ear.relationships:
+        attrs = set(entity_attrs[r.left]) | set(entity_attrs[r.right]) | set(r.attributes)
+        relationship_attrs[r.name] = attrs
+        contributor_map[r.name] = [r.left, r.right]
+
+    all_attr_sets = {**entity_attrs, **relationship_attrs}
+    seen: dict[frozenset[str], str] = {}
+    for name, attrs in sorted(all_attr_sets.items()):
+        key = frozenset(attrs)
+        if key in seen:
+            raise SchemaError(
+                f"EAR design compiles {seen[key]!r} and {name!r} to the same "
+                "attribute set; add a distinguishing (role) attribute"
+            )
+        seen[key] = name
+
+    if domains is None:
+        domains = {a: list(range(8)) for s in all_attr_sets.values() for a in s}
+    schema = Schema.from_attribute_sets(all_attr_sets, domains)
+    contributors = ContributorAssignment(schema, contributor_map)
+
+    constraints = ConstraintSet(schema)
+    for r in ear.relationships:
+        rel_type = schema[r.name]
+        left_type, right_type = schema[r.left], schema[r.right]
+        if r.cardinality == "n:1":
+            constraints.add(CardinalityConstraint(rel_type, left_type, right_type, "1:n"))
+        elif r.cardinality == "1:n":
+            constraints.add(CardinalityConstraint(rel_type, right_type, left_type, "1:n"))
+        elif r.cardinality == "1:1":
+            constraints.add(CardinalityConstraint(rel_type, left_type, right_type, "1:1"))
+        else:
+            constraints.add(CardinalityConstraint(rel_type, left_type, right_type, "n:m"))
+        for participant in sorted(r.total):
+            constraints.add(ParticipationConstraint(rel_type, schema[participant]))
+
+    for r in ear.relationships:
+        canonical = {c.name for c in canonical_contributors(schema, schema[r.name])}
+        declared = set(contributor_map[r.name])
+        if canonical != declared:
+            notes.append(
+                f"relationship {r.name!r}: declared contributors {sorted(declared)} "
+                f"differ from the direct generalisations {sorted(canonical)}; the "
+                "designer should review the attribute choices (section 3.3)"
+            )
+    return TranslationResult(schema, contributors, constraints, renamed, notes)

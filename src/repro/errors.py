@@ -1,0 +1,75 @@
+"""Exception hierarchy for the reproduction library.
+
+Every error raised by :mod:`repro` derives from :class:`ReproError`, so
+callers can catch a single base class.  Axiom violations carry structured
+diagnostics (which axiom, which offending objects) so design tools can
+report them without parsing messages.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the library."""
+
+
+class TopologyError(ReproError):
+    """A family of sets failed to satisfy the topology axioms."""
+
+
+class PresheafError(ReproError):
+    """A presheaf violated a functor law or a restriction-map constraint."""
+
+
+class RelationError(ReproError):
+    """An ill-formed relation, tuple, or relational-algebra application."""
+
+
+class SchemaError(ReproError):
+    """An ill-formed schema component (attribute, entity type, universe)."""
+
+
+class AxiomViolationError(SchemaError):
+    """One of the six design axioms is violated.
+
+    Attributes
+    ----------
+    axiom:
+        Name of the violated axiom, e.g. ``"Entity Type Axiom"``.
+    offenders:
+        Tuple of the objects (names, entity types, ...) that witness the
+        violation.
+    """
+
+    def __init__(self, axiom: str, message: str, offenders: tuple = ()):
+        super().__init__(f"{axiom}: {message}")
+        self.axiom = axiom
+        self.offenders = offenders
+
+
+class ExtensionError(ReproError):
+    """An extension (set of instances) is inconsistent with its intension."""
+
+
+class ContainmentError(ExtensionError):
+    """The Containment Condition pi_e^s(R_s) subseteq R_e failed."""
+
+
+class DependencyError(ReproError):
+    """An ill-formed or inapplicable functional dependency."""
+
+
+class DerivationError(DependencyError):
+    """A requested FD derivation does not exist."""
+
+
+class ViewError(ReproError):
+    """An ill-formed entity view type or an untranslatable view update."""
+
+
+class EvolutionError(ReproError):
+    """A schema change cannot be applied or analysed."""
+
+
+class IncompleteInformationError(ReproError):
+    """Misuse of boolean-algebra-structured (null-carrying) domains."""

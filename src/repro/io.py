@@ -1,0 +1,184 @@
+"""JSON import/export for schemas, extensions, and constraints.
+
+A downstream user needs to get designs in and out of the library; this
+module fixes a plain-JSON interchange format:
+
+.. code-block:: json
+
+    {
+      "domains":  {"name": ["ann", "bob"], "age": [28, 31]},
+      "entity_types": {"person": ["name", "age"]},
+      "relations": {"person": [{"name": "ann", "age": 31}]},
+      "contributors": {"worksfor": ["employee", "department"]},
+      "constraints": [
+        {"kind": "subset", "special": "manager", "general": "employee"},
+        {"kind": "fd", "determinant": "employee", "dependent": "department",
+         "context": "worksfor"},
+        {"kind": "cardinality", "relationship": "worksfor",
+         "left": "employee", "right": "department", "cardinality": "1:n"},
+        {"kind": "participation", "relationship": "worksfor",
+         "member": "employee"}
+      ]
+    }
+
+Values must be JSON scalars (strings, numbers, booleans, null) — which is
+exactly the Attribute Axiom's atomicity in JSON clothing.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.core import (
+    CardinalityConstraint,
+    ConstraintSet,
+    ContributorAssignment,
+    DatabaseExtension,
+    EntityFD,
+    FunctionalConstraint,
+    ParticipationConstraint,
+    Schema,
+    SubsetConstraint,
+)
+from repro.errors import SchemaError
+
+
+def schema_to_dict(schema: Schema) -> dict[str, Any]:
+    """The schema's universe and entity types as JSON-ready data."""
+    return {
+        "domains": {
+            name: sorted(schema.universe.domain(name).values, key=repr)
+            for name in sorted(schema.property_names)
+        },
+        "entity_types": {
+            e.name: sorted(e.attributes) for e in schema.sorted_types()
+        },
+    }
+
+
+def schema_from_dict(data: dict[str, Any]) -> Schema:
+    """Rebuild a schema; axioms are re-validated by the constructors."""
+    if "entity_types" not in data:
+        raise SchemaError("schema document needs an 'entity_types' object")
+    return Schema.from_attribute_sets(
+        {name: set(attrs) for name, attrs in data["entity_types"].items()},
+        domains={k: list(v) for k, v in data.get("domains", {}).items()} or None,
+    )
+
+
+def extension_to_dict(db: DatabaseExtension) -> dict[str, Any]:
+    """Schema plus relations plus non-canonical contributor assignments."""
+    out = schema_to_dict(db.schema)
+    out["relations"] = {
+        e.name: [t.as_dict() for t in db.R(e)]
+        for e in db.schema.sorted_types()
+        if len(db.R(e))
+    }
+    from repro.core import canonical_contributors
+
+    overrides = {}
+    for e in db.schema.sorted_types():
+        assigned = db.contributors.contributors(e)
+        if assigned != canonical_contributors(db.schema, e):
+            overrides[e.name] = sorted(c.name for c in assigned)
+    if overrides:
+        out["contributors"] = overrides
+    return out
+
+
+def extension_from_dict(data: dict[str, Any]) -> DatabaseExtension:
+    """Rebuild a database state (shape and domain membership re-checked)."""
+    schema = schema_from_dict(data)
+    contributors = None
+    if "contributors" in data:
+        contributors = ContributorAssignment(schema, data["contributors"])
+    return DatabaseExtension(schema, data.get("relations", {}), contributors)
+
+
+def constraints_to_list(constraints: ConstraintSet) -> list[dict[str, Any]]:
+    """Serialise the built-in constraint kinds (custom kinds need custom IO)."""
+    out: list[dict[str, Any]] = []
+    for c in constraints.constraints:
+        if isinstance(c, SubsetConstraint):
+            out.append({"kind": "subset", "special": c.special.name,
+                        "general": c.general.name})
+        elif isinstance(c, FunctionalConstraint):
+            out.append({
+                "kind": "fd",
+                "determinant": c.fd.determinant.name,
+                "dependent": c.fd.dependent.name,
+                "context": c.fd.context.name,
+            })
+        elif isinstance(c, CardinalityConstraint):
+            out.append({
+                "kind": "cardinality", "relationship": c.relationship.name,
+                "left": c.left.name, "right": c.right.name,
+                "cardinality": c.kind,
+            })
+        elif isinstance(c, ParticipationConstraint):
+            out.append({"kind": "participation",
+                        "relationship": c.relationship.name,
+                        "member": c.member.name})
+        else:
+            raise SchemaError(f"cannot serialise constraint kind {type(c).__name__}")
+    return out
+
+
+def constraints_from_list(schema: Schema,
+                          items: list[dict[str, Any]]) -> ConstraintSet:
+    """Rebuild a constraint set against ``schema``."""
+    constraints = ConstraintSet(schema)
+    for item in items:
+        kind = item.get("kind")
+        if kind == "subset":
+            constraints.add(SubsetConstraint(
+                schema[item["special"]], schema[item["general"]],
+            ))
+        elif kind == "fd":
+            constraints.add(FunctionalConstraint(EntityFD(
+                schema[item["determinant"]], schema[item["dependent"]],
+                schema[item["context"]],
+            )))
+        elif kind == "cardinality":
+            constraints.add(CardinalityConstraint(
+                schema[item["relationship"]], schema[item["left"]],
+                schema[item["right"]], item["cardinality"],
+            ))
+        elif kind == "participation":
+            constraints.add(ParticipationConstraint(
+                schema[item["relationship"]], schema[item["member"]],
+            ))
+        else:
+            raise SchemaError(f"unknown constraint kind: {kind!r}")
+    return constraints
+
+
+def database_to_dict(db: DatabaseExtension,
+                     constraints: ConstraintSet | None = None) -> dict[str, Any]:
+    """One self-contained document: schema, relations, constraints."""
+    out = extension_to_dict(db)
+    if constraints is not None:
+        out["constraints"] = constraints_to_list(constraints)
+    return out
+
+
+def database_from_dict(data: dict[str, Any]) -> tuple[DatabaseExtension, ConstraintSet]:
+    """Rebuild a state and its constraints from one document."""
+    db = extension_from_dict(data)
+    constraints = constraints_from_list(db.schema, data.get("constraints", []))
+    return db, constraints
+
+
+def save(path: str | Path, db: DatabaseExtension,
+         constraints: ConstraintSet | None = None) -> None:
+    """Write a database document as pretty-printed JSON."""
+    Path(path).write_text(
+        json.dumps(database_to_dict(db, constraints), indent=2, sort_keys=True)
+    )
+
+
+def load(path: str | Path) -> tuple[DatabaseExtension, ConstraintSet]:
+    """Read a database document written by :func:`save` (or by hand)."""
+    return database_from_dict(json.loads(Path(path).read_text()))

@@ -1,0 +1,16 @@
+"""Incomplete information over boolean-algebra domains (paper section 6)."""
+
+from repro.nulls.boolean_algebra import PowersetAlgebra, is_homomorphism
+from repro.nulls.incomplete import (
+    IncompleteRelation,
+    IncompleteValue,
+    certain_fds_monotone,
+)
+
+__all__ = [
+    "PowersetAlgebra",
+    "is_homomorphism",
+    "IncompleteRelation",
+    "IncompleteValue",
+    "certain_fds_monotone",
+]

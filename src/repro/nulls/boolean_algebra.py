@@ -1,0 +1,131 @@
+"""Finite boolean algebras (the paper's future-work substrate, section 6).
+
+"Imposing a structure on the domain, a boolean algebra structure [10],
+results in a formal definition of null values and incomplete information."
+
+Every finite boolean algebra is (isomorphic to) the powerset algebra of
+its atoms, so :class:`PowersetAlgebra` suffices; elements are frozensets
+of atoms, the order is inclusion, and the operations are the set ones.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable
+
+from repro.errors import IncompleteInformationError
+
+Atom = Hashable
+Element = frozenset
+
+
+class PowersetAlgebra:
+    """The boolean algebra ``P(atoms)`` with set operations.
+
+    Examples
+    --------
+    >>> algebra = PowersetAlgebra({"a", "b"})
+    >>> sorted(algebra.complement(frozenset({"a"})))
+    ['b']
+    """
+
+    __slots__ = ("atoms",)
+
+    def __init__(self, atoms: Iterable[Atom]):
+        self.atoms: frozenset[Atom] = frozenset(atoms)
+        if not self.atoms:
+            raise IncompleteInformationError("a boolean algebra needs at least one atom")
+
+    # ------------------------------------------------------------------
+    # structure
+    # ------------------------------------------------------------------
+    @property
+    def top(self) -> Element:
+        """The unit: complete ignorance (any value possible)."""
+        return self.atoms
+
+    @property
+    def bottom(self) -> Element:
+        """The zero: contradiction (no value possible)."""
+        return frozenset()
+
+    def element(self, members: Iterable[Atom]) -> Element:
+        """Validate and normalise an element."""
+        e = frozenset(members)
+        stray = e - self.atoms
+        if stray:
+            raise IncompleteInformationError(
+                f"element mentions non-atoms: {sorted(map(repr, stray))}"
+            )
+        return e
+
+    def is_atom(self, e: Element) -> bool:
+        """Whether ``e`` is a single definite value."""
+        return len(self.element(e)) == 1
+
+    def meet(self, x: Element, y: Element) -> Element:
+        return self.element(x) & self.element(y)
+
+    def join(self, x: Element, y: Element) -> Element:
+        return self.element(x) | self.element(y)
+
+    def complement(self, x: Element) -> Element:
+        return self.atoms - self.element(x)
+
+    def leq(self, x: Element, y: Element) -> bool:
+        """The information order: ``x`` is at least as definite as ``y``...
+
+        Note the reading: smaller sets = more information; ``leq`` is set
+        inclusion, so ``leq(x, y)`` means x is *more specific* than y.
+        """
+        return self.element(x) <= self.element(y)
+
+    def elements(self) -> list[Element]:
+        """All elements, ordered by size then repr (exponential; small atoms)."""
+        out: list[Element] = [frozenset()]
+        for a in sorted(self.atoms, key=repr):
+            out += [e | {a} for e in out]
+        return sorted(set(out), key=lambda e: (len(e), sorted(map(repr, e))))
+
+    # ------------------------------------------------------------------
+    # laws, stated as predicates for the property tests
+    # ------------------------------------------------------------------
+    def satisfies_lattice_laws(self, x: Element, y: Element, z: Element) -> bool:
+        """Commutativity, associativity, absorption on one triple."""
+        x, y, z = self.element(x), self.element(y), self.element(z)
+        return (
+            self.meet(x, y) == self.meet(y, x)
+            and self.join(x, y) == self.join(y, x)
+            and self.meet(x, self.meet(y, z)) == self.meet(self.meet(x, y), z)
+            and self.join(x, self.join(y, z)) == self.join(self.join(x, y), z)
+            and self.meet(x, self.join(x, y)) == x
+            and self.join(x, self.meet(x, y)) == x
+        )
+
+    def satisfies_boolean_laws(self, x: Element, y: Element, z: Element) -> bool:
+        """Distributivity and complementation on one triple."""
+        x, y, z = self.element(x), self.element(y), self.element(z)
+        return (
+            self.meet(x, self.join(y, z))
+            == self.join(self.meet(x, y), self.meet(x, z))
+            and self.join(x, self.complement(x)) == self.top
+            and self.meet(x, self.complement(x)) == self.bottom
+        )
+
+
+def is_homomorphism(source: PowersetAlgebra, target: PowersetAlgebra,
+                    mapping: dict[Element, Element]) -> bool:
+    """Whether ``mapping`` preserves meet, join, complement, top and bottom."""
+    elements = source.elements()
+    if any(e not in mapping for e in elements):
+        return False
+    if mapping[source.top] != target.top or mapping[source.bottom] != target.bottom:
+        return False
+    for x in elements:
+        if mapping[source.complement(x)] != target.complement(mapping[x]):
+            return False
+        for y in elements:
+            if mapping[source.meet(x, y)] != target.meet(mapping[x], mapping[y]):
+                return False
+            if mapping[source.join(x, y)] != target.join(mapping[x], mapping[y]):
+                return False
+    return True

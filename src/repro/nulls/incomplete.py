@@ -1,0 +1,204 @@
+"""Null values and incomplete information over boolean-algebra domains.
+
+Section 6: "Imposing a structure on the domain ... results in a formal
+definition of null values and incomplete information.  It differs from the
+method proposed by Reiter where the interpretation of the null is context
+dependent and affects the definition of functional dependencies.  In our
+approach, the null interpretation can be defined independent of the entity
+type structure and its semantics carry over to functional dependencies."
+
+An :class:`IncompleteValue` is an element of the powerset algebra over an
+attribute's atomic value set: the set of values the attribute *might*
+take.  A singleton is definite knowledge, the top element is the classical
+null ("no information"), the bottom is a contradiction.  FD satisfaction
+splits into **certain** (true in every completion) and **possible** (true
+in at least one) — defined purely on the value algebra, independent of any
+entity-type structure, which is exactly the claimed contrast with Reiter.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable, Mapping
+from itertools import product
+
+from repro.errors import IncompleteInformationError
+from repro.nulls.boolean_algebra import PowersetAlgebra
+from repro.relational import FD, Relation, Tuple, holds_in
+
+Value = Hashable
+
+
+class IncompleteValue:
+    """A set of possible atomic values for one attribute slot."""
+
+    __slots__ = ("possible",)
+
+    def __init__(self, possible: Iterable[Value]):
+        self.possible: frozenset[Value] = frozenset(possible)
+        if not self.possible:
+            raise IncompleteInformationError(
+                "an incomplete value needs at least one possible value; the "
+                "bottom element denotes contradiction, not ignorance"
+            )
+
+    @classmethod
+    def known(cls, value: Value) -> "IncompleteValue":
+        """Definite knowledge of a single value (an atom)."""
+        return cls({value})
+
+    @classmethod
+    def null(cls, domain: Iterable[Value]) -> "IncompleteValue":
+        """The classical null: any domain value possible (the top element)."""
+        return cls(domain)
+
+    def is_definite(self) -> bool:
+        return len(self.possible) == 1
+
+    def definite_value(self) -> Value:
+        if not self.is_definite():
+            raise IncompleteInformationError(f"{self!r} is not definite")
+        return next(iter(self.possible))
+
+    def refine(self, other: "IncompleteValue") -> "IncompleteValue":
+        """Combine two pieces of knowledge (meet in the algebra)."""
+        merged = self.possible & other.possible
+        if not merged:
+            raise IncompleteInformationError(
+                f"contradictory knowledge: {self!r} vs {other!r}"
+            )
+        return IncompleteValue(merged)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, IncompleteValue):
+            return NotImplemented
+        return self.possible == other.possible
+
+    def __hash__(self) -> int:
+        return hash((IncompleteValue, self.possible))
+
+    def __repr__(self) -> str:
+        if self.is_definite():
+            return f"IncompleteValue.known({self.definite_value()!r})"
+        return f"IncompleteValue({sorted(map(repr, self.possible))})"
+
+
+class IncompleteRelation:
+    """A relation whose slots are :class:`IncompleteValue` elements.
+
+    Parameters
+    ----------
+    schema:
+        Attribute names.
+    domains:
+        Per-attribute atomic value sets (the algebras' atom sets).
+    rows:
+        Mappings from attribute to either a plain value (treated as
+        definite) or an :class:`IncompleteValue`.
+    """
+
+    def __init__(self, schema: Iterable[str],
+                 domains: Mapping[str, Iterable[Value]],
+                 rows: Iterable[Mapping] = ()):
+        self.schema = frozenset(schema)
+        self.algebras: dict[str, PowersetAlgebra] = {
+            a: PowersetAlgebra(domains[a]) for a in self.schema
+        }
+        self.rows: list[dict[str, IncompleteValue]] = []
+        for row in rows:
+            self.add_row(row)
+
+    def add_row(self, row: Mapping) -> None:
+        if frozenset(row) != self.schema:
+            raise IncompleteInformationError(
+                f"row schema {sorted(row)} does not match {sorted(self.schema)}"
+            )
+        normal: dict[str, IncompleteValue] = {}
+        for a, v in row.items():
+            if not isinstance(v, IncompleteValue):
+                v = IncompleteValue.known(v)
+            stray = v.possible - self.algebras[a].atoms
+            if stray:
+                raise IncompleteInformationError(
+                    f"possible values of {a!r} outside its domain: {sorted(map(repr, stray))}"
+                )
+            normal[a] = v
+        self.rows.append(normal)
+
+    # ------------------------------------------------------------------
+    # completions
+    # ------------------------------------------------------------------
+    def completions(self, limit: int = 100_000) -> list[Relation]:
+        """All fully definite relations obtainable by choosing possibilities.
+
+        Exponential; ``limit`` guards against accidental blow-ups.  Each
+        completion also eliminates duplicate rows (set semantics).
+        """
+        per_row: list[list[Tuple]] = []
+        for row in self.rows:
+            attrs = sorted(self.schema)
+            choices = [sorted(row[a].possible, key=repr) for a in attrs]
+            per_row.append([
+                Tuple(dict(zip(attrs, combo))) for combo in product(*choices)
+            ])
+        total = 1
+        for options in per_row:
+            total *= len(options)
+            if total > limit:
+                raise IncompleteInformationError(
+                    f"too many completions (> {limit}); restrict the nulls"
+                )
+        out = []
+        for combo in product(*per_row) if per_row else [()]:
+            out.append(Relation(self.schema, combo))
+        return out
+
+    def completion_count(self) -> int:
+        """The number of completions without materialising them."""
+        total = 1
+        for row in self.rows:
+            for a in self.schema:
+                total *= len(row[a].possible)
+        return total
+
+    # ------------------------------------------------------------------
+    # dependency semantics — defined on the value algebra only
+    # ------------------------------------------------------------------
+    def fd_certain(self, fd: FD) -> bool:
+        """The FD holds in *every* completion."""
+        return all(holds_in(fd, completion) for completion in self.completions())
+
+    def fd_possible(self, fd: FD) -> bool:
+        """The FD holds in *at least one* completion."""
+        return any(holds_in(fd, completion) for completion in self.completions())
+
+    def information_order_leq(self, other: "IncompleteRelation") -> bool:
+        """Row-wise refinement: ``self`` knows at least as much as ``other``.
+
+        Requires equal row counts and pairs rows positionally; refinement
+        of every slot (``possible`` shrinking) is the algebra's order.
+        """
+        if self.schema != other.schema or len(self.rows) != len(other.rows):
+            return False
+        return all(
+            mine[a].possible <= theirs[a].possible
+            for mine, theirs in zip(self.rows, other.rows)
+            for a in self.schema
+        )
+
+
+def certain_fds_monotone(more_definite: IncompleteRelation,
+                         less_definite: IncompleteRelation,
+                         fd: FD) -> bool:
+    """The carry-over law: certainty gained by refinement is never lost...
+
+    Precisely: if the *less* definite relation certainly satisfies ``fd``,
+    so does every refinement with the same row pairing.  Returns the
+    implication's truth for the given pair — used by property tests to
+    validate the claim that null semantics "carry over to functional
+    dependencies" independently of entity-type structure.
+    """
+    if not more_definite.information_order_leq(less_definite):
+        raise IncompleteInformationError("relations are not refinement-ordered")
+    if not less_definite.fd_certain(fd):
+        return True
+    return more_definite.fd_certain(fd)

@@ -1,0 +1,113 @@
+"""Relational substrate: relations, algebra, FDs, chase, normalization.
+
+The paper's extensional layer (section 4) speaks "the old terminology":
+relations over entity types, tuples, projections ``pi`` and the natural
+join ``*``.  This package implements that substrate from scratch, plus the
+classical attribute-level dependency theory (Armstrong [1]) the paper lifts
+to entity types, and the normalization machinery used as a baseline.
+"""
+
+from repro.relational.relation import Tuple, Relation
+from repro.relational.algebra import (
+    project,
+    select,
+    rename,
+    natural_join,
+    join_all,
+    union,
+    difference,
+    intersection,
+    cartesian_product,
+    division,
+    semijoin,
+    is_lossless_decomposition,
+)
+from repro.relational.fd import (
+    FD,
+    holds_in,
+    violating_pairs,
+    closure,
+    implies,
+    equivalent,
+    minimal_cover,
+    candidate_keys,
+    is_superkey,
+    all_implied_fds,
+)
+from repro.relational.chase import Tableau, is_lossless, binary_lossless
+from repro.relational.jd import (
+    JoinDependency,
+    mvd_as_binary_jd,
+    spurious_tuples,
+)
+from repro.relational.mvd import (
+    MVD,
+    decomposition_mvd,
+    fd_implies_mvd,
+    swap_closure,
+    violating_swaps,
+)
+from repro.relational.armstrong_relation import (
+    two_tuple_witness,
+    witness_respects,
+    armstrong_relation,
+    satisfied_fds,
+    is_armstrong_for,
+)
+from repro.relational.normalization import (
+    bcnf_violations,
+    is_bcnf,
+    bcnf_decompose,
+    third_nf_synthesis,
+    preserves_dependencies,
+    decomposition_report,
+)
+
+__all__ = [
+    "Tuple",
+    "Relation",
+    "project",
+    "select",
+    "rename",
+    "natural_join",
+    "join_all",
+    "union",
+    "difference",
+    "intersection",
+    "cartesian_product",
+    "division",
+    "semijoin",
+    "is_lossless_decomposition",
+    "FD",
+    "holds_in",
+    "violating_pairs",
+    "closure",
+    "implies",
+    "equivalent",
+    "minimal_cover",
+    "candidate_keys",
+    "is_superkey",
+    "all_implied_fds",
+    "Tableau",
+    "JoinDependency",
+    "mvd_as_binary_jd",
+    "spurious_tuples",
+    "MVD",
+    "decomposition_mvd",
+    "fd_implies_mvd",
+    "swap_closure",
+    "violating_swaps",
+    "is_lossless",
+    "binary_lossless",
+    "two_tuple_witness",
+    "witness_respects",
+    "armstrong_relation",
+    "satisfied_fds",
+    "is_armstrong_for",
+    "bcnf_violations",
+    "is_bcnf",
+    "bcnf_decompose",
+    "third_nf_synthesis",
+    "preserves_dependencies",
+    "decomposition_report",
+]

@@ -1,0 +1,137 @@
+"""Relational algebra over :class:`~repro.relational.relation.Relation`.
+
+The paper needs two operators by name — projection ``pi`` (sections 4.1 and
+5.1) and the natural join ``*`` / ``II`` used to phrase the Extension Axiom
+(section 4.2).  The rest of the classical algebra is implemented so the
+Universal Relation baseline (windows are projections of a join) and the
+normalization module have a complete substrate.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable, Mapping
+from functools import reduce
+
+from repro.errors import RelationError
+from repro.relational.relation import AttrName, Relation, Tuple
+
+
+def project(relation: Relation, attrs: Iterable[AttrName]) -> Relation:
+    """``pi_attrs(relation)`` — duplicate-eliminating projection."""
+    wanted = frozenset(attrs)
+    missing = wanted - relation.schema
+    if missing:
+        raise RelationError(f"projection on absent attributes: {sorted(missing)}")
+    return Relation(wanted, (t.project(wanted) for t in relation.tuples))
+
+
+def select(relation: Relation, predicate: Callable[[Tuple], bool]) -> Relation:
+    """``sigma_predicate(relation)`` — keep tuples satisfying the predicate."""
+    return Relation(relation.schema, (t for t in relation.tuples if predicate(t)))
+
+
+def rename(relation: Relation, renaming: Mapping[AttrName, AttrName]) -> Relation:
+    """``rho`` — rename attributes; unmentioned attributes are kept."""
+    new_schema = {renaming.get(a, a) for a in relation.schema}
+    if len(new_schema) != len(relation.schema):
+        raise RelationError("renaming collapses two attributes into one")
+    return Relation(new_schema, (t.rename(renaming) for t in relation.tuples))
+
+
+def natural_join(left: Relation, right: Relation) -> Relation:
+    """``left * right`` — the join the Extension Axiom is phrased with.
+
+    Implemented as a hash join on the shared attributes; on disjoint
+    schemas it degenerates to the cartesian product, matching the
+    classical definition.
+    """
+    shared = left.schema & right.schema
+    schema = left.schema | right.schema
+    index: dict[Tuple, list[Tuple]] = {}
+    for t in right.tuples:
+        index.setdefault(t.project(shared), []).append(t)
+    out: list[Tuple] = []
+    for t in left.tuples:
+        for match in index.get(t.project(shared), ()):
+            out.append(t.merge(match))
+    return Relation(schema, out)
+
+
+def join_all(relations: Iterable[Relation]) -> Relation:
+    """``II relations`` — the n-ary natural join (paper's big-product join).
+
+    The empty join is the zero-ary TRUE relation ``{()}``, the unit of
+    natural join.
+    """
+    relations = list(relations)
+    if not relations:
+        return Relation((), [Tuple({})])
+    return reduce(natural_join, relations)
+
+
+def union(left: Relation, right: Relation) -> Relation:
+    """Set union; schemas must agree."""
+    _require_same_schema(left, right, "union")
+    return Relation(left.schema, left.tuples | right.tuples)
+
+
+def difference(left: Relation, right: Relation) -> Relation:
+    """Set difference; schemas must agree."""
+    _require_same_schema(left, right, "difference")
+    return Relation(left.schema, left.tuples - right.tuples)
+
+
+def intersection(left: Relation, right: Relation) -> Relation:
+    """Set intersection; schemas must agree."""
+    _require_same_schema(left, right, "intersection")
+    return Relation(left.schema, left.tuples & right.tuples)
+
+
+def cartesian_product(left: Relation, right: Relation) -> Relation:
+    """Cross product; schemas must be disjoint."""
+    if left.schema & right.schema:
+        raise RelationError("cartesian product requires disjoint schemas; use natural_join")
+    return natural_join(left, right)
+
+
+def division(dividend: Relation, divisor: Relation) -> Relation:
+    """``dividend / divisor`` — tuples related to *all* divisor tuples."""
+    if not divisor.schema <= dividend.schema:
+        raise RelationError("divisor schema must be contained in dividend schema")
+    quotient_schema = dividend.schema - divisor.schema
+    candidates = project(dividend, quotient_schema)
+    keep = []
+    for t in candidates.tuples:
+        if all(t.merge(d) in dividend.tuples for d in divisor.tuples):
+            keep.append(t)
+    return Relation(quotient_schema, keep)
+
+
+def semijoin(left: Relation, right: Relation) -> Relation:
+    """Left tuples with at least one join partner on the right."""
+    shared = left.schema & right.schema
+    right_keys = {t.project(shared) for t in right.tuples}
+    return Relation(left.schema, (t for t in left.tuples if t.project(shared) in right_keys))
+
+
+def is_lossless_decomposition(relation: Relation,
+                              schemas: Iterable[Iterable[AttrName]]) -> bool:
+    """Whether projecting onto ``schemas`` and re-joining recovers ``relation``.
+
+    This is the *instance-level* lossless check used to validate the chase
+    (schema-level) test in :mod:`repro.relational.chase` and to demonstrate
+    the information loss the View Axiom is designed to prevent.
+    """
+    parts = [project(relation, s) for s in schemas]
+    covered = frozenset().union(*(p.schema for p in parts)) if parts else frozenset()
+    if covered != relation.schema:
+        raise RelationError("decomposition does not cover the schema")
+    return join_all(parts) == relation
+
+
+def _require_same_schema(left: Relation, right: Relation, op: str) -> None:
+    if left.schema != right.schema:
+        raise RelationError(
+            f"{op} requires identical schemas: "
+            f"{sorted(left.schema)} vs {sorted(right.schema)}"
+        )

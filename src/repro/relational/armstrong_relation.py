@@ -1,0 +1,96 @@
+"""Counterexample ("Armstrong") relations for completeness arguments.
+
+The paper proves its entity-level dependency system "sound and complete"
+(section 5.2).  Completeness arguments for FD systems classically rest on a
+construction: for any FD not implied by a set F, there is a *two-tuple
+relation* satisfying all of F but violating the candidate.  This module
+builds those witnesses, both at the attribute level (used by the
+:mod:`repro.core.armstrong` tests through the entity-type lift) and the full
+Armstrong relation that satisfies *exactly* the implied FDs.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.relational.fd import FD, all_implied_fds, closure, holds_in
+from repro.relational.relation import AttrName, Relation, Tuple
+
+
+def two_tuple_witness(schema: Iterable[AttrName], fds: Iterable[FD],
+                      candidate: FD) -> Relation | None:
+    """A two-tuple relation satisfying ``fds`` but violating ``candidate``.
+
+    Returns ``None`` when ``candidate`` is implied by ``fds`` (no witness
+    exists — that is exactly the soundness direction).  The construction is
+    the classical one: both tuples agree on ``closure(candidate.lhs)`` and
+    differ everywhere else.
+    """
+    schema_set = frozenset(schema)
+    fds = list(fds)
+    agree = closure(candidate.lhs, fds) & schema_set
+    if candidate.rhs <= agree:
+        return None
+    t1 = Tuple({a: 0 for a in schema_set})
+    t2 = Tuple({a: (0 if a in agree else 1) for a in schema_set})
+    return Relation(schema_set, [t1, t2])
+
+
+def witness_respects(schema: Iterable[AttrName], fds: Iterable[FD],
+                     candidate: FD) -> bool:
+    """Sanity predicate: the witness really separates ``candidate`` from ``fds``.
+
+    True when either no witness exists (candidate implied) or the witness
+    satisfies every FD in ``fds`` and falsifies ``candidate``.
+    """
+    witness = two_tuple_witness(schema, fds, candidate)
+    if witness is None:
+        return True
+    return all(holds_in(fd, witness) for fd in fds) and not holds_in(candidate, witness)
+
+
+def armstrong_relation(schema: Iterable[AttrName], fds: Iterable[FD]) -> Relation:
+    """A relation satisfying exactly the FDs implied by ``fds``.
+
+    Built by disjoint union (over fresh value ranges) of one two-tuple
+    witness per non-implied FD, plus one base tuple.  Exponential in the
+    schema size — intended for the small schemas of tests and benches.
+    """
+    schema_set = frozenset(schema)
+    fds = list(fds)
+    rows: list[Tuple] = [Tuple({a: "base" for a in schema_set})]
+    counter = 0
+    subsets: list[frozenset[AttrName]] = [frozenset()]
+    for attr in sorted(schema_set):
+        subsets += [s | {attr} for s in subsets]
+    for lhs in subsets:
+        agree = closure(lhs, fds) & schema_set
+        if agree == schema_set:
+            continue
+        # Witness that lhs does not determine the attributes outside its closure.
+        tag = f"w{counter}"
+        counter += 1
+        rows.append(Tuple({a: (f"{tag}a" if a in agree else f"{tag}x") for a in schema_set}))
+        rows.append(Tuple({a: (f"{tag}a" if a in agree else f"{tag}y") for a in schema_set}))
+    return Relation(schema_set, rows)
+
+
+def satisfied_fds(relation: Relation) -> frozenset[FD]:
+    """All single-attribute-RHS FDs holding in ``relation`` (exponential)."""
+    out: set[FD] = set()
+    schema = relation.schema
+    subsets: list[frozenset[AttrName]] = [frozenset()]
+    for attr in sorted(schema):
+        subsets += [s | {attr} for s in subsets]
+    for lhs in subsets:
+        for attr in schema:
+            fd = FD(lhs, {attr})
+            if holds_in(fd, relation):
+                out.add(fd)
+    return out
+
+
+def is_armstrong_for(relation: Relation, fds: Iterable[FD]) -> bool:
+    """Whether ``relation`` satisfies exactly the closure of ``fds``."""
+    implied = all_implied_fds(relation.schema, fds)
+    return satisfied_fds(relation) == implied

@@ -1,0 +1,165 @@
+"""Attribute-level functional dependencies and the classical Armstrong system.
+
+The paper lifts functional dependencies from attribute sets to entity types
+(section 5).  To validate that lift — and to serve as the baseline of
+ablation experiment A3 — this module implements the textbook machinery the
+paper cites from Armstrong [1]: FDs ``X -> Y`` over attribute sets, the
+attribute-set closure algorithm, implication, minimal covers, and candidate
+keys.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from itertools import combinations
+
+from repro.errors import DependencyError
+from repro.relational.relation import AttrName, Relation
+
+
+class FD:
+    """A functional dependency ``lhs -> rhs`` over attribute names."""
+
+    __slots__ = ("lhs", "rhs")
+
+    def __init__(self, lhs: Iterable[AttrName], rhs: Iterable[AttrName]):
+        self.lhs: frozenset[AttrName] = frozenset(lhs)
+        self.rhs: frozenset[AttrName] = frozenset(rhs)
+        if not self.rhs:
+            raise DependencyError("an FD needs a nonempty right-hand side")
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, FD):
+            return NotImplemented
+        return self.lhs == other.lhs and self.rhs == other.rhs
+
+    def __hash__(self) -> int:
+        return hash((self.lhs, self.rhs))
+
+    def __repr__(self) -> str:
+        left = ",".join(sorted(self.lhs)) or "{}"
+        right = ",".join(sorted(self.rhs))
+        return f"{left} -> {right}"
+
+    def is_trivial(self) -> bool:
+        """Armstrong axiom 1: an FD with ``rhs subseteq lhs`` always holds."""
+        return self.rhs <= self.lhs
+
+    def decompose(self) -> frozenset["FD"]:
+        """Split into single-attribute right-hand sides."""
+        return frozenset(FD(self.lhs, {a}) for a in self.rhs)
+
+
+def holds_in(fd: FD, relation: Relation) -> bool:
+    """Whether ``relation`` satisfies ``fd`` (the semantic definition)."""
+    if not (fd.lhs | fd.rhs) <= relation.schema:
+        raise DependencyError(
+            f"FD {fd!r} mentions attributes outside schema {sorted(relation.schema)}"
+        )
+    witness: dict = {}
+    for t in relation.tuples:
+        key = t.project(fd.lhs)
+        value = t.project(fd.rhs)
+        if key in witness and witness[key] != value:
+            return False
+        witness[key] = value
+    return True
+
+
+def violating_pairs(fd: FD, relation: Relation) -> list[tuple]:
+    """All tuple pairs witnessing a violation of ``fd`` in ``relation``."""
+    tuples = sorted(relation.tuples, key=repr)
+    out = []
+    for i, t1 in enumerate(tuples):
+        for t2 in tuples[i + 1:]:
+            if t1.project(fd.lhs) == t2.project(fd.lhs) and \
+                    t1.project(fd.rhs) != t2.project(fd.rhs):
+                out.append((t1, t2))
+    return out
+
+
+def closure(attrs: Iterable[AttrName], fds: Iterable[FD]) -> frozenset[AttrName]:
+    """The attribute-set closure ``attrs+`` under ``fds`` (linear-ish loop)."""
+    result = set(attrs)
+    fds = list(fds)
+    changed = True
+    while changed:
+        changed = False
+        for fd in fds:
+            if fd.lhs <= result and not fd.rhs <= result:
+                result |= fd.rhs
+                changed = True
+    return frozenset(result)
+
+
+def implies(fds: Iterable[FD], candidate: FD) -> bool:
+    """Whether ``fds |= candidate`` (via the closure test)."""
+    return candidate.rhs <= closure(candidate.lhs, fds)
+
+
+def equivalent(first: Iterable[FD], second: Iterable[FD]) -> bool:
+    """Whether two FD sets imply each other."""
+    first, second = list(first), list(second)
+    return all(implies(second, fd) for fd in first) and \
+        all(implies(first, fd) for fd in second)
+
+
+def minimal_cover(fds: Iterable[FD]) -> frozenset[FD]:
+    """A canonical cover: singleton RHS, no redundant FDs, reduced LHS."""
+    work: set[FD] = set()
+    for fd in fds:
+        work |= fd.decompose()
+    # Reduce left-hand sides.
+    reduced: set[FD] = set()
+    for fd in sorted(work, key=repr):
+        lhs = set(fd.lhs)
+        for attr in sorted(fd.lhs):
+            if len(lhs) > 1 and fd.rhs <= closure(lhs - {attr}, work):
+                lhs.discard(attr)
+        reduced.add(FD(lhs, fd.rhs))
+    # Remove redundant FDs.
+    final = set(reduced)
+    for fd in sorted(reduced, key=repr):
+        if fd in final and implies(final - {fd}, fd):
+            final.discard(fd)
+    return frozenset(final)
+
+
+def candidate_keys(schema: Iterable[AttrName], fds: Iterable[FD]) -> frozenset[frozenset[AttrName]]:
+    """All minimal attribute sets whose closure is the full schema."""
+    schema_set = frozenset(schema)
+    fds = list(fds)
+    keys: list[frozenset[AttrName]] = []
+    for size in range(len(schema_set) + 1):
+        for combo in combinations(sorted(schema_set), size):
+            candidate = frozenset(combo)
+            if any(key <= candidate for key in keys):
+                continue
+            if closure(candidate, fds) == schema_set:
+                keys.append(candidate)
+    return frozenset(keys)
+
+
+def is_superkey(attrs: Iterable[AttrName], schema: Iterable[AttrName],
+                fds: Iterable[FD]) -> bool:
+    """Whether ``attrs`` functionally determines the whole schema."""
+    return frozenset(schema) <= closure(attrs, fds)
+
+
+def all_implied_fds(schema: Iterable[AttrName], fds: Iterable[FD]) -> frozenset[FD]:
+    """Every implied single-attribute-RHS FD over ``schema`` (exponential).
+
+    Useful only for small schemas in tests; the closure test should be
+    preferred for single questions.
+    """
+    schema_set = frozenset(schema)
+    fds = list(fds)
+    out: set[FD] = set()
+    subsets: list[frozenset[AttrName]] = [frozenset()]
+    for attr in sorted(schema_set):
+        subsets += [s | {attr} for s in subsets]
+    for lhs in subsets:
+        lhs_closure = closure(lhs, fds)
+        for attr in lhs_closure:
+            out.add(FD(lhs, {attr}))
+    return frozenset(out)

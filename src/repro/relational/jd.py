@@ -1,0 +1,89 @@
+"""Join dependencies (the third constraint family of section 6).
+
+A join dependency ``JD[R1, ..., Rn]`` holds in ``R`` when joining the
+projections onto the component schemas reconstructs ``R`` exactly.  MVDs
+are the binary case (Fagin); the chase of
+:mod:`repro.relational.chase` decides the schema-level question for the
+FD-implied fragment.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.errors import DependencyError
+from repro.relational.algebra import join_all, project
+from repro.relational.mvd import MVD
+from repro.relational.relation import AttrName, Relation
+
+
+class JoinDependency:
+    """``JD[components]`` over a universe of attributes."""
+
+    __slots__ = ("components", "universe")
+
+    def __init__(self, components: Iterable[Iterable[AttrName]],
+                 universe: Iterable[AttrName]):
+        self.components: tuple[frozenset[AttrName], ...] = tuple(
+            sorted({frozenset(c) for c in components}, key=sorted)
+        )
+        self.universe = frozenset(universe)
+        if not self.components:
+            raise DependencyError("a join dependency needs at least one component")
+        covered = frozenset().union(*self.components)
+        if covered != self.universe:
+            raise DependencyError(
+                f"components cover {sorted(covered)}, not the universe "
+                f"{sorted(self.universe)}"
+            )
+
+    def is_trivial(self) -> bool:
+        """Trivial when some component is the whole universe."""
+        return any(c == self.universe for c in self.components)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, JoinDependency):
+            return NotImplemented
+        return (self.components, self.universe) == (other.components, other.universe)
+
+    def __hash__(self) -> int:
+        return hash((JoinDependency, self.components, self.universe))
+
+    def __repr__(self) -> str:
+        inner = ", ".join("{" + ",".join(sorted(c)) + "}" for c in self.components)
+        return f"JD[{inner}]"
+
+
+def holds_in(jd: JoinDependency, relation: Relation) -> bool:
+    """Whether joining the projections reconstructs the relation."""
+    if relation.schema != jd.universe:
+        raise DependencyError(
+            f"JD universe {sorted(jd.universe)} does not match the relation "
+            f"schema {sorted(relation.schema)}"
+        )
+    joined = join_all(project(relation, c) for c in jd.components)
+    return joined == relation
+
+
+def spurious_tuples(jd: JoinDependency, relation: Relation) -> Relation:
+    """The tuples the join manufactures beyond ``relation`` (the witness).
+
+    The reconstruction can only ever *add* tuples, so a nonempty result is
+    exactly a violation.
+    """
+    if relation.schema != jd.universe:
+        raise DependencyError("JD universe does not match the relation schema")
+    joined = join_all(project(relation, c) for c in jd.components)
+    return Relation(jd.universe, joined.tuples - relation.tuples)
+
+
+def mvd_as_binary_jd(mvd: MVD) -> JoinDependency:
+    """Fagin's correspondence: ``X ->> Y`` is ``JD[XY, X(U-Y)]``.
+
+    Tests confirm the two verdicts coincide on random instances, closing
+    the section-6 triangle FD < MVD < JD (< domain constraint).
+    """
+    return JoinDependency(
+        [mvd.lhs | mvd.rhs, mvd.lhs | mvd.complement_attrs],
+        mvd.universe,
+    )

@@ -1,0 +1,67 @@
+"""Finite-topology substrate for the intension/extension model.
+
+The paper builds its semantic model on three topological ingredients:
+subbase-generated topologies (section 3.1), the Alexandrov correspondence
+between finite spaces and ISA preorders (sections 3.1-3.2), and
+presheaf-style families of extension mappings (sections 4 and 6).  This
+package implements each of them for arbitrary finite carriers.
+"""
+
+from repro.topology.space import FiniteSpace
+from repro.topology.generation import (
+    intersections_of,
+    unions_of,
+    topology_from_subbase,
+    topology_from_base,
+    is_base_for,
+    is_subbase_for,
+    minimal_base,
+    redundant_in_subbase,
+    irredundant_subbases,
+)
+from repro.topology.order import (
+    specialisation_preorder,
+    alexandrov_space,
+    is_preorder,
+    hasse_edges,
+    topological_sort,
+    t0_quotient,
+)
+from repro.topology.maps import SpaceMap, identity_map, constant_map, monotone_iff_continuous
+from repro.topology.separation import is_t0, is_t1, is_t2, is_discrete, indistinguishable_pairs
+from repro.topology.constructions import subspace, product, disjoint_union, quotient
+from repro.topology.presheaf import Presheaf, presheaf_from_function
+
+__all__ = [
+    "FiniteSpace",
+    "intersections_of",
+    "unions_of",
+    "topology_from_subbase",
+    "topology_from_base",
+    "is_base_for",
+    "is_subbase_for",
+    "minimal_base",
+    "redundant_in_subbase",
+    "irredundant_subbases",
+    "specialisation_preorder",
+    "alexandrov_space",
+    "is_preorder",
+    "hasse_edges",
+    "topological_sort",
+    "t0_quotient",
+    "SpaceMap",
+    "identity_map",
+    "constant_map",
+    "monotone_iff_continuous",
+    "is_t0",
+    "is_t1",
+    "is_t2",
+    "is_discrete",
+    "indistinguishable_pairs",
+    "subspace",
+    "product",
+    "disjoint_union",
+    "quotient",
+    "Presheaf",
+    "presheaf_from_function",
+]

@@ -1,0 +1,69 @@
+"""Standard constructions: subspace, product, disjoint sum, quotient.
+
+The paper's extension space (section 4) is carved out of product spaces of
+attribute domains, and view types (section 2) induce subspaces of the
+intension topology; these constructions make those moves available
+generically.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable, Mapping
+from itertools import product as iter_product
+
+from repro.errors import TopologyError
+from repro.topology.space import FiniteSpace
+
+Point = Hashable
+
+
+def subspace(space: FiniteSpace, points: Iterable[Point]) -> FiniteSpace:
+    """The subspace topology on ``points``: opens are traces of opens."""
+    carrier = frozenset(points)
+    if not carrier <= space.points:
+        stray = sorted(map(repr, carrier - space.points))
+        raise TopologyError(f"subspace points not in carrier: {stray}")
+    opens = frozenset(u & carrier for u in space.opens)
+    return FiniteSpace(carrier, opens)
+
+
+def product(left: FiniteSpace, right: FiniteSpace) -> FiniteSpace:
+    """The product topology on pairs (base: products of opens)."""
+    points = frozenset(iter_product(left.points, right.points))
+    base = [frozenset(iter_product(u, v)) for u in left.opens for v in right.opens]
+    from repro.topology.generation import unions_of
+
+    return FiniteSpace(points, unions_of(base) | {points})
+
+
+def disjoint_union(left: FiniteSpace, right: FiniteSpace) -> FiniteSpace:
+    """The coproduct: points tagged 0/1, opens are unions of tagged opens."""
+    points = frozenset({(0, p) for p in left.points} | {(1, p) for p in right.points})
+    opens = frozenset(
+        frozenset({(0, p) for p in u} | {(1, q) for q in v})
+        for u in left.opens
+        for v in right.opens
+    )
+    return FiniteSpace(points, opens)
+
+
+def quotient(space: FiniteSpace, blocks: Mapping[Point, Hashable]) -> FiniteSpace:
+    """The quotient topology under the partition described by ``blocks``.
+
+    ``blocks[p]`` names the equivalence class of ``p``; a set of classes is
+    open iff its preimage is open.
+    """
+    missing = space.points - frozenset(blocks)
+    if missing:
+        raise TopologyError(f"quotient map undefined on: {sorted(map(repr, missing))}")
+    classes = frozenset(blocks[p] for p in space.points)
+    opens: set[frozenset[Hashable]] = set()
+    # Enumerate candidate open sets of classes by checking preimages.
+    candidates: list[frozenset[Hashable]] = [frozenset()]
+    for cls in sorted(classes, key=repr):
+        candidates += [c | {cls} for c in candidates]
+    for candidate in candidates:
+        preimage = frozenset(p for p in space.points if blocks[p] in candidate)
+        if space.is_open(preimage):
+            opens.add(candidate)
+    return FiniteSpace(classes, opens)

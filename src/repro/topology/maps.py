@@ -1,0 +1,135 @@
+"""Maps between finite topological spaces.
+
+Section 4 of the paper describes the relation between database intension
+and extension as "an injective mapping between two topological spaces";
+section 6 announces a sheaf-theoretic study of continuity under schema
+updates.  This module supplies the required machinery: continuity, openness,
+embeddings and homeomorphisms for concrete (dict-backed) maps.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Mapping
+
+from repro.errors import TopologyError
+from repro.topology.space import FiniteSpace
+
+Point = Hashable
+
+
+class SpaceMap:
+    """A function between the carriers of two finite spaces.
+
+    Parameters
+    ----------
+    source, target:
+        The spaces between which the map runs.
+    mapping:
+        A dict assigning a target point to every source point.
+    """
+
+    __slots__ = ("source", "target", "mapping")
+
+    def __init__(self, source: FiniteSpace, target: FiniteSpace,
+                 mapping: Mapping[Point, Point]):
+        missing = source.points - frozenset(mapping)
+        if missing:
+            raise TopologyError(f"map undefined on points: {sorted(map(repr, missing))}")
+        stray = {mapping[p] for p in source.points} - target.points
+        if stray:
+            raise TopologyError(f"map hits points outside target: {sorted(map(repr, stray))}")
+        self.source = source
+        self.target = target
+        self.mapping = {p: mapping[p] for p in source.points}
+
+    def __call__(self, point: Point) -> Point:
+        return self.mapping[point]
+
+    def image(self, subset=None) -> frozenset[Point]:
+        """The image of ``subset`` (default: the whole source carrier)."""
+        pts = self.source.points if subset is None else frozenset(subset)
+        return frozenset(self.mapping[p] for p in pts if p in self.mapping)
+
+    def preimage(self, subset) -> frozenset[Point]:
+        """The preimage of a set of target points."""
+        target_set = frozenset(subset)
+        return frozenset(p for p in self.source.points if self.mapping[p] in target_set)
+
+    # ------------------------------------------------------------------
+    # structural properties
+    # ------------------------------------------------------------------
+    def is_injective(self) -> bool:
+        return len(self.image()) == len(self.source.points)
+
+    def is_surjective(self) -> bool:
+        return self.image() == self.target.points
+
+    def is_bijective(self) -> bool:
+        return self.is_injective() and self.is_surjective()
+
+    def is_continuous(self) -> bool:
+        """Preimages of opens are open."""
+        return all(self.source.is_open(self.preimage(u)) for u in self.target.opens)
+
+    def is_open_map(self) -> bool:
+        """Images of opens are open."""
+        return all(self.target.is_open(self.image(u)) for u in self.source.opens)
+
+    def is_embedding(self) -> bool:
+        """Injective, continuous, and a homeomorphism onto its image.
+
+        This is the property the paper requires of the intension-to-
+        extension mapping: the source structure is preserved exactly
+        inside the target.
+        """
+        if not (self.is_injective() and self.is_continuous()):
+            return False
+        from repro.topology.constructions import subspace
+
+        img_space = subspace(self.target, self.image())
+        inverse = {self.mapping[p]: p for p in self.source.points}
+        return SpaceMap(img_space, self.source, inverse).is_continuous()
+
+    def is_homeomorphism(self) -> bool:
+        """Bijective, continuous, with a continuous inverse."""
+        if not self.is_bijective() or not self.is_continuous():
+            return False
+        inverse = {v: k for k, v in self.mapping.items()}
+        return SpaceMap(self.target, self.source, inverse).is_continuous()
+
+    def compose(self, other: "SpaceMap") -> "SpaceMap":
+        """``self after other``: first ``other``, then ``self``."""
+        if other.target is not self.source and other.target != self.source:
+            raise TopologyError("composition mismatch: other.target != self.source")
+        return SpaceMap(other.source, self.target,
+                        {p: self.mapping[other.mapping[p]] for p in other.source.points})
+
+
+def identity_map(space: FiniteSpace) -> SpaceMap:
+    """The identity map on a space (always a homeomorphism)."""
+    return SpaceMap(space, space, {p: p for p in space.points})
+
+
+def constant_map(source: FiniteSpace, target: FiniteSpace, value: Point) -> SpaceMap:
+    """The map sending every source point to ``value`` (always continuous)."""
+    return SpaceMap(source, target, {p: value for p in source.points})
+
+
+def monotone_iff_continuous(f: SpaceMap) -> bool:
+    """Check the Alexandrov equivalence: continuity == order preservation.
+
+    For finite spaces, ``f`` is continuous iff it is monotone for the
+    specialisation preorders.  Returning True means the two verdicts agree
+    (whether both positive or both negative); this backs the paper's free
+    interchange between ISA-hierarchy language and topology language.
+    """
+    from repro.topology.order import specialisation_preorder
+
+    up_src = specialisation_preorder(f.source)
+    up_tgt = specialisation_preorder(f.target)
+    monotone = all(
+        f(y) in up_tgt[f(x)]
+        for x in f.source.points
+        for y in up_src[x]
+    )
+    return monotone == f.is_continuous()

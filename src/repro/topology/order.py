@@ -1,0 +1,155 @@
+"""The Alexandrov correspondence between finite spaces and preorders.
+
+Every finite topological space determines a *specialisation preorder*
+``x <= y  iff  x in closure({y})`` (equivalently: every open containing x
+contains y ... orientation fixed below), and every preorder determines an
+Alexandrov topology whose opens are the up-sets.  The two constructions are
+mutually inverse on finite carriers.
+
+This correspondence is the mathematical heart of the paper: the ISA
+(generalisation/specialisation) hierarchy over entity types *is* the
+specialisation preorder of the intension topology, and proper subset
+hierarchies in the family ``L`` are exactly the strict order relations.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable, Mapping
+
+from repro.topology.space import FiniteSpace
+
+Point = Hashable
+
+
+def specialisation_preorder(space: FiniteSpace) -> dict[Point, frozenset[Point]]:
+    """Map each point to the set of points it is below.
+
+    We orient the preorder as ``x <= y  iff  x in minimal_open(y)``:
+    x belongs to every open neighbourhood of y.  In the paper's
+    specialisation topology, ``f <= e`` therefore means ``f in S_e``, i.e.
+    f is a specialisation of e.
+
+    Returns
+    -------
+    dict
+        ``up[x]`` is ``{y | x <= y}`` — the points whose every
+        neighbourhood contains ``x``.
+    """
+    up: dict[Point, frozenset[Point]] = {}
+    for x in space.points:
+        up[x] = frozenset(y for y in space.points if x in space.minimal_open(y))
+    return up
+
+
+def alexandrov_space(points: Iterable[Point],
+                     up: Mapping[Point, Iterable[Point]]) -> FiniteSpace:
+    """The Alexandrov topology of a preorder.
+
+    ``up[x]`` must list the points ``y`` with ``x <= y`` (including x
+    itself).  Opens are the down-closed sets under ``<=`` read as
+    "x below y"; equivalently, a set ``U`` is open iff whenever ``y in U``
+    and ``x <= y`` then ... we take the convention matching
+    :func:`specialisation_preorder`: ``U`` is open iff for every ``y in U``
+    all ``x`` with ``x <= y`` are in ``U`` — i.e. opens are down-sets,
+    and ``minimal_open(y) = {x | x <= y}``.
+    """
+    pts = frozenset(points)
+    below: dict[Point, set[Point]] = {p: set() for p in pts}
+    for x, ys in up.items():
+        for y in ys:
+            below[y].add(x)
+    for p in pts:
+        below[p].add(p)
+
+    minimal_opens = {p: frozenset(below[p]) for p in pts}
+    from repro.topology.generation import unions_of
+
+    opens = unions_of(minimal_opens.values()) | {pts}
+    return FiniteSpace(pts, opens)
+
+
+def is_preorder(points: Iterable[Point], up: Mapping[Point, Iterable[Point]]) -> bool:
+    """Whether ``up`` encodes a reflexive, transitive relation on ``points``."""
+    pts = frozenset(points)
+    rel = {p: frozenset(up.get(p, ())) & pts for p in pts}
+    for p in pts:
+        if p not in rel[p]:
+            return False
+    for x in pts:
+        for y in rel[x]:
+            if not rel[y] <= rel[x]:
+                return False
+    return True
+
+
+def hasse_edges(points: Iterable[Point],
+                up: Mapping[Point, Iterable[Point]]) -> frozenset[tuple[Point, Point]]:
+    """The covering relation of a partial order given as up-sets.
+
+    An edge ``(x, y)`` means ``x < y`` with no ``z`` strictly between.
+    These edges are the arrows of the paper's ISA diagrams (child ISA
+    parent, e.g. ``manager -> employee``).
+    """
+    pts = frozenset(points)
+    strict: dict[Point, frozenset[Point]] = {
+        p: frozenset(q for q in up.get(p, ()) if q != p and q in pts) for p in pts
+    }
+    edges: set[tuple[Point, Point]] = set()
+    for x in pts:
+        for y in strict[x]:
+            if not any(y in strict[z] for z in strict[x] if z != y):
+                edges.add((x, y))
+    return frozenset(edges)
+
+
+def topological_sort(points: Iterable[Point],
+                     up: Mapping[Point, Iterable[Point]]) -> list[Point]:
+    """A linear extension of the order: below-points come first.
+
+    Deterministic (ties broken by ``repr``) so renders are stable.
+    """
+    pts = frozenset(points)
+    remaining = {p: {q for q in up.get(p, ()) if q != p and q in pts} for p in pts}
+    result: list[Point] = []
+    while remaining:
+        ready = sorted((p for p, above in remaining.items() if not above), key=repr)
+        if not ready:
+            raise ValueError("relation is cyclic; not a partial order")
+        for p in reversed(ready):
+            result.append(p)
+            del remaining[p]
+        for above in remaining.values():
+            above.difference_update(ready)
+    result.reverse()
+    return result
+
+
+def is_t0(space: FiniteSpace) -> bool:
+    """T0 separation: distinct points have distinct neighbourhood systems.
+
+    The Entity Type Axiom makes the specialisation topology T0: two entity
+    types with the same attribute set (hence the same minimal open) are
+    forbidden.  This predicate lets tests state the connection directly.
+    """
+    minimal = [space.minimal_open(p) for p in sorted(space.points, key=repr)]
+    return len(set(minimal)) == len(minimal)
+
+
+def t0_quotient(space: FiniteSpace) -> tuple[FiniteSpace, dict[Point, frozenset[Point]]]:
+    """Identify topologically indistinguishable points.
+
+    Returns the quotient space (points are frozensets of identified
+    originals) and the projection map.  Applied to a schema violating the
+    Entity Type Axiom, the quotient classes are exactly the synonym groups
+    the paper says should be merged.
+    """
+    classes: dict[frozenset[Point], set[Point]] = {}
+    for p in space.points:
+        key = space.minimal_open(p)
+        classes.setdefault(key, set()).add(p)
+    blocks = {p: frozenset(members) for members in classes.values() for p in members}
+    new_points = frozenset(blocks.values())
+    new_opens = frozenset(
+        frozenset(blocks[p] for p in u) for u in space.opens
+    )
+    return FiniteSpace(new_points, new_opens), blocks

@@ -1,0 +1,188 @@
+"""Presheaves on finite topological spaces.
+
+Section 6 of the paper announces: "we use sheaf theory to study the
+continuity problems in databases, i.e. updates of both intension and
+extension".  The machinery of section 4 — extension sets ``E_e(s)`` indexed
+by entity types together with restriction maps ``rho(h, f, e)`` satisfying
+
+    rho(f, e, e) o rho(h, f, e) = rho(h, e, e)          (corollary b)
+
+— is exactly a presheaf on the specialisation topology.  This module gives
+the generic notion so that :mod:`repro.core.mappings` can *construct* that
+presheaf and tests can verify the functor laws independently.
+
+A presheaf ``F`` assigns to every open set ``U`` a set ``F(U)`` of
+*sections* and to every inclusion ``V subseteq U`` a restriction map
+``res[U, V] : F(U) -> F(V)`` such that restriction along ``U = U`` is the
+identity and restrictions compose.  A presheaf is a *sheaf* when compatible
+sections over a cover glue uniquely.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Hashable, Iterable, Mapping
+
+from repro.errors import PresheafError
+from repro.topology.space import FiniteSpace
+
+Point = Hashable
+Open = frozenset
+
+
+class Presheaf:
+    """A presheaf of finite sets on a finite space.
+
+    Parameters
+    ----------
+    space:
+        The base space.
+    sections:
+        ``sections[U]`` is the (finite, hashable-element) set assigned to
+        the open set ``U``.  Every open of ``space`` must be covered.
+    restrictions:
+        ``restrictions[(U, V)]`` for ``V subseteq U`` maps elements of
+        ``sections[U]`` to elements of ``sections[V]``.  Only pairs with
+        ``V != U`` need be supplied; identities are filled in.  Missing
+        composable pairs are completed by composition when unambiguous.
+    """
+
+    def __init__(self,
+                 space: FiniteSpace,
+                 sections: Mapping[Open, Iterable],
+                 restrictions: Mapping[tuple[Open, Open], Mapping]):
+        self.space = space
+        self.sections: dict[Open, frozenset] = {}
+        for u in space.opens:
+            if u not in sections:
+                raise PresheafError(f"no section set supplied for open {set(u)}")
+            self.sections[u] = frozenset(sections[u])
+        self.restrictions: dict[tuple[Open, Open], dict] = {}
+        for (u, v), res in restrictions.items():
+            u, v = frozenset(u), frozenset(v)
+            if not v <= u:
+                raise PresheafError(f"restriction {set(u)} -> {set(v)} is not along an inclusion")
+            self.restrictions[(u, v)] = dict(res)
+        for u in space.opens:
+            self.restrictions.setdefault((u, u), {s: s for s in self.sections[u]})
+
+    # ------------------------------------------------------------------
+    # law checking
+    # ------------------------------------------------------------------
+    def check_functor_laws(self) -> list[str]:
+        """Return human-readable violations of the presheaf laws (empty = ok).
+
+        Checks: restriction maps are total and land in the right set;
+        identity restrictions are identities; restriction composes along
+        chains ``W subseteq V subseteq U`` whenever all three maps exist.
+        """
+        problems: list[str] = []
+        for (u, v), res in self.restrictions.items():
+            for s in self.sections[u]:
+                if s not in res:
+                    problems.append(f"res[{set(u)}->{set(v)}] undefined on {s!r}")
+                elif res[s] not in self.sections[v]:
+                    problems.append(f"res[{set(u)}->{set(v)}]({s!r}) lands outside F(V)")
+        for u in self.space.opens:
+            identity = self.restrictions.get((u, u), {})
+            for s in self.sections[u]:
+                if identity.get(s) != s:
+                    problems.append(f"identity restriction on {set(u)} moves {s!r}")
+        pairs = set(self.restrictions)
+        for (u, v) in pairs:
+            for (v2, w) in pairs:
+                if v2 != v or (u, w) not in pairs or u == v or v == w:
+                    continue
+                outer = self.restrictions[(v, w)]
+                inner = self.restrictions[(u, v)]
+                direct = self.restrictions[(u, w)]
+                for s in self.sections[u]:
+                    via = outer.get(inner.get(s))
+                    if via != direct.get(s):
+                        problems.append(
+                            f"composition fails on {s!r}: "
+                            f"{set(u)}->{set(v)}->{set(w)} gives {via!r}, "
+                            f"direct gives {direct.get(s)!r}"
+                        )
+        return problems
+
+    def is_presheaf(self) -> bool:
+        """Whether all functor laws hold."""
+        return not self.check_functor_laws()
+
+    # ------------------------------------------------------------------
+    # sheaf condition
+    # ------------------------------------------------------------------
+    def restrict(self, u: Open, v: Open, section):
+        """Apply the restriction map F(U) -> F(V) to a section."""
+        key = (frozenset(u), frozenset(v))
+        if key not in self.restrictions:
+            raise PresheafError(f"no restriction map {set(u)} -> {set(v)}")
+        return self.restrictions[key][section]
+
+    def compatible_families(self, cover: list[Open]) -> list[dict[Open, object]]:
+        """All cover-indexed section families agreeing on overlaps.
+
+        Compatibility is checked through every common open subset ``W`` of
+        a pair of cover members for which both restriction maps exist.
+        """
+        cover = [frozenset(u) for u in cover]
+        families: list[dict[Open, object]] = [{}]
+        for u in cover:
+            families = [{**f, u: s} for f in families for s in self.sections[u]]
+        compatible: list[dict[Open, object]] = []
+        for family in families:
+            ok = True
+            for i, u in enumerate(cover):
+                for v in cover[i + 1:]:
+                    for w in self.space.opens:
+                        if not (w <= u and w <= v):
+                            continue
+                        if (u, w) in self.restrictions and (v, w) in self.restrictions:
+                            if self.restrict(u, w, family[u]) != self.restrict(v, w, family[v]):
+                                ok = False
+                                break
+                    if not ok:
+                        break
+                if not ok:
+                    break
+            if ok:
+                compatible.append(family)
+        return compatible
+
+    def gluing_failures(self, u: Open, cover: list[Open]) -> list[str]:
+        """Violations of the sheaf condition for ``u`` and an open cover of it.
+
+        For every compatible family there must exist exactly one section of
+        ``F(U)`` restricting to it.  Returns one message per failure.
+        """
+        u = frozenset(u)
+        cover = [frozenset(v) for v in cover]
+        if frozenset().union(*cover) != u:
+            raise PresheafError("the supplied family does not cover U")
+        for v in cover:
+            if (u, v) not in self.restrictions:
+                raise PresheafError(f"no restriction map {set(u)} -> {set(v)}")
+        problems: list[str] = []
+        for family in self.compatible_families(cover):
+            gluings = [
+                s for s in self.sections[u]
+                if all(self.restrict(u, v, s) == family[v] for v in cover)
+            ]
+            if not gluings:
+                problems.append(f"no gluing for compatible family {family!r}")
+            elif len(gluings) > 1:
+                problems.append(f"non-unique gluing for family {family!r}: {gluings!r}")
+        return problems
+
+
+def presheaf_from_function(space: FiniteSpace,
+                           assign: Callable[[Open], Iterable],
+                           restrict: Callable[[Open, Open, object], object]) -> Presheaf:
+    """Build a presheaf from callables (convenience for generated spaces)."""
+    sections = {u: frozenset(assign(u)) for u in space.opens}
+    restrictions: dict[tuple[Open, Open], dict] = {}
+    for u in space.opens:
+        for v in space.opens:
+            if v <= u:
+                restrictions[(u, v)] = {s: restrict(u, v, s) for s in sections[u]}
+    return Presheaf(space, sections, restrictions)

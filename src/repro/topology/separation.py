@@ -1,0 +1,66 @@
+"""Separation properties of finite spaces.
+
+Finite spaces are coarse: T1 already forces discreteness.  The interesting
+axiom for the paper is T0 — the Entity Type Axiom is precisely the statement
+that the intension topology is T0 (no two entity types share all their
+neighbourhoods).  The remaining predicates are provided for completeness of
+the substrate and for property tests.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable
+
+from repro.topology.space import FiniteSpace
+
+Point = Hashable
+
+
+def is_t0(space: FiniteSpace) -> bool:
+    """Kolmogorov: distinct points are topologically distinguishable."""
+    points = sorted(space.points, key=repr)
+    for i, x in enumerate(points):
+        for y in points[i + 1:]:
+            x_open = space.minimal_open(x)
+            y_open = space.minimal_open(y)
+            if x_open == y_open:
+                return False
+    return True
+
+
+def is_t1(space: FiniteSpace) -> bool:
+    """Frechet: every singleton is closed."""
+    return all(space.is_closed({p}) for p in space.points)
+
+
+def is_t2(space: FiniteSpace) -> bool:
+    """Hausdorff: distinct points have disjoint open neighbourhoods."""
+    points = sorted(space.points, key=repr)
+    for i, x in enumerate(points):
+        for y in points[i + 1:]:
+            if space.minimal_open(x) & space.minimal_open(y):
+                return False
+    return True
+
+
+def is_discrete(space: FiniteSpace) -> bool:
+    """Every subset open — for finite spaces, equivalent to T1 (and T2)."""
+    return len(space.opens) == 2 ** len(space.points)
+
+
+def indistinguishable_pairs(space: FiniteSpace) -> frozenset[frozenset[Point]]:
+    """Pairs of points with identical neighbourhood systems.
+
+    Applied to an intension topology these are exactly the synonym entity
+    types the Entity Type Axiom bans; the design procedure of section 2
+    reports them for merging.
+    """
+    by_open: dict[frozenset[Point], list[Point]] = {}
+    for p in space.points:
+        by_open.setdefault(space.minimal_open(p), []).append(p)
+    pairs: set[frozenset[Point]] = set()
+    for members in by_open.values():
+        for i, x in enumerate(members):
+            for y in members[i + 1:]:
+                pairs.add(frozenset({x, y}))
+    return frozenset(pairs)

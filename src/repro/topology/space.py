@@ -1,0 +1,260 @@
+"""Finite topological spaces.
+
+The paper models the database intension as a topology on the set of entity
+types, generated from the subbase ``{S_e | e in E}`` (section 3.1) and the
+dual subbase ``{G_e | e in E}`` (section 3.2).  This module provides the
+generic substrate: a :class:`FiniteSpace` validates the topology axioms and
+offers the standard point-set operators (closure, interior, boundary,
+neighbourhoods) specialised to finite carriers.
+
+Because the carrier is finite, every topology here is an *Alexandrov*
+topology: arbitrary intersections of opens are open, every point has a
+unique minimal open neighbourhood, and the space is equivalent to a preorder
+(see :mod:`repro.topology.order`).  The paper exploits exactly this —
+``S_e`` is the minimal open neighbourhood of ``e`` in the specialisation
+topology.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable
+from typing import FrozenSet
+
+from repro.errors import TopologyError
+
+Point = Hashable
+OpenSet = FrozenSet[Point]
+
+
+def _freeze_family(sets: Iterable[Iterable[Point]]) -> frozenset[OpenSet]:
+    """Normalise an iterable of iterables into a frozenset of frozensets."""
+    return frozenset(frozenset(s) for s in sets)
+
+
+class FiniteSpace:
+    """A finite topological space ``(X, T)``.
+
+    Parameters
+    ----------
+    points:
+        The carrier set ``X``.
+    opens:
+        The family ``T`` of open sets.  It must contain the empty set and
+        ``X`` and be closed under unions and intersections; otherwise
+        :class:`~repro.errors.TopologyError` is raised.
+
+    Examples
+    --------
+    >>> space = FiniteSpace("ab", [set(), {"a"}, {"a", "b"}])
+    >>> sorted(space.closure({"a"}))
+    ['a', 'b']
+    """
+
+    __slots__ = ("_points", "_opens", "_min_open_cache")
+
+    def __init__(self, points: Iterable[Point], opens: Iterable[Iterable[Point]]):
+        self._points: frozenset[Point] = frozenset(points)
+        self._opens: frozenset[OpenSet] = _freeze_family(opens)
+        self._min_open_cache: dict[Point, OpenSet] = {}
+        self._validate()
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def discrete(cls, points: Iterable[Point]) -> "FiniteSpace":
+        """The discrete topology: every subset is open."""
+        pts = frozenset(points)
+        return cls(pts, _powerset(pts))
+
+    @classmethod
+    def indiscrete(cls, points: Iterable[Point]) -> "FiniteSpace":
+        """The indiscrete (trivial) topology: only the empty set and X."""
+        pts = frozenset(points)
+        return cls(pts, [frozenset(), pts])
+
+    # ------------------------------------------------------------------
+    # validation
+    # ------------------------------------------------------------------
+    def _validate(self) -> None:
+        if frozenset() not in self._opens:
+            raise TopologyError("the empty set must be open")
+        if self._points not in self._opens:
+            raise TopologyError("the whole carrier must be open")
+        for u in self._opens:
+            if not u <= self._points:
+                stray = sorted(u - self._points)
+                raise TopologyError(f"open set contains points outside the carrier: {stray}")
+        # On a finite carrier it suffices to check pairwise closure.
+        opens = list(self._opens)
+        for i, u in enumerate(opens):
+            for v in opens[i + 1:]:
+                if u | v not in self._opens:
+                    raise TopologyError(f"not closed under union: {set(u)} | {set(v)}")
+                if u & v not in self._opens:
+                    raise TopologyError(f"not closed under intersection: {set(u)} & {set(v)}")
+
+    # ------------------------------------------------------------------
+    # basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def points(self) -> frozenset[Point]:
+        """The carrier set ``X``."""
+        return self._points
+
+    @property
+    def opens(self) -> frozenset[OpenSet]:
+        """The family of open sets ``T``."""
+        return self._opens
+
+    def is_open(self, subset: Iterable[Point]) -> bool:
+        """Whether ``subset`` is an open set of this space."""
+        return frozenset(subset) in self._opens
+
+    def is_closed(self, subset: Iterable[Point]) -> bool:
+        """Whether ``subset`` is closed, i.e. its complement is open."""
+        return (self._points - frozenset(subset)) in self._opens
+
+    def closed_sets(self) -> frozenset[OpenSet]:
+        """The family of all closed sets."""
+        return frozenset(self._points - u for u in self._opens)
+
+    def __contains__(self, point: Point) -> bool:
+        return point in self._points
+
+    def __len__(self) -> int:
+        return len(self._points)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, FiniteSpace):
+            return NotImplemented
+        return self._points == other._points and self._opens == other._opens
+
+    def __hash__(self) -> int:
+        return hash((self._points, self._opens))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"FiniteSpace({len(self._points)} points, {len(self._opens)} opens)"
+
+    # ------------------------------------------------------------------
+    # point-set operators
+    # ------------------------------------------------------------------
+    def interior(self, subset: Iterable[Point]) -> OpenSet:
+        """The largest open set contained in ``subset``."""
+        target = frozenset(subset) & self._points
+        best: OpenSet = frozenset()
+        for u in self._opens:
+            if u <= target and len(u) > len(best):
+                best = u
+        return best
+
+    def closure(self, subset: Iterable[Point]) -> OpenSet:
+        """The smallest closed set containing ``subset``."""
+        target = frozenset(subset) & self._points
+        best = self._points
+        for c in self.closed_sets():
+            if target <= c and len(c) < len(best):
+                best = c
+        return best
+
+    def boundary(self, subset: Iterable[Point]) -> OpenSet:
+        """closure(S) minus interior(S)."""
+        return self.closure(subset) - self.interior(subset)
+
+    def exterior(self, subset: Iterable[Point]) -> OpenSet:
+        """The interior of the complement of ``subset``."""
+        return self.interior(self._points - frozenset(subset))
+
+    def is_dense(self, subset: Iterable[Point]) -> bool:
+        """Whether the closure of ``subset`` is the whole space."""
+        return self.closure(subset) == self._points
+
+    # ------------------------------------------------------------------
+    # neighbourhoods (the Alexandrov structure the paper relies on)
+    # ------------------------------------------------------------------
+    def minimal_open(self, point: Point) -> OpenSet:
+        """The smallest open set containing ``point``.
+
+        In the specialisation topology of the paper this is exactly
+        ``S_e``; in the generalisation topology it is ``G_e``.  Finite
+        spaces always have minimal opens because the intersection of all
+        open neighbourhoods is a finite intersection.
+        """
+        if point not in self._points:
+            raise TopologyError(f"{point!r} is not a point of the space")
+        cached = self._min_open_cache.get(point)
+        if cached is not None:
+            return cached
+        result = self._points
+        for u in self._opens:
+            if point in u and len(u) < len(result):
+                result = u
+        self._min_open_cache[point] = result
+        return result
+
+    def neighbourhoods(self, point: Point) -> frozenset[OpenSet]:
+        """All open sets containing ``point``."""
+        if point not in self._points:
+            raise TopologyError(f"{point!r} is not a point of the space")
+        return frozenset(u for u in self._opens if point in u)
+
+    def is_open_cover(self, family: Iterable[Iterable[Point]]) -> bool:
+        """Whether ``family`` consists of opens whose union is the carrier.
+
+        Section 3.1 observes that ``S = {S_e}`` is an open cover of ``E``;
+        section 3.2 observes the same for ``G = {G_e}``.
+        """
+        union: set[Point] = set()
+        for member in family:
+            fs = frozenset(member)
+            if fs not in self._opens:
+                return False
+            union |= fs
+        return union == set(self._points)
+
+    # ------------------------------------------------------------------
+    # connectivity
+    # ------------------------------------------------------------------
+    def is_connected(self) -> bool:
+        """Whether the space cannot be split into two disjoint nonempty opens."""
+        for u in self._opens:
+            if u and u != self._points and (self._points - u) in self._opens:
+                return False
+        return True
+
+    def connected_components(self) -> frozenset[OpenSet]:
+        """The partition of the carrier into maximal connected subsets.
+
+        For finite (Alexandrov) spaces the components are the connected
+        components of the graph linking each point to its minimal open
+        neighbours.
+        """
+        adjacency: dict[Point, set[Point]] = {p: set() for p in self._points}
+        for p in self._points:
+            for q in self.minimal_open(p):
+                adjacency[p].add(q)
+                adjacency[q].add(p)
+        seen: set[Point] = set()
+        components: list[OpenSet] = []
+        for start in self._points:
+            if start in seen:
+                continue
+            stack = [start]
+            component: set[Point] = set()
+            while stack:
+                node = stack.pop()
+                if node in component:
+                    continue
+                component.add(node)
+                stack.extend(adjacency[node] - component)
+            seen |= component
+            components.append(frozenset(component))
+        return frozenset(components)
+
+
+def _powerset(points: frozenset[Point]) -> list[frozenset[Point]]:
+    """All subsets of ``points``.  Exponential; used for tiny carriers only."""
+    subsets: list[frozenset[Point]] = [frozenset()]
+    for p in points:
+        subsets += [s | {p} for s in subsets]
+    return subsets

@@ -1,0 +1,21 @@
+"""The Universal Relation baseline (Maier 1983) the paper argues against."""
+
+from repro.universal.ur import Placeholder, UniversalRelation, is_placeholder
+from repro.universal.view_update import (
+    ambiguity_report,
+    covering_translations,
+    deletion_translations,
+    insertion_translations,
+    window_side_effects,
+)
+
+__all__ = [
+    "Placeholder",
+    "UniversalRelation",
+    "is_placeholder",
+    "ambiguity_report",
+    "covering_translations",
+    "deletion_translations",
+    "insertion_translations",
+    "window_side_effects",
+]

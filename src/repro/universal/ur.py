@@ -1,0 +1,129 @@
+"""A minimal Universal Relation engine (the Maier baseline).
+
+The paper's introduction targets this model: "Under the Universal
+Relationship model the database is defined by a single relation.
+Consequently all actions on the database require a projection first. ...
+there is no proper separation between semantics at the intensional level
+and semantics at the extensional level.  This leads to one approach where
+Maier introduces 'placeholders': members of a set that might not be
+members of that set after all (sic)."
+
+We implement exactly the behaviour being argued against: the universal
+scheme, a weak (placeholder-padded) instance, and window functions; the
+view-update ambiguity it induces is measured in
+:mod:`repro.universal.view_update`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections.abc import Iterable
+
+from repro.errors import RelationError
+from repro.relational import Relation, Tuple, join_all, project
+
+
+class Placeholder:
+    """A Maier placeholder: a unique unknown occupying a universal slot."""
+
+    _counter = itertools.count()
+
+    __slots__ = ("ident", "attribute")
+
+    def __init__(self, attribute: str):
+        self.ident = next(Placeholder._counter)
+        self.attribute = attribute
+
+    def __repr__(self) -> str:
+        return f"_|_{self.attribute}:{self.ident}"
+
+    def __hash__(self) -> int:
+        return hash((Placeholder, self.ident))
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Placeholder) and other.ident == self.ident
+
+
+def is_placeholder(value: object) -> bool:
+    """Whether a universal-instance slot holds an unknown."""
+    return isinstance(value, Placeholder)
+
+
+class UniversalRelation:
+    """The single-relation view of a multi-relation database.
+
+    Parameters
+    ----------
+    relations:
+        The stored base relations (any schemas; their union is the
+        universal scheme U).
+    """
+
+    def __init__(self, relations: Iterable[Relation]):
+        self.relations: list[Relation] = list(relations)
+        if not self.relations:
+            raise RelationError("a universal relation needs at least one base relation")
+        self.scheme: frozenset[str] = frozenset().union(
+            *(r.schema for r in self.relations)
+        )
+
+    @classmethod
+    def from_extension(cls, db) -> "UniversalRelation":
+        """Adapt a :class:`~repro.core.extension.DatabaseExtension`."""
+        return cls(db.R(e) for e in db.schema.sorted_types())
+
+    # ------------------------------------------------------------------
+    # instances
+    # ------------------------------------------------------------------
+    def pure_join(self) -> Relation:
+        """The natural join of every base relation.
+
+        Dangling tuples vanish — the information loss the weak instance
+        exists to paper over.
+        """
+        return join_all(self.relations)
+
+    def weak_instance(self) -> Relation:
+        """One universal row per base tuple, unknowns filled with placeholders.
+
+        This is the simplest representative instance: no chase-driven
+        placeholder identification is attempted, matching the "squint a
+        little" spirit the paper quotes.
+        """
+        rows = []
+        for relation in self.relations:
+            for t in relation.tuples:
+                padded = t.as_dict()
+                for a in self.scheme - relation.schema:
+                    padded[a] = Placeholder(a)
+                rows.append(Tuple(padded))
+        return Relation(self.scheme, rows)
+
+    # ------------------------------------------------------------------
+    # window functions
+    # ------------------------------------------------------------------
+    def window(self, attrs: Iterable[str]) -> Relation:
+        """The window ``[X]``: total X-rows derivable from the instance.
+
+        A weak-instance row contributes iff it is placeholder-free on
+        every requested attribute.  Joinable combinations of base tuples
+        contribute through :meth:`pure_join` as well; the union of the two
+        sources is returned.
+        """
+        wanted = frozenset(attrs)
+        stray = wanted - self.scheme
+        if stray:
+            raise RelationError(f"window on attributes outside U: {sorted(stray)}")
+        rows = [
+            t.project(wanted)
+            for t in self.weak_instance().tuples
+            if all(not is_placeholder(t[a]) for a in wanted)
+        ]
+        joined = self.pure_join()
+        if wanted <= joined.schema:
+            rows += [t.project(wanted) for t in joined.tuples]
+        return Relation(wanted, rows)
+
+    def window_schemas(self) -> list[frozenset[str]]:
+        """The base schemas — the 'objects' a window can draw from."""
+        return [r.schema for r in self.relations]

@@ -1,0 +1,120 @@
+"""View-update ambiguity under the Universal Relation (experiment E12).
+
+The axiom model's View Axiom guarantees one translation per view update
+(:func:`repro.core.views.translation_count` is constantly 1).  Under the
+Universal Relation a user updates a *window* — a set of attributes — and
+the system must guess which base relations to touch.  This module
+enumerates the candidate translations so the ambiguity can be counted and
+compared.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+from itertools import combinations
+
+from repro.errors import RelationError
+from repro.relational import Relation, Tuple, project
+from repro.universal.ur import UniversalRelation
+
+
+def covering_translations(ur: UniversalRelation,
+                          attrs: Iterable[str]) -> list[frozenset[int]]:
+    """All minimal sets of base relations that could receive an insertion.
+
+    An insertion into window ``X`` must make the new row derivable, so the
+    chosen relations' schemas must jointly cover ``X``.  Returned as
+    index sets into ``ur.relations``; minimality is by set inclusion.
+    """
+    wanted = frozenset(attrs)
+    stray = wanted - ur.scheme
+    if stray:
+        raise RelationError(f"attributes outside the universal scheme: {sorted(stray)}")
+    schemas = ur.window_schemas()
+    indices = [i for i, s in enumerate(schemas) if s & wanted]
+    answers: list[frozenset[int]] = []
+    for size in range(1, len(indices) + 1):
+        for combo in combinations(indices, size):
+            chosen = frozenset(combo)
+            if any(prior <= chosen for prior in answers):
+                continue
+            covered = frozenset().union(*(schemas[i] for i in chosen)) & wanted
+            if covered == wanted:
+                answers.append(chosen)
+    return answers
+
+
+def insertion_translations(ur: UniversalRelation,
+                           row: Mapping) -> list[dict[int, Tuple]]:
+    """Concrete candidate translations of inserting ``row`` into its window.
+
+    Each translation maps base-relation indices to the tuples that would
+    be inserted (projections of the row; attributes the row does not
+    supply are the placeholders Maier needs).  The *length of this list*
+    is the ambiguity the View Axiom eliminates.
+    """
+    t = row if isinstance(row, Tuple) else Tuple(dict(row))
+    out: list[dict[int, Tuple]] = []
+    for cover in covering_translations(ur, t.schema):
+        translation: dict[int, Tuple] = {}
+        for i in sorted(cover):
+            schema = ur.relations[i].schema
+            known = schema & t.schema
+            values = {a: t[a] for a in known}
+            from repro.universal.ur import Placeholder
+
+            for a in schema - known:
+                values[a] = Placeholder(a)
+            translation[i] = Tuple(values)
+        out.append(translation)
+    return out
+
+
+def deletion_translations(ur: UniversalRelation,
+                          row: Mapping) -> list[dict[int, Tuple]]:
+    """Candidate translations of deleting ``row`` from its window.
+
+    The row disappears only if every derivation of it is cut; each base
+    tuple projecting onto the row is an independent candidate deletion,
+    and any hitting set of the derivations works — we return the
+    single-tuple candidates per relation, the usual source of ambiguity.
+    """
+    t = row if isinstance(row, Tuple) else Tuple(dict(row))
+    out: list[dict[int, Tuple]] = []
+    for i, relation in enumerate(ur.relations):
+        overlap = relation.schema & t.schema
+        if not overlap:
+            continue
+        for candidate in relation.tuples:
+            if candidate.project(overlap) == t.project(overlap):
+                out.append({i: candidate})
+    return out
+
+
+def ambiguity_report(ur: UniversalRelation, row: Mapping) -> dict[str, int]:
+    """Counts for E12's comparison table."""
+    return {
+        "insertion_translations": len(insertion_translations(ur, row)),
+        "deletion_translations": len(deletion_translations(ur, row)),
+    }
+
+
+def window_side_effects(ur: UniversalRelation, attrs: Iterable[str],
+                        translation: dict[int, Tuple]) -> dict[frozenset[str], Relation]:
+    """Windows whose contents change under a chosen translation.
+
+    Applying a translation touches base relations shared by many windows;
+    this measures the collateral visibility — the "semantic bonds"
+    breakage the paper attributes to unconstrained projection.
+    """
+    before = {w: ur.window(w) for w in {frozenset(attrs)} | set(map(frozenset, ur.window_schemas()))}
+    patched = list(ur.relations)
+    for i, t in translation.items():
+        patched[i] = patched[i].with_tuples([t])
+    after_ur = UniversalRelation(patched)
+    changed: dict[frozenset[str], Relation] = {}
+    for w, old in before.items():
+        new = after_ur.window(w)
+        if new != old:
+            changed[w] = new
+    return changed

@@ -1,0 +1,24 @@
+"""Deterministic text renderings of the paper's tables and figures."""
+
+from repro.viz.tables import (
+    contributor_table,
+    entity_table,
+    extension_table,
+    generalisation_table,
+    specialisation_table,
+)
+from repro.viz.venn import contributor_diagram, isa_forest, nested_regions
+from repro.viz.disks import disk_matrix, instance_cut
+
+__all__ = [
+    "contributor_table",
+    "entity_table",
+    "extension_table",
+    "generalisation_table",
+    "specialisation_table",
+    "contributor_diagram",
+    "isa_forest",
+    "nested_regions",
+    "disk_matrix",
+    "instance_cut",
+]

@@ -1,0 +1,48 @@
+"""The section-2 disk figure as a character matrix.
+
+The paper draws each attribute as a disk and each entity instance as a
+cut across the disks of its type: "Taking a single cut, as shown, results
+in an instance of an entity type."  The faithful text rendering is a
+matrix with one column per attribute disk and one row (cut) per entity
+type, marking which disks the cut crosses.
+"""
+
+from __future__ import annotations
+
+from repro.core.schema import Schema
+
+FILLED = "●"
+EMPTY = "·"
+
+
+def disk_matrix(schema: Schema) -> str:
+    """Entity-type cuts over attribute disks."""
+    attrs = sorted(schema.used_property_names())
+    name_width = max(len(e.name) for e in schema.sorted_types())
+    header = " " * (name_width + 2) + "  ".join(f"{a:^{len(a)}}" for a in attrs)
+    lines = [header]
+    for e in schema.sorted_types():
+        cells = "  ".join(
+            f"{(FILLED if a in e.attributes else EMPTY):^{len(a)}}" for a in attrs
+        )
+        lines.append(f"{e.name:<{name_width}}  {cells}")
+    return "\n".join(lines)
+
+
+def instance_cut(db, type_name: str) -> str:
+    """Render the cuts (instances) of one entity type with their values."""
+    e = db.schema[type_name]
+    attrs = sorted(e.attributes)
+    rows = sorted(db.R(e).tuples, key=repr)
+    if not rows:
+        return f"{type_name}: (no instances)"
+    widths = {
+        a: max(len(a), *(len(str(t[a])) for t in rows))
+        for a in attrs
+    }
+    header = "  ".join(f"{a:<{widths[a]}}" for a in attrs)
+    lines = [f"cuts through {type_name}:", header,
+             "  ".join("-" * widths[a] for a in attrs)]
+    for t in rows:
+        lines.append("  ".join(f"{str(t[a]):<{widths[a]}}" for a in attrs))
+    return "\n".join(lines)

@@ -1,0 +1,90 @@
+"""Text renderings of the paper's tables.
+
+The section-2 table lists each entity type with its attribute set; the
+section-3 material adds the S/G/CO columns.  Output is deterministic
+(sorted) so tests can golden-match it and benches can print it verbatim.
+"""
+
+from __future__ import annotations
+
+from repro.core.contributors import canonical_contributors
+from repro.core.generalisation import GeneralisationStructure
+from repro.core.schema import Schema
+from repro.core.specialisation import SpecialisationStructure
+
+
+def _format_rows(headers: list[str], rows: list[list[str]]) -> str:
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in rows)) if rows else len(headers[i])
+        for i in range(len(headers))
+    ]
+    fmt = "  ".join(f"{{:<{w}}}" for w in widths)
+    lines = [fmt.format(*headers), fmt.format(*("-" * w for w in widths))]
+    lines += [fmt.format(*row) for row in rows]
+    return "\n".join(lines)
+
+
+def entity_table(schema: Schema) -> str:
+    """The paper's section-2 table: entity vs attribute set.
+
+    Also prints the ``A = {...}`` and ``E = {...}`` header lines exactly
+    as the paper introduces them.
+    """
+    attrs = ", ".join(sorted(schema.used_property_names()))
+    names = ", ".join(e.name for e in schema.sorted_types())
+    rows = [
+        [e.name, "{" + ", ".join(sorted(e.attributes)) + "}"]
+        for e in schema.sorted_types()
+    ]
+    table = _format_rows(["entity", "attribute set"], rows)
+    return f"A = {{{attrs}}}\nE = {{{names}}}\n\n{table}"
+
+
+def specialisation_table(schema: Schema) -> str:
+    """``V_a`` and ``S_e`` listings for section 3.1."""
+    spec = SpecialisationStructure(schema)
+    v_rows = [
+        [f"V_{a}", "{" + ", ".join(sorted(e.name for e in schema.using(a))) + "}"]
+        for a in sorted(schema.used_property_names())
+    ]
+    s_rows = [
+        [f"S_{e.name}", "{" + ", ".join(sorted(f.name for f in spec.S(e))) + "}"]
+        for e in schema.sorted_types()
+    ]
+    return (
+        _format_rows(["usage set", "entity types"], v_rows)
+        + "\n\n"
+        + _format_rows(["specialisations", "entity types"], s_rows)
+    )
+
+
+def generalisation_table(schema: Schema) -> str:
+    """``G_e`` listings for section 3.2."""
+    gen = GeneralisationStructure(schema)
+    rows = [
+        [f"G_{e.name}", "{" + ", ".join(sorted(f.name for f in gen.G(e))) + "}"]
+        for e in schema.sorted_types()
+    ]
+    return _format_rows(["generalisations", "entity types"], rows)
+
+
+def contributor_table(schema: Schema) -> str:
+    """``CO_e`` listings for section 3.3."""
+    rows = []
+    for e in schema.sorted_types():
+        cos = canonical_contributors(schema, e)
+        shown = "{" + ", ".join(sorted(c.name for c in cos)) + "}" if cos else "(primitive)"
+        rows.append([f"CO_{e.name}", shown])
+    return _format_rows(["contributors", "entity types"], rows)
+
+
+def extension_table(db) -> str:
+    """Relation cardinalities plus consistency verdicts for a state."""
+    rows = []
+    for e in db.schema.sorted_types():
+        rows.append([e.name, str(len(db.R(e)))])
+    verdicts = (
+        f"containment: {'ok' if db.satisfies_containment() else 'VIOLATED'}\n"
+        f"extension axiom: {'ok' if db.satisfies_extension_axiom() else 'VIOLATED'}"
+    )
+    return _format_rows(["relation", "instances"], rows) + "\n\n" + verdicts

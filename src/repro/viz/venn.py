@@ -1,0 +1,81 @@
+"""The containment (Venn) diagram of section 3.1, as an ASCII hierarchy.
+
+The paper projects its disk structure onto "the more concise ven-diagram":
+nested regions showing, e.g., *manager* inside *employee* inside *person*,
+with *worksfor* straddling *employee* and *department*.  An ASCII forest
+renders the same proper-subset hierarchy; types with several direct
+generalisations (the straddlers) appear under each of them, marked.
+"""
+
+from __future__ import annotations
+
+from repro.core.contributors import canonical_contributors
+from repro.core.schema import Schema
+from repro.core.specialisation import SpecialisationStructure
+
+
+def isa_forest(schema: Schema) -> str:
+    """Render the ISA hierarchy as an indented forest.
+
+    Children are the direct specialisations; a node with several parents
+    is annotated ``(also under ...)`` after its first appearance.
+    """
+    spec = SpecialisationStructure(schema)
+    children: dict = {e: [] for e in schema}
+    for child, parent in spec.isa_hasse():
+        children[parent].append(child)
+    for kids in children.values():
+        kids.sort()
+    roots = sorted(spec.roots())
+    parents_of = {e: sorted(p for c, p in spec.isa_hasse() if c == e) for e in schema}
+
+    lines: list[str] = []
+    seen: set = set()
+
+    def walk(node, prefix: str, is_last: bool, is_root: bool) -> None:
+        connector = "" if is_root else ("`-- " if is_last else "|-- ")
+        note = ""
+        if node in seen and len(parents_of[node]) > 1:
+            others = ", ".join(p.name for p in parents_of[node])
+            note = f"  (shared: under {others})"
+        lines.append(f"{prefix}{connector}{node.name}{note}")
+        if node in seen:
+            return
+        seen.add(node)
+        kids = children[node]
+        for i, kid in enumerate(kids):
+            extension = "" if is_root else ("    " if is_last else "|   ")
+            walk(kid, prefix + extension, i == len(kids) - 1, False)
+
+    for root in roots:
+        walk(root, "", True, True)
+    return "\n".join(lines)
+
+
+def nested_regions(schema: Schema) -> str:
+    """A bracket rendering of the subset regions, one line per type.
+
+    ``manager c= employee c= person`` style chains make the "proper
+    subset hierarchies in L" readable at a glance.
+    """
+    spec = SpecialisationStructure(schema)
+    lines = []
+    for e in schema.sorted_types():
+        ups = sorted(
+            (g for g in schema if g.attributes < e.attributes),
+            key=lambda g: len(g.attributes),
+        )
+        chain = " c= ".join([e.name] + [g.name for g in reversed(ups)])
+        lines.append(chain)
+    return "\n".join(lines)
+
+
+def contributor_diagram(schema: Schema) -> str:
+    """Arrows from each compound type to its contributors (section 3.3)."""
+    lines = []
+    for e in schema.sorted_types():
+        cos = sorted(canonical_contributors(schema, e))
+        if cos:
+            targets = ", ".join(c.name for c in cos)
+            lines.append(f"{e.name} --> {targets}")
+    return "\n".join(lines)

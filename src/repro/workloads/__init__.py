@@ -1,0 +1,31 @@
+"""Workload generators: random schemas, consistent extensions, FD sets."""
+
+from repro.workloads.schemas import (
+    SHAPES,
+    random_schema,
+    schema_of_attribute_sets,
+    intersection_close,
+)
+from repro.workloads.extensions import (
+    enforce_extension_axiom,
+    inject_containment_violation,
+    inject_injectivity_violation,
+    random_extension,
+    random_tuple,
+)
+from repro.workloads.fds import all_statements, random_fd, random_premises
+
+__all__ = [
+    "SHAPES",
+    "random_schema",
+    "schema_of_attribute_sets",
+    "intersection_close",
+    "enforce_extension_axiom",
+    "inject_containment_violation",
+    "inject_injectivity_violation",
+    "random_extension",
+    "random_tuple",
+    "all_statements",
+    "random_fd",
+    "random_premises",
+]

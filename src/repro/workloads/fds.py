@@ -1,0 +1,54 @@
+"""Random entity-level dependency workloads for the E10 experiment."""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.entity_types import EntityType
+from repro.core.fd import EntityFD
+from repro.core.generalisation import GeneralisationStructure
+from repro.core.schema import Schema
+
+
+def random_fd(rng: random.Random, schema: Schema) -> EntityFD | None:
+    """One random well-typed ``fd(e, f, h)``; None when no context has
+    at least two generalisations."""
+    gen = GeneralisationStructure(schema)
+    contexts = [h for h in sorted(schema) if len(gen.G(h)) >= 2]
+    if not contexts:
+        return None
+    h = rng.choice(contexts)
+    g_h = sorted(gen.G(h))
+    e = rng.choice(g_h)
+    f = rng.choice(g_h)
+    return EntityFD(e, f, h)
+
+
+def random_premises(rng: random.Random, schema: Schema,
+                    count: int = 3,
+                    nontrivial_only: bool = True) -> list[EntityFD]:
+    """A random premise set, optionally filtered to non-nucleus FDs."""
+    out: list[EntityFD] = []
+    attempts = 0
+    while len(out) < count and attempts < count * 30:
+        attempts += 1
+        fd = random_fd(rng, schema)
+        if fd is None:
+            break
+        if nontrivial_only and fd.is_trivial():
+            continue
+        if fd not in out:
+            out.append(fd)
+    return out
+
+
+def all_statements(schema: Schema) -> list[EntityFD]:
+    """The full statement space (every well-typed fd) for exhaustive sweeps."""
+    gen = GeneralisationStructure(schema)
+    out: list[EntityFD] = []
+    for h in schema.sorted_types():
+        g_h: list[EntityType] = sorted(gen.G(h))
+        for e in g_h:
+            for f in g_h:
+                out.append(EntityFD(e, f, h))
+    return out

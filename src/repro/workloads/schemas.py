@@ -1,0 +1,137 @@
+"""Random schema generation for property tests and benches.
+
+Shapes mirror the ISA patterns the paper's constructions exercise:
+chains (deep specialisation), trees (branching hierarchies), diamonds
+(multiple inheritance — where contributors get interesting), and flat
+random families.  All generators guarantee the Entity Type Axiom by
+construction (attribute sets are deduplicated before naming).
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Iterable
+
+from repro.core.entity_types import EntityType
+from repro.core.schema import Schema
+
+SHAPES = ("chain", "tree", "diamond", "random")
+
+
+def _attr_pool(n_attrs: int) -> list[str]:
+    return [f"a{i:02d}" for i in range(n_attrs)]
+
+
+def random_schema(rng: random.Random,
+                  n_attrs: int = 8,
+                  n_types: int = 6,
+                  shape: str = "random",
+                  domain_size: int = 4) -> Schema:
+    """A random valid schema of the requested ISA shape."""
+    if shape not in SHAPES:
+        raise ValueError(f"unknown shape {shape!r}; expected one of {SHAPES}")
+    pool = _attr_pool(n_attrs)
+    attr_sets: list[frozenset[str]] = []
+    if shape == "chain":
+        attr_sets = _chain_sets(rng, pool, n_types)
+    elif shape == "tree":
+        attr_sets = _tree_sets(rng, pool, n_types)
+    elif shape == "diamond":
+        attr_sets = _diamond_sets(rng, pool, n_types)
+    else:
+        attr_sets = _random_sets(rng, pool, n_types)
+    unique = sorted(set(attr_sets), key=lambda s: (len(s), sorted(s)))
+    entity_attrs = {f"t{i:02d}": attrs for i, attrs in enumerate(unique)}
+    domains = {a: list(range(domain_size)) for a in pool}
+    return Schema.from_attribute_sets(entity_attrs, domains)
+
+
+def _chain_sets(rng: random.Random, pool: list[str], n: int) -> list[frozenset[str]]:
+    start = frozenset(rng.sample(pool, k=max(1, len(pool) // 4)))
+    sets = [start]
+    current = set(start)
+    remaining = [a for a in pool if a not in start]
+    rng.shuffle(remaining)
+    while len(sets) < n and remaining:
+        current = set(current) | {remaining.pop()}
+        sets.append(frozenset(current))
+    return sets
+
+
+def _tree_sets(rng: random.Random, pool: list[str], n: int) -> list[frozenset[str]]:
+    root = frozenset(rng.sample(pool, k=max(1, len(pool) // 4)))
+    sets = [root]
+    while len(sets) < n:
+        parent = rng.choice(sets)
+        extras = [a for a in pool if a not in parent]
+        if not extras:
+            break
+        child = parent | frozenset(rng.sample(extras, k=min(len(extras), rng.randint(1, 2))))
+        sets.append(child)
+    return sets
+
+
+def _diamond_sets(rng: random.Random, pool: list[str], n: int) -> list[frozenset[str]]:
+    if len(pool) < 4:
+        return _random_sets(rng, pool, n)
+    half = len(pool) // 2
+    left = frozenset(pool[:half][:2])
+    right = frozenset(pool[half:half + 2])
+    top = left | right
+    sets = [left, right, top]
+    while len(sets) < n:
+        base = rng.choice(sets)
+        extras = [a for a in pool if a not in base]
+        if not extras:
+            break
+        sets.append(base | {rng.choice(extras)})
+    return sets
+
+
+def _random_sets(rng: random.Random, pool: list[str], n: int) -> list[frozenset[str]]:
+    sets = []
+    for _ in range(n):
+        k = rng.randint(1, max(1, len(pool) - 1))
+        sets.append(frozenset(rng.sample(pool, k=k)))
+    return sets
+
+
+def intersection_close(schema: Schema, max_new: int = 256) -> Schema:
+    """Close the entity-type family under nonempty pairwise intersection.
+
+    Produces the intersection-closed schemas on which the Armstrong system
+    is complete (see :func:`repro.core.semantics.is_intersection_closed`
+    and experiment E10).  New types are named ``i000, i001, ...``.
+    Intersections of existing sets are themselves closed under further
+    intersection steps, so one fixpoint loop suffices.
+    """
+    attr_sets = {e.attributes for e in schema}
+    fresh: set[frozenset[str]] = set()
+    changed = True
+    while changed:
+        changed = False
+        current = sorted(attr_sets | fresh, key=lambda s: (len(s), sorted(s)))
+        for i, x in enumerate(current):
+            for y in current[i + 1:]:
+                shared = x & y
+                if shared and shared not in attr_sets and shared not in fresh:
+                    fresh.add(shared)
+                    changed = True
+                    if len(fresh) >= max_new:
+                        raise ValueError(
+                            f"intersection closure exceeds {max_new} new types"
+                        )
+    out = schema
+    for i, attrs in enumerate(sorted(fresh, key=lambda s: (len(s), sorted(s)))):
+        out = out.with_entity_type(EntityType(f"i{i:03d}", attrs))
+    return out
+
+
+def schema_of_attribute_sets(attr_sets: Iterable[Iterable[str]],
+                             domain_size: int = 4) -> Schema:
+    """Name a family of attribute sets ``t00, t01, ...`` deterministically."""
+    unique = sorted({frozenset(s) for s in attr_sets}, key=lambda s: (len(s), sorted(s)))
+    entity_attrs = {f"t{i:02d}": attrs for i, attrs in enumerate(unique)}
+    pool = sorted({a for s in unique for a in s})
+    domains = {a: list(range(domain_size)) for a in pool}
+    return Schema.from_attribute_sets(entity_attrs, domains)

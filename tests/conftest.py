@@ -1,0 +1,44 @@
+"""Shared fixtures: the paper's employee example and seeded generators."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.employee import (
+    employee_constraints,
+    employee_extension,
+    employee_fd,
+    employee_schema,
+)
+
+
+@pytest.fixture
+def schema():
+    """The paper's employee schema (section 2)."""
+    return employee_schema()
+
+
+@pytest.fixture
+def db(schema):
+    """A small consistent extension of the employee schema."""
+    return employee_extension(schema)
+
+
+@pytest.fixture
+def constraints(schema):
+    """The paper-named constraints for the employee schema."""
+    return employee_constraints(schema)
+
+
+@pytest.fixture
+def worksfor_fd(schema):
+    """fd(employee, department, worksfor)."""
+    return employee_fd(schema)
+
+
+@pytest.fixture
+def rng():
+    """A deterministic RNG; reseed per test for reproducibility."""
+    return random.Random(0xC5_87_11)

@@ -1,0 +1,85 @@
+"""Unit tests for the command-line interface (repro.cli)."""
+
+import pytest
+
+from repro import cli, io
+from repro.core.employee import employee_constraints, employee_extension
+
+
+@pytest.fixture
+def document(tmp_path):
+    db = employee_extension()
+    path = tmp_path / "employee.json"
+    io.save(path, db, employee_constraints(db.schema))
+    return str(path)
+
+
+@pytest.fixture
+def broken_document(tmp_path):
+    db = employee_extension()
+    broken = db.insert("manager", {
+        "name": "eva", "age": 47, "depname": "admin", "budget": 100,
+    }, propagate=False)
+    path = tmp_path / "broken.json"
+    io.save(path, broken, employee_constraints(broken.schema))
+    return str(path)
+
+
+class TestInspect:
+    def test_renders_tables(self, document, capsys):
+        assert cli.main(["inspect", document]) == 0
+        out = capsys.readouterr().out
+        assert "A = {age, budget, depname, location, name}" in out
+        assert "containment: ok" in out
+
+
+class TestCheck:
+    def test_clean_state(self, document, capsys):
+        assert cli.main(["check", document]) == 0
+        assert "CONSISTENT" in capsys.readouterr().out
+
+    def test_violations_exit_nonzero(self, broken_document, capsys):
+        assert cli.main(["check", broken_document]) == 1
+        out = capsys.readouterr().out
+        assert "VIOLATIONS FOUND" in out
+        assert "Containment" in out
+
+
+class TestTopology:
+    def test_reports_essential_types(self, document, capsys):
+        assert cli.main(["topology", document]) == 0
+        out = capsys.readouterr().out
+        assert "S_person" in out
+        assert "essential entity types: "\
+            "['department', 'employee', 'manager', 'person']" in out
+        assert "['worksfor']" in out
+
+
+class TestFD:
+    def test_closure_listing(self, document, capsys):
+        assert cli.main(["fd", document, "--closure"]) == 0
+        out = capsys.readouterr().out
+        assert "fd(employee, department, worksfor)" in out
+        assert "non-trivial closure" in out
+
+    def test_violated_dependency_exit_code(self, tmp_path, capsys):
+        db = employee_extension()
+        broken = db.insert("worksfor", {
+            "name": "ann", "age": 31, "depname": "sales", "location": "delft",
+        }, propagate=False)
+        path = tmp_path / "fdbroken.json"
+        io.save(path, broken, employee_constraints(broken.schema))
+        assert cli.main(["fd", str(path)]) == 1
+        assert "VIOLATED" in capsys.readouterr().out
+
+
+class TestExample:
+    def test_writes_document(self, tmp_path, capsys):
+        out_path = tmp_path / "emp.json"
+        assert cli.main(["example", "employee", str(out_path)]) == 0
+        db, constraints = io.load(out_path)
+        assert db.is_consistent()
+        assert constraints.holds(db)
+
+    def test_unknown_example(self, tmp_path):
+        assert cli.main(["example", "nothing", str(tmp_path / "x.json")]) == 2

@@ -1,0 +1,148 @@
+"""Unit tests for the entity-level Armstrong engine (section 5.2)."""
+
+import pytest
+
+from repro.core import ALL_RULES, ArmstrongEngine, EntityFD
+from repro.errors import DependencyError
+
+
+@pytest.fixture
+def engine(schema, worksfor_fd):
+    return ArmstrongEngine(schema, [worksfor_fd])
+
+
+class TestRuleA1:
+    def test_reflexivity_seeded(self, schema):
+        engine = ArmstrongEngine(schema, [])
+        fd = EntityFD(schema["manager"], schema["person"], schema["manager"])
+        assert engine.derivable(fd)
+        assert engine.derivation(fd).rule == "A1"
+
+    def test_self_determination(self, schema):
+        engine = ArmstrongEngine(schema, [])
+        fd = EntityFD(schema["person"], schema["person"], schema["person"])
+        assert engine.derivable(fd)
+
+
+class TestPropagation:
+    def test_nucleus_propagates_to_specialisations(self, schema):
+        """fd(employee, person, employee) propagates to manager's context."""
+        engine = ArmstrongEngine(schema, [])
+        propagated = EntityFD(schema["employee"], schema["person"], schema["manager"])
+        derivation = engine.derivation(propagated)
+        assert derivation is not None
+        rules_used = {derivation.rule}
+        assert rules_used <= {"propagation", "A1", "A2-decomposition", "A3"}
+
+    def test_premise_propagates(self, schema):
+        """A premise in context employee reaches context manager."""
+        premise = EntityFD(schema["person"], schema["employee"], schema["employee"])
+        engine = ArmstrongEngine(schema, [premise])
+        assert engine.derivable(
+            EntityFD(schema["person"], schema["employee"], schema["manager"])
+        )
+
+
+class TestA3Transitivity:
+    def test_chain(self, schema):
+        p1 = EntityFD(schema["person"], schema["employee"], schema["worksfor"])
+        p2 = EntityFD(schema["employee"], schema["department"], schema["worksfor"])
+        engine = ArmstrongEngine(schema, [p1, p2])
+        conclusion = EntityFD(schema["person"], schema["department"], schema["worksfor"])
+        derivation = engine.derivation(conclusion)
+        assert derivation is not None
+
+    def test_no_cross_context_transitivity(self, schema):
+        """A3 only combines dependencies within one context."""
+        p1 = EntityFD(schema["person"], schema["employee"], schema["employee"])
+        p2 = EntityFD(schema["employee"], schema["department"], schema["worksfor"])
+        engine = ArmstrongEngine(
+            schema, [p1, p2], rules=frozenset({"A3"})
+        )
+        target = EntityFD(schema["person"], schema["department"], schema["worksfor"])
+        assert not engine.derivable(target)
+
+
+class TestA2:
+    def test_decomposition(self, schema, worksfor_fd):
+        """fd(employee, department, worksfor) has no proper G-decomposition
+        below department; check a constructed case instead: determining
+        worksfor from itself decomposes to all its generalisations."""
+        engine = ArmstrongEngine(schema, [])
+        for g in ("person", "employee", "department"):
+            fd = EntityFD(schema["worksfor"], schema[g], schema["worksfor"])
+            assert engine.derivable(fd)
+
+    def test_union_via_contributors(self, schema):
+        """Determining employee and department determines worksfor."""
+        p1 = EntityFD(schema["person"], schema["employee"], schema["worksfor"])
+        p2 = EntityFD(schema["person"], schema["department"], schema["worksfor"])
+        engine = ArmstrongEngine(schema, [p1, p2])
+        union_fd = EntityFD(schema["person"], schema["worksfor"], schema["worksfor"])
+        derivation = engine.derivation(union_fd)
+        assert derivation is not None
+        assert derivation.rule == "A2-union"
+        assert len(derivation.premises) == 2
+
+    def test_union_disabled(self, schema):
+        p1 = EntityFD(schema["person"], schema["employee"], schema["worksfor"])
+        p2 = EntityFD(schema["person"], schema["department"], schema["worksfor"])
+        engine = ArmstrongEngine(
+            schema, [p1, p2], rules=ALL_RULES - {"A2-union"}
+        )
+        union_fd = EntityFD(schema["person"], schema["worksfor"], schema["worksfor"])
+        assert not engine.derivable(union_fd)
+
+    def test_decomposition_redundant_given_other_rules(self, schema, worksfor_fd):
+        """A2-decomposition adds nothing beyond A1+A3+propagation."""
+        full = ArmstrongEngine(schema, [worksfor_fd])
+        reduced = ArmstrongEngine(
+            schema, [worksfor_fd], rules=ALL_RULES - {"A2-decomposition"}
+        )
+        assert set(full.closure()) == set(reduced.closure())
+
+
+class TestEngineBasics:
+    def test_unknown_rule_rejected(self, schema):
+        with pytest.raises(DependencyError):
+            ArmstrongEngine(schema, [], rules=frozenset({"A9"}))
+
+    def test_premise_recorded(self, engine, worksfor_fd):
+        derivation = engine.derivation(worksfor_fd)
+        assert derivation.rule == "premise"
+        assert derivation.premises == ()
+
+    def test_closure_cached(self, engine):
+        assert engine.closure() is engine.closure()
+
+    def test_statement_space_well_typed(self, engine, schema):
+        for fd in engine.statement_space():
+            fd.validate(schema)
+
+    def test_derived_in_context(self, engine, schema, worksfor_fd):
+        in_wf = engine.derived_in_context(schema["worksfor"])
+        assert worksfor_fd in in_wf
+        assert all(fd.context.name == "worksfor" for fd in in_wf)
+
+    def test_nontrivial_derived(self, engine, worksfor_fd):
+        nontrivial = engine.nontrivial_derived()
+        assert worksfor_fd in nontrivial
+        assert all(not fd.is_trivial() for fd in nontrivial)
+
+
+class TestDerivationTrees:
+    def test_render_contains_rule_names(self, schema):
+        p1 = EntityFD(schema["person"], schema["employee"], schema["worksfor"])
+        p2 = EntityFD(schema["employee"], schema["department"], schema["worksfor"])
+        engine = ArmstrongEngine(schema, [p1, p2])
+        conclusion = EntityFD(schema["person"], schema["department"], schema["worksfor"])
+        text = engine.derivation(conclusion).render()
+        assert "premise" in text
+
+    def test_depth_and_size(self, schema):
+        p1 = EntityFD(schema["person"], schema["employee"], schema["worksfor"])
+        p2 = EntityFD(schema["employee"], schema["department"], schema["worksfor"])
+        engine = ArmstrongEngine(schema, [p1, p2])
+        conclusion = EntityFD(schema["person"], schema["department"], schema["worksfor"])
+        derivation = engine.derivation(conclusion)
+        assert derivation.size() >= derivation.depth() >= 1

@@ -1,0 +1,116 @@
+"""Unit tests for the axiom checkers (repro.core.axioms)."""
+
+import pytest
+
+from repro.core import (
+    AtomicValueSet,
+    AttributeUniverse,
+    ContributorAssignment,
+    EntityType,
+    EntityViewType,
+    check_all,
+    check_attribute_axiom,
+    check_containment,
+    check_entity_type_axiom,
+    check_extension_axiom,
+    check_integrity_axiom,
+    check_relationship_axiom,
+    check_view_axiom,
+)
+
+
+class TestAttributeAxiom:
+    def test_clean_universe(self, schema):
+        assert check_attribute_axiom(schema.universe) == []
+
+
+class TestEntityTypeAxiom:
+    def test_clean(self, schema):
+        assert check_entity_type_axiom(schema.entity_types) == []
+
+    def test_duplicate_detected(self):
+        types = [EntityType("e1", {"a"}), EntityType("e2", {"a"})]
+        findings = check_entity_type_axiom(types)
+        assert len(findings) == 1
+        assert findings[0].axiom == "Entity Type Axiom"
+        assert "role attribute" in findings[0].message
+
+
+class TestRelationshipAxiom:
+    def test_clean(self, schema):
+        assert check_relationship_axiom(schema, ContributorAssignment(schema)) == []
+
+
+class TestExtensionAxiomCheck:
+    def test_clean(self, db):
+        assert check_extension_axiom(db) == []
+
+    def test_injectivity_finding(self, db):
+        broken = db.replace("manager", db.R("manager").with_tuples([
+            {"name": "ann", "age": 31, "depname": "sales", "budget": 500},
+        ]))
+        findings = check_extension_axiom(broken)
+        assert any("injectivity" in f.message for f in findings)
+
+    def test_unsupported_finding(self, db):
+        broken = db.replace("worksfor", db.R("worksfor").with_tuples([
+            {"name": "fay", "age": 53, "depname": "admin", "location": "delft"},
+        ]))
+        findings = check_extension_axiom(broken)
+        assert any("not supported" in f.message for f in findings)
+
+
+class TestViewAxiomCheck:
+    def test_clean(self, schema):
+        view = EntityViewType("v", {schema["person"]})
+        assert check_view_axiom(schema, [view]) == []
+
+    def test_foreign_member_detected(self, schema):
+        view = EntityViewType("v", {EntityType("alien", {"name"})})
+        findings = check_view_axiom(schema, [view])
+        assert findings and findings[0].axiom == "View Axiom"
+
+
+class TestIntegrityAxiomCheck:
+    def test_clean(self, schema, constraints):
+        assert check_integrity_axiom(schema, constraints.constraints) == []
+
+    def test_foreign_entity_detected(self, schema):
+        from repro.core import Schema, SubsetConstraint
+
+        other = Schema.from_attribute_sets({"x": {"a"}, "y": {"a", "b"}})
+        constraint = SubsetConstraint(other["y"], other["x"])
+        findings = check_integrity_axiom(schema, [constraint])
+        assert findings and findings[0].axiom == "Integrity Axiom"
+
+
+class TestContainmentCheck:
+    def test_clean(self, db):
+        assert check_containment(db) == []
+
+    def test_finding_names_pair(self, db):
+        broken = db.insert("manager", {
+            "name": "eva", "age": 47, "depname": "admin", "budget": 100,
+        }, propagate=False)
+        findings = check_containment(broken)
+        assert any("manager" in f.message for f in findings)
+
+
+class TestCheckAll:
+    def test_full_clean_report(self, schema, db, constraints):
+        report = check_all(schema, db, constraints=constraints.constraints)
+        assert report.ok()
+        assert report.render() == "all axioms satisfied"
+
+    def test_report_aggregates(self, schema, db):
+        broken = db.insert("manager", {
+            "name": "eva", "age": 47, "depname": "admin", "budget": 100,
+        }, propagate=False)
+        report = check_all(schema, broken)
+        assert not report.ok()
+        assert report.by_axiom("Containment Condition")
+        assert "Containment" in report.render()
+
+    def test_intension_only(self, schema):
+        report = check_all(schema)
+        assert report.ok()

@@ -1,0 +1,74 @@
+"""Unit tests for contributors (section 3.3)."""
+
+import pytest
+
+from repro.core import (
+    ContributorAssignment,
+    augmented_attributes,
+    canonical_contributors,
+    contributed_attributes,
+    is_compound,
+    primitive_types,
+)
+from repro.core.employee import PAPER_CONTRIBUTORS
+from repro.errors import SchemaError
+
+
+class TestCanonical:
+    def test_paper_values(self, schema):
+        for name, expected in PAPER_CONTRIBUTORS.items():
+            cos = {c.name for c in canonical_contributors(schema, schema[name])}
+            assert cos == set(expected), name
+
+    def test_contributors_are_direct_generalisations(self, schema):
+        """Person is a generalisation of manager but not direct."""
+        cos = canonical_contributors(schema, schema["manager"])
+        assert schema["person"] not in cos
+        assert schema["employee"] in cos
+
+    def test_primitive_types(self, schema):
+        assert {e.name for e in primitive_types(schema)} == {"person", "department"}
+
+    def test_is_compound(self, schema):
+        assert is_compound(schema, schema["worksfor"])
+        assert not is_compound(schema, schema["person"])
+
+
+class TestAttributeSplit:
+    def test_contributed_attributes(self, schema):
+        covered = contributed_attributes(schema, schema["worksfor"])
+        assert covered == frozenset({"name", "age", "depname", "location"})
+
+    def test_augmented_attributes_manager(self, schema):
+        """budget is manager's own descriptive attribute."""
+        assert augmented_attributes(schema, schema["manager"]) == frozenset({"budget"})
+
+    def test_augmented_attributes_worksfor_empty(self, schema):
+        assert augmented_attributes(schema, schema["worksfor"]) == frozenset()
+
+
+class TestAssignment:
+    def test_default_is_canonical(self, schema):
+        assignment = ContributorAssignment(schema)
+        assert assignment.matches_canonical()
+
+    def test_override_with_deeper_generalisation(self, schema):
+        assignment = ContributorAssignment(
+            schema, {"manager": ["person"]}
+        )
+        assert not assignment.matches_canonical()
+        assert {c.name for c in assignment.contributors(schema["manager"])} == {"person"}
+
+    def test_property_enforced_non_generalisation(self, schema):
+        with pytest.raises(SchemaError):
+            ContributorAssignment(schema, {"person": ["manager"]})
+
+    def test_property_enforced_self(self, schema):
+        with pytest.raises(SchemaError):
+            ContributorAssignment(schema, {"manager": ["manager"]})
+
+    def test_compound_types(self, schema):
+        assignment = ContributorAssignment(schema)
+        assert {e.name for e in assignment.compound_types()} == {
+            "employee", "manager", "worksfor",
+        }

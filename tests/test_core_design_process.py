@@ -1,0 +1,155 @@
+"""Unit tests for the section-2 design procedure."""
+
+import pytest
+
+from repro.core import (
+    DesignDraft,
+    DraftDependency,
+    DraftEntity,
+    run_design_process,
+)
+from repro.errors import SchemaError
+
+
+def messy_draft():
+    """A draft with one of each kind of problem."""
+    return DesignDraft(
+        domains={
+            "name": ["ann", "bob"],
+            "age": [30, 40],
+            "depname": ["sales"],
+            "location": ["delft"],
+            "grade": [(1, "A")],  # decomposable values (and unused)
+        },
+        entities=[
+            DraftEntity("person", frozenset({"name", "age"})),
+            DraftEntity("human", frozenset({"name", "age"})),  # synonym
+            DraftEntity("department", frozenset({"depname", "location"})),
+            DraftEntity(
+                "staff",
+                frozenset({"name", "age", "depname", "location"}),
+                is_cluster=True,
+            ),
+        ],
+        dependencies=[
+            DraftDependency("department", "name", "staff"),
+        ],
+    )
+
+
+class TestSteps:
+    def test_attribute_axiom_flagged(self):
+        report = run_design_process(messy_draft())
+        assert any("grade" in a.message for a in report.by_kind("attribute-axiom"))
+
+    def test_synonyms_merged(self):
+        report = run_design_process(messy_draft(), synonym_strategy="merge")
+        merges = report.by_kind("synonym-merge")
+        assert merges and "human" in merges[0].message
+        assert report.schema is not None
+        assert report.schema.get("person") is None or report.schema.get("human") is None
+
+    def test_synonyms_role_attribute(self):
+        report = run_design_process(messy_draft(), synonym_strategy="role")
+        roles = report.by_kind("synonym-role")
+        assert roles
+        assert report.schema is not None
+        person = report.schema.get("person")
+        human = report.schema.get("human")
+        assert person is not None and human is not None
+        assert person.attributes != human.attributes
+
+    def test_unknown_strategy(self):
+        with pytest.raises(SchemaError):
+            run_design_process(messy_draft(), synonym_strategy="??")
+
+    def test_view_cluster_removed(self):
+        report = run_design_process(messy_draft())
+        removals = report.by_kind("view-removal")
+        assert removals and "staff" in removals[0].message
+
+    def test_dependency_attribute_promoted(self):
+        report = run_design_process(messy_draft())
+        promotions = report.by_kind("promote-attribute")
+        assert promotions and "name" in promotions[0].message
+        assert report.schema is not None
+        assert report.schema.get("name_entity") is not None
+
+    def test_removed_view_context_flagged(self):
+        report = run_design_process(messy_draft())
+        assert report.by_kind("missing-context")
+
+    def test_resulting_schema_valid(self):
+        report = run_design_process(messy_draft())
+        assert report.schema is not None
+        # a valid Schema construction implies the Entity Type Axiom holds.
+
+
+class TestRelationshipChecks:
+    def test_missing_contributor_flagged(self):
+        draft = DesignDraft(
+            domains={"a": [1], "b": [2]},
+            entities=[
+                DraftEntity("left", frozenset({"a"})),
+                DraftEntity(
+                    "rel", frozenset({"a", "b"}),
+                    is_relationship=True,
+                    claimed_contributors=frozenset({"left", "ghost"}),
+                ),
+            ],
+        )
+        report = run_design_process(draft)
+        findings = report.by_kind("relationship-axiom")
+        assert any("ghost" in f.message for f in findings)
+
+    def test_uncovered_extras_flagged(self):
+        draft = DesignDraft(
+            domains={"a": [1], "b": [2], "extra": [3]},
+            entities=[
+                DraftEntity("left", frozenset({"a"})),
+                DraftEntity("right", frozenset({"b"})),
+                DraftEntity(
+                    "rel", frozenset({"a", "b", "extra"}),
+                    is_relationship=True,
+                    claimed_contributors=frozenset({"left", "right"}),
+                ),
+            ],
+        )
+        report = run_design_process(draft)
+        assert report.by_kind("identification")
+
+    def test_shared_attributes_flagged(self):
+        draft = DesignDraft(
+            domains={"a": [1], "b": [2]},
+            entities=[
+                DraftEntity("left", frozenset({"a", "b"})),
+                DraftEntity("right", frozenset({"b"})),
+                DraftEntity(
+                    "rel", frozenset({"a", "b"}),
+                    is_relationship=True,
+                    claimed_contributors=frozenset({"left", "right"}),
+                ),
+            ],
+        )
+        report = run_design_process(draft)
+        assert report.by_kind("shared-attribute")
+
+
+class TestCleanDraft:
+    def test_employee_draft_passes_untouched(self):
+        from repro.core.employee import ATTRIBUTE_SETS, DOMAINS
+
+        draft = DesignDraft(
+            domains=DOMAINS,
+            entities=[
+                DraftEntity(name, attrs) for name, attrs in ATTRIBUTE_SETS.items()
+            ],
+        )
+        report = run_design_process(draft)
+        assert report.schema is not None
+        assert len(report.schema) == 5
+        assert not report.by_kind("synonym-merge")
+
+    def test_render_mentions_schema(self):
+        report = run_design_process(messy_draft())
+        assert "schema" in report.render()

@@ -1,0 +1,142 @@
+"""Unit tests for schema evolution analysis (repro.core.evolution)."""
+
+import pytest
+
+from repro.core import (
+    AddAttribute,
+    AddEntityType,
+    RemoveAttribute,
+    RemoveEntityType,
+    RenameEntityType,
+    analyse,
+    intension_map,
+    migrate,
+)
+from repro.errors import EvolutionError
+
+
+class TestApply:
+    def test_add_entity_type(self, schema):
+        change = AddEntityType("veteran", frozenset({"name", "age", "budget"}))
+        new = change.apply(schema)
+        assert "veteran" in new
+
+    def test_add_duplicate_attribute_set_rejected(self, schema):
+        from repro.errors import AxiomViolationError
+
+        change = AddEntityType("clone", frozenset({"name", "age"}))
+        with pytest.raises(AxiomViolationError):
+            change.apply(schema)
+
+    def test_remove_entity_type(self, schema):
+        new = RemoveEntityType("worksfor").apply(schema)
+        assert "worksfor" not in new
+
+    def test_rename(self, schema):
+        new = RenameEntityType("person", "human").apply(schema)
+        assert "human" in new and "person" not in new
+        assert new["human"].attributes == schema["person"].attributes
+
+    def test_add_attribute(self, schema):
+        change = AddAttribute("person", "location", default="delft")
+        new = change.apply(schema)
+        assert "location" in new["person"].attributes
+
+    def test_add_unknown_attribute_rejected(self, schema):
+        with pytest.raises(EvolutionError):
+            AddAttribute("person", "salary").apply(schema)
+
+    def test_remove_attribute(self, schema):
+        new = RemoveAttribute("department", "location").apply(schema)
+        assert "location" not in new["department"].attributes
+
+    def test_remove_attribute_collision_rejected(self, schema):
+        """manager minus budget == employee: the Entity Type Axiom blocks it."""
+        from repro.errors import AxiomViolationError
+
+        with pytest.raises(AxiomViolationError):
+            RemoveAttribute("manager", "budget").apply(schema)
+
+    def test_remove_attribute_creating_duplicate_rejected(self, schema):
+        from repro.errors import AxiomViolationError
+
+        # employee minus depname == person: Entity Type Axiom violation.
+        with pytest.raises(AxiomViolationError):
+            RemoveAttribute("employee", "depname").apply(schema)
+
+
+class TestIntensionMap:
+    def test_rename_is_embedding(self, schema):
+        change = RenameEntityType("person", "human")
+        new = change.apply(schema)
+        mapping = change.type_mapping(schema, new)
+        assert intension_map(schema, new, mapping).is_homeomorphism()
+
+    def test_addition_embeds(self, schema):
+        change = AddEntityType("veteran", frozenset({"name", "age", "budget"}))
+        new = change.apply(schema)
+        mapping = change.type_mapping(schema, new)
+        assert intension_map(schema, new, mapping).is_embedding()
+
+
+class TestMigration:
+    def test_rename_migrates_tuples(self, db):
+        change = RenameEntityType("person", "human")
+        migrated = migrate(db, change)
+        assert len(migrated.R("human")) == len(db.R("person"))
+
+    def test_grow_pads_default(self, db):
+        change = AddAttribute("department", "budget", default=100)
+        migrated = migrate(db, change)
+        for t in migrated.R("department").tuples:
+            assert t["budget"] == 100
+
+    def test_grow_without_default_fails(self, db):
+        change = AddAttribute("department", "budget")
+        with pytest.raises(EvolutionError):
+            migrate(db, change)
+
+    def test_shrink_projects(self, db):
+        change = RemoveAttribute("department", "location")
+        migrated = migrate(db, change)
+        assert migrated.R("department").schema == frozenset({"depname"})
+
+
+class TestAnalyse:
+    def test_rename_preserves_information(self, db):
+        report = analyse(db, RenameEntityType("person", "human"))
+        assert report.information_preserved
+        assert report.intension_embeds
+
+    def test_addition_preserves(self, db):
+        report = analyse(db, AddEntityType("veteran", frozenset({"name", "age", "budget"})))
+        assert report.information_preserved
+        assert report.intension_embeds
+
+    def test_removal_of_populated_type_flagged(self, db):
+        report = analyse(db, RemoveEntityType("worksfor"))
+        assert not report.information_preserved
+        assert any("forgets" in note for note in report.notes)
+
+    def test_removal_of_empty_type_preserves(self, schema):
+        from repro.core import DatabaseExtension
+
+        empty = DatabaseExtension(schema)
+        report = analyse(empty, RemoveEntityType("worksfor"))
+        assert report.information_preserved
+
+    def test_grow_with_default_roundtrips(self, db):
+        report = analyse(db, AddAttribute("department", "budget", default=100))
+        assert report.information_preserved
+
+    def test_shrink_merging_instances_flagged(self, db):
+        # Two departments share no location... make them: add a second
+        # department with the same location, then drop depname.
+        grown = db.insert("department", {"depname": "admin", "location": "amsterdam"})
+        report = analyse(grown, RemoveAttribute("department", "depname"))
+        assert not report.information_preserved
+        assert any("merged" in note for note in report.notes)
+
+    def test_inapplicable_change_raises(self, db):
+        with pytest.raises(EvolutionError):
+            analyse(db, AddAttribute("person", "salary"))

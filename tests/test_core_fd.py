@@ -1,0 +1,109 @@
+"""Unit tests for entity-level FDs and the triangle theorem (section 5.1)."""
+
+import pytest
+
+from repro.core import (
+    EntityFD,
+    holds,
+    lambda_mapping,
+    propagates_to,
+    triangle_commutes,
+    violations,
+)
+from repro.errors import DependencyError
+
+
+class TestTyping:
+    def test_valid_fd(self, schema, worksfor_fd):
+        worksfor_fd.validate(schema)  # must not raise
+
+    def test_determinant_must_generalise_context(self, schema):
+        bad = EntityFD(schema["manager"], schema["person"], schema["employee"])
+        with pytest.raises(DependencyError):
+            bad.validate(schema)
+
+    def test_dependent_must_generalise_context(self, schema):
+        bad = EntityFD(schema["person"], schema["manager"], schema["employee"])
+        with pytest.raises(DependencyError):
+            bad.validate(schema)
+
+    def test_trivial_detection(self, schema):
+        trivial = EntityFD(schema["employee"], schema["person"], schema["employee"])
+        assert trivial.is_trivial()
+        nontrivial = EntityFD(schema["person"], schema["employee"], schema["employee"])
+        assert not nontrivial.is_trivial()
+
+
+class TestSemantics:
+    def test_worksfor_fd_holds(self, db, worksfor_fd):
+        assert holds(worksfor_fd, db)
+        assert violations(worksfor_fd, db) == []
+
+    def test_violation_detection(self, db, schema, worksfor_fd):
+        # Same employee tuple, second department instance (location differs):
+        # the employee part no longer determines the department part.
+        broken = db.insert("worksfor", {
+            "name": "ann", "age": 31, "depname": "sales", "location": "delft",
+        }, propagate=False)
+        assert not holds(worksfor_fd, broken)
+        assert len(violations(worksfor_fd, broken)) == 1
+
+    def test_empty_context_satisfies_all(self, schema):
+        from repro.core import DatabaseExtension
+
+        empty = DatabaseExtension(schema)
+        fd = EntityFD(schema["person"], schema["department"], schema["worksfor"])
+        assert holds(fd, empty)
+
+
+class TestTriangleTheorem:
+    def test_lambda_exists_iff_fd_holds(self, db, worksfor_fd):
+        lam = lambda_mapping(worksfor_fd, db)
+        assert lam is not None
+        assert triangle_commutes(worksfor_fd, db, lam)
+
+    def test_lambda_none_when_fd_fails(self, db, worksfor_fd):
+        broken = db.insert("worksfor", {
+            "name": "ann", "age": 31, "depname": "sales", "location": "delft",
+        }, propagate=False)
+        assert lambda_mapping(worksfor_fd, broken) is None
+
+    def test_lambda_domain_is_E_e(self, db, schema, worksfor_fd):
+        lam = lambda_mapping(worksfor_fd, db)
+        domain = set(lam)
+        expected = set(db.E(schema["employee"], schema["worksfor"]).tuples)
+        assert domain == expected
+
+    def test_commutation_checked_pointwise(self, db, schema, worksfor_fd):
+        lam = lambda_mapping(worksfor_fd, db)
+        # Corrupt one image: commutation must fail.
+        key = next(iter(lam))
+        other_value = {
+            "depname": "admin", "location": "delft",
+        }
+        from repro.relational import Tuple
+
+        lam[key] = Tuple(other_value)
+        assert not triangle_commutes(worksfor_fd, db, lam)
+
+
+class TestPropagation:
+    def test_propagation_theorem(self, db, schema):
+        """fd valid in context person propagates to every h in S_person."""
+        fd = EntityFD(schema["person"], schema["person"], schema["person"])
+        results = propagates_to(fd, db)
+        assert len(results) == 4  # S_person
+        assert all(verdict for _, verdict in results)
+
+    def test_propagation_of_worksfor_fd(self, db, schema, worksfor_fd):
+        results = propagates_to(worksfor_fd, db)
+        # S_worksfor = {worksfor}: propagation is just the fd itself.
+        assert [fd.context.name for fd, _ in results] == ["worksfor"]
+        assert all(verdict for _, verdict in results)
+
+    def test_propagation_with_containment(self, db, schema):
+        """A dependency on employee propagates to manager instances."""
+        fd = EntityFD(schema["person"], schema["employee"], schema["employee"])
+        if holds(fd, db):
+            for propagated, verdict in propagates_to(fd, db):
+                assert verdict, propagated

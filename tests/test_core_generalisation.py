@@ -1,0 +1,66 @@
+"""Unit tests for the generalisation structure (section 3.2)."""
+
+import pytest
+
+from repro.core import GeneralisationStructure, SpecialisationStructure
+from repro.core.employee import PAPER_G_SETS
+
+
+@pytest.fixture
+def gen(schema):
+    return GeneralisationStructure(schema)
+
+
+class TestDualConstruction:
+    def test_complement_attributes(self, gen, schema):
+        assert gen.complement_attributes(schema["person"]) == frozenset(
+            {"depname", "budget", "location"}
+        )
+
+    def test_V_bar(self, gen):
+        assert {e.name for e in gen.V_bar("budget")} == {
+            "person", "employee", "department", "worksfor",
+        }
+
+    def test_paper_values(self, gen, schema):
+        for name, expected in PAPER_G_SETS.items():
+            assert {f.name for f in gen.G(schema[name])} == set(expected)
+
+    def test_intersection_construction_agrees(self, gen):
+        assert gen.cross_check()
+
+    def test_proper_generalisations(self, gen, schema):
+        proper = {e.name for e in gen.proper_generalisations(schema["worksfor"])}
+        assert proper == {"person", "employee", "department"}
+
+
+class TestDualTopology:
+    def test_open_cover(self, gen):
+        assert gen.is_open_cover()
+
+    def test_minimal_open_is_G(self, gen):
+        assert gen.minimal_open_is_G()
+
+    def test_strictness(self, gen):
+        assert gen.strictness_holds()
+
+
+class TestDuality:
+    def test_corollary(self, gen):
+        """For all x, y: y in S_x iff x in G_y."""
+        assert gen.duality_corollary_holds()
+
+    def test_person_counterexample(self, gen, schema):
+        """S_person and G_person are not complements (the paper's example)."""
+        witness = gen.not_complement_witness(schema["person"])
+        assert not witness["union_is_E"]
+        assert witness["intersection_is_singleton"]
+        assert {e.name for e in witness["intersection"]} == {"person"}
+        union_names = {e.name for e in witness["union"]}
+        assert union_names == {"person", "employee", "manager", "worksfor"}
+
+    def test_hasse_reverses_isa(self, gen, schema):
+        spec = SpecialisationStructure(schema)
+        isa = {(x.name, y.name) for x, y in spec.isa_hasse()}
+        ghasse = {(x.name, y.name) for x, y in gen.hasse()}
+        assert ghasse == {(y, x) for x, y in isa}

@@ -1,0 +1,125 @@
+"""Unit tests for integrity constraints (the Integrity Axiom)."""
+
+import pytest
+
+from repro.core import (
+    CardinalityConstraint,
+    ConstraintSet,
+    EntityFD,
+    FunctionalConstraint,
+    ParticipationConstraint,
+    SubsetConstraint,
+)
+from repro.errors import DependencyError
+
+
+class TestSubsetConstraint:
+    def test_manager_isa_employee_holds(self, db, schema):
+        constraint = SubsetConstraint(schema["manager"], schema["employee"])
+        assert constraint.holds(db)
+        assert constraint.violation_report(db) == []
+
+    def test_violation_reported(self, db, schema):
+        constraint = SubsetConstraint(schema["manager"], schema["employee"])
+        broken = db.insert("manager", {
+            "name": "eva", "age": 47, "depname": "admin", "budget": 100,
+        }, propagate=False)
+        assert not constraint.holds(broken)
+        assert len(constraint.violation_report(broken)) == 1
+
+    def test_requires_isa_pair(self, schema):
+        with pytest.raises(DependencyError):
+            SubsetConstraint(schema["person"], schema["manager"])
+
+
+class TestFunctionalConstraint:
+    def test_wraps_fd(self, db, schema, worksfor_fd):
+        constraint = FunctionalConstraint(worksfor_fd)
+        assert constraint.holds(db)
+        assert constraint.context == schema["worksfor"]
+
+    def test_violation_text(self, db, schema, worksfor_fd):
+        broken = db.insert("worksfor", {
+            "name": "ann", "age": 31, "depname": "sales", "location": "delft",
+        }, propagate=False)
+        constraint = FunctionalConstraint(worksfor_fd)
+        report = constraint.violation_report(broken)
+        assert len(report) == 1
+        assert "determinant" in report[0]
+
+
+class TestCardinalityConstraint:
+    def test_one_to_n_compiles_to_fd(self, schema):
+        constraint = CardinalityConstraint(
+            schema["worksfor"], schema["employee"], schema["department"], "1:n",
+        )
+        fds = constraint.as_fds()
+        assert fds == [EntityFD(schema["employee"], schema["department"], schema["worksfor"])]
+
+    def test_one_to_one_two_fds(self, schema):
+        constraint = CardinalityConstraint(
+            schema["worksfor"], schema["employee"], schema["department"], "1:1",
+        )
+        assert len(constraint.as_fds()) == 2
+
+    def test_n_to_m_unconstrained(self, db, schema):
+        constraint = CardinalityConstraint(
+            schema["worksfor"], schema["employee"], schema["department"], "n:m",
+        )
+        assert constraint.as_fds() == []
+        assert constraint.holds(db)
+
+    def test_unknown_kind(self, schema):
+        with pytest.raises(DependencyError):
+            CardinalityConstraint(
+                schema["worksfor"], schema["employee"], schema["department"], "2:3",
+            )
+
+    def test_holds_on_example(self, db, schema):
+        constraint = CardinalityConstraint(
+            schema["worksfor"], schema["employee"], schema["department"], "1:n",
+        )
+        assert constraint.holds(db)
+
+
+class TestParticipation:
+    def test_total_participation_holds(self, db, schema):
+        constraint = ParticipationConstraint(schema["worksfor"], schema["employee"])
+        assert constraint.holds(db)
+
+    def test_lonely_member_detected(self, db, schema):
+        constraint = ParticipationConstraint(schema["worksfor"], schema["department"])
+        lonely = db.insert("department", {"depname": "admin", "location": "delft"})
+        assert not constraint.holds(lonely)
+        assert len(constraint.violation_report(lonely)) == 1
+
+    def test_requires_contributor(self, schema):
+        with pytest.raises(DependencyError):
+            ParticipationConstraint(schema["person"], schema["department"])
+
+
+class TestConstraintSet:
+    def test_paper_constraints_hold(self, db, constraints):
+        assert constraints.holds(db)
+        assert constraints.report(db) == {}
+
+    def test_integrity_axiom_validation(self, schema):
+        from repro.core import EntityType, Schema
+
+        other = Schema.from_attribute_sets({"x": {"a"}, "y": {"a", "b"}})
+        constraint = SubsetConstraint(other["y"], other["x"])
+        with pytest.raises(DependencyError):
+            ConstraintSet(schema, [constraint])
+
+    def test_functional_dependencies_collected(self, constraints, schema):
+        fds = constraints.functional_dependencies()
+        assert EntityFD(
+            schema["employee"], schema["department"], schema["worksfor"]
+        ) in fds
+
+    def test_report_groups_by_name(self, db, schema, constraints):
+        broken = db.insert("worksfor", {
+            "name": "ann", "age": 31, "depname": "sales", "location": "delft",
+        }, propagate=False)
+        report = constraints.report(broken)
+        assert any("1:n" in name for name in report)

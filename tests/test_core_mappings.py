@@ -1,0 +1,88 @@
+"""Unit tests for pi/rho mappings and the extension presheaf (section 4.2 / 6)."""
+
+import pytest
+
+from repro.core import (
+    all_chains,
+    corollary_a,
+    corollary_b,
+    corollary_c,
+    gluing_report,
+    instance_presheaf,
+    rho,
+    verify_corollary,
+)
+from repro.errors import ExtensionError
+
+
+class TestRho:
+    def test_rho_is_inclusion(self, db, schema):
+        h, f, e = schema["manager"], schema["employee"], schema["person"]
+        mapping = rho(db, h, f, e)
+        for source, target in mapping.items():
+            assert source == target
+
+    def test_rho_requires_chain(self, db, schema):
+        with pytest.raises(ExtensionError):
+            rho(db, schema["person"], schema["employee"], schema["manager"])
+
+    def test_rho_undefined_on_containment_violation(self, db, schema):
+        broken = db.insert(
+            "manager",
+            {"name": "eva", "age": 47, "depname": "admin", "budget": 100},
+            propagate=False,
+        )
+        with pytest.raises(ExtensionError):
+            rho(broken, schema["manager"], schema["employee"], schema["person"])
+
+
+class TestCorollary:
+    def test_individual_chain(self, db, schema):
+        chain = (schema["manager"], schema["employee"], schema["person"])
+        assert corollary_a(db, *chain)
+        assert corollary_b(db, *chain)
+        assert corollary_c(db, *chain)
+
+    def test_all_chains_enumerated(self, db):
+        chains = all_chains(db)
+        # Reflexive chains (e,e,e) are included for every type.
+        assert len(chains) >= len(db.schema)
+        for h, f, e in chains:
+            assert f.attributes <= h.attributes
+            assert e.attributes <= f.attributes
+
+    def test_verify_corollary_all_true(self, db):
+        assert verify_corollary(db) == {"a": True, "b": True, "c": True}
+
+
+class TestInstancePresheaf:
+    def test_functor_laws(self, db):
+        presheaf = instance_presheaf(db)
+        assert presheaf.is_presheaf()
+
+    def test_sections_over_minimal_open(self, db, schema):
+        """Sections over S_manager are manager instances with their
+        projections — one per manager tuple."""
+        presheaf = instance_presheaf(db)
+        s_manager = db.spec.S(schema["manager"])
+        assert len(presheaf.sections[s_manager]) == len(db.R("manager"))
+
+    def test_empty_open_single_section(self, db):
+        presheaf = instance_presheaf(db)
+        assert presheaf.sections[frozenset()] == frozenset({frozenset()})
+
+    def test_consistent_state_glues(self, db):
+        report = gluing_report(db)
+        assert report["is_sheaf_on_E"], report["failures"]
+
+    def test_restriction_forgets_components(self, db, schema):
+        presheaf = instance_presheaf(db)
+        s_mgr = db.spec.S(schema["manager"])
+        bigger = db.spec.S(schema["employee"])
+        section = next(iter(presheaf.sections[bigger]))
+        restricted = presheaf.restrict(bigger, s_mgr, section)
+        names_in = {name for name, _ in restricted}
+        assert names_in <= {"manager", "worksfor"} | {"employee"} - {"employee"} or True
+        # the restriction keeps only types in S_manager:
+        kept_types = {name for name, _ in restricted}
+        assert kept_types <= {e.name for e in s_mgr}

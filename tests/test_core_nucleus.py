@@ -1,0 +1,131 @@
+"""Unit tests for dependency mappings: N_e, F_e, DF_e (section 5.3)."""
+
+import pytest
+
+from repro.core import (
+    DependencyMappings,
+    fd_pairs,
+    in_DF,
+    in_F,
+    is_transitively_closed,
+    nucleus,
+    transitive_closure,
+)
+from repro.errors import DependencyError
+
+
+class TestNucleus:
+    def test_nucleus_is_trivial_pairs(self, schema):
+        n = nucleus(schema, schema["manager"])
+        names = {(x.name, y.name) for x, y in n}
+        assert ("manager", "employee") in names
+        assert ("manager", "person") in names
+        assert ("employee", "person") in names
+        assert ("person", "employee") not in names
+
+    def test_nucleus_reflexive(self, schema):
+        n = nucleus(schema, schema["worksfor"])
+        for e in ("person", "employee", "department", "worksfor"):
+            assert (schema[e], schema[e]) in n
+
+    def test_nucleus_transitively_closed(self, schema):
+        for e in schema:
+            assert is_transitively_closed(nucleus(schema, e))
+
+
+class TestClosureOps:
+    def test_transitive_closure(self, schema):
+        a, b, c = schema["manager"], schema["employee"], schema["person"]
+        closed = transitive_closure({(a, b), (b, c)})
+        assert (a, c) in closed
+
+    def test_idempotent(self, schema):
+        a, b = schema["manager"], schema["employee"]
+        once = transitive_closure({(a, b)})
+        assert transitive_closure(once) == once
+
+
+class TestFAndDF:
+    def test_nucleus_in_F(self, schema):
+        e = schema["manager"]
+        assert in_F(schema, e, nucleus(schema, e))
+
+    def test_smaller_sets_not_in_F(self, schema):
+        e = schema["manager"]
+        assert not in_F(schema, e, frozenset())
+
+    def test_pairs_outside_G_rejected(self, schema):
+        e = schema["person"]
+        alien_pair = {(schema["manager"], schema["manager"])}
+        assert not in_F(schema, e, nucleus(schema, e) | alien_pair)
+
+    def test_DF_requires_transitivity(self, schema):
+        e = schema["worksfor"]
+        base = nucleus(schema, e)
+        extra = base | {(schema["person"], schema["employee"])}
+        # adding person->employee: transitive closure may add more pairs.
+        if not is_transitively_closed(extra):
+            assert not in_DF(schema, e, extra)
+        assert in_DF(schema, e, transitive_closure(extra))
+
+
+class TestSemanticPairs:
+    def test_fd_pairs_contains_nucleus(self, db, schema):
+        for e in schema:
+            assert nucleus(schema, e) <= fd_pairs(db, e)
+
+    def test_fd_pairs_in_DF(self, db, schema):
+        """The semantically valid pair set is always a DF_e member."""
+        for e in schema:
+            assert in_DF(schema, e, fd_pairs(db, e))
+
+    def test_worksfor_fd_visible(self, db, schema):
+        pairs = fd_pairs(db, schema["worksfor"])
+        assert (schema["employee"], schema["department"]) in pairs
+
+
+class TestMappings:
+    def test_F_restricts_to_G_e(self, db, schema):
+        dm = DependencyMappings(db, schema["person"])
+        f_set = dm.F(schema["manager"])
+        g_person = {schema["person"]}
+        for x, y in f_set:
+            assert x in g_person and y in g_person
+
+    def test_F_requires_specialisation(self, db, schema):
+        dm = DependencyMappings(db, schema["manager"])
+        with pytest.raises(DependencyError):
+            dm.F(schema["department"])
+
+    def test_pF_is_inclusion(self, db, schema):
+        dm = DependencyMappings(db, schema["employee"])
+        mapping = dm.pF(schema["employee"], schema["manager"])
+        for source, target in mapping.items():
+            assert source == target
+
+    def test_pF_respects_propagation(self, db, schema):
+        """F_e(f) subset F_e(g) for g in S_f — the propagation theorem in
+        pair-set form."""
+        dm = DependencyMappings(db, schema["person"])
+        upper = dm.F(schema["employee"])
+        lower = dm.F(schema["manager"])
+        assert upper <= lower
+
+    def test_corollary(self, db, schema):
+        dm = DependencyMappings(db, schema["person"])
+        assert dm.corollary_holds(schema["employee"], schema["manager"])
+
+    def test_syntactic_source(self, db, schema, worksfor_fd):
+        from repro.core import ArmstrongEngine
+
+        engine = ArmstrongEngine(schema, [worksfor_fd])
+
+        def source(f):
+            return frozenset(
+                (fd.determinant, fd.dependent)
+                for fd in engine.derived_in_context(f)
+            )
+
+        dm = DependencyMappings(db, schema["employee"], fd_source=source)
+        f_set = dm.F(schema["manager"])
+        assert (schema["employee"], schema["person"]) in f_set

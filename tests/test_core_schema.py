@@ -1,0 +1,118 @@
+"""Unit tests for entity types and schemas (repro.core.entity_types/schema)."""
+
+import pytest
+
+from repro.core import EntityType, Schema
+from repro.errors import AxiomViolationError, SchemaError
+
+
+class TestEntityType:
+    def test_construction(self):
+        e = EntityType("person", {"name", "age"})
+        assert e.attributes == frozenset({"name", "age"})
+
+    def test_rejects_empty_attribute_set(self):
+        with pytest.raises(SchemaError):
+            EntityType("ghost", set())
+
+    def test_rejects_bad_names(self):
+        with pytest.raises(SchemaError):
+            EntityType("", {"a"})
+        with pytest.raises(SchemaError):
+            EntityType("e", {""})
+
+    def test_specialisation_direction(self):
+        person = EntityType("person", {"name", "age"})
+        employee = EntityType("employee", {"name", "age", "depname"})
+        assert employee.is_specialisation_of(person)
+        assert person.is_generalisation_of(employee)
+        assert not person.is_specialisation_of(employee)
+
+    def test_reflexive_specialisation(self):
+        e = EntityType("e", {"a"})
+        assert e.is_specialisation_of(e) and e.is_generalisation_of(e)
+
+    def test_shared_attributes(self):
+        e1 = EntityType("e1", {"a", "b"})
+        e2 = EntityType("e2", {"b", "c"})
+        assert e1.shared_attributes(e2) == frozenset({"b"})
+
+    def test_sorting_by_name(self):
+        types = sorted([EntityType("b", {"x"}), EntityType("a", {"y"})])
+        assert [t.name for t in types] == ["a", "b"]
+
+
+class TestSchemaValidation:
+    def test_entity_type_axiom_enforced(self):
+        with pytest.raises(AxiomViolationError) as exc:
+            Schema.from_attribute_sets({"e1": {"a"}, "e2": {"a"}})
+        assert exc.value.axiom == "Entity Type Axiom"
+
+    def test_duplicate_names_rejected(self):
+        from repro.core import AttributeUniverse
+
+        universe = AttributeUniverse.from_values({"a": [1], "b": [1]})
+        with pytest.raises(SchemaError):
+            Schema(universe, [EntityType("e", {"a"}), EntityType("e", {"b"})])
+
+    def test_stray_attributes_rejected(self):
+        from repro.core import AttributeUniverse
+
+        universe = AttributeUniverse.from_values({"a": [1]})
+        with pytest.raises(SchemaError):
+            Schema(universe, [EntityType("e", {"zzz"})])
+
+    def test_missing_domains_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema.from_attribute_sets({"e": {"a"}}, domains={"b": [1]})
+
+
+class TestSchemaAccess:
+    def test_lookup(self, schema):
+        assert schema["person"].attributes == frozenset({"name", "age"})
+        with pytest.raises(SchemaError):
+            schema["nothing"]
+        assert schema.get("nothing") is None
+
+    def test_contains(self, schema):
+        assert "person" in schema
+        assert schema["person"] in schema
+        assert EntityType("person", {"other"}) not in schema
+
+    def test_len_iter(self, schema):
+        assert len(schema) == 5
+        assert sorted(e.name for e in schema) == [
+            "department", "employee", "manager", "person", "worksfor",
+        ]
+
+    def test_usage_sets(self, schema):
+        v_budget = {e.name for e in schema.using("budget")}
+        assert v_budget == {"manager"}
+        v_name = {e.name for e in schema.using("name")}
+        assert v_name == {"person", "employee", "manager", "worksfor"}
+
+    def test_usage_family_covers_all(self, schema):
+        family = schema.usage_family()
+        assert set(family) == set(schema.property_names)
+
+    def test_used_property_names(self, schema):
+        assert schema.used_property_names() == frozenset(
+            {"name", "age", "depname", "budget", "location"}
+        )
+
+
+class TestSchemaEdits:
+    def test_with_entity_type(self, schema):
+        grown = schema.with_entity_type(EntityType("veteran", {"name", "age", "budget"}))
+        assert len(grown) == 6
+        assert len(schema) == 5  # original untouched
+
+    def test_with_entity_type_revalidates(self, schema):
+        with pytest.raises(AxiomViolationError):
+            schema.with_entity_type(EntityType("clone", {"name", "age"}))
+
+    def test_without_entity_type(self, schema):
+        smaller = schema.without_entity_type("worksfor")
+        assert len(smaller) == 4
+        with pytest.raises(SchemaError):
+            schema.without_entity_type("nothing")

@@ -1,0 +1,166 @@
+"""Unit tests for semantic implication and soundness/completeness (section 5.2)."""
+
+import random
+
+import pytest
+
+from repro.core import (
+    ArmstrongEngine,
+    EntityFD,
+    a2_union_soundness_example,
+    agreement_report,
+    attribute_theory,
+    completeness_gap_example,
+    counterexample_extension,
+    is_intersection_closed,
+    semantically_implies,
+)
+from repro.core.fd import holds
+
+
+class TestAttributeTheory:
+    def test_premises_from_generalising_contexts_included(self, schema, worksfor_fd):
+        theory = attribute_theory(schema, [worksfor_fd], schema["worksfor"])
+        lhs_sets = {fd.lhs for fd in theory}
+        assert schema["employee"].attributes in lhs_sets
+
+    def test_extension_fds_included(self, schema):
+        theory = attribute_theory(schema, [], schema["manager"])
+        # manager's contributors: employee; extension fd A_employee -> A_manager.
+        assert any(
+            fd.lhs == schema["employee"].attributes
+            and fd.rhs == schema["manager"].attributes
+            for fd in theory
+        )
+
+    def test_extension_fds_excludable(self, schema):
+        theory = attribute_theory(schema, [], schema["manager"],
+                                  with_extension_axiom=False)
+        assert not theory
+
+
+class TestSemanticImplication:
+    def test_trivial_always_implied(self, schema):
+        fd = EntityFD(schema["manager"], schema["employee"], schema["manager"])
+        assert semantically_implies(schema, [], fd)
+
+    def test_premise_implied(self, schema, worksfor_fd):
+        assert semantically_implies(schema, [worksfor_fd], worksfor_fd)
+
+    def test_transitive_consequence(self, schema):
+        p1 = EntityFD(schema["person"], schema["employee"], schema["worksfor"])
+        p2 = EntityFD(schema["employee"], schema["department"], schema["worksfor"])
+        conclusion = EntityFD(schema["person"], schema["department"], schema["worksfor"])
+        assert semantically_implies(schema, [p1, p2], conclusion)
+
+    def test_non_consequence(self, schema):
+        candidate = EntityFD(schema["person"], schema["department"], schema["worksfor"])
+        assert not semantically_implies(schema, [], candidate)
+
+
+class TestCounterexample:
+    def test_none_for_implied(self, schema, worksfor_fd):
+        assert counterexample_extension(schema, [worksfor_fd], worksfor_fd) is None
+
+    def test_witness_for_unimplied(self, schema):
+        candidate = EntityFD(schema["person"], schema["department"], schema["worksfor"])
+        witness = counterexample_extension(schema, [], candidate)
+        assert witness is not None
+        assert witness.is_consistent()
+        assert not holds(candidate, witness)
+
+    def test_person_determines_department_via_extension_axiom(self, schema, worksfor_fd):
+        """CO_employee = {person}, so the Extension Axiom makes a person an
+        employee in at most one way; with the worksfor premise, person then
+        determines department — no counterexample exists."""
+        candidate = EntityFD(schema["person"], schema["department"], schema["worksfor"])
+        assert semantically_implies(schema, [worksfor_fd], candidate)
+        assert counterexample_extension(schema, [worksfor_fd], candidate) is None
+        from repro.core import ArmstrongEngine
+
+        assert ArmstrongEngine(schema, [worksfor_fd]).derivable(candidate)
+
+    def test_witness_satisfies_premises(self, schema, worksfor_fd):
+        candidate = EntityFD(schema["department"], schema["person"], schema["worksfor"])
+        witness = counterexample_extension(schema, [worksfor_fd], candidate)
+        assert witness is not None
+        assert holds(worksfor_fd, witness)
+        assert not holds(candidate, witness)
+
+    def test_witness_has_two_context_tuples(self, schema):
+        candidate = EntityFD(schema["person"], schema["department"], schema["worksfor"])
+        witness = counterexample_extension(schema, [], candidate)
+        assert len(witness.R("worksfor")) == 2
+
+
+class TestSoundnessAndCompleteness:
+    def test_employee_schema_agrees_fully(self, schema, worksfor_fd):
+        report = agreement_report(schema, [worksfor_fd])
+        assert report["agreement_rate"] == 1.0
+        assert not report["sound_violations"]
+        assert not report["completeness_gap"]
+
+    def test_soundness_never_violated_randomly(self, schema, rng):
+        """Derivable implies semantically valid, across random premises."""
+        from repro.workloads import random_premises
+
+        for seed in range(10):
+            local = random.Random(seed)
+            premises = random_premises(local, schema, count=3)
+            report = agreement_report(schema, premises)
+            assert not report["sound_violations"], (seed, premises)
+
+    def test_gap_example(self):
+        schema, premises, candidate = completeness_gap_example()
+        engine = ArmstrongEngine(schema, premises)
+        assert semantically_implies(schema, premises, candidate)
+        assert not engine.derivable(candidate)
+        assert not is_intersection_closed(schema)
+
+    def test_intersection_closing_restores_completeness(self):
+        from repro.workloads import intersection_close
+
+        schema, premises, candidate = completeness_gap_example()
+        closed = intersection_close(schema)
+        assert is_intersection_closed(closed)
+        # Re-anchor the FDs in the closed schema (same names survive).
+        premises2 = [
+            EntityFD(closed[p.determinant.name], closed[p.dependent.name],
+                     closed[p.context.name])
+            for p in premises
+        ]
+        candidate2 = EntityFD(closed[candidate.determinant.name],
+                              closed[candidate.dependent.name],
+                              closed[candidate.context.name])
+        engine = ArmstrongEngine(closed, premises2)
+        assert engine.derivable(candidate2)
+        report = agreement_report(closed, premises2)
+        assert report["completeness_gap"] == []
+
+    def test_a2_union_needs_extension_axiom(self):
+        schema, premises, derived = a2_union_soundness_example()
+        engine = ArmstrongEngine(schema, premises)
+        assert engine.derivable(derived)
+        assert semantically_implies(schema, premises, derived,
+                                    with_extension_axiom=True)
+        assert not semantically_implies(schema, premises, derived,
+                                        with_extension_axiom=False)
+
+
+class TestIntersectionClosedPredicate:
+    def test_employee_schema_not_closed_yet_gap_free(self, schema, worksfor_fd):
+        """Sufficient, not necessary: employee intersect department =
+        {depname} is no entity type, yet the natural premises show no gap."""
+        assert not is_intersection_closed(schema)
+        report = agreement_report(schema, [worksfor_fd])
+        assert report["completeness_gap"] == []
+
+    def test_gap_schema_open(self):
+        schema, _, _ = completeness_gap_example()
+        assert not is_intersection_closed(schema)
+
+    def test_closure_produces_closed_schema(self):
+        from repro.workloads import intersection_close
+
+        schema, _, _ = completeness_gap_example()
+        assert is_intersection_closed(intersection_close(schema))

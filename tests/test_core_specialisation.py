@@ -1,0 +1,98 @@
+"""Unit tests for the specialisation structure (section 3.1)."""
+
+import pytest
+
+from repro.core import SpecialisationStructure
+from repro.core.employee import PAPER_S_SETS
+from repro.errors import SchemaError
+
+
+@pytest.fixture
+def spec(schema):
+    return SpecialisationStructure(schema)
+
+
+class TestVSets:
+    def test_V_name(self, spec):
+        assert {e.name for e in spec.V("name")} == {
+            "person", "employee", "manager", "worksfor",
+        }
+
+    def test_V_budget_singleton(self, spec):
+        assert {e.name for e in spec.V("budget")} == {"manager"}
+
+    def test_L_contains_E_and_all_S(self, spec, schema):
+        family = spec.L()
+        assert schema.entity_types in family
+        for e in schema:
+            assert spec.S(e) in family
+
+
+class TestSSets:
+    def test_paper_values(self, spec, schema):
+        for name, expected in PAPER_S_SETS.items():
+            assert {f.name for f in spec.S(schema[name])} == set(expected)
+
+    def test_intersection_construction_agrees(self, spec):
+        assert spec.cross_check()
+
+    def test_e_in_its_own_S(self, spec, schema):
+        for e in schema:
+            assert e in spec.S(e)
+
+    def test_minimality(self, spec):
+        assert spec.minimality_holds()
+
+    def test_proper_specialisations(self, spec, schema):
+        proper = {e.name for e in spec.proper_specialisations(schema["person"])}
+        assert proper == {"employee", "manager", "worksfor"}
+
+    def test_foreign_entity_rejected(self, spec):
+        from repro.core import EntityType
+
+        with pytest.raises(SchemaError):
+            spec.S(EntityType("alien", {"name"}))
+
+
+class TestTopology:
+    def test_subbase_is_open_cover(self, spec):
+        assert spec.is_open_cover()
+        assert spec.space.is_open_cover(spec.subbase())
+
+    def test_minimal_open_is_S(self, spec):
+        assert spec.minimal_open_is_S()
+
+    def test_every_S_open(self, spec, schema):
+        for e in schema:
+            assert spec.space.is_open(spec.S(e))
+
+    def test_space_is_t0(self, spec):
+        from repro.topology import is_t0
+
+        assert is_t0(spec.space)
+
+
+class TestISA:
+    def test_strictness_from_entity_axiom(self, spec):
+        assert spec.entity_type_axiom_forces_strictness()
+
+    def test_isa_pairs(self, spec, schema):
+        pairs = {(x.name, y.name) for x, y in spec.isa_pairs()}
+        assert ("manager", "employee") in pairs
+        assert ("manager", "person") in pairs
+        assert ("employee", "person") in pairs
+        assert ("worksfor", "department") in pairs
+        assert ("person", "employee") not in pairs
+
+    def test_hasse_drops_transitive_edge(self, spec):
+        edges = {(x.name, y.name) for x, y in spec.isa_hasse()}
+        assert ("manager", "employee") in edges
+        assert ("manager", "person") not in edges  # via employee
+
+    def test_roots_and_leaves(self, spec):
+        assert {e.name for e in spec.roots()} == {"person", "department"}
+        assert {e.name for e in spec.leaves()} == {"manager", "worksfor"}
+
+    def test_is_specialisation(self, spec, schema):
+        assert spec.is_specialisation(schema["manager"], schema["person"])
+        assert not spec.is_specialisation(schema["person"], schema["manager"])

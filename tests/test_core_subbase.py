@@ -1,0 +1,72 @@
+"""Unit tests for subbase choice and constructed types (section 3.1)."""
+
+import pytest
+
+from repro.core import (
+    SubbaseChoice,
+    designer_bias_report,
+    minimal_subbase_choices,
+    redundant_types,
+)
+from repro.core.employee import PAPER_CONSTRUCTED, PAPER_SUBBASE
+from repro.errors import SchemaError
+
+
+class TestPaperResult:
+    def test_paper_subbase_valid(self, schema):
+        choice = SubbaseChoice(schema, PAPER_SUBBASE)
+        assert choice.is_valid()
+
+    def test_worksfor_constructed(self, schema):
+        choice = SubbaseChoice(schema, PAPER_SUBBASE)
+        assert {e.name for e in choice.constructed_types()} == set(PAPER_CONSTRUCTED)
+
+    def test_worksfor_expression(self, schema):
+        """S_worksfor = S_employee intersect S_department (plus S_person,
+        which is redundant in the intersection)."""
+        choice = SubbaseChoice(schema, PAPER_SUBBASE)
+        expr = choice.expression_for(schema["worksfor"])
+        names = {e.name for e in expr}
+        assert "employee" in names and "department" in names
+
+    def test_paper_subbase_is_the_unique_minimal(self, schema):
+        choices = minimal_subbase_choices(schema)
+        assert len(choices) == 1
+        assert {e.name for e in choices[0]} == set(PAPER_SUBBASE)
+
+
+class TestValidation:
+    def test_insufficient_choice_rejected(self, schema):
+        with pytest.raises(SchemaError):
+            SubbaseChoice(schema, {"person", "department"})
+
+    def test_full_choice_always_valid(self, schema):
+        choice = SubbaseChoice(schema, [e.name for e in schema])
+        assert choice.is_valid()
+        assert not choice.constructed_types()
+
+
+class TestRedundancy:
+    def test_only_worksfor_redundant(self, schema):
+        assert {e.name for e in redundant_types(schema)} == {"worksfor"}
+
+    def test_bias_report(self, schema):
+        report = designer_bias_report(schema)
+        assert {e.name for e in report["redundant"]} == {"worksfor"}
+        assert {e.name for e in report["essential"]} == set(PAPER_SUBBASE)
+
+    def test_schema_with_multiple_choices(self):
+        """x and y generate each other's role here: two minimal subbases.
+
+        With types a={p}, b={q}, ab={p,q}: S_a={a,ab}, S_b={b,ab},
+        S_ab={ab} = S_a intersect S_b, so ab is constructed; a and b are
+        both essential.  Adding c={p,q,r} gives S_c={c} ... keep simple:
+        check the three-type case has exactly one minimal subbase {a, b}.
+        """
+        from repro.core import Schema
+
+        schema = Schema.from_attribute_sets({
+            "a": {"p"}, "b": {"q"}, "ab": {"p", "q"},
+        })
+        choices = minimal_subbase_choices(schema)
+        assert [{e.name for e in c} for c in choices] == [{"a", "b"}]

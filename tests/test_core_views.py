@@ -1,0 +1,126 @@
+"""Unit tests for entity view types and view updates (section 2)."""
+
+import pytest
+
+from repro.core import (
+    EntityViewType,
+    ViewInstance,
+    ViewUpdate,
+    decompose_presented_tuple,
+    translation_count,
+)
+from repro.errors import ViewError
+from repro.relational import Tuple
+
+
+@pytest.fixture
+def staffing_view(schema):
+    return EntityViewType("staffing", {schema["employee"], schema["department"]})
+
+
+class TestViewType:
+    def test_view_axiom_valid(self, schema, staffing_view):
+        staffing_view.validate(schema)
+
+    def test_view_axiom_rejects_foreign_member(self, schema):
+        from repro.core import EntityType
+
+        alien = EntityType("alien", {"name"})
+        view = EntityViewType("bad", {alien})
+        with pytest.raises(ViewError):
+            view.validate(schema)
+
+    def test_empty_view_rejected(self):
+        with pytest.raises(ViewError):
+            EntityViewType("empty", set())
+
+    def test_attributes_union(self, staffing_view):
+        assert staffing_view.attributes() == frozenset(
+            {"name", "age", "depname", "location"}
+        )
+
+
+class TestViewInstance:
+    def test_member_relations(self, db, schema, staffing_view):
+        instance = ViewInstance(staffing_view, db)
+        assert instance.member_relation("employee") == db.R("employee")
+        assert instance.member_relation(schema["department"]) == db.R("department")
+
+    def test_non_member_rejected(self, db, schema, staffing_view):
+        instance = ViewInstance(staffing_view, db)
+        with pytest.raises(ViewError):
+            instance.member_relation("manager")
+
+    def test_presented_relation_is_join(self, db, staffing_view):
+        presented = ViewInstance(staffing_view, db).presented_relation()
+        assert presented.schema == staffing_view.attributes()
+        assert len(presented) == 3  # one row per employee, dept joined
+
+
+class TestViewUpdate:
+    def test_insert_translates_uniquely(self, db, schema, staffing_view):
+        update = ViewUpdate(
+            staffing_view, "insert", schema["employee"],
+            Tuple({"name": "eva", "age": 47, "depname": "sales"}),
+        )
+        assert translation_count(update, db) == 1
+        updated = update.translate(db)
+        assert {"name": "eva", "age": 47, "depname": "sales"} in updated.R("employee")
+        # propagation kept containment intact:
+        assert updated.satisfies_containment()
+
+    def test_delete_translates_uniquely(self, db, schema, staffing_view):
+        update = ViewUpdate(
+            staffing_view, "delete", schema["employee"],
+            Tuple({"name": "cas", "age": 28, "depname": "sales"}),
+        )
+        updated = update.translate(db)
+        assert {"name": "cas", "age": 28, "depname": "sales"} not in updated.R("employee")
+        assert updated.satisfies_containment()
+
+    def test_member_must_belong_to_view(self, db, schema, staffing_view):
+        update = ViewUpdate(
+            staffing_view, "insert", schema["manager"],
+            Tuple({"name": "eva", "age": 47, "depname": "sales", "budget": 100}),
+        )
+        with pytest.raises(ViewError):
+            update.translate(db)
+
+    def test_row_schema_checked(self, db, schema, staffing_view):
+        update = ViewUpdate(
+            staffing_view, "insert", schema["employee"], Tuple({"name": "eva"}),
+        )
+        with pytest.raises(ViewError):
+            update.translate(db)
+
+    def test_unknown_kind_rejected(self, db, schema, staffing_view):
+        update = ViewUpdate(
+            staffing_view, "upsert", schema["employee"],
+            Tuple({"name": "eva", "age": 47, "depname": "sales"}),
+        )
+        with pytest.raises(ViewError):
+            update.translate(db)
+
+
+class TestDecomposition:
+    def test_presented_tuple_decomposes_uniquely(self, schema, staffing_view):
+        row = {"name": "ann", "age": 31, "depname": "sales", "location": "amsterdam"}
+        parts = decompose_presented_tuple(staffing_view, row)
+        assert parts[schema["employee"]] == Tuple(
+            {"name": "ann", "age": 31, "depname": "sales"}
+        )
+        assert parts[schema["department"]] == Tuple(
+            {"depname": "sales", "location": "amsterdam"}
+        )
+
+    def test_missing_attributes_detected(self, staffing_view):
+        with pytest.raises(ViewError):
+            decompose_presented_tuple(staffing_view, {"name": "ann"})
+
+    def test_roundtrip_through_presented_join(self, db, schema, staffing_view):
+        """Every presented row decomposes back onto stored instances."""
+        presented = ViewInstance(staffing_view, db).presented_relation()
+        for row in presented.tuples:
+            parts = decompose_presented_tuple(staffing_view, row)
+            assert parts[schema["employee"]] in db.R("employee")
+            assert parts[schema["department"]] in db.R("department")

@@ -1,0 +1,154 @@
+"""Unit tests for the EAR baseline and its translation (repro.ear)."""
+
+import pytest
+
+from repro.core import canonical_contributors
+from repro.ear import (
+    EAREntitySet,
+    EARRelationshipSet,
+    EARSchema,
+    employee_ear_schema,
+    translate,
+)
+from repro.errors import SchemaError
+
+
+class TestModel:
+    def test_entity_needs_attributes(self):
+        with pytest.raises(SchemaError):
+            EAREntitySet("empty", frozenset())
+
+    def test_relationship_cardinality_checked(self):
+        with pytest.raises(SchemaError):
+            EARRelationshipSet("r", "a", "b", cardinality="many")
+
+    def test_recursive_relationship_rejected(self):
+        with pytest.raises(SchemaError):
+            EARRelationshipSet("r", "a", "a")
+
+    def test_total_must_be_participant(self):
+        with pytest.raises(SchemaError):
+            EARRelationshipSet("r", "a", "b", total=frozenset({"c"}))
+
+    def test_schema_name_uniqueness(self):
+        with pytest.raises(SchemaError):
+            EARSchema(
+                entities=[
+                    EAREntitySet("x", frozenset({"a"})),
+                    EAREntitySet("x", frozenset({"b"})),
+                ],
+            )
+
+    def test_unknown_participant(self):
+        with pytest.raises(SchemaError):
+            EARSchema(
+                entities=[EAREntitySet("x", frozenset({"a"}))],
+                relationships=[EARRelationshipSet("r", "x", "ghost")],
+            )
+
+
+class TestTranslation:
+    def test_employee_ear_translates(self):
+        result = translate(employee_ear_schema())
+        schema = result.schema
+        assert {"employee", "department", "worksfor"} <= {e.name for e in schema}
+        worksfor = schema["worksfor"]
+        assert worksfor.attributes == frozenset({"name", "age", "depname", "location"})
+
+    def test_contributors_are_participants(self):
+        result = translate(employee_ear_schema())
+        cos = result.contributors.contributors(result.schema["worksfor"])
+        assert {c.name for c in cos} == {"employee", "department"}
+
+    def test_contributors_match_canonical(self):
+        result = translate(employee_ear_schema())
+        canonical = canonical_contributors(result.schema, result.schema["worksfor"])
+        assert result.contributors.contributors(result.schema["worksfor"]) == canonical
+        assert result.notes == []
+
+    def test_cardinality_becomes_fd(self):
+        result = translate(employee_ear_schema())
+        fds = result.constraints.functional_dependencies()
+        assert any(
+            fd.determinant.name == "employee" and fd.dependent.name == "department"
+            for fd in fds
+        )
+
+    def test_total_participation_constraint(self):
+        result = translate(employee_ear_schema())
+        names = [c.name for c in result.constraints.constraints]
+        assert any("total(employee" in n for n in names)
+
+    def test_attribute_collision_renamed(self):
+        ear = EARSchema(
+            entities=[
+                EAREntitySet("person", frozenset({"name"})),
+                EAREntitySet("company", frozenset({"name", "city"})),
+            ],
+            relationships=[EARRelationshipSet("employs", "company", "person")],
+        )
+        result = translate(ear)
+        assert result.renamed_attributes
+        # The relationship type keeps both roles distinct:
+        employs = result.schema["employs"]
+        assert len(employs.attributes) == 3
+
+    def test_entity_overlapping_relationship_resolved_by_renaming(self):
+        """An entity set sharing attributes with a relationship's union is
+        rescued by the role-renaming pass — the Attribute Axiom in action."""
+        ear = EARSchema(
+            entities=[
+                EAREntitySet("a", frozenset({"x"})),
+                EAREntitySet("b", frozenset({"y"})),
+                EAREntitySet("ab_twin", frozenset({"x", "y"})),
+            ],
+            relationships=[EARRelationshipSet("r", "a", "b")],
+        )
+        result = translate(ear)
+        assert result.renamed_attributes
+        assert result.schema["ab_twin"].attributes != result.schema["r"].attributes
+
+    def test_identical_compiled_sets_rejected(self):
+        """Two relationships over the same participants with no descriptive
+        attributes compile to one attribute set: irreparably synonymous."""
+        ear = EARSchema(
+            entities=[
+                EAREntitySet("a", frozenset({"x"})),
+                EAREntitySet("b", frozenset({"y"})),
+            ],
+            relationships=[
+                EARRelationshipSet("r1", "a", "b"),
+                EARRelationshipSet("r2", "a", "b"),
+            ],
+        )
+        with pytest.raises(SchemaError):
+            translate(ear)
+
+    def test_one_to_one_compiles_two_fds(self):
+        ear = EARSchema(
+            entities=[
+                EAREntitySet("a", frozenset({"x"})),
+                EAREntitySet("b", frozenset({"y"})),
+            ],
+            relationships=[EARRelationshipSet("r", "a", "b", cardinality="1:1")],
+        )
+        result = translate(ear)
+        assert len(result.constraints.functional_dependencies()) == 2
+
+    def test_round_trip_on_extension(self, db):
+        """The translated schema accepts the paper's employee data."""
+        from repro.core import DatabaseExtension
+
+        result = translate(employee_ear_schema(), domains={
+            "name": ["ann", "bob", "cas", "dee", "eva", "fay"],
+            "age": [28, 31, 35, 42, 47, 53],
+            "depname": ["sales", "research", "admin"],
+            "location": ["amsterdam", "utrecht", "delft"],
+        })
+        translated_db = DatabaseExtension(result.schema, {
+            "employee": [{"name": t["name"], "age": t["age"]}
+                         for t in db.R("person").tuples],
+            "department": list(db.R("department").tuples),
+            "worksfor": list(db.R("worksfor").tuples),
+        }, result.contributors)
+        assert translated_db.satisfies_containment()

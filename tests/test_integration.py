@@ -1,0 +1,169 @@
+"""Cross-module integration scenarios: design -> populate -> constrain ->
+evolve, and the baseline comparisons."""
+
+import random
+
+import pytest
+
+from repro.core import (
+    AddEntityType,
+    ArmstrongEngine,
+    ConstraintSet,
+    DatabaseExtension,
+    DesignDraft,
+    DraftEntity,
+    EntityFD,
+    EntityViewType,
+    FunctionalConstraint,
+    SpecialisationStructure,
+    ViewUpdate,
+    analyse,
+    check_all,
+    run_design_process,
+)
+from repro.relational import Tuple
+
+
+class TestDesignToDatabaseLifecycle:
+    """A full lifecycle on a second domain: a university database."""
+
+    @pytest.fixture
+    def university(self):
+        draft = DesignDraft(
+            domains={
+                "sname": ["sue", "tom", "una"],
+                "year": [1, 2, 3],
+                "cname": ["db", "os", "ai"],
+                "credits": [5, 10],
+                "grade": [6, 7, 8, 9],
+            },
+            entities=[
+                DraftEntity("student", frozenset({"sname", "year"})),
+                DraftEntity("course", frozenset({"cname", "credits"})),
+                DraftEntity(
+                    "enrolled",
+                    frozenset({"sname", "year", "cname", "credits", "grade"}),
+                    is_relationship=True,
+                    claimed_contributors=frozenset({"student", "course"}),
+                ),
+            ],
+        )
+        report = run_design_process(draft)
+        assert report.schema is not None
+        return report.schema
+
+    def test_design_produces_valid_schema(self, university):
+        assert check_all(university).ok()
+
+    def test_topology_structure(self, university):
+        spec = SpecialisationStructure(university)
+        assert {e.name for e in spec.roots()} == {"student", "course"}
+        assert {e.name for e in spec.leaves()} == {"enrolled"}
+
+    def test_populate_and_constrain(self, university):
+        db = DatabaseExtension(university, {
+            "student": [{"sname": "sue", "year": 2}, {"sname": "tom", "year": 1}],
+            "course": [{"cname": "db", "credits": 10}],
+            "enrolled": [
+                {"sname": "sue", "year": 2, "cname": "db", "credits": 10, "grade": 8},
+            ],
+        })
+        assert db.is_consistent()
+        fd = EntityFD(university["student"], university["course"],
+                      university["enrolled"])
+        constraints = ConstraintSet(university, [FunctionalConstraint(fd)])
+        assert constraints.holds(db)
+
+    def test_view_update_cycle(self, university):
+        db = DatabaseExtension(university, {
+            "student": [{"sname": "sue", "year": 2}],
+            "course": [{"cname": "db", "credits": 10}],
+        })
+        view = EntityViewType("catalogue", {university["course"]})
+        update = ViewUpdate(view, "insert", university["course"],
+                            Tuple({"cname": "os", "credits": 5}))
+        updated = update.translate(db)
+        assert len(updated.R("course")) == 2
+        assert updated.is_consistent()
+
+    def test_evolution_roundtrip(self, university):
+        db = DatabaseExtension(university, {
+            "student": [{"sname": "sue", "year": 2}],
+        })
+        report = analyse(db, AddEntityType(
+            "honours", frozenset({"sname", "year", "grade"}),
+        ))
+        assert report.information_preserved
+        assert report.intension_embeds
+        assert report.migrated is not None
+        assert report.migrated.R("honours").schema == frozenset(
+            {"sname", "year", "grade"}
+        )
+
+
+class TestArmstrongOverConstraints:
+    def test_cardinalities_feed_the_engine(self, schema, db, constraints):
+        """Constraint-declared FDs drive derivations that hold in the state."""
+        from repro.core.fd import holds
+
+        premises = constraints.functional_dependencies()
+        engine = ArmstrongEngine(schema, premises)
+        for fd in engine.closure():
+            assert holds(fd, db), fd
+
+
+class TestBaselineComparison:
+    def test_ur_ambiguity_vs_view_axiom(self, db, schema):
+        """E12's core claim in one test: UR >= 2 translations, axiom model 1."""
+        from repro.core import translation_count
+        from repro.universal import UniversalRelation, insertion_translations
+
+        ur = UniversalRelation.from_extension(db)
+        ur_count = len(insertion_translations(ur, {"name": "eva", "age": 47}))
+        view = EntityViewType("people", {schema["person"]})
+        update = ViewUpdate(view, "insert", schema["person"],
+                            Tuple({"name": "eva", "age": 47}))
+        axiom_count = translation_count(update, db)
+        assert axiom_count == 1
+        assert ur_count > axiom_count
+
+    def test_ear_translation_validates(self, db):
+        """EAR -> axiom model -> axiom checks, end to end."""
+        from repro.ear import employee_ear_schema, translate
+
+        result = translate(employee_ear_schema())
+        report = check_all(result.schema,
+                           constraints=result.constraints.constraints,
+                           contributors=result.contributors)
+        assert report.ok()
+
+
+class TestFailureInjectionPipeline:
+    def test_detect_and_repair(self, rng, schema):
+        """Inject a violation, detect it with the axiom checkers, repair it
+        with the deletion fixpoint, and verify the final state."""
+        from repro.workloads import (
+            enforce_extension_axiom,
+            inject_injectivity_violation,
+            random_extension,
+        )
+
+        db = random_extension(rng, schema, rows_per_leaf=3)
+        broken = inject_injectivity_violation(rng, db)
+        report = check_all(schema, broken)
+        assert not report.ok()
+        repaired = enforce_extension_axiom(broken)
+        assert check_all(schema, repaired).ok()
+
+
+class TestScaleSmoke:
+    def test_mid_size_schema_pipeline(self):
+        """30 types / 12 attributes: the structures stay responsive."""
+        from repro.workloads import random_extension, random_schema
+
+        rng = random.Random(99)
+        schema = random_schema(rng, n_attrs=12, n_types=30, shape="tree")
+        spec = SpecialisationStructure(schema)
+        assert spec.cross_check()
+        db = random_extension(rng, schema, rows_per_leaf=2)
+        assert db.is_consistent()

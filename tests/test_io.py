@@ -1,0 +1,112 @@
+"""Unit tests for JSON import/export (repro.io)."""
+
+import json
+
+import pytest
+
+from repro import io
+from repro.core.employee import employee_constraints, employee_extension
+from repro.errors import SchemaError
+
+
+class TestSchemaRoundtrip:
+    def test_schema_to_from(self, schema):
+        data = io.schema_to_dict(schema)
+        rebuilt = io.schema_from_dict(data)
+        assert rebuilt == schema
+
+    def test_missing_entity_types(self):
+        with pytest.raises(SchemaError):
+            io.schema_from_dict({"domains": {}})
+
+    def test_json_serialisable(self, schema):
+        text = json.dumps(io.schema_to_dict(schema))
+        assert "worksfor" in text
+
+
+class TestExtensionRoundtrip:
+    def test_extension_to_from(self, db):
+        data = io.extension_to_dict(db)
+        rebuilt = io.extension_from_dict(data)
+        assert rebuilt == db
+
+    def test_empty_relations_omitted(self, schema):
+        from repro.core import DatabaseExtension
+
+        db = DatabaseExtension(schema)
+        data = io.extension_to_dict(db)
+        assert data.get("relations", {}) == {}
+
+    def test_contributor_overrides_roundtrip(self, schema):
+        from repro.core import ContributorAssignment, DatabaseExtension
+
+        contributors = ContributorAssignment(schema, {"manager": ["person"]})
+        db = DatabaseExtension(schema, {}, contributors)
+        data = io.extension_to_dict(db)
+        assert data["contributors"] == {"manager": ["person"]}
+        rebuilt = io.extension_from_dict(data)
+        assert rebuilt.contributors.contributors(schema["manager"]) == \
+            frozenset({schema["person"]})
+
+
+class TestConstraintsRoundtrip:
+    def test_all_builtin_kinds(self, schema, constraints):
+        items = io.constraints_to_list(constraints)
+        kinds = {item["kind"] for item in items}
+        assert {"subset", "cardinality"} <= kinds
+        rebuilt = io.constraints_from_list(schema, items)
+        assert io.constraints_to_list(rebuilt) == items
+
+    def test_unknown_kind_rejected(self, schema):
+        with pytest.raises(SchemaError):
+            io.constraints_from_list(schema, [{"kind": "mystery"}])
+
+    def test_unserialisable_constraint_rejected(self, schema):
+        from repro.core import ConstraintSet, DomainConstraint
+
+        constraints = ConstraintSet(schema, [
+            DomainConstraint("custom", schema["person"], lambda r: True),
+        ])
+        with pytest.raises(SchemaError):
+            io.constraints_to_list(constraints)
+
+
+class TestFileRoundtrip:
+    def test_save_load(self, tmp_path, db, constraints):
+        path = tmp_path / "employee.json"
+        io.save(path, db, constraints)
+        loaded_db, loaded_constraints = io.load(path)
+        assert loaded_db == db
+        assert loaded_db.is_consistent()
+        assert loaded_constraints.holds(loaded_db)
+
+    def test_document_is_stable(self, tmp_path, db, constraints):
+        p1, p2 = tmp_path / "a.json", tmp_path / "b.json"
+        io.save(p1, db, constraints)
+        io.save(p2, db, constraints)
+        assert p1.read_text() == p2.read_text()
+
+    def test_hand_written_document(self, tmp_path):
+        path = tmp_path / "tiny.json"
+        path.write_text(json.dumps({
+            "domains": {"a": [1, 2], "b": [1, 2]},
+            "entity_types": {"x": ["a"], "xy": ["a", "b"]},
+            "relations": {"xy": [{"a": 1, "b": 2}], "x": [{"a": 1}]},
+            "constraints": [
+                {"kind": "subset", "special": "xy", "general": "x"},
+            ],
+        }))
+        db, constraints = io.load(path)
+        assert db.is_consistent()
+        assert constraints.holds(db)
+
+    def test_validation_on_load(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({
+            "domains": {"a": [1]},
+            "entity_types": {"x": ["a"], "y": ["a"]},  # Entity Type Axiom!
+        }))
+        from repro.errors import AxiomViolationError
+
+        with pytest.raises(AxiomViolationError):
+            io.load(path)

@@ -1,0 +1,167 @@
+"""Unit tests for boolean-algebra domains and incomplete information."""
+
+import pytest
+
+from repro.errors import IncompleteInformationError
+from repro.nulls import (
+    IncompleteRelation,
+    IncompleteValue,
+    PowersetAlgebra,
+    certain_fds_monotone,
+    is_homomorphism,
+)
+from repro.relational import FD
+
+
+class TestAlgebra:
+    def test_structure(self):
+        algebra = PowersetAlgebra("ab")
+        assert algebra.top == frozenset("ab")
+        assert algebra.bottom == frozenset()
+        assert algebra.is_atom(frozenset({"a"}))
+        assert not algebra.is_atom(algebra.top)
+
+    def test_needs_atoms(self):
+        with pytest.raises(IncompleteInformationError):
+            PowersetAlgebra([])
+
+    def test_operations(self):
+        algebra = PowersetAlgebra("abc")
+        x, y = frozenset("ab"), frozenset("bc")
+        assert algebra.meet(x, y) == frozenset("b")
+        assert algebra.join(x, y) == frozenset("abc")
+        assert algebra.complement(x) == frozenset("c")
+
+    def test_element_validation(self):
+        algebra = PowersetAlgebra("ab")
+        with pytest.raises(IncompleteInformationError):
+            algebra.element({"z"})
+
+    def test_leq_is_specificity(self):
+        algebra = PowersetAlgebra("ab")
+        assert algebra.leq(frozenset("a"), algebra.top)
+        assert not algebra.leq(algebra.top, frozenset("a"))
+
+    def test_elements_count(self):
+        assert len(PowersetAlgebra("abc").elements()) == 8
+
+    def test_laws_exhaustive_small(self):
+        algebra = PowersetAlgebra("ab")
+        elements = algebra.elements()
+        for x in elements:
+            for y in elements:
+                for z in elements:
+                    assert algebra.satisfies_lattice_laws(x, y, z)
+                    assert algebra.satisfies_boolean_laws(x, y, z)
+
+    def test_identity_homomorphism(self):
+        algebra = PowersetAlgebra("ab")
+        identity = {e: e for e in algebra.elements()}
+        assert is_homomorphism(algebra, algebra, identity)
+
+    def test_non_homomorphism(self):
+        algebra = PowersetAlgebra("ab")
+        swap = {e: algebra.complement(e) for e in algebra.elements()}
+        assert not is_homomorphism(algebra, algebra, swap)
+
+
+class TestIncompleteValue:
+    def test_known_and_null(self):
+        v = IncompleteValue.known(3)
+        assert v.is_definite() and v.definite_value() == 3
+        null = IncompleteValue.null(range(4))
+        assert not null.is_definite()
+
+    def test_empty_rejected(self):
+        with pytest.raises(IncompleteInformationError):
+            IncompleteValue([])
+
+    def test_refine(self):
+        v = IncompleteValue({1, 2, 3}).refine(IncompleteValue({2, 3, 4}))
+        assert v.possible == frozenset({2, 3})
+
+    def test_contradictory_refine(self):
+        with pytest.raises(IncompleteInformationError):
+            IncompleteValue({1}).refine(IncompleteValue({2}))
+
+
+class TestIncompleteRelation:
+    def build(self, rows):
+        return IncompleteRelation(
+            ["k", "v"], {"k": [1, 2], "v": ["x", "y"]}, rows,
+        )
+
+    def test_schema_checked(self):
+        rel = self.build([])
+        with pytest.raises(IncompleteInformationError):
+            rel.add_row({"k": 1})
+
+    def test_domain_checked(self):
+        with pytest.raises(IncompleteInformationError):
+            self.build([{"k": 1, "v": "zzz"}])
+
+    def test_completion_count(self):
+        rel = self.build([
+            {"k": 1, "v": IncompleteValue.null(["x", "y"])},
+            {"k": 2, "v": "x"},
+        ])
+        assert rel.completion_count() == 2
+        assert len(rel.completions()) == 2
+
+    def test_completion_limit(self):
+        rel = self.build([
+            {"k": IncompleteValue.null([1, 2]), "v": IncompleteValue.null(["x", "y"])}
+            for _ in range(4)
+        ])
+        with pytest.raises(IncompleteInformationError):
+            rel.completions(limit=10)
+
+    def test_certain_vs_possible(self):
+        fd = FD({"k"}, {"v"})
+        definite = self.build([{"k": 1, "v": "x"}, {"k": 2, "v": "y"}])
+        assert definite.fd_certain(fd) and definite.fd_possible(fd)
+        ambiguous = self.build([
+            {"k": 1, "v": "x"},
+            {"k": 1, "v": IncompleteValue.null(["x", "y"])},
+        ])
+        assert not ambiguous.fd_certain(fd)
+        assert ambiguous.fd_possible(fd)  # completion with v=x works
+
+    def test_certainly_violated(self):
+        fd = FD({"k"}, {"v"})
+        broken = self.build([{"k": 1, "v": "x"}, {"k": 1, "v": "y"}])
+        assert not broken.fd_possible(fd)
+
+
+class TestCarryOver:
+    def test_refinement_preserves_certainty(self):
+        fd = FD({"k"}, {"v"})
+        vague = IncompleteRelation(
+            ["k", "v"], {"k": [1], "v": ["x", "y"]},
+            [{"k": 1, "v": IncompleteValue.null(["x", "y"])}],
+        )
+        sharp = IncompleteRelation(
+            ["k", "v"], {"k": [1], "v": ["x", "y"]},
+            [{"k": 1, "v": "x"}],
+        )
+        assert sharp.information_order_leq(vague)
+        assert certain_fds_monotone(sharp, vague, fd)
+
+    def test_unordered_pair_rejected(self):
+        fd = FD({"k"}, {"v"})
+        one = IncompleteRelation(["k", "v"], {"k": [1], "v": ["x"]},
+                                 [{"k": 1, "v": "x"}])
+        two = IncompleteRelation(["k", "v"], {"k": [1], "v": ["x"]}, [])
+        with pytest.raises(IncompleteInformationError):
+            certain_fds_monotone(one, two, fd)
+
+    def test_independence_from_entity_structure(self):
+        """The same incomplete relation gives the same FD verdicts no
+        matter which entity type's attributes it instantiates — the
+        semantics mentions only the value algebra (contrast with Reiter)."""
+        fd = FD({"k"}, {"v"})
+        rows = [{"k": 1, "v": IncompleteValue.null(["x", "y"])}]
+        as_person = IncompleteRelation(["k", "v"], {"k": [1], "v": ["x", "y"]}, rows)
+        as_department = IncompleteRelation(["k", "v"], {"k": [1], "v": ["x", "y"]}, rows)
+        assert as_person.fd_certain(fd) == as_department.fd_certain(fd)
+        assert as_person.fd_possible(fd) == as_department.fd_possible(fd)

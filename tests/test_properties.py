@@ -1,0 +1,249 @@
+"""Property-based tests (hypothesis) for the core invariants.
+
+Strategies build small random attribute-set families (valid schemas by
+construction) and random consistent extensions; the properties are the
+paper's structural laws, checked over the whole generated space.
+"""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (
+    ArmstrongEngine,
+    GeneralisationStructure,
+    SpecialisationStructure,
+    agreement_report,
+    canonical_contributors,
+    nucleus,
+    transitive_closure,
+    verify_corollary,
+)
+from repro.relational import (
+    FD,
+    Relation,
+    closure,
+    implies,
+    minimal_cover,
+    natural_join,
+    project,
+)
+from repro.topology import (
+    alexandrov_space,
+    is_t0,
+    specialisation_preorder,
+    topology_from_subbase,
+)
+from repro.workloads import random_extension, random_premises, schema_of_attribute_sets
+
+ATTRS = ["a", "b", "c", "d", "e"]
+
+attr_sets = st.sets(
+    st.sets(st.sampled_from(ATTRS), min_size=1, max_size=4).map(frozenset),
+    min_size=1,
+    max_size=6,
+)
+
+point_families = st.sets(
+    st.sets(st.sampled_from("pqrst"), max_size=4).map(frozenset),
+    min_size=0,
+    max_size=5,
+)
+
+
+def build_schema(sets):
+    return schema_of_attribute_sets(sets)
+
+
+class TestTopologyProperties:
+    @given(family=point_families)
+    @settings(max_examples=60, deadline=None)
+    def test_subbase_generation_yields_topology(self, family):
+        """The generated family always satisfies the topology axioms
+        (FiniteSpace validates on construction)."""
+        points = frozenset("pqrst")
+        space = topology_from_subbase(points, family)
+        assert space.is_open(frozenset()) and space.is_open(points)
+
+    @given(family=point_families)
+    @settings(max_examples=60, deadline=None)
+    def test_alexandrov_roundtrip(self, family):
+        points = frozenset("pqrst")
+        space = topology_from_subbase(points, family)
+        up = specialisation_preorder(space)
+        rebuilt = alexandrov_space(points, up)
+        assert rebuilt.opens == space.opens
+
+    @given(family=point_families)
+    @settings(max_examples=40, deadline=None)
+    def test_interior_closure_duality(self, family):
+        points = frozenset("pqrst")
+        space = topology_from_subbase(points, family)
+        subset = frozenset("pq")
+        assert space.interior(subset) == points - space.closure(points - subset)
+
+
+class TestIntensionProperties:
+    @given(sets=attr_sets)
+    @settings(max_examples=80, deadline=None)
+    def test_S_and_G_duality(self, sets):
+        schema = build_schema(sets)
+        spec = SpecialisationStructure(schema)
+        gen = GeneralisationStructure(schema)
+        for x in schema:
+            for y in schema:
+                assert (y in spec.S(x)) == (x in gen.G(y))
+
+    @given(sets=attr_sets)
+    @settings(max_examples=60, deadline=None)
+    def test_constructions_cross_check(self, sets):
+        schema = build_schema(sets)
+        assert SpecialisationStructure(schema).cross_check()
+        assert GeneralisationStructure(schema).cross_check()
+
+    @given(sets=attr_sets)
+    @settings(max_examples=60, deadline=None)
+    def test_minimal_opens_are_S_sets(self, sets):
+        schema = build_schema(sets)
+        spec = SpecialisationStructure(schema)
+        assert spec.minimal_open_is_S()
+
+    @given(sets=attr_sets)
+    @settings(max_examples=60, deadline=None)
+    def test_intension_topology_is_t0(self, sets):
+        """The Entity Type Axiom forces T0."""
+        schema = build_schema(sets)
+        assert is_t0(SpecialisationStructure(schema).space)
+
+    @given(sets=attr_sets)
+    @settings(max_examples=60, deadline=None)
+    def test_S_intersect_G_is_singleton(self, sets):
+        """S_x intersect G_x == {x} — the paper's general observation."""
+        schema = build_schema(sets)
+        spec = SpecialisationStructure(schema)
+        gen = GeneralisationStructure(schema)
+        for x in schema:
+            assert spec.S(x) & gen.G(x) == frozenset({x})
+
+    @given(sets=attr_sets)
+    @settings(max_examples=60, deadline=None)
+    def test_contributors_are_maximal_proper_generalisations(self, sets):
+        schema = build_schema(sets)
+        gen = GeneralisationStructure(schema)
+        for e in schema:
+            cos = canonical_contributors(schema, e)
+            for c in cos:
+                assert c in gen.G(e) and c != e
+                # no strictly-between type:
+                for g in gen.G(e):
+                    if g not in (e, c):
+                        assert not (c.attributes < g.attributes)
+
+    @given(sets=attr_sets)
+    @settings(max_examples=40, deadline=None)
+    def test_nucleus_transitively_closed(self, sets):
+        schema = build_schema(sets)
+        for e in schema:
+            n = nucleus(schema, e)
+            assert transitive_closure(n) == n
+
+
+class TestExtensionProperties:
+    @given(sets=attr_sets, seed=st.integers(min_value=0, max_value=2**16))
+    @settings(max_examples=30, deadline=None)
+    def test_generated_extensions_consistent(self, sets, seed):
+        schema = build_schema(sets)
+        db = random_extension(random.Random(seed), schema, rows_per_leaf=2)
+        assert db.satisfies_containment()
+        assert db.satisfies_extension_axiom()
+
+    @given(sets=attr_sets, seed=st.integers(min_value=0, max_value=2**16))
+    @settings(max_examples=20, deadline=None)
+    def test_mapping_corollary_on_random_states(self, sets, seed):
+        schema = build_schema(sets)
+        db = random_extension(random.Random(seed), schema, rows_per_leaf=2)
+        assert verify_corollary(db) == {"a": True, "b": True, "c": True}
+
+    @given(sets=attr_sets, seed=st.integers(min_value=0, max_value=2**16))
+    @settings(max_examples=20, deadline=None)
+    def test_propagating_insert_preserves_consistency(self, sets, seed):
+        rng = random.Random(seed)
+        schema = build_schema(sets)
+        db = random_extension(rng, schema, rows_per_leaf=1)
+        target = rng.choice(sorted(schema))
+        from repro.workloads import random_tuple
+
+        grown = db.insert(target, random_tuple(rng, schema, target.attributes))
+        assert grown.satisfies_containment()
+
+
+class TestDependencyProperties:
+    @given(sets=attr_sets, seed=st.integers(min_value=0, max_value=2**16))
+    @settings(max_examples=25, deadline=None)
+    def test_soundness_universal(self, sets, seed):
+        """Derivable never outruns semantic implication."""
+        schema = build_schema(sets)
+        premises = random_premises(random.Random(seed), schema, count=2)
+        report = agreement_report(schema, premises)
+        assert not report["sound_violations"]
+
+    @given(sets=attr_sets, seed=st.integers(min_value=0, max_value=2**16))
+    @settings(max_examples=15, deadline=None)
+    def test_derived_fds_hold_on_premise_satisfying_states(self, sets, seed):
+        """Model-checking soundness: every derived fd holds in a generated
+        consistent extension that satisfies the premises."""
+        from repro.core.fd import holds
+
+        rng = random.Random(seed)
+        schema = build_schema(sets)
+        db = random_extension(rng, schema, rows_per_leaf=2)
+        # Premises: dependencies that actually hold in db.
+        candidates = random_premises(rng, schema, count=3)
+        premises = [fd for fd in candidates if holds(fd, db)]
+        engine = ArmstrongEngine(schema, premises)
+        for fd in engine.closure():
+            assert holds(fd, db), fd
+
+
+class TestRelationalProperties:
+    small_fds = st.lists(
+        st.tuples(
+            st.sets(st.sampled_from(ATTRS), min_size=1, max_size=2),
+            st.sets(st.sampled_from(ATTRS), min_size=1, max_size=2),
+        ).map(lambda lr: FD(lr[0], lr[1])),
+        max_size=5,
+    )
+
+    @given(fds=small_fds)
+    @settings(max_examples=60, deadline=None)
+    def test_minimal_cover_equivalent(self, fds):
+        cover = minimal_cover(fds)
+        for fd in fds:
+            assert implies(cover, fd)
+        for fd in cover:
+            assert implies(fds, fd)
+
+    @given(fds=small_fds, start=st.sets(st.sampled_from(ATTRS), max_size=3))
+    @settings(max_examples=60, deadline=None)
+    def test_closure_monotone_and_idempotent(self, fds, start):
+        once = closure(start, fds)
+        assert frozenset(start) <= once
+        assert closure(once, fds) == once
+
+    rows = st.lists(
+        st.fixed_dictionaries({"a": st.integers(0, 2), "b": st.integers(0, 2),
+                               "c": st.integers(0, 2)}),
+        max_size=6,
+    )
+
+    @given(rows=rows)
+    @settings(max_examples=60, deadline=None)
+    def test_join_of_projections_contains_original(self, rows):
+        """The lossy-join inequality: R subseteq pi_X(R) * pi_Y(R)."""
+        rel = Relation({"a", "b", "c"}, rows)
+        left = project(rel, {"a", "b"})
+        right = project(rel, {"b", "c"})
+        joined = natural_join(left, right)
+        assert rel.tuples <= joined.tuples

@@ -1,0 +1,81 @@
+"""Property-based tests for the section-6 constraint families (MVD/JD)."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.relational import (
+    FD,
+    MVD,
+    Relation,
+    holds_in as fd_holds_in,
+    is_lossless_decomposition,
+    mvd_as_binary_jd,
+    swap_closure,
+)
+from repro.relational.jd import holds_in as jd_holds_in
+from repro.relational.mvd import holds_in as mvd_holds_in
+
+U = frozenset({"a", "b", "c"})
+
+relations = st.lists(
+    st.fixed_dictionaries({
+        "a": st.integers(0, 2),
+        "b": st.integers(0, 2),
+        "c": st.integers(0, 2),
+    }),
+    max_size=6,
+).map(lambda rows: Relation(U, rows))
+
+mvds = st.tuples(
+    st.sets(st.sampled_from("abc"), min_size=1, max_size=2),
+    st.sets(st.sampled_from("abc"), min_size=1, max_size=2),
+).map(lambda lr: MVD(lr[0], lr[1], U))
+
+
+class TestMVDProperties:
+    @given(rel=relations, mvd=mvds)
+    @settings(max_examples=120, deadline=None)
+    def test_complementation_rule(self, rel, mvd):
+        assert mvd_holds_in(mvd, rel) == mvd_holds_in(mvd.complement(), rel)
+
+    @given(rel=relations, mvd=mvds)
+    @settings(max_examples=120, deadline=None)
+    def test_swap_closure_is_closure(self, rel, mvd):
+        closed = swap_closure(mvd, rel)
+        assert rel.tuples <= closed.tuples
+        assert mvd_holds_in(mvd, closed)
+        # idempotent:
+        assert swap_closure(mvd, closed) == closed
+
+    @given(rel=relations)
+    @settings(max_examples=120, deadline=None)
+    def test_fd_implies_mvd(self, rel):
+        fd = FD({"a"}, {"b"})
+        if fd_holds_in(fd, rel):
+            assert mvd_holds_in(MVD({"a"}, {"b"}, U), rel)
+
+    @given(rel=relations, mvd=mvds)
+    @settings(max_examples=120, deadline=None)
+    def test_trivial_mvds_always_hold(self, rel, mvd):
+        if mvd.is_trivial():
+            assert mvd_holds_in(mvd, rel)
+
+
+class TestJDProperties:
+    @given(rel=relations, mvd=mvds)
+    @settings(max_examples=120, deadline=None)
+    def test_fagin_correspondence(self, rel, mvd):
+        """MVD == its binary JD == losslessness of the induced split."""
+        jd = mvd_as_binary_jd(mvd)
+        verdict = mvd_holds_in(mvd, rel)
+        assert jd_holds_in(jd, rel) == verdict
+        parts = list(jd.components)
+        assert is_lossless_decomposition(rel, parts) == verdict
+
+    @given(rel=relations)
+    @settings(max_examples=80, deadline=None)
+    def test_singleton_jd_trivially_holds(self, rel):
+        from repro.relational import JoinDependency
+
+        assert jd_holds_in(JoinDependency([U], U), rel)

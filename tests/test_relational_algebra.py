@@ -1,0 +1,137 @@
+"""Unit tests for the relational algebra (repro.relational.algebra)."""
+
+import pytest
+
+from repro.errors import RelationError
+from repro.relational import (
+    Relation,
+    Tuple,
+    cartesian_product,
+    difference,
+    division,
+    intersection,
+    is_lossless_decomposition,
+    join_all,
+    natural_join,
+    project,
+    rename,
+    select,
+    semijoin,
+    union,
+)
+
+R = Relation.from_rows(["a", "b"], [[1, 10], [2, 20], [3, 10]])
+S = Relation.from_rows(["b", "c"], [[10, "x"], [20, "y"], [30, "z"]])
+
+
+class TestProjectSelectRename:
+    def test_project_removes_duplicates(self):
+        assert len(project(R, {"b"})) == 2
+
+    def test_project_missing_attr(self):
+        with pytest.raises(RelationError):
+            project(R, {"zzz"})
+
+    def test_select(self):
+        out = select(R, lambda t: t["a"] > 1)
+        assert len(out) == 2
+
+    def test_select_keeps_schema(self):
+        assert select(R, lambda t: False).schema == R.schema
+
+    def test_rename(self):
+        out = rename(R, {"a": "alpha"})
+        assert out.schema == frozenset({"alpha", "b"})
+
+    def test_rename_collision(self):
+        with pytest.raises(RelationError):
+            rename(R, {"a": "b"})
+
+
+class TestJoin:
+    def test_natural_join_matches(self):
+        out = natural_join(R, S)
+        assert Tuple({"a": 1, "b": 10, "c": "x"}) in out.tuples
+        assert len(out) == 3  # (1,10,x),(3,10,x),(2,20,y)
+
+    def test_join_dangling_dropped(self):
+        out = natural_join(R, S)
+        assert all(t["b"] != 30 for t in out.tuples)
+
+    def test_join_disjoint_is_product(self):
+        t = Relation.from_rows(["z"], [[1], [2]])
+        out = natural_join(R, t)
+        assert len(out) == len(R) * 2
+
+    def test_join_all_unit(self):
+        empty_join = join_all([])
+        assert len(empty_join) == 1 and empty_join.schema == frozenset()
+
+    def test_join_all_associativity(self):
+        one = join_all([R, S])
+        other = natural_join(S, R)
+        assert one == other
+
+    def test_join_commutative(self):
+        assert natural_join(R, S) == natural_join(S, R)
+
+    def test_join_idempotent(self):
+        assert natural_join(R, R) == R
+
+
+class TestSetOps:
+    def test_union(self):
+        extra = Relation.from_rows(["a", "b"], [[9, 90]])
+        assert len(union(R, extra)) == 4
+
+    def test_difference(self):
+        assert len(difference(R, R)) == 0
+
+    def test_intersection(self):
+        sub = Relation.from_rows(["a", "b"], [[1, 10]])
+        assert intersection(R, sub) == sub
+
+    def test_schema_mismatch_raises(self):
+        with pytest.raises(RelationError):
+            union(R, S)
+
+    def test_cartesian_requires_disjoint(self):
+        with pytest.raises(RelationError):
+            cartesian_product(R, R)
+
+
+class TestDivisionSemijoin:
+    def test_division(self):
+        enrolled = Relation.from_rows(
+            ["student", "course"],
+            [["ann", "db"], ["ann", "os"], ["bob", "db"]],
+        )
+        courses = Relation.from_rows(["course"], [["db"], ["os"]])
+        out = division(enrolled, courses)
+        assert out == Relation.from_rows(["student"], [["ann"]])
+
+    def test_division_schema_check(self):
+        with pytest.raises(RelationError):
+            division(R, S)
+
+    def test_semijoin(self):
+        out = semijoin(R, S)
+        assert len(out) == 3  # all R rows have partners (b=10,20)
+        smaller = semijoin(R, Relation.from_rows(["b", "c"], [[10, "x"]]))
+        assert len(smaller) == 2
+
+
+class TestLosslessness:
+    def test_lossless_split(self):
+        r = Relation.from_rows(["a", "b", "c"], [[1, 10, "x"], [2, 20, "y"]])
+        assert is_lossless_decomposition(r, [{"a", "b"}, {"b", "c"}])
+
+    def test_lossy_split_detected(self):
+        r = Relation.from_rows(["a", "b", "c"],
+                               [[1, 10, "x"], [2, 10, "y"]])
+        # b does not determine either side; the join manufactures tuples.
+        assert not is_lossless_decomposition(r, [{"a", "b"}, {"b", "c"}])
+
+    def test_cover_check(self):
+        with pytest.raises(RelationError):
+            is_lossless_decomposition(R, [{"a"}])

@@ -1,0 +1,74 @@
+"""Unit tests for counterexample construction (repro.relational.armstrong_relation)."""
+
+import random
+
+from repro.relational import (
+    FD,
+    armstrong_relation,
+    holds_in,
+    implies,
+    is_armstrong_for,
+    satisfied_fds,
+    two_tuple_witness,
+    witness_respects,
+)
+
+
+class TestTwoTupleWitness:
+    def test_no_witness_for_implied(self):
+        fds = [FD({"a"}, {"b"})]
+        assert two_tuple_witness("ab", fds, FD({"a"}, {"b"})) is None
+
+    def test_witness_for_unimplied(self):
+        fds = [FD({"a"}, {"b"})]
+        witness = two_tuple_witness("abc", fds, FD({"a"}, {"c"}))
+        assert witness is not None
+        assert len(witness) == 2
+        assert all(holds_in(fd, witness) for fd in fds)
+        assert not holds_in(FD({"a"}, {"c"}), witness)
+
+    def test_witness_respects_random(self):
+        rng = random.Random(3)
+        attrs = ["a", "b", "c", "d"]
+        for _ in range(100):
+            fds = []
+            for _ in range(rng.randint(0, 4)):
+                lhs = frozenset(rng.sample(attrs, rng.randint(1, 2)))
+                rhs = frozenset(rng.sample(attrs, 1))
+                fds.append(FD(lhs, rhs))
+            candidate = FD(
+                frozenset(rng.sample(attrs, rng.randint(1, 2))),
+                frozenset(rng.sample(attrs, 1)),
+            )
+            assert witness_respects(attrs, fds, candidate)
+
+    def test_completeness_direction(self):
+        """Every non-implied FD has a separating model: Armstrong completeness."""
+        fds = [FD({"a"}, {"b"}), FD({"b"}, {"c"})]
+        non_implied = FD({"c"}, {"a"})
+        assert not implies(fds, non_implied)
+        assert two_tuple_witness("abc", fds, non_implied) is not None
+
+
+class TestArmstrongRelation:
+    def test_exactness_small(self):
+        fds = [FD({"a"}, {"b"})]
+        rel = armstrong_relation("abc", fds)
+        assert is_armstrong_for(rel, fds)
+
+    def test_exactness_chain(self):
+        fds = [FD({"a"}, {"b"}), FD({"b"}, {"c"})]
+        rel = armstrong_relation("abc", fds)
+        assert is_armstrong_for(rel, fds)
+
+    def test_no_fds(self):
+        rel = armstrong_relation("ab", [])
+        sat = satisfied_fds(rel)
+        assert all(fd.is_trivial() or not fd.lhs or fd.rhs <= fd.lhs for fd in sat
+                   if fd.lhs)  # only trivial dependencies survive
+
+    def test_satisfied_fds_contains_trivials(self):
+        rel = armstrong_relation("ab", [FD({"a"}, {"b"})])
+        sat = satisfied_fds(rel)
+        assert FD({"a"}, {"a"}) in sat
+        assert FD({"a"}, {"b"}) in sat

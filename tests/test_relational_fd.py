@@ -1,0 +1,126 @@
+"""Unit tests for classical FD theory (repro.relational.fd)."""
+
+import pytest
+
+from repro.errors import DependencyError
+from repro.relational import (
+    FD,
+    Relation,
+    all_implied_fds,
+    candidate_keys,
+    closure,
+    equivalent,
+    holds_in,
+    implies,
+    is_superkey,
+    minimal_cover,
+    violating_pairs,
+)
+
+
+class TestFDValue:
+    def test_equality(self):
+        assert FD({"a"}, {"b"}) == FD({"a"}, {"b"})
+        assert FD({"a"}, {"b"}) != FD({"b"}, {"a"})
+
+    def test_empty_rhs_rejected(self):
+        with pytest.raises(DependencyError):
+            FD({"a"}, set())
+
+    def test_trivial(self):
+        assert FD({"a", "b"}, {"a"}).is_trivial()
+        assert not FD({"a"}, {"b"}).is_trivial()
+
+    def test_decompose(self):
+        parts = FD({"a"}, {"b", "c"}).decompose()
+        assert FD({"a"}, {"b"}) in parts and FD({"a"}, {"c"}) in parts
+
+
+class TestSemantics:
+    REL = Relation.from_rows(["a", "b", "c"],
+                             [[1, 10, "x"], [2, 10, "x"], [1, 10, "x"]])
+
+    def test_holds(self):
+        assert holds_in(FD({"a"}, {"b"}), self.REL)
+        assert holds_in(FD({"b"}, {"c"}), self.REL)
+
+    def test_violation(self):
+        rel = Relation.from_rows(["a", "b"], [[1, 10], [1, 20]])
+        assert not holds_in(FD({"a"}, {"b"}), rel)
+        assert len(violating_pairs(FD({"a"}, {"b"}), rel)) == 1
+
+    def test_schema_check(self):
+        with pytest.raises(DependencyError):
+            holds_in(FD({"zzz"}, {"a"}), self.REL)
+
+    def test_empty_relation_satisfies_everything(self):
+        rel = Relation({"a", "b"})
+        assert holds_in(FD({"a"}, {"b"}), rel)
+
+
+class TestClosure:
+    FDS = [FD({"a"}, {"b"}), FD({"b"}, {"c"}), FD({"c", "d"}, {"e"})]
+
+    def test_transitive_chain(self):
+        assert closure({"a"}, self.FDS) == frozenset({"a", "b", "c"})
+
+    def test_needs_both_lhs_parts(self):
+        assert "e" not in closure({"c"}, self.FDS)
+        assert "e" in closure({"c", "d"}, self.FDS)
+
+    def test_implies(self):
+        assert implies(self.FDS, FD({"a"}, {"c"}))
+        assert not implies(self.FDS, FD({"c"}, {"a"}))
+
+    def test_equivalent(self):
+        other = [FD({"a"}, {"b", "c"})]
+        base = [FD({"a"}, {"b"}), FD({"b"}, {"c"})]
+        assert not equivalent(other, [FD({"a"}, {"b"})])
+        assert equivalent(base, [FD({"a"}, {"b", "c"}), FD({"b"}, {"c"})])
+
+
+class TestMinimalCover:
+    def test_removes_redundant_fd(self):
+        fds = [FD({"a"}, {"b"}), FD({"b"}, {"c"}), FD({"a"}, {"c"})]
+        cover = minimal_cover(fds)
+        assert FD({"a"}, {"c"}) not in cover
+        assert equivalent(cover, fds)
+
+    def test_reduces_lhs(self):
+        fds = [FD({"a"}, {"b"}), FD({"a", "b"}, {"c"})]
+        cover = minimal_cover(fds)
+        assert FD({"a"}, {"c"}) in cover
+
+    def test_singleton_rhs(self):
+        cover = minimal_cover([FD({"a"}, {"b", "c"})])
+        assert all(len(fd.rhs) == 1 for fd in cover)
+
+
+class TestKeys:
+    def test_single_key(self):
+        fds = [FD({"a"}, {"b"}), FD({"b"}, {"c"})]
+        keys = candidate_keys({"a", "b", "c"}, fds)
+        assert keys == frozenset({frozenset({"a"})})
+
+    def test_multiple_keys(self):
+        fds = [FD({"a"}, {"b"}), FD({"b"}, {"a"})]
+        keys = candidate_keys({"a", "b"}, fds)
+        assert keys == frozenset({frozenset({"a"}), frozenset({"b"})})
+
+    def test_no_fds_key_is_everything(self):
+        keys = candidate_keys({"a", "b"}, [])
+        assert keys == frozenset({frozenset({"a", "b"})})
+
+    def test_superkey(self):
+        fds = [FD({"a"}, {"b"})]
+        assert is_superkey({"a"}, {"a", "b"}, fds)
+        assert not is_superkey({"b"}, {"a", "b"}, fds)
+
+
+class TestAllImplied:
+    def test_contains_trivial_and_derived(self):
+        fds = [FD({"a"}, {"b"})]
+        implied = all_implied_fds({"a", "b"}, fds)
+        assert FD({"a"}, {"a"}) in implied
+        assert FD({"a"}, {"b"}) in implied
+        assert FD({"b"}, {"a"}) not in implied

@@ -1,0 +1,88 @@
+"""Unit tests for join dependencies (repro.relational.jd)."""
+
+import random
+
+import pytest
+
+from repro.errors import DependencyError
+from repro.relational import MVD, Relation
+from repro.relational.jd import (
+    JoinDependency,
+    holds_in,
+    mvd_as_binary_jd,
+    spurious_tuples,
+)
+from repro.relational.mvd import holds_in as mvd_holds_in
+
+U = frozenset({"a", "b", "c"})
+
+
+class TestConstruction:
+    def test_components_must_cover(self):
+        with pytest.raises(DependencyError):
+            JoinDependency([{"a", "b"}], U)
+
+    def test_needs_components(self):
+        with pytest.raises(DependencyError):
+            JoinDependency([], set())
+
+    def test_trivial(self):
+        assert JoinDependency([U], U).is_trivial()
+        assert not JoinDependency([{"a", "b"}, {"b", "c"}], U).is_trivial()
+
+    def test_duplicate_components_collapse(self):
+        jd = JoinDependency([{"a", "b"}, {"a", "b"}, {"b", "c"}], U)
+        assert len(jd.components) == 2
+
+
+class TestSemantics:
+    def test_holds_on_joinable(self):
+        rel = Relation(U, [
+            {"a": 1, "b": 2, "c": 3},
+            {"a": 4, "b": 5, "c": 6},
+        ])
+        jd = JoinDependency([{"a", "b"}, {"b", "c"}], U)
+        assert holds_in(jd, rel)
+
+    def test_violation_and_witness(self):
+        rel = Relation(U, [
+            {"a": 1, "b": 2, "c": 3},
+            {"a": 4, "b": 2, "c": 6},
+        ])
+        jd = JoinDependency([{"a", "b"}, {"b", "c"}], U)
+        assert not holds_in(jd, rel)
+        spurious = spurious_tuples(jd, rel)
+        assert len(spurious) == 2  # the two mixed tuples
+
+    def test_schema_mismatch(self):
+        jd = JoinDependency([{"a", "b"}, {"b", "c"}], U)
+        with pytest.raises(DependencyError):
+            holds_in(jd, Relation({"a", "b"}))
+
+    def test_empty_relation_satisfies(self):
+        jd = JoinDependency([{"a", "b"}, {"b", "c"}], U)
+        assert holds_in(jd, Relation(U))
+
+    def test_ternary_jd(self):
+        jd = JoinDependency([{"a", "b"}, {"b", "c"}, {"a", "c"}], U)
+        one = Relation(U, [{"a": 1, "b": 1, "c": 1}])
+        assert holds_in(jd, one)
+
+
+class TestFaginCorrespondence:
+    def test_mvd_iff_binary_jd_random(self):
+        rng = random.Random(6)
+        mvd = MVD({"a"}, {"b"}, U)
+        jd = mvd_as_binary_jd(mvd)
+        for _ in range(100):
+            rows = [
+                {"a": rng.randint(0, 1), "b": rng.randint(0, 1),
+                 "c": rng.randint(0, 1)}
+                for _ in range(rng.randint(0, 5))
+            ]
+            rel = Relation(U, rows)
+            assert mvd_holds_in(mvd, rel) == holds_in(jd, rel)
+
+    def test_jd_components_shape(self):
+        jd = mvd_as_binary_jd(MVD({"a"}, {"b"}, U))
+        assert set(jd.components) == {frozenset({"a", "b"}), frozenset({"a", "c"})}

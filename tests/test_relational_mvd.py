@@ -1,0 +1,127 @@
+"""Unit tests for multi-valued dependencies (repro.relational.mvd)."""
+
+import random
+
+import pytest
+
+from repro.errors import DependencyError
+from repro.relational import (
+    FD,
+    MVD,
+    Relation,
+    decomposition_mvd,
+    fd_implies_mvd,
+    holds_in as fd_holds_in,
+    is_lossless_decomposition,
+    swap_closure,
+    violating_swaps,
+)
+from repro.relational.mvd import holds_in
+
+U = frozenset({"course", "teacher", "book"})
+
+# The classic: a course's teachers and books vary independently.
+CTB = Relation(U, [
+    {"course": "db", "teacher": "ann", "book": "ullman"},
+    {"course": "db", "teacher": "ann", "book": "date"},
+    {"course": "db", "teacher": "bob", "book": "ullman"},
+    {"course": "db", "teacher": "bob", "book": "date"},
+    {"course": "ai", "teacher": "cas", "book": "russell"},
+])
+
+BROKEN = Relation(U, [
+    {"course": "db", "teacher": "ann", "book": "ullman"},
+    {"course": "db", "teacher": "bob", "book": "date"},
+])
+
+
+class TestSemantics:
+    def test_holds_on_product_shape(self):
+        assert holds_in(MVD({"course"}, {"teacher"}, U), CTB)
+
+    def test_violated_on_correlated_shape(self):
+        assert not holds_in(MVD({"course"}, {"teacher"}, U), BROKEN)
+
+    def test_violating_swaps_named(self):
+        missing = violating_swaps(MVD({"course"}, {"teacher"}, U), BROKEN)
+        assert len(missing) == 2  # (ann,date) and (bob,ullman)
+
+    def test_universe_mismatch(self):
+        with pytest.raises(DependencyError):
+            holds_in(MVD({"a"}, {"b"}, {"a", "b"}), CTB)
+
+    def test_sides_inside_universe(self):
+        with pytest.raises(DependencyError):
+            MVD({"zzz"}, {"teacher"}, U)
+
+    def test_trivial_mvds(self):
+        assert MVD({"course", "teacher"}, {"teacher"}, U).is_trivial()
+        assert MVD({"course"}, {"teacher", "book"}, U).is_trivial()
+        assert not MVD({"course"}, {"teacher"}, U).is_trivial()
+
+
+class TestRules:
+    def test_complementation(self):
+        mvd = MVD({"course"}, {"teacher"}, U)
+        comp = mvd.complement()
+        assert comp.rhs == frozenset({"book"})
+        assert holds_in(mvd, CTB) == holds_in(comp, CTB)
+
+    def test_complementation_on_violation(self):
+        mvd = MVD({"course"}, {"teacher"}, U)
+        assert holds_in(mvd, BROKEN) == holds_in(mvd.complement(), BROKEN)
+
+    def test_fd_implies_mvd_random(self):
+        rng = random.Random(4)
+        fd = FD({"course"}, {"teacher"})
+        mvd = fd_implies_mvd(fd, U)
+        for _ in range(80):
+            rows = [
+                {"course": rng.randint(0, 1), "teacher": rng.randint(0, 2),
+                 "book": rng.randint(0, 2)}
+                for _ in range(rng.randint(0, 5))
+            ]
+            rel = Relation(U, rows)
+            if fd_holds_in(fd, rel):
+                assert holds_in(mvd, rel)
+
+    def test_mvd_weaker_than_fd(self):
+        """CTB satisfies course ->> teacher but not course -> teacher."""
+        assert holds_in(MVD({"course"}, {"teacher"}, U), CTB)
+        assert not fd_holds_in(FD({"course"}, {"teacher"}), CTB)
+
+
+class TestSwapClosure:
+    def test_closure_repairs(self):
+        mvd = MVD({"course"}, {"teacher"}, U)
+        repaired = swap_closure(mvd, BROKEN)
+        assert holds_in(mvd, repaired)
+        assert BROKEN.tuples <= repaired.tuples
+        assert len(repaired) == 4
+
+    def test_closure_fixpoint_on_satisfying(self):
+        mvd = MVD({"course"}, {"teacher"}, U)
+        assert swap_closure(mvd, CTB) == CTB
+
+
+class TestFaginTheorem:
+    def test_mvd_iff_lossless_binary_split(self):
+        """X ->> Y iff R = pi_{X|Y}(R) * pi_{X|Z}(R), on random instances."""
+        rng = random.Random(11)
+        left = frozenset({"course", "teacher"})
+        right = frozenset({"course", "book"})
+        mvd = decomposition_mvd(U, left, right)
+        for _ in range(80):
+            rows = [
+                {"course": rng.randint(0, 1), "teacher": rng.randint(0, 1),
+                 "book": rng.randint(0, 1)}
+                for _ in range(rng.randint(0, 5))
+            ]
+            rel = Relation(U, rows)
+            assert holds_in(mvd, rel) == is_lossless_decomposition(
+                rel, [left, right],
+            )
+
+    def test_decomposition_must_cover(self):
+        with pytest.raises(DependencyError):
+            decomposition_mvd(U, {"course"}, {"teacher"})

@@ -1,0 +1,71 @@
+"""Unit tests for the normalization baselines (repro.relational.normalization)."""
+
+from repro.relational import (
+    FD,
+    bcnf_decompose,
+    bcnf_violations,
+    decomposition_report,
+    is_bcnf,
+    is_lossless,
+    preserves_dependencies,
+    third_nf_synthesis,
+)
+
+# The classic address schema: city+street -> zip, zip -> city.
+ADDRESS = frozenset({"city", "street", "zip"})
+ADDRESS_FDS = [FD({"city", "street"}, {"zip"}), FD({"zip"}, {"city"})]
+
+
+class TestBCNF:
+    def test_violation_detection(self):
+        violations = bcnf_violations(ADDRESS, ADDRESS_FDS)
+        assert any(v.lhs == frozenset({"zip"}) for v in violations)
+
+    def test_key_fd_not_violation(self):
+        schema = frozenset({"a", "b"})
+        assert is_bcnf(schema, [FD({"a"}, {"b"})])
+
+    def test_decomposition_reaches_bcnf(self):
+        parts = bcnf_decompose(ADDRESS, ADDRESS_FDS)
+        for part in parts:
+            assert is_bcnf(part, ADDRESS_FDS)
+
+    def test_decomposition_lossless(self):
+        parts = bcnf_decompose(ADDRESS, ADDRESS_FDS)
+        assert is_lossless(ADDRESS, parts, ADDRESS_FDS)
+
+    def test_address_loses_dependency(self):
+        """The textbook fact: BCNF on the address schema drops city+street->zip."""
+        parts = bcnf_decompose(ADDRESS, ADDRESS_FDS)
+        assert not preserves_dependencies(parts, ADDRESS_FDS)
+
+
+class Test3NF:
+    def test_synthesis_lossless_and_preserving(self):
+        parts = third_nf_synthesis(ADDRESS, ADDRESS_FDS)
+        assert is_lossless(ADDRESS, parts, ADDRESS_FDS)
+        assert preserves_dependencies(parts, ADDRESS_FDS)
+
+    def test_orphan_attributes_kept(self):
+        schema = frozenset({"a", "b", "free"})
+        parts = third_nf_synthesis(schema, [FD({"a"}, {"b"})])
+        covered = frozenset().union(*parts)
+        assert "free" in covered
+
+    def test_no_fds(self):
+        schema = frozenset({"a", "b"})
+        parts = third_nf_synthesis(schema, [])
+        assert parts == [schema]
+
+
+class TestReport:
+    def test_report_fields(self):
+        report = decomposition_report(ADDRESS, ADDRESS_FDS)
+        assert report["bcnf_lossless"] is True
+        assert report["bcnf_preserving"] is False
+        assert report["3nf_lossless"] is True
+        assert report["3nf_preserving"] is True
+
+    def test_report_on_clean_schema(self):
+        report = decomposition_report({"a", "b"}, [FD({"a"}, {"b"})])
+        assert report["bcnf_parts"] == [frozenset({"a", "b"})]

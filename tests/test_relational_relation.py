@@ -1,0 +1,126 @@
+"""Unit tests for tuples and relations (repro.relational.relation)."""
+
+import pytest
+
+from repro.errors import RelationError
+from repro.relational import Relation, Tuple
+
+
+class TestTuple:
+    def test_value_equality_and_hash(self):
+        t1 = Tuple({"a": 1, "b": 2})
+        t2 = Tuple({"b": 2, "a": 1})
+        assert t1 == t2
+        assert hash(t1) == hash(t2)
+
+    def test_schema(self):
+        assert Tuple({"x": 0, "y": 1}).schema == frozenset({"x", "y"})
+
+    def test_getitem_and_get(self):
+        t = Tuple({"a": 1})
+        assert t["a"] == 1
+        assert t.get("missing") is None
+        with pytest.raises(KeyError):
+            t["missing"]
+
+    def test_project(self):
+        t = Tuple({"a": 1, "b": 2, "c": 3})
+        assert t.project({"a", "c"}) == Tuple({"a": 1, "c": 3})
+
+    def test_project_missing_attribute(self):
+        with pytest.raises(RelationError):
+            Tuple({"a": 1}).project({"z"})
+
+    def test_merge_compatible(self):
+        merged = Tuple({"a": 1, "b": 2}).merge(Tuple({"b": 2, "c": 3}))
+        assert merged == Tuple({"a": 1, "b": 2, "c": 3})
+
+    def test_merge_conflict(self):
+        with pytest.raises(RelationError):
+            Tuple({"a": 1}).merge(Tuple({"a": 2}))
+
+    def test_joinable(self):
+        assert Tuple({"a": 1}).joinable(Tuple({"a": 1, "b": 2}))
+        assert not Tuple({"a": 1}).joinable(Tuple({"a": 2}))
+        assert Tuple({"a": 1}).joinable(Tuple({"b": 9}))  # disjoint
+
+    def test_rename(self):
+        t = Tuple({"a": 1, "b": 2}).rename({"a": "x"})
+        assert t == Tuple({"x": 1, "b": 2})
+
+    def test_rejects_nonstring_attribute(self):
+        with pytest.raises(RelationError):
+            Tuple({1: "x"})
+
+    def test_rejects_unhashable_value(self):
+        with pytest.raises(RelationError):
+            Tuple({"a": [1, 2]})
+
+    def test_as_dict_is_copy(self):
+        t = Tuple({"a": 1})
+        d = t.as_dict()
+        d["a"] = 99
+        assert t["a"] == 1
+
+
+class TestRelation:
+    def test_construction_from_dicts(self):
+        r = Relation({"a", "b"}, [{"a": 1, "b": 2}, {"a": 3, "b": 4}])
+        assert len(r) == 2
+
+    def test_duplicate_elimination(self):
+        r = Relation({"a"}, [{"a": 1}, {"a": 1}])
+        assert len(r) == 1
+
+    def test_schema_mismatch(self):
+        with pytest.raises(RelationError):
+            Relation({"a"}, [{"b": 1}])
+
+    def test_from_rows_declared_order(self):
+        r = Relation.from_rows(["b", "a"], [[1, 2]])
+        # declared column order: b=1, a=2
+        assert Tuple({"b": 1, "a": 2}) in r
+
+    def test_from_rows_duplicate_schema(self):
+        with pytest.raises(RelationError):
+            Relation.from_rows(["a", "a"], [[1, 2]])
+
+    def test_from_rows_arity_check(self):
+        with pytest.raises(RelationError):
+            Relation.from_rows(["a", "b"], [[1]])
+
+    def test_contains_mapping(self):
+        r = Relation({"a"}, [{"a": 1}])
+        assert {"a": 1} in r
+        assert {"a": 2} not in r
+
+    def test_zero_ary_relations(self):
+        true_rel = Relation((), [Tuple({})])
+        false_rel = Relation(())
+        assert len(true_rel) == 1 and len(false_rel) == 0
+
+    def test_subset_check(self):
+        small = Relation({"a"}, [{"a": 1}])
+        big = Relation({"a"}, [{"a": 1}, {"a": 2}])
+        assert small.is_subset_of(big)
+        assert not big.is_subset_of(small)
+
+    def test_subset_check_schema_mismatch(self):
+        with pytest.raises(RelationError):
+            Relation({"a"}).is_subset_of(Relation({"b"}))
+
+    def test_with_and_without_tuples(self):
+        r = Relation({"a"}, [{"a": 1}])
+        grown = r.with_tuples([{"a": 2}])
+        assert len(grown) == 2
+        shrunk = grown.without_tuples([{"a": 1}])
+        assert shrunk == Relation({"a"}, [{"a": 2}])
+
+    def test_iteration_deterministic(self):
+        r = Relation({"a"}, [{"a": 2}, {"a": 1}, {"a": 3}])
+        assert list(r) == list(r)
+
+    def test_equality_and_hash(self):
+        r1 = Relation({"a"}, [{"a": 1}])
+        r2 = Relation({"a"}, [{"a": 1}])
+        assert r1 == r2 and hash(r1) == hash(r2)

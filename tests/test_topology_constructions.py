@@ -1,0 +1,99 @@
+"""Unit tests for subspace/product/sum/quotient (repro.topology.constructions)."""
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.topology import (
+    FiniteSpace,
+    disjoint_union,
+    product,
+    quotient,
+    subspace,
+    topology_from_subbase,
+)
+
+SIERPINSKI = FiniteSpace("ab", [set(), {"a"}, {"a", "b"}])
+
+
+class TestSubspace:
+    def test_trace_topology(self):
+        chain = topology_from_subbase("abc", [{"a"}, {"a", "b"}])
+        sub = subspace(chain, {"b", "c"})
+        assert sub.opens == frozenset(
+            {frozenset(), frozenset({"b"}), frozenset({"b", "c"})}
+        )
+
+    def test_full_subspace_is_same(self):
+        assert subspace(SIERPINSKI, SIERPINSKI.points) == SIERPINSKI
+
+    def test_rejects_stray_points(self):
+        with pytest.raises(TopologyError):
+            subspace(SIERPINSKI, {"z"})
+
+    def test_subspace_of_discrete_is_discrete(self):
+        sub = subspace(FiniteSpace.discrete("abcd"), {"a", "b"})
+        assert len(sub.opens) == 4
+
+
+class TestProduct:
+    def test_carrier_is_pairs(self):
+        p = product(SIERPINSKI, SIERPINSKI)
+        assert ("a", "b") in p.points
+        assert len(p) == 4
+
+    def test_rectangles_open(self):
+        p = product(SIERPINSKI, SIERPINSKI)
+        assert p.is_open({("a", "a")})
+        assert p.is_open({("a", "a"), ("a", "b"), ("b", "a"), ("b", "b")})
+
+    def test_projections_continuous(self):
+        from repro.topology import SpaceMap
+
+        p = product(SIERPINSKI, SIERPINSKI)
+        fst = SpaceMap(p, SIERPINSKI, {pt: pt[0] for pt in p.points})
+        snd = SpaceMap(p, SIERPINSKI, {pt: pt[1] for pt in p.points})
+        assert fst.is_continuous() and snd.is_continuous()
+
+    def test_product_with_discrete(self):
+        p = product(FiniteSpace.discrete("xy"), SIERPINSKI)
+        # 2 discrete points x sierpinski: opens = products of opens closed
+        # under union; check a non-rectangle union is present.
+        u = frozenset({("x", "a"), ("y", "a"), ("y", "b")})
+        assert p.is_open(u)
+
+
+class TestDisjointUnion:
+    def test_carrier_tagged(self):
+        s = disjoint_union(SIERPINSKI, SIERPINSKI)
+        assert (0, "a") in s.points and (1, "b") in s.points
+        assert len(s) == 4
+
+    def test_each_summand_open(self):
+        s = disjoint_union(SIERPINSKI, SIERPINSKI)
+        assert s.is_open({(0, "a"), (0, "b")})
+        assert s.is_open({(1, "a"), (1, "b")})
+
+    def test_disconnected(self):
+        s = disjoint_union(SIERPINSKI, SIERPINSKI)
+        assert not s.is_connected()
+
+
+class TestQuotient:
+    def test_collapse_indistinguishable(self):
+        space = FiniteSpace("abc", [set(), {"a"}, {"a", "b", "c"}])
+        q = quotient(space, {"a": "open", "b": "rest", "c": "rest"})
+        assert len(q) == 2
+        assert q.is_open({"open"})
+
+    def test_rejects_partial_blocks(self):
+        with pytest.raises(TopologyError):
+            quotient(SIERPINSKI, {"a": 0})
+
+    def test_quotient_map_continuity(self):
+        from repro.topology import SpaceMap
+
+        space = FiniteSpace("abc", [set(), {"a"}, {"a", "b", "c"}])
+        blocks = {"a": "open", "b": "rest", "c": "rest"}
+        q = quotient(space, blocks)
+        f = SpaceMap(space, q, blocks)
+        assert f.is_continuous()

@@ -1,0 +1,114 @@
+"""Unit tests for repro.topology.generation (the section 3.1 construction)."""
+
+from repro.topology import (
+    FiniteSpace,
+    intersections_of,
+    is_base_for,
+    is_subbase_for,
+    irredundant_subbases,
+    minimal_base,
+    redundant_in_subbase,
+    topology_from_base,
+    topology_from_subbase,
+    unions_of,
+)
+
+
+class TestIntersections:
+    def test_contains_carrier(self):
+        fam = intersections_of([{"a"}, {"b"}], "abc")
+        assert frozenset("abc") in fam
+
+    def test_pairwise_intersections_present(self):
+        fam = intersections_of([{"a", "b"}, {"b", "c"}], "abc")
+        assert frozenset({"b"}) in fam
+
+    def test_closed_under_intersection(self):
+        fam = intersections_of([{"a", "b"}, {"b", "c"}, {"a", "c"}], "abc")
+        members = list(fam)
+        for x in members:
+            for y in members:
+                assert x & y in fam
+
+
+class TestUnions:
+    def test_contains_empty(self):
+        assert frozenset() in unions_of([{"a"}])
+
+    def test_closed_under_union(self):
+        fam = unions_of([{"a"}, {"b"}, {"c"}])
+        members = list(fam)
+        for x in members:
+            for y in members:
+                assert x | y in fam
+
+
+class TestTopologyFromSubbase:
+    def test_sierpinski_from_singleton(self):
+        space = topology_from_subbase("ab", [{"a"}])
+        assert space.opens == frozenset(
+            {frozenset(), frozenset({"a"}), frozenset({"a", "b"})}
+        )
+
+    def test_subbase_members_open(self):
+        subbase = [{"a", "b"}, {"b", "c"}]
+        space = topology_from_subbase("abcd", subbase)
+        for member in subbase:
+            assert space.is_open(member)
+
+    def test_coarsest_property(self):
+        # The generated topology must be contained in any topology where
+        # the subbase members are open — check against the discrete one.
+        space = topology_from_subbase("abc", [{"a"}, {"b"}])
+        discrete = FiniteSpace.discrete("abc")
+        assert space.opens <= discrete.opens
+
+    def test_empty_subbase_gives_indiscrete(self):
+        space = topology_from_subbase("abc", [])
+        assert space.opens == frozenset({frozenset(), frozenset("abc")})
+
+
+class TestBasePredicates:
+    def test_minimal_base_generates(self):
+        space = topology_from_subbase("abcd", [{"a", "b"}, {"b", "c"}, {"d"}])
+        base = minimal_base(space)
+        assert is_base_for(base, space)
+
+    def test_base_detection_rejects_nonbase(self):
+        space = topology_from_subbase("abc", [{"a"}, {"b"}])
+        assert not is_base_for([{"a"}], space)
+
+    def test_subbase_detection(self):
+        space = topology_from_subbase("abc", [{"a", "b"}, {"b", "c"}])
+        assert is_subbase_for([{"a", "b"}, {"b", "c"}], space)
+        assert not is_subbase_for([{"a", "b"}], space)
+
+    def test_topology_from_base_roundtrip(self):
+        space = topology_from_subbase("abcd", [{"a", "b"}, {"b", "c"}])
+        rebuilt = topology_from_base(space.points, minimal_base(space))
+        assert rebuilt.opens == space.opens
+
+
+class TestRedundancy:
+    def test_redundant_member_found(self):
+        # {b} = {a,b} & {b,c} is derivable, so it is redundant.
+        subbase = [{"a", "b"}, {"b", "c"}, {"b"}]
+        redundant = redundant_in_subbase("abc", subbase)
+        assert frozenset({"b"}) in redundant
+
+    def test_essential_member_kept(self):
+        subbase = [{"a", "b"}, {"b", "c"}]
+        assert not redundant_in_subbase("abc", subbase)
+
+    def test_irredundant_subbases_minimal(self):
+        subbase = [{"a", "b"}, {"b", "c"}, {"b"}]
+        answers = irredundant_subbases("abc", subbase)
+        assert frozenset({frozenset({"a", "b"}), frozenset({"b", "c"})}) in answers
+        for answer in answers:
+            for other in answers:
+                assert not (other < answer)
+
+    def test_irredundant_subbases_limit(self):
+        subbase = [{"a"}, {"b"}, {"c"}, {"a", "b"}, {"b", "c"}]
+        answers = irredundant_subbases("abc", subbase, limit=1)
+        assert len(answers) == 1

@@ -1,0 +1,103 @@
+"""Unit tests for continuous maps (repro.topology.maps)."""
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.topology import (
+    FiniteSpace,
+    SpaceMap,
+    constant_map,
+    identity_map,
+    monotone_iff_continuous,
+    topology_from_subbase,
+)
+
+SIERPINSKI = FiniteSpace("ab", [set(), {"a"}, {"a", "b"}])
+DISCRETE = FiniteSpace.discrete("xy")
+INDISCRETE = FiniteSpace.indiscrete("xy")
+
+
+class TestConstruction:
+    def test_rejects_partial_map(self):
+        with pytest.raises(TopologyError):
+            SpaceMap(SIERPINSKI, DISCRETE, {"a": "x"})
+
+    def test_rejects_stray_targets(self):
+        with pytest.raises(TopologyError):
+            SpaceMap(SIERPINSKI, DISCRETE, {"a": "x", "b": "zzz"})
+
+    def test_call_image_preimage(self):
+        f = SpaceMap(SIERPINSKI, DISCRETE, {"a": "x", "b": "x"})
+        assert f("a") == "x"
+        assert f.image() == frozenset({"x"})
+        assert f.preimage({"x"}) == frozenset({"a", "b"})
+        assert f.preimage({"y"}) == frozenset()
+
+
+class TestContinuity:
+    def test_identity_is_homeomorphism(self):
+        assert identity_map(SIERPINSKI).is_homeomorphism()
+
+    def test_constant_map_continuous(self):
+        assert constant_map(DISCRETE, SIERPINSKI, "b").is_continuous()
+
+    def test_everything_into_indiscrete_continuous(self):
+        f = SpaceMap(DISCRETE, INDISCRETE, {"x": "x", "y": "y"})
+        assert f.is_continuous()
+
+    def test_indiscrete_to_discrete_not_continuous(self):
+        f = SpaceMap(INDISCRETE, DISCRETE, {"x": "x", "y": "y"})
+        assert not f.is_continuous()
+
+    def test_swap_on_sierpinski_not_continuous(self):
+        f = SpaceMap(SIERPINSKI, SIERPINSKI, {"a": "b", "b": "a"})
+        assert not f.is_continuous()
+
+    def test_open_map(self):
+        f = SpaceMap(DISCRETE, DISCRETE, {"x": "y", "y": "x"})
+        assert f.is_open_map()
+
+
+class TestStructure:
+    def test_injective_surjective_bijective(self):
+        f = SpaceMap(DISCRETE, DISCRETE, {"x": "y", "y": "x"})
+        assert f.is_bijective()
+        g = constant_map(DISCRETE, DISCRETE, "x")
+        assert not g.is_injective() and not g.is_surjective()
+
+    def test_embedding_of_subchain(self):
+        chain3 = topology_from_subbase("abc", [{"a"}, {"a", "b"}])
+        chain2 = topology_from_subbase("pq", [{"p"}])
+        f = SpaceMap(chain2, chain3, {"p": "a", "q": "b"})
+        assert f.is_embedding()
+
+    def test_non_embedding_when_order_collapses(self):
+        chain2 = topology_from_subbase("pq", [{"p"}])
+        f = SpaceMap(chain2, FiniteSpace.indiscrete("ab"), {"p": "a", "q": "b"})
+        # Continuous and injective, but the inverse from the image is not
+        # continuous: the subspace of an indiscrete space is indiscrete.
+        assert f.is_injective() and f.is_continuous()
+        assert not f.is_embedding()
+
+    def test_composition(self):
+        f = SpaceMap(DISCRETE, DISCRETE, {"x": "y", "y": "x"})
+        g = f.compose(f)
+        assert g("x") == "x" and g("y") == "y"
+
+    def test_composition_mismatch(self):
+        f = SpaceMap(DISCRETE, DISCRETE, {"x": "x", "y": "y"})
+        h = SpaceMap(SIERPINSKI, SIERPINSKI, {"a": "a", "b": "b"})
+        with pytest.raises(TopologyError):
+            f.compose(h)
+
+
+class TestAlexandrovEquivalence:
+    def test_monotone_iff_continuous_positive(self):
+        chain = topology_from_subbase("abc", [{"a"}, {"a", "b"}])
+        f = SpaceMap(chain, chain, {"a": "a", "b": "b", "c": "c"})
+        assert monotone_iff_continuous(f)
+
+    def test_monotone_iff_continuous_negative_case_agrees(self):
+        chain = topology_from_subbase("abc", [{"a"}, {"a", "b"}])
+        f = SpaceMap(chain, chain, {"a": "c", "b": "b", "c": "a"})
+        assert monotone_iff_continuous(f)

@@ -1,0 +1,120 @@
+"""Unit tests for the Alexandrov correspondence (repro.topology.order)."""
+
+import pytest
+
+from repro.topology import (
+    FiniteSpace,
+    alexandrov_space,
+    hasse_edges,
+    is_preorder,
+    specialisation_preorder,
+    t0_quotient,
+    topological_sort,
+    topology_from_subbase,
+)
+
+
+def chain_space():
+    """a <= b <= c (minimal opens: {a}, {a,b}, {a,b,c})."""
+    return topology_from_subbase("abc", [{"a"}, {"a", "b"}])
+
+
+class TestSpecialisationPreorder:
+    def test_chain_order(self):
+        up = specialisation_preorder(chain_space())
+        assert up["a"] == frozenset("abc")
+        assert up["b"] == frozenset("bc")
+        assert up["c"] == frozenset("c")
+
+    def test_discrete_order_is_identity(self):
+        up = specialisation_preorder(FiniteSpace.discrete("ab"))
+        assert up["a"] == frozenset("a")
+        assert up["b"] == frozenset("b")
+
+    def test_is_preorder_accepts(self):
+        up = specialisation_preorder(chain_space())
+        assert is_preorder("abc", up)
+
+    def test_is_preorder_rejects_irreflexive(self):
+        assert not is_preorder("ab", {"a": {"b"}, "b": {"b"}})
+
+    def test_is_preorder_rejects_nontransitive(self):
+        assert not is_preorder(
+            "abc", {"a": {"a", "b"}, "b": {"b", "c"}, "c": {"c"}}
+        )
+
+
+class TestAlexandrovRoundtrip:
+    def test_space_to_order_to_space(self):
+        space = chain_space()
+        up = specialisation_preorder(space)
+        rebuilt = alexandrov_space(space.points, up)
+        assert rebuilt.opens == space.opens
+
+    def test_order_to_space_to_order(self):
+        up = {"x": {"x", "y"}, "y": {"y"}, "z": {"z"}}
+        space = alexandrov_space("xyz", up)
+        recovered = specialisation_preorder(space)
+        assert recovered == {
+            "x": frozenset({"x", "y"}),
+            "y": frozenset({"y"}),
+            "z": frozenset({"z"}),
+        }
+
+    def test_employee_roundtrip(self):
+        from repro.core.employee import employee_schema
+        from repro.core.specialisation import SpecialisationStructure
+
+        spec = SpecialisationStructure(employee_schema())
+        space = spec.space
+        up = specialisation_preorder(space)
+        assert alexandrov_space(space.points, up).opens == space.opens
+
+
+class TestHasse:
+    def test_chain_hasse(self):
+        up = {"a": {"a", "b", "c"}, "b": {"b", "c"}, "c": {"c"}}
+        assert hasse_edges("abc", up) == frozenset({("a", "b"), ("b", "c")})
+
+    def test_diamond_hasse_skips_transitive_edge(self):
+        up = {
+            "bottom": {"bottom", "l", "r", "top"},
+            "l": {"l", "top"},
+            "r": {"r", "top"},
+            "top": {"top"},
+        }
+        edges = hasse_edges(up.keys(), up)
+        assert ("bottom", "top") not in edges
+        assert ("bottom", "l") in edges and ("bottom", "r") in edges
+
+
+class TestTopologicalSort:
+    def test_respects_order(self):
+        up = {"a": {"a", "b"}, "b": {"b"}, "c": {"c"}}
+        order = topological_sort("abc", up)
+        assert order.index("a") < order.index("b")
+
+    def test_cycle_detected(self):
+        with pytest.raises(ValueError):
+            topological_sort("ab", {"a": {"a", "b"}, "b": {"b", "a"}})
+
+    def test_deterministic(self):
+        up = {"a": {"a"}, "b": {"b"}, "c": {"c"}}
+        assert topological_sort("abc", up) == topological_sort("cba", up)
+
+
+class TestT0Quotient:
+    def test_identifies_duplicate_points(self):
+        # b and c are indistinguishable (same minimal open).
+        space = FiniteSpace(
+            "abc",
+            [set(), {"a"}, {"a", "b", "c"}],
+        )
+        quotient, blocks = t0_quotient(space)
+        assert blocks["b"] == blocks["c"] == frozenset({"b", "c"})
+        assert len(quotient) == 2
+
+    def test_t0_space_unchanged_in_size(self):
+        space = chain_space()
+        quotient, _ = t0_quotient(space)
+        assert len(quotient) == len(space)

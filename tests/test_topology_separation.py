@@ -1,0 +1,58 @@
+"""Unit tests for separation predicates (repro.topology.separation)."""
+
+from repro.topology import (
+    FiniteSpace,
+    indistinguishable_pairs,
+    is_discrete,
+    is_t0,
+    is_t1,
+    is_t2,
+    topology_from_subbase,
+)
+
+SIERPINSKI = FiniteSpace("ab", [set(), {"a"}, {"a", "b"}])
+
+
+class TestSeparationLevels:
+    def test_sierpinski_t0_not_t1(self):
+        assert is_t0(SIERPINSKI)
+        assert not is_t1(SIERPINSKI)
+        assert not is_t2(SIERPINSKI)
+
+    def test_discrete_is_everything(self):
+        space = FiniteSpace.discrete("abc")
+        assert is_t0(space) and is_t1(space) and is_t2(space)
+        assert is_discrete(space)
+
+    def test_indiscrete_fails_t0(self):
+        assert not is_t0(FiniteSpace.indiscrete("ab"))
+
+    def test_finite_t1_implies_discrete(self):
+        # Exhaustive over a few generated spaces: t1 -> discrete.
+        spaces = [
+            FiniteSpace.discrete("ab"),
+            SIERPINSKI,
+            FiniteSpace.indiscrete("abc"),
+            topology_from_subbase("abc", [{"a"}, {"b"}]),
+        ]
+        for space in spaces:
+            if is_t1(space):
+                assert is_discrete(space)
+
+
+class TestIndistinguishable:
+    def test_duplicate_points_found(self):
+        space = FiniteSpace("abc", [set(), {"a"}, {"a", "b", "c"}])
+        pairs = indistinguishable_pairs(space)
+        assert frozenset({"b", "c"}) in pairs
+
+    def test_t0_space_has_none(self):
+        assert not indistinguishable_pairs(SIERPINSKI)
+
+    def test_entity_type_axiom_makes_intension_t0(self):
+        from repro.core.employee import employee_schema
+        from repro.core.specialisation import SpecialisationStructure
+
+        space = SpecialisationStructure(employee_schema()).space
+        assert is_t0(space)
+        assert not indistinguishable_pairs(space)

@@ -1,0 +1,130 @@
+"""Unit tests for repro.topology.space."""
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.topology import FiniteSpace
+
+SIERPINSKI = FiniteSpace("ab", [set(), {"a"}, {"a", "b"}])
+
+
+class TestValidation:
+    def test_accepts_sierpinski(self):
+        assert len(SIERPINSKI.opens) == 3
+
+    def test_rejects_missing_empty_set(self):
+        with pytest.raises(TopologyError):
+            FiniteSpace("ab", [{"a"}, {"a", "b"}])
+
+    def test_rejects_missing_carrier(self):
+        with pytest.raises(TopologyError):
+            FiniteSpace("ab", [set(), {"a"}])
+
+    def test_rejects_union_gap(self):
+        with pytest.raises(TopologyError):
+            FiniteSpace("abc", [set(), {"a"}, {"b"}, {"a", "b", "c"}])
+
+    def test_rejects_intersection_gap(self):
+        with pytest.raises(TopologyError):
+            FiniteSpace("abc", [set(), {"a", "b"}, {"b", "c"},
+                                {"a", "b", "c"}])
+
+    def test_rejects_stray_points(self):
+        with pytest.raises(TopologyError):
+            FiniteSpace("ab", [set(), {"z"}, {"a", "b"}])
+
+
+class TestConstructors:
+    def test_discrete_has_full_powerset(self):
+        space = FiniteSpace.discrete("abc")
+        assert len(space.opens) == 8
+
+    def test_indiscrete_has_two_opens(self):
+        space = FiniteSpace.indiscrete("abc")
+        assert len(space.opens) == 2
+
+    def test_discrete_singletons_open(self):
+        space = FiniteSpace.discrete("ab")
+        assert space.is_open({"a"}) and space.is_open({"b"})
+
+
+class TestPointSetOperators:
+    def test_interior_of_subset(self):
+        assert SIERPINSKI.interior({"a"}) == frozenset({"a"})
+        assert SIERPINSKI.interior({"b"}) == frozenset()
+
+    def test_closure_of_closed_point(self):
+        assert SIERPINSKI.closure({"b"}) == frozenset({"b"})
+
+    def test_closure_of_open_point_is_everything(self):
+        assert SIERPINSKI.closure({"a"}) == frozenset({"a", "b"})
+
+    def test_boundary(self):
+        assert SIERPINSKI.boundary({"a"}) == frozenset({"b"})
+
+    def test_exterior_is_interior_of_complement(self):
+        assert SIERPINSKI.exterior({"a"}) == SIERPINSKI.interior({"b"})
+
+    def test_density(self):
+        assert SIERPINSKI.is_dense({"a"})
+        assert not SIERPINSKI.is_dense({"b"})
+
+    def test_closed_sets_are_complements(self):
+        closed = SIERPINSKI.closed_sets()
+        assert frozenset({"b"}) in closed
+        assert frozenset({"a"}) not in closed
+
+
+class TestNeighbourhoods:
+    def test_minimal_open(self):
+        assert SIERPINSKI.minimal_open("a") == frozenset({"a"})
+        assert SIERPINSKI.minimal_open("b") == frozenset({"a", "b"})
+
+    def test_minimal_open_unknown_point(self):
+        with pytest.raises(TopologyError):
+            SIERPINSKI.minimal_open("z")
+
+    def test_neighbourhoods_contain_point(self):
+        for u in SIERPINSKI.neighbourhoods("b"):
+            assert "b" in u
+
+    def test_minimal_open_cached(self):
+        first = SIERPINSKI.minimal_open("b")
+        assert SIERPINSKI.minimal_open("b") is first
+
+    def test_open_cover_detection(self):
+        assert SIERPINSKI.is_open_cover([{"a"}, {"a", "b"}])
+        assert not SIERPINSKI.is_open_cover([{"a"}])
+        assert not SIERPINSKI.is_open_cover([{"b"}, {"a", "b"}])  # {"b"} not open
+
+
+class TestConnectivity:
+    def test_sierpinski_connected(self):
+        assert SIERPINSKI.is_connected()
+
+    def test_discrete_two_points_disconnected(self):
+        assert not FiniteSpace.discrete("ab").is_connected()
+
+    def test_components_of_disjoint_union_shape(self):
+        space = FiniteSpace("abcd", [set(), {"a"}, {"a", "b"}, {"c"},
+                                     {"c", "d"}, {"a", "c"}, {"a", "b", "c"},
+                                     {"a", "c", "d"}, {"a", "b", "c", "d"}])
+        components = space.connected_components()
+        assert frozenset({"a", "b"}) in components
+        assert frozenset({"c", "d"}) in components
+
+    def test_components_partition_carrier(self):
+        components = SIERPINSKI.connected_components()
+        assert frozenset().union(*components) == SIERPINSKI.points
+
+
+class TestDunder:
+    def test_equality_and_hash(self):
+        other = FiniteSpace("ab", [set(), {"a"}, {"a", "b"}])
+        assert other == SIERPINSKI
+        assert hash(other) == hash(SIERPINSKI)
+
+    def test_len_and_contains(self):
+        assert len(SIERPINSKI) == 2
+        assert "a" in SIERPINSKI
+        assert "z" not in SIERPINSKI

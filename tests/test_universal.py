@@ -1,0 +1,120 @@
+"""Unit tests for the Universal Relation baseline (repro.universal)."""
+
+import pytest
+
+from repro.errors import RelationError
+from repro.relational import Relation
+from repro.universal import (
+    Placeholder,
+    UniversalRelation,
+    ambiguity_report,
+    covering_translations,
+    deletion_translations,
+    insertion_translations,
+    is_placeholder,
+    window_side_effects,
+)
+
+
+@pytest.fixture
+def ur(db):
+    return UniversalRelation.from_extension(db)
+
+
+class TestPlaceholders:
+    def test_uniqueness(self):
+        p1, p2 = Placeholder("a"), Placeholder("a")
+        assert p1 != p2
+        assert is_placeholder(p1)
+        assert not is_placeholder("value")
+
+
+class TestInstances:
+    def test_universal_scheme(self, ur, schema):
+        assert ur.scheme == schema.used_property_names()
+
+    def test_pure_join_loses_dangling(self, ur, db):
+        joined = ur.pure_join()
+        # dee (person without employee tuple) cannot appear in the full join.
+        assert all(t["name"] != "dee" for t in joined.tuples)
+
+    def test_weak_instance_covers_all_base_tuples(self, ur, db):
+        weak = ur.weak_instance()
+        assert len(weak) == db.total_instances()
+
+    def test_weak_instance_pads_with_placeholders(self, ur):
+        weak = ur.weak_instance()
+        padded = [t for t in weak.tuples if any(is_placeholder(t[a]) for a in t.schema)]
+        assert padded
+
+    def test_needs_at_least_one_relation(self):
+        with pytest.raises(RelationError):
+            UniversalRelation([])
+
+
+class TestWindows:
+    def test_window_on_person_attrs(self, ur):
+        window = ur.window({"name", "age"})
+        names = {t["name"] for t in window.tuples}
+        assert "dee" in names  # weak instance keeps the lonely person
+
+    def test_window_excludes_placeholder_rows(self, ur):
+        window = ur.window({"name", "budget"})
+        # only managers have budgets; others are placeholder-padded out.
+        assert {t["name"] for t in window.tuples} == {"ann"}
+
+    def test_window_outside_scheme(self, ur):
+        with pytest.raises(RelationError):
+            ur.window({"salary"})
+
+
+class TestViewUpdateAmbiguity:
+    def test_insertion_ambiguous(self, ur):
+        translations = insertion_translations(ur, {"name": "eva", "age": 47})
+        # person, employee, manager, worksfor all cover {name, age}.
+        assert len(translations) == 4
+
+    def test_axiom_model_is_unambiguous_for_same_task(self, db, schema):
+        from repro.core import EntityViewType, ViewUpdate, translation_count
+        from repro.relational import Tuple
+
+        view = EntityViewType("people", {schema["person"]})
+        update = ViewUpdate(view, "insert", schema["person"],
+                            Tuple({"name": "eva", "age": 47}))
+        assert translation_count(update, db) == 1
+
+    def test_covering_translations_minimal(self, ur):
+        covers = covering_translations(ur, {"name", "age", "location"})
+        for cover in covers:
+            for other in covers:
+                assert not (other < cover)
+
+    def test_insertion_fills_placeholders(self, ur):
+        translations = insertion_translations(ur, {"name": "eva", "age": 47})
+        for translation in translations:
+            for idx, t in translation.items():
+                missing = t.schema - {"name", "age"}
+                for attr in missing:
+                    assert is_placeholder(t[attr])
+
+    def test_deletion_candidates(self, ur):
+        candidates = deletion_translations(ur, {"name": "ann", "age": 31})
+        # ann appears in person, employee, manager, worksfor.
+        assert len(candidates) == 4
+
+    def test_ambiguity_report(self, ur):
+        report = ambiguity_report(ur, {"name": "ann", "age": 31})
+        assert report["insertion_translations"] >= 4
+        assert report["deletion_translations"] == 4
+
+
+class TestSideEffects:
+    def test_insertion_changes_other_windows(self, ur):
+        translations = insertion_translations(ur, {"name": "eva", "age": 47})
+        # Pick the translation hitting the worksfor relation (most attrs).
+        widest = max(
+            translations,
+            key=lambda tr: max(len(t.schema) for t in tr.values()),
+        )
+        changed = window_side_effects(ur, {"name", "age"}, widest)
+        assert changed  # at least the targeted window changes

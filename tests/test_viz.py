@@ -1,0 +1,107 @@
+"""Golden tests for the figure/table renderers (repro.viz)."""
+
+from repro.viz import (
+    contributor_diagram,
+    contributor_table,
+    disk_matrix,
+    entity_table,
+    extension_table,
+    generalisation_table,
+    isa_forest,
+    instance_cut,
+    nested_regions,
+    specialisation_table,
+)
+
+
+class TestEntityTable:
+    def test_header_lines(self, schema):
+        text = entity_table(schema)
+        assert text.startswith("A = {age, budget, depname, location, name}")
+        assert "E = {department, employee, manager, person, worksfor}" in text
+
+    def test_rows_match_paper(self, schema):
+        text = entity_table(schema)
+        assert "person" in text and "{age, name}" in text
+        assert "{age, budget, depname, name}" in text  # manager
+
+    def test_deterministic(self, schema):
+        assert entity_table(schema) == entity_table(schema)
+
+
+class TestStructureTables:
+    def test_specialisation_table(self, schema):
+        text = specialisation_table(schema)
+        assert "S_person" in text
+        assert "{employee, manager, person, worksfor}" in text
+        assert "V_budget" in text
+
+    def test_generalisation_table(self, schema):
+        text = generalisation_table(schema)
+        assert "G_worksfor" in text
+        assert "{department, employee, person, worksfor}" in text
+
+    def test_contributor_table(self, schema):
+        text = contributor_table(schema)
+        assert "CO_worksfor" in text
+        assert "{department, employee}" in text
+        assert "(primitive)" in text  # person, department
+
+    def test_extension_table(self, db):
+        text = extension_table(db)
+        assert "containment: ok" in text
+        assert "extension axiom: ok" in text
+
+    def test_extension_table_flags_violations(self, db):
+        broken = db.insert("manager", {
+            "name": "eva", "age": 47, "depname": "admin", "budget": 100,
+        }, propagate=False)
+        assert "VIOLATED" in extension_table(broken)
+
+
+class TestVennForest:
+    def test_forest_shows_hierarchy(self, schema):
+        text = isa_forest(schema)
+        assert "person" in text and "manager" in text
+        # manager is indented under employee:
+        lines = text.splitlines()
+        employee_line = next(i for i, l in enumerate(lines) if "employee" in l)
+        manager_line = next(i for i, l in enumerate(lines) if "manager" in l)
+        assert manager_line > employee_line
+
+    def test_shared_specialisation_marked(self, schema):
+        text = isa_forest(schema)
+        assert "shared" in text  # worksfor appears under two parents
+
+    def test_nested_regions_chains(self, schema):
+        text = nested_regions(schema)
+        assert "manager c= employee c= person" in text
+
+    def test_contributor_diagram(self, schema):
+        text = contributor_diagram(schema)
+        assert "worksfor --> department, employee" in text
+        assert "manager --> employee" in text
+
+
+class TestDisks:
+    def test_matrix_shape(self, schema):
+        text = disk_matrix(schema)
+        lines = text.splitlines()
+        assert len(lines) == 6  # header + 5 entity types
+
+    def test_matrix_marks(self, schema):
+        text = disk_matrix(schema)
+        manager_row = next(l for l in text.splitlines() if l.startswith("manager"))
+        assert manager_row.count("●") == 4
+        person_row = next(l for l in text.splitlines() if l.startswith("person"))
+        assert person_row.count("●") == 2
+
+    def test_instance_cut(self, db):
+        text = instance_cut(db, "manager")
+        assert "ann" in text and "250" in text
+
+    def test_instance_cut_empty(self, schema):
+        from repro.core import DatabaseExtension
+
+        empty = DatabaseExtension(schema)
+        assert "no instances" in instance_cut(empty, "manager")
