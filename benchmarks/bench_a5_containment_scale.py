@@ -13,7 +13,7 @@ from conftest import show
 
 from repro.workloads import random_extension, random_schema, random_tuple
 
-SIZES = [5, 20, 60]
+SIZES = [5, 20, 60, 150]
 
 
 def state(rows_per_leaf, seed=13):

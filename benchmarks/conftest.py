@@ -2,9 +2,61 @@
 
 from __future__ import annotations
 
+import json
+import platform
+
 import pytest
 
 from repro.core.employee import employee_extension, employee_schema
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--bench-json",
+        action="store_const",
+        const="BENCH_kernel.json",
+        default=None,
+        help="dump per-benchmark timing stats to BENCH_kernel.json so "
+             "later PRs have a perf trajectory to compare against",
+    )
+
+
+def pytest_sessionfinish(session, exitstatus):
+    path = session.config.getoption("--bench-json")
+    if not path:
+        return
+    bench_session = getattr(session.config, "_benchmarksession", None)
+    if bench_session is None:
+        return
+    records = []
+    for bench in bench_session.benchmarks:
+        stats = getattr(bench, "stats", None)
+        if stats is None:
+            continue
+        records.append({
+            "name": bench.name,
+            "fullname": bench.fullname,
+            "group": bench.group,
+            "params": bench.params,
+            "mean_s": stats.mean,
+            "median_s": stats.median,
+            "min_s": stats.min,
+            "max_s": stats.max,
+            "stddev_s": stats.stddev,
+            "rounds": stats.rounds,
+            "iterations": bench.iterations,
+        })
+    payload = {
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "benchmarks": sorted(records, key=lambda r: r["fullname"]),
+    }
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    terminal = session.config.pluginmanager.get_plugin("terminalreporter")
+    if terminal is not None:
+        terminal.write_line(f"bench timings written to {path}")
 
 
 @pytest.fixture(scope="module")

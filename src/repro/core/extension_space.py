@@ -36,16 +36,21 @@ def instance_points(db: DatabaseExtension) -> frozenset[InstancePoint]:
 
 
 def instance_generalisations(db: DatabaseExtension,
-                             point: InstancePoint) -> frozenset[InstancePoint]:
+                             point: InstancePoint,
+                             gen: GeneralisationStructure | None = None,
+                             ) -> frozenset[InstancePoint]:
     """The data-level generalisations of one instance (including itself).
 
     Raises :class:`ContainmentError` when a projection target is missing —
     the extension space only exists over containment-satisfying states,
     which is the topological restatement of the Containment Condition.
+    Callers mapping over many points pass a shared ``gen`` so the
+    generalisation structure is computed once, not once per instance.
     """
     name, t = point
     e = db.schema[name]
-    gen = GeneralisationStructure(db.schema)
+    if gen is None:
+        gen = db.gen
     out: set[InstancePoint] = set()
     for f in gen.G(e):
         projected = t.project(f.attributes)
@@ -68,7 +73,7 @@ def extension_space(db: DatabaseExtension) -> FiniteSpace:
     answer the same questions in O(n^2) without materialising opens.
     """
     points = instance_points(db)
-    up = {p: instance_generalisations(db, p) for p in points}
+    up = {p: instance_generalisations(db, p, db.gen) for p in points}
     return alexandrov_space(points, up)
 
 
@@ -81,10 +86,10 @@ def projection_is_monotone(db: DatabaseExtension) -> bool:
     O(instances^2) instead of exponential open-set materialisation.
     """
     points = instance_points(db)
-    gen = GeneralisationStructure(db.schema)
+    gen = db.gen
     for p in points:
         e = db.schema[p[0]]
-        for name, _ in instance_generalisations(db, p):
+        for name, _ in instance_generalisations(db, p, gen):
             if db.schema[name] not in gen.G(e):
                 return False
     return True

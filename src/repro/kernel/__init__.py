@@ -1,0 +1,52 @@
+"""Bitset semantics kernel.
+
+The hot paths of the reproduction — subbase→topology generation (§3.1),
+attribute/FD closure (§5), and the chase behind the View and Extension
+Axioms — all reduce to operations on small finite set families.  This
+package interns points as bit positions (:class:`Universe`) and runs the
+algorithms on ``int`` masks and flat arrays; the object-level modules in
+:mod:`repro.topology` and :mod:`repro.relational` route through these
+kernels behind their existing signatures and keep their original
+implementations as ``*_naive`` reference oracles (cross-validated in
+``tests/test_kernel_equivalence.py``).  See ``README.md`` in this
+directory for the architecture notes.
+"""
+
+from repro.kernel.bitops import (
+    bit_indices,
+    close_under_intersection,
+    close_under_union,
+    is_subset,
+    iter_bits,
+    popcount,
+)
+from repro.kernel.chase import UnionFind, chase_rows, is_lossless_indices
+from repro.kernel.fd import FDKernel, closure_mask
+from repro.kernel.topology import (
+    base_masks_from_subbase,
+    minimal_open_masks,
+    minimal_opens_of_family,
+    topology_masks_from_subbase,
+    union_closure_masks,
+)
+from repro.kernel.universe import Universe
+
+__all__ = [
+    "Universe",
+    "UnionFind",
+    "FDKernel",
+    "closure_mask",
+    "chase_rows",
+    "is_lossless_indices",
+    "iter_bits",
+    "bit_indices",
+    "popcount",
+    "is_subset",
+    "close_under_intersection",
+    "close_under_union",
+    "minimal_open_masks",
+    "minimal_opens_of_family",
+    "base_masks_from_subbase",
+    "topology_masks_from_subbase",
+    "union_closure_masks",
+]

@@ -1,0 +1,73 @@
+"""Word-level primitives shared by the bitset kernels.
+
+Masks are plain Python ``int``s: bit ``i`` set means "element ``i`` is in
+the set".  Python integers are arbitrary-precision, so carriers larger
+than a machine word spill into multi-limb integers transparently — the
+kernels never need a separate big-set representation.  All hot loops in
+this package stay on ``int`` operations (``&``, ``|``, ``^``,
+``bit_count``) which CPython executes in C.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+
+def iter_bits(mask: int) -> Iterator[int]:
+    """Yield the set bit positions of ``mask`` in ascending order."""
+    while mask:
+        low = mask & -mask
+        yield low.bit_length() - 1
+        mask ^= low
+
+
+def bit_indices(mask: int) -> list[int]:
+    """The set bit positions of ``mask`` as a list (ascending)."""
+    return list(iter_bits(mask))
+
+
+def popcount(mask: int) -> int:
+    """Number of set bits (delegates to ``int.bit_count``)."""
+    return mask.bit_count()
+
+
+def is_subset(a: int, b: int) -> bool:
+    """Whether the set encoded by ``a`` is contained in ``b``."""
+    return a & ~b == 0
+
+
+def close_under(op, masks, seeds: set[int]) -> set[int]:
+    """Close ``seeds`` under ``op`` with every member of ``masks``.
+
+    Frontier-deduplicated fixpoint: each newly produced mask is combined
+    with every family member exactly once, so the cost is
+    ``O(|result| * |masks|)`` int operations rather than the repeated
+    full-product sweeps of the naive closure.
+    """
+    family = list(dict.fromkeys(masks))
+    closed = set(seeds)
+    frontier = list(closed)
+    while frontier:
+        new: list[int] = []
+        for partial in frontier:
+            for member in family:
+                candidate = op(partial, member)
+                if candidate not in closed:
+                    closed.add(candidate)
+                    new.append(candidate)
+        frontier = new
+    return closed
+
+
+def close_under_intersection(masks, carrier: int) -> set[int]:
+    """All finite intersections of ``masks`` (clipped to ``carrier``).
+
+    The empty intersection contributes ``carrier`` itself, mirroring the
+    paper's convention for the base family ``L``.
+    """
+    return close_under(int.__and__, [m & carrier for m in masks], {carrier})
+
+
+def close_under_union(masks) -> set[int]:
+    """All unions of submasks of ``masks``; the empty union contributes 0."""
+    return close_under(int.__or__, masks, {0})

@@ -1,0 +1,99 @@
+"""Array-based chase for the lossless-join test.
+
+Rows are flat lists of symbol ids: ids below ``n_attrs`` are the
+distinguished symbols ``a_1 .. a_n`` (one per attribute), higher ids are
+the non-distinguished ``b_{ij}``.  Equating symbols goes through a
+union-find with path halving whose union rule prefers the smaller id, so
+distinguished symbols always survive a merge — the classical preference
+rule for free.  Each FD application partitions the rows by their (current)
+left-hand-side symbols with one dict pass instead of comparing all row
+pairs.
+"""
+
+from __future__ import annotations
+
+
+class UnionFind:
+    """Union-find over ``0..n-1`` with path halving; smaller root wins."""
+
+    __slots__ = ("parent",)
+
+    def __init__(self, n: int):
+        self.parent = list(range(n))
+
+    def find(self, x: int) -> int:
+        parent = self.parent
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    def union(self, a: int, b: int) -> int:
+        """Merge the classes of ``a`` and ``b``; the smaller root survives."""
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return ra
+        if rb < ra:
+            ra, rb = rb, ra
+        self.parent[rb] = ra
+        return ra
+
+
+IndexFD = tuple[tuple[int, ...], tuple[int, ...]]  # (lhs indices, rhs indices)
+
+
+def chase_rows(n_attrs: int,
+               parts: list[tuple[int, ...]],
+               fds: list[IndexFD],
+               max_rounds: int = 10_000) -> tuple[list[list[int]], UnionFind]:
+    """Chase the decomposition tableau to a fixpoint.
+
+    ``parts[i]`` lists the attribute indices row ``i`` is distinguished
+    on.  Returns the rows (symbol ids as initially laid out) and the
+    union-find carrying the equalities; resolve a cell with
+    ``uf.find(row[a])``.
+    """
+    n_rows = len(parts)
+    rows: list[list[int]] = []
+    for i, part in enumerate(parts):
+        base = n_attrs * (i + 1)
+        row = [base + a for a in range(n_attrs)]
+        for a in part:
+            row[a] = a
+        rows.append(row)
+    uf = UnionFind(n_attrs * (n_rows + 1))
+    find = uf.find
+    union = uf.union
+    for _ in range(max_rounds):
+        changed = False
+        for lhs, rhs in fds:
+            groups: dict[tuple[int, ...], list[int]] = {}
+            for row in rows:
+                key = tuple(find(row[a]) for a in lhs)
+                rep = groups.get(key)
+                if rep is None:
+                    groups[key] = row
+                else:
+                    for b in rhs:
+                        s1, s2 = find(rep[b]), find(row[b])
+                        if s1 != s2:
+                            union(s1, s2)
+                            changed = True
+        if not changed:
+            break
+    return rows, uf
+
+
+def is_lossless_indices(n_attrs: int,
+                        parts: list[tuple[int, ...]],
+                        fds: list[IndexFD],
+                        max_rounds: int = 10_000) -> bool:
+    """Whether some chased row becomes all-distinguished.
+
+    Distinguished ids are exactly ``0..n_attrs-1`` and the union rule
+    keeps roots minimal, so a cell is distinguished iff its root id is
+    below ``n_attrs``.
+    """
+    rows, uf = chase_rows(n_attrs, parts, fds, max_rounds)
+    find = uf.find
+    return any(all(find(s) < n_attrs for s in row) for row in rows)

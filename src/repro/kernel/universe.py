@@ -1,0 +1,124 @@
+"""Interning of hashable points as bit positions.
+
+A :class:`Universe` is the bridge between the object-level API (points are
+arbitrary hashables: strings, ``EntityType``s, instance pairs) and the
+mask-level kernels in this package.  Interning assigns each distinct point
+a bit position in insertion order; set families then become families of
+``int`` masks and every hot operation is a word operation.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable, Iterator
+
+from repro.kernel.bitops import iter_bits
+
+Point = Hashable
+
+
+class Universe:
+    """A bijection between points and bit positions.
+
+    Positions are assigned by first intern, so two universes built from
+    the same point sequence encode identically.  Carriers wider than a
+    machine word are handled transparently: masks are Python ints.
+    """
+
+    __slots__ = ("_index", "_points")
+
+    def __init__(self, points: Iterable[Point] = ()):
+        self._index: dict[Point, int] = {}
+        self._points: list[Point] = []
+        for p in points:
+            self.intern(p)
+
+    # ------------------------------------------------------------------
+    # interning
+    # ------------------------------------------------------------------
+    def intern(self, point: Point) -> int:
+        """The bit position of ``point``, assigning a fresh one if new."""
+        idx = self._index.get(point)
+        if idx is None:
+            idx = len(self._points)
+            self._index[point] = idx
+            self._points.append(point)
+        return idx
+
+    def index_of(self, point: Point) -> int:
+        """The bit position of an already-interned point (KeyError if not)."""
+        return self._index[point]
+
+    def point_at(self, index: int) -> Point:
+        """The point interned at bit position ``index``."""
+        return self._points[index]
+
+    def __len__(self) -> int:
+        return len(self._points)
+
+    def __contains__(self, point: Point) -> bool:
+        return point in self._index
+
+    def __iter__(self) -> Iterator[Point]:
+        return iter(self._points)
+
+    @property
+    def points(self) -> tuple[Point, ...]:
+        """All interned points in bit-position order."""
+        return tuple(self._points)
+
+    def full_mask(self) -> int:
+        """The mask with every interned point's bit set."""
+        return (1 << len(self._points)) - 1
+
+    # ------------------------------------------------------------------
+    # encode / decode
+    # ------------------------------------------------------------------
+    def encode(self, points: Iterable[Point]) -> int:
+        """Mask of ``points``, interning any that are new."""
+        mask = 0
+        index = self._index
+        for p in points:
+            idx = index.get(p)
+            if idx is None:
+                idx = self.intern(p)
+            mask |= 1 << idx
+        return mask
+
+    def encode_known(self, points: Iterable[Point]) -> int:
+        """Mask of the already-interned members of ``points``.
+
+        Unknown points are silently dropped — the clipping semantics the
+        set-level generation code applies by intersecting with the
+        carrier.
+        """
+        mask = 0
+        index = self._index
+        for p in points:
+            idx = index.get(p)
+            if idx is not None:
+                mask |= 1 << idx
+        return mask
+
+    def encode_strict(self, points: Iterable[Point]) -> int:
+        """Mask of ``points``; raises ``KeyError`` on any unknown point."""
+        mask = 0
+        index = self._index
+        for p in points:
+            mask |= 1 << index[p]
+        return mask
+
+    def decode(self, mask: int) -> frozenset[Point]:
+        """The set of points whose bits are set in ``mask``."""
+        pts = self._points
+        return frozenset(pts[i] for i in iter_bits(mask))
+
+    def decode_many(self, masks: Iterable[int]) -> frozenset[frozenset[Point]]:
+        """Decode a family of masks, deduplicating shared members."""
+        cache: dict[int, frozenset[Point]] = {}
+        out = set()
+        for m in masks:
+            s = cache.get(m)
+            if s is None:
+                s = cache[m] = self.decode(m)
+            out.add(s)
+        return frozenset(out)

@@ -14,6 +14,7 @@ from collections.abc import Iterable
 from itertools import combinations
 
 from repro.errors import DependencyError
+from repro.kernel import FDKernel
 from repro.relational.relation import AttrName, Relation
 
 
@@ -78,8 +79,39 @@ def violating_pairs(fd: FD, relation: Relation) -> list[tuple]:
     return out
 
 
+# Below this many FDs the C-speed frozenset sweep beats the kernel's
+# per-call attribute interning; above it the Beeri–Bernstein counters win
+# (the sweep is quadratic on derivation chains).  Callers issuing many
+# queries against one FD set should hold an :class:`FDKernel` instead,
+# which pays the encoding once.
+_KERNEL_MIN_FDS = 24
+
+
 def closure(attrs: Iterable[AttrName], fds: Iterable[FD]) -> frozenset[AttrName]:
-    """The attribute-set closure ``attrs+`` under ``fds`` (linear-ish loop)."""
+    """The attribute-set closure ``attrs+`` under ``fds``.
+
+    Large dependency sets route through the bitset kernel's
+    Beeri–Bernstein counter algorithm (linear in the dependency-set
+    size); small ones use the frozenset sweep directly, which is faster
+    below the interning overhead.  :func:`closure_naive` is the retained
+    reference oracle.
+    """
+    fds = fds if isinstance(fds, (list, tuple)) else list(fds)
+    if len(fds) >= _KERNEL_MIN_FDS:
+        return FDKernel(fds).closure(attrs)
+    result = set(attrs)
+    changed = True
+    while changed:
+        changed = False
+        for fd in fds:
+            if fd.lhs <= result and not fd.rhs <= result:
+                result |= fd.rhs
+                changed = True
+    return frozenset(result)
+
+
+def closure_naive(attrs: Iterable[AttrName], fds: Iterable[FD]) -> frozenset[AttrName]:
+    """Reference oracle for :func:`closure` (quadratic fixpoint sweep)."""
     result = set(attrs)
     fds = list(fds)
     changed = True
@@ -109,12 +141,19 @@ def minimal_cover(fds: Iterable[FD]) -> frozenset[FD]:
     work: set[FD] = set()
     for fd in fds:
         work |= fd.decompose()
-    # Reduce left-hand sides.
+    # Reduce left-hand sides.  The dependency set is fixed throughout the
+    # reduction, so large inputs compile one kernel for every query;
+    # small ones stay on the direct sweep (cheaper than interning).
+    if len(work) < _KERNEL_MIN_FDS:
+        work_list = sorted(work, key=repr)
+        query = lambda attrs: closure_naive(attrs, work_list)  # noqa: E731
+    else:
+        query = FDKernel(work).closure
     reduced: set[FD] = set()
     for fd in sorted(work, key=repr):
         lhs = set(fd.lhs)
         for attr in sorted(fd.lhs):
-            if len(lhs) > 1 and fd.rhs <= closure(lhs - {attr}, work):
+            if len(lhs) > 1 and fd.rhs <= query(lhs - {attr}):
                 lhs.discard(attr)
         reduced.add(FD(lhs, fd.rhs))
     # Remove redundant FDs.
@@ -129,15 +168,29 @@ def candidate_keys(schema: Iterable[AttrName], fds: Iterable[FD]) -> frozenset[f
     """All minimal attribute sets whose closure is the full schema."""
     schema_set = frozenset(schema)
     fds = list(fds)
-    keys: list[frozenset[AttrName]] = []
+    if len(fds) < _KERNEL_MIN_FDS:
+        keys: list[frozenset[AttrName]] = []
+        for size in range(len(schema_set) + 1):
+            for combo in combinations(sorted(schema_set), size):
+                candidate = frozenset(combo)
+                if any(key <= candidate for key in keys):
+                    continue
+                if closure_naive(candidate, fds) == schema_set:
+                    keys.append(candidate)
+        return frozenset(keys)
+    kern = FDKernel(fds, attrs=sorted(schema_set))
+    target = kern.universe.encode(schema_set)
+    found: list[frozenset[AttrName]] = []
+    key_masks: list[int] = []
     for size in range(len(schema_set) + 1):
         for combo in combinations(sorted(schema_set), size):
-            candidate = frozenset(combo)
-            if any(key <= candidate for key in keys):
+            mask = kern.universe.encode(combo)
+            if any(key & ~mask == 0 for key in key_masks):
                 continue
-            if closure(candidate, fds) == schema_set:
-                keys.append(candidate)
-    return frozenset(keys)
+            if kern.closure_mask_of(mask) == target:
+                found.append(frozenset(combo))
+                key_masks.append(mask)
+    return frozenset(found)
 
 
 def is_superkey(attrs: Iterable[AttrName], schema: Iterable[AttrName],
@@ -153,13 +206,12 @@ def all_implied_fds(schema: Iterable[AttrName], fds: Iterable[FD]) -> frozenset[
     preferred for single questions.
     """
     schema_set = frozenset(schema)
-    fds = list(fds)
+    kern = FDKernel(fds, attrs=sorted(schema_set))
     out: set[FD] = set()
     subsets: list[frozenset[AttrName]] = [frozenset()]
     for attr in sorted(schema_set):
         subsets += [s | {attr} for s in subsets]
     for lhs in subsets:
-        lhs_closure = closure(lhs, fds)
-        for attr in lhs_closure:
+        for attr in kern.closure(lhs):
             out.add(FD(lhs, {attr}))
     return frozenset(out)

@@ -8,6 +8,14 @@ arbitrary finite set families, plus the inverse questions the paper raises:
 is a given family a subbase for a given topology, and which subbase members
 are redundant (so that the designer may "choose a subbase which reflects the
 bias to the Universe of Discourse")?
+
+The hot constructions route through :mod:`repro.kernel`: points are
+interned as bit positions, set families become ``int`` masks, and
+generation exploits the Alexandrov structure (minimal opens via the
+specialisation preorder) instead of closing the full family ``L``.  The
+original frozenset implementations are retained as ``*_naive`` reference
+oracles; ``tests/test_kernel_equivalence.py`` checks both routes agree on
+randomized inputs.
 """
 
 from __future__ import annotations
@@ -16,6 +24,13 @@ from collections.abc import Hashable, Iterable
 from itertools import combinations
 from typing import FrozenSet
 
+from repro.kernel import (
+    Universe,
+    close_under_intersection,
+    close_under_union,
+    minimal_open_masks,
+    topology_masks_from_subbase,
+)
 from repro.topology.space import FiniteSpace
 
 Point = Hashable
@@ -33,6 +48,14 @@ def intersections_of(subbase: Iterable[Iterable[Point]],
     The empty intersection is the whole carrier by convention, so the
     result always contains ``carrier``.
     """
+    uni = Universe(carrier)
+    masks = [uni.encode_known(s) for s in subbase]
+    return uni.decode_many(close_under_intersection(masks, uni.full_mask()))
+
+
+def intersections_of_naive(subbase: Iterable[Iterable[Point]],
+                           carrier: Iterable[Point]) -> SetFamily:
+    """Reference oracle for :func:`intersections_of` (frozenset frontier)."""
     carrier_fs = frozenset(carrier)
     family = _freeze(subbase)
     closed: set[frozenset[Point]] = {carrier_fs}
@@ -54,6 +77,13 @@ def unions_of(base: Iterable[Iterable[Point]]) -> SetFamily:
 
     The empty union contributes the empty set.
     """
+    uni = Universe()
+    masks = [uni.encode(s) for s in base]
+    return uni.decode_many(close_under_union(masks))
+
+
+def unions_of_naive(base: Iterable[Iterable[Point]]) -> SetFamily:
+    """Reference oracle for :func:`unions_of` (frozenset frontier)."""
     family = sorted(_freeze(base), key=len)
     closed: set[frozenset[Point]] = {frozenset()}
     frontier: set[frozenset[Point]] = {frozenset()}
@@ -73,12 +103,31 @@ def topology_from_subbase(points: Iterable[Point],
                           subbase: Iterable[Iterable[Point]]) -> FiniteSpace:
     """The coarsest topology on ``points`` in which every subbase member is open.
 
-    This is the exact construction of section 3.1: finite intersections
-    (family ``L``) form a base, unions of base members form the topology.
+    This is the exact construction of section 3.1 — finite intersections
+    (family ``L``) form a base, unions of base members form the topology —
+    computed on the minimal base instead: the minimal open of ``x`` is the
+    intersection of the subbase members containing ``x``, and the opens
+    are exactly the unions of minimal opens.  The result is closed under
+    union and intersection by construction, so the space skips
+    re-validation; :func:`topology_from_subbase_naive` is the oracle.
     """
+    uni = Universe(points)
+    carrier = uni.full_mask()
+    masks = [uni.encode_known(s) for s in subbase]
+    minimal = minimal_open_masks(carrier, masks)
+    opens = close_under_union(minimal.values())
+    opens.add(carrier)
+    minimal_sets = {uni.point_at(bit): uni.decode(m) for bit, m in minimal.items()}
+    return FiniteSpace._trusted(frozenset(uni.points), uni.decode_many(opens),
+                                minimal_sets)
+
+
+def topology_from_subbase_naive(points: Iterable[Point],
+                                subbase: Iterable[Iterable[Point]]) -> FiniteSpace:
+    """Reference oracle: close under intersections, then unions, validate."""
     pts = frozenset(points)
-    base = intersections_of(subbase, pts)
-    opens = unions_of(base)
+    base = intersections_of_naive(subbase, pts)
+    opens = unions_of_naive(base)
     return FiniteSpace(pts, opens)
 
 
@@ -103,9 +152,15 @@ def is_base_for(family: Iterable[Iterable[Point]], space: FiniteSpace) -> bool:
     members = _freeze(family)
     if any(m not in space.opens for m in members):
         return False
+    uni = Universe(space.points)
+    member_masks = [uni.encode_strict(m) for m in members]
     for u in space.opens:
-        covered = frozenset().union(*(m for m in members if m <= u)) if members else frozenset()
-        if covered != u:
+        target = uni.encode_strict(u)
+        covered = 0
+        for m in member_masks:
+            if m & ~target == 0:
+                covered |= m
+        if covered != target:
             return False
     return True
 
@@ -127,6 +182,23 @@ def minimal_base(space: FiniteSpace) -> SetFamily:
     return frozenset(space.minimal_open(p) for p in space.points)
 
 
+def minimal_base_naive(space: FiniteSpace) -> SetFamily:
+    """Reference oracle for :func:`minimal_base`: per-point scan of opens."""
+    out: set[frozenset[Point]] = set()
+    for p in space.points:
+        best = space.points
+        for u in space.opens:
+            if p in u and len(u) < len(best):
+                best = u
+        out.add(best)
+    return frozenset(out)
+
+
+def _opens_masks(uni: Universe, subbase_masks: list[int]) -> frozenset[int]:
+    """The generated topology as a frozenset of masks (no decoding)."""
+    return frozenset(topology_masks_from_subbase(uni.full_mask(), subbase_masks))
+
+
 def redundant_in_subbase(points: Iterable[Point],
                          subbase: Iterable[Iterable[Point]]) -> SetFamily:
     """Subbase members removable without changing the generated topology.
@@ -137,13 +209,17 @@ def redundant_in_subbase(points: Iterable[Point],
     full family (removing several members at once may or may not preserve
     the topology; see :func:`irredundant_subbases`).
     """
-    pts = frozenset(points)
+    uni = Universe(points)
     family = _freeze(subbase)
-    reference = topology_from_subbase(pts, family).opens
+    # Masks only drive the topology comparisons; membership and the
+    # returned sets stay at the level of the original family (two
+    # members may clip to the same mask yet each be removable alone).
+    mask_of = {member: uni.encode_known(member) for member in family}
+    reference = _opens_masks(uni, list(mask_of.values()))
     redundant: set[frozenset[Point]] = set()
     for member in family:
-        rest = family - {member}
-        if topology_from_subbase(pts, rest).opens == reference:
+        rest = [mask_of[m] for m in family if m != member]
+        if _opens_masks(uni, rest) == reference:
             redundant.add(member)
     return frozenset(redundant)
 
@@ -159,14 +235,17 @@ def irredundant_subbases(points: Iterable[Point],
     choices.  Exponential in the family size; ``limit`` caps the number of
     answers for large inputs.
     """
-    pts = frozenset(points)
+    uni = Universe(points)
     family = sorted(_freeze(subbase), key=lambda s: (len(s), sorted(map(repr, s))))
-    reference = topology_from_subbase(pts, family).opens
+    # Combos, minimality checks, and answers run over the original
+    # members; masks only drive the generated-topology comparisons.
+    mask_of = {member: uni.encode_known(member) for member in family}
+    reference = _opens_masks(uni, list(mask_of.values()))
     answers: list[SetFamily] = []
     for size in range(len(family) + 1):
         for combo in combinations(family, size):
             candidate = frozenset(combo)
-            if topology_from_subbase(pts, candidate).opens != reference:
+            if _opens_masks(uni, [mask_of[m] for m in combo]) != reference:
                 continue
             if any(prior <= candidate for prior in answers):
                 continue

@@ -62,10 +62,37 @@ def alexandrov_space(points: Iterable[Point],
         below[p].add(p)
 
     minimal_opens = {p: frozenset(below[p]) for p in pts}
-    from repro.topology.generation import unions_of
+    if any(not mo <= pts for mo in minimal_opens.values()):
+        # Stray points in ``up``: route through the validating
+        # constructor so the caller gets the usual TopologyError.
+        from repro.topology.generation import unions_of
 
-    opens = unions_of(minimal_opens.values()) | {pts}
-    return FiniteSpace(pts, opens)
+        return FiniteSpace(pts, unions_of(minimal_opens.values()) | {pts})
+
+    from repro.kernel import Universe, close_under_union, iter_bits
+
+    uni = Universe(pts)
+    carrier = uni.full_mask()
+    masks = [uni.encode_strict(minimal_opens[uni.point_at(i)])
+             for i in range(len(uni))]
+    transitive = all(
+        masks[q] & ~masks[p] == 0
+        for p in range(len(masks)) for q in iter_bits(masks[p])
+    )
+    if not transitive:
+        # Not a genuine preorder: the union closure of the below-sets need
+        # not be intersection-closed, so let the validating constructor
+        # decide (and raise) exactly as the naive route did.
+        from repro.topology.generation import unions_of
+
+        return FiniteSpace(pts, unions_of(minimal_opens.values()) | {pts})
+    opens = close_under_union(masks)
+    opens.add(carrier)
+    # The down-sets of a preorder are closed under union and intersection
+    # by construction, so the space is built on the trusted path with its
+    # minimal-open cache pre-filled.
+    return FiniteSpace._trusted(pts, uni.decode_many(opens),
+                                {p: frozenset(mo) for p, mo in minimal_opens.items()})
 
 
 def is_preorder(points: Iterable[Point], up: Mapping[Point, Iterable[Point]]) -> bool:

@@ -21,6 +21,7 @@ from collections.abc import Hashable, Iterable
 from typing import FrozenSet
 
 from repro.errors import TopologyError
+from repro.kernel import Universe, minimal_opens_of_family
 
 Point = Hashable
 OpenSet = FrozenSet[Point]
@@ -50,13 +51,45 @@ class FiniteSpace:
     ['a', 'b']
     """
 
-    __slots__ = ("_points", "_opens", "_min_open_cache")
+    __slots__ = ("_points", "_opens", "_min_open_cache", "_kernel_state")
 
     def __init__(self, points: Iterable[Point], opens: Iterable[Iterable[Point]]):
         self._points: frozenset[Point] = frozenset(points)
         self._opens: frozenset[OpenSet] = _freeze_family(opens)
         self._min_open_cache: dict[Point, OpenSet] = {}
+        self._kernel_state: tuple | None = None
         self._validate()
+
+    @classmethod
+    def _trusted(cls,
+                 points: frozenset[Point],
+                 opens: frozenset[OpenSet],
+                 minimal_opens: dict[Point, OpenSet] | None = None) -> "FiniteSpace":
+        """Construct without validating the topology axioms.
+
+        Reserved for kernel-side generators whose output is closed under
+        union and intersection by construction
+        (:func:`repro.topology.generation.topology_from_subbase`,
+        :func:`repro.topology.order.alexandrov_space`); the randomized
+        equivalence suite guards the shortcut.  ``minimal_opens`` pre-fills
+        the per-point cache when the generator already knows the answer.
+        """
+        self = object.__new__(cls)
+        self._points = points
+        self._opens = opens
+        self._min_open_cache = dict(minimal_opens) if minimal_opens else {}
+        self._kernel_state = None
+        return self
+
+    def _masks(self) -> tuple[Universe, list[int], set[int], int]:
+        """The interned view of the topology, built once on first use."""
+        state = self._kernel_state
+        if state is None:
+            uni = Universe(self._points)
+            open_masks = [uni.encode_strict(u) for u in self._opens]
+            state = (uni, open_masks, set(open_masks), uni.full_mask())
+            self._kernel_state = state
+        return state
 
     # ------------------------------------------------------------------
     # construction helpers
@@ -83,16 +116,21 @@ class FiniteSpace:
             raise TopologyError("the whole carrier must be open")
         for u in self._opens:
             if not u <= self._points:
-                stray = sorted(u - self._points)
+                stray = sorted(u - self._points, key=repr)
                 raise TopologyError(f"open set contains points outside the carrier: {stray}")
-        # On a finite carrier it suffices to check pairwise closure.
-        opens = list(self._opens)
-        for i, u in enumerate(opens):
-            for v in opens[i + 1:]:
-                if u | v not in self._opens:
-                    raise TopologyError(f"not closed under union: {set(u)} | {set(v)}")
-                if u & v not in self._opens:
-                    raise TopologyError(f"not closed under intersection: {set(u)} & {set(v)}")
+        # On a finite carrier it suffices to check pairwise closure.  The
+        # check runs on interned bitmasks: the pair loop is the same
+        # O(|T|^2) but each union/intersection/membership is a word
+        # operation instead of a frozenset allocation.
+        uni, open_masks, mask_set, _ = self._masks()
+        for i, u in enumerate(open_masks):
+            for v in open_masks[i + 1:]:
+                if u | v not in mask_set:
+                    raise TopologyError(
+                        f"not closed under union: {set(uni.decode(u))} | {set(uni.decode(v))}")
+                if u & v not in mask_set:
+                    raise TopologyError(
+                        f"not closed under intersection: {set(uni.decode(u))} & {set(uni.decode(v))}")
 
     # ------------------------------------------------------------------
     # basic accessors
@@ -140,22 +178,31 @@ class FiniteSpace:
     # point-set operators
     # ------------------------------------------------------------------
     def interior(self, subset: Iterable[Point]) -> OpenSet:
-        """The largest open set contained in ``subset``."""
-        target = frozenset(subset) & self._points
-        best: OpenSet = frozenset()
-        for u in self._opens:
-            if u <= target and len(u) > len(best):
-                best = u
-        return best
+        """The largest open set contained in ``subset``.
+
+        Computed as the union of all opens inside ``subset`` — the family
+        is closed under unions, so that union is itself open and maximal.
+        """
+        uni, open_masks, _, _ = self._masks()
+        target = uni.encode_known(subset)
+        acc = 0
+        for u in open_masks:
+            if u & ~target == 0:
+                acc |= u
+        return uni.decode(acc)
 
     def closure(self, subset: Iterable[Point]) -> OpenSet:
-        """The smallest closed set containing ``subset``."""
-        target = frozenset(subset) & self._points
-        best = self._points
-        for c in self.closed_sets():
-            if target <= c and len(c) < len(best):
-                best = c
-        return best
+        """The smallest closed set containing ``subset``.
+
+        The complement of the interior of the complement.
+        """
+        uni, open_masks, _, full = self._masks()
+        co_target = full & ~uni.encode_known(subset)
+        acc = 0
+        for u in open_masks:
+            if u & ~co_target == 0:
+                acc |= u
+        return uni.decode(full & ~acc)
 
     def boundary(self, subset: Iterable[Point]) -> OpenSet:
         """closure(S) minus interior(S)."""
@@ -185,12 +232,14 @@ class FiniteSpace:
         cached = self._min_open_cache.get(point)
         if cached is not None:
             return cached
-        result = self._points
-        for u in self._opens:
-            if point in u and len(u) < len(result):
-                result = u
-        self._min_open_cache[point] = result
-        return result
+        # Fill the whole cache in one kernel pass: the minimal open of x
+        # is the intersection of the opens containing x, and one sweep
+        # over the mask family computes it for every point at once.
+        uni, open_masks, _, full = self._masks()
+        minimal = minimal_opens_of_family(full, open_masks)
+        for bit, mask in minimal.items():
+            self._min_open_cache.setdefault(uni.point_at(bit), uni.decode(mask))
+        return self._min_open_cache[point]
 
     def neighbourhoods(self, point: Point) -> frozenset[OpenSet]:
         """All open sets containing ``point``."""

@@ -1,0 +1,196 @@
+"""Randomized equivalence: bitset kernels vs. the retained naive oracles.
+
+Every hot path that was rewired through :mod:`repro.kernel` keeps its
+original implementation as a ``*_naive`` reference oracle.  These
+property tests drive both routes with seeded random inputs (~200 cases
+per property) and assert exact agreement — the kernels are only allowed
+to be faster, never different.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.kernel import FDKernel
+from repro.relational.chase import is_lossless, is_lossless_naive
+from repro.relational.fd import FD, closure, closure_naive, implies
+from repro.topology.generation import (
+    intersections_of,
+    intersections_of_naive,
+    is_base_for,
+    minimal_base,
+    minimal_base_naive,
+    redundant_in_subbase,
+    topology_from_subbase,
+    topology_from_subbase_naive,
+    unions_of,
+    unions_of_naive,
+)
+
+CASES = 200
+
+
+def random_family(rng: random.Random, points: list[str]) -> list[frozenset[str]]:
+    n_sets = rng.randint(0, 6)
+    return [
+        frozenset(rng.sample(points, rng.randint(0, len(points))))
+        for _ in range(n_sets)
+    ]
+
+
+def random_fds(rng: random.Random, attrs: list[str], max_fds: int) -> list[FD]:
+    out = []
+    for _ in range(rng.randint(0, max_fds)):
+        lhs = rng.sample(attrs, rng.randint(0, min(3, len(attrs) - 1)))
+        rhs = rng.sample(attrs, rng.randint(1, min(3, len(attrs))))
+        out.append(FD(lhs, rhs))
+    return out
+
+
+class TestTopologyGenerationEquivalence:
+    def test_topology_from_subbase_matches_naive(self):
+        rng = random.Random(0xA2)
+        for case in range(CASES):
+            points = [f"p{i}" for i in range(rng.randint(0, 8))]
+            subbase = random_family(rng, points)
+            fast = topology_from_subbase(points, subbase)
+            slow = topology_from_subbase_naive(points, subbase)
+            assert fast.points == slow.points, case
+            assert fast.opens == slow.opens, case
+            for p in points:
+                assert fast.minimal_open(p) == slow.minimal_open(p), case
+
+    def test_intersections_match_naive(self):
+        rng = random.Random(0xA3)
+        for case in range(CASES):
+            points = [f"p{i}" for i in range(rng.randint(0, 9))]
+            subbase = random_family(rng, points)
+            assert intersections_of(subbase, points) == \
+                intersections_of_naive(subbase, points), case
+
+    def test_unions_match_naive(self):
+        rng = random.Random(0xA4)
+        for case in range(CASES):
+            points = [f"p{i}" for i in range(rng.randint(0, 9))]
+            family = random_family(rng, points)
+            assert unions_of(family) == unions_of_naive(family), case
+
+    def test_redundancy_matches_naive_with_stray_points(self):
+        """Members are judged and returned as given, even when they carry
+        out-of-carrier points or clip to the same set as another member."""
+        rng = random.Random(0xA5)
+        for case in range(100):
+            points = [f"p{i}" for i in range(rng.randint(1, 6))]
+            subbase = random_family(rng, points)
+            if rng.random() < 0.5:  # stray points outside the carrier
+                subbase = [s | {"stray"} if rng.random() < 0.3 else s
+                           for s in subbase]
+            family = frozenset(frozenset(s) for s in subbase)
+            reference = topology_from_subbase_naive(points, family).opens
+            expected = frozenset(
+                m for m in family
+                if topology_from_subbase_naive(points, family - {m}).opens
+                == reference
+            )
+            assert redundant_in_subbase(points, subbase) == expected, case
+
+
+class TestMinimalBaseEquivalence:
+    def test_minimal_base_matches_naive_and_generates(self):
+        rng = random.Random(0xB1)
+        for case in range(CASES):
+            points = [f"p{i}" for i in range(rng.randint(1, 7))]
+            space = topology_from_subbase(points, random_family(rng, points))
+            fast = minimal_base(space)
+            assert fast == minimal_base_naive(space), case
+            assert is_base_for(fast, space), case
+
+
+class TestClosureEquivalence:
+    def test_closure_matches_naive_both_sides_of_threshold(self):
+        rng = random.Random(0xC1)
+        for case in range(CASES):
+            attrs = [f"a{i}" for i in range(rng.randint(1, 12))]
+            # max_fds up to 40 crosses the small-input/kernel threshold.
+            fds = random_fds(rng, attrs, max_fds=40)
+            start = rng.sample(attrs, rng.randint(0, len(attrs)))
+            assert closure(start, fds) == closure_naive(start, fds), case
+
+    def test_compiled_kernel_matches_naive(self):
+        """Exercise FDKernel directly so small inputs hit the kernel too."""
+        rng = random.Random(0xC2)
+        for case in range(CASES):
+            attrs = [f"a{i}" for i in range(rng.randint(1, 10))]
+            fds = random_fds(rng, attrs, max_fds=8)
+            kern = FDKernel(fds)
+            for _ in range(3):
+                start = rng.sample(attrs, rng.randint(0, len(attrs)))
+                assert kern.closure(start) == closure_naive(start, fds), case
+
+    def test_implication_matches_closure_oracle(self):
+        rng = random.Random(0xC3)
+        for case in range(CASES):
+            attrs = [f"a{i}" for i in range(rng.randint(2, 10))]
+            fds = random_fds(rng, attrs, max_fds=30)
+            candidate = random_fds(rng, attrs, max_fds=1)
+            if not candidate:
+                continue
+            cand = candidate[0]
+            expected = cand.rhs <= closure_naive(cand.lhs, fds)
+            assert implies(fds, cand) == expected, case
+
+
+class TestLosslessEquivalence:
+    def test_is_lossless_matches_tableau_oracle(self):
+        rng = random.Random(0xD1)
+        for case in range(CASES):
+            attrs = [f"a{i}" for i in range(rng.randint(1, 6))]
+            schema = frozenset(attrs)
+            parts = [
+                frozenset(rng.sample(attrs, rng.randint(1, len(attrs))))
+                for _ in range(rng.randint(1, 4))
+            ]
+            fds = random_fds(rng, attrs, max_fds=4)
+            fast = is_lossless(schema, parts, fds)
+            slow = is_lossless_naive(schema, parts, fds)
+            assert fast == slow, (case, parts, fds)
+            # Memoised route must return the same verdict on a repeat.
+            assert is_lossless(schema, parts, fds) == slow, case
+
+    def test_lossless_verdict_invariant_under_reordering(self):
+        rng = random.Random(0xD2)
+        for case in range(100):
+            attrs = [f"a{i}" for i in range(rng.randint(2, 5))]
+            schema = frozenset(attrs)
+            parts = [
+                frozenset(rng.sample(attrs, rng.randint(1, len(attrs))))
+                for _ in range(rng.randint(2, 4))
+            ]
+            fds = random_fds(rng, attrs, max_fds=3)
+            shuffled_parts = parts[:]
+            rng.shuffle(shuffled_parts)
+            shuffled_fds = fds[:]
+            rng.shuffle(shuffled_fds)
+            assert is_lossless(schema, parts, fds) == \
+                is_lossless(schema, shuffled_parts, shuffled_fds), case
+
+
+@pytest.mark.slow
+class TestTopologyAgainstPowersetOracle:
+    def test_generated_opens_are_exactly_the_union_closed_family(self):
+        """Brute-force oracle: filter the full powerset (exponential)."""
+        rng = random.Random(0xE1)
+        for case in range(40):
+            points = [f"p{i}" for i in range(rng.randint(0, 7))]
+            subbase = random_family(rng, points)
+            space = topology_from_subbase(points, subbase)
+            base = intersections_of_naive(subbase, points)
+            subsets = [frozenset()]
+            for p in points:
+                subsets += [s | {p} for s in subsets]
+            for candidate in subsets:
+                union = frozenset().union(*(b for b in base if b <= candidate)) \
+                    if base else frozenset()
+                assert space.is_open(candidate) == (union == candidate), case

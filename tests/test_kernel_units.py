@@ -1,0 +1,200 @@
+"""Direct unit tests for the bitset kernel primitives.
+
+The equivalence suite (``test_kernel_equivalence.py``) checks the
+kernels against the naive oracles end to end; these tests pin the
+primitives themselves — interning round-trips, mask edge cases
+(empty set, full carrier, carriers wider than a machine word), the
+counter-based closure, and the union-find inside the chase.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.kernel import (
+    FDKernel,
+    UnionFind,
+    Universe,
+    bit_indices,
+    chase_rows,
+    close_under_intersection,
+    close_under_union,
+    closure_mask,
+    is_lossless_indices,
+    iter_bits,
+    minimal_open_masks,
+    topology_masks_from_subbase,
+)
+
+
+class TestUniverseInterning:
+    def test_positions_follow_insertion_order(self):
+        uni = Universe("cab")
+        assert [uni.index_of(p) for p in "cab"] == [0, 1, 2]
+        assert uni.point_at(1) == "a"
+
+    def test_intern_is_idempotent(self):
+        uni = Universe()
+        first = uni.intern("x")
+        assert uni.intern("x") == first
+        assert len(uni) == 1
+
+    def test_round_trip_arbitrary_sets(self):
+        rng = random.Random(42)
+        pool = [f"p{i}" for i in range(20)]
+        uni = Universe(pool)
+        for _ in range(200):
+            subset = frozenset(rng.sample(pool, rng.randint(0, len(pool))))
+            assert uni.decode(uni.encode(subset)) == subset
+
+    def test_encode_empty_set_is_zero(self):
+        uni = Universe("abc")
+        assert uni.encode(()) == 0
+        assert uni.decode(0) == frozenset()
+
+    def test_full_carrier_round_trip(self):
+        uni = Universe("abcde")
+        assert uni.encode("abcde") == uni.full_mask() == 0b11111
+        assert uni.decode(uni.full_mask()) == frozenset("abcde")
+
+    def test_carrier_wider_than_machine_word(self):
+        """>64 points spill into big ints transparently."""
+        pool = [f"w{i}" for i in range(130)]
+        uni = Universe(pool)
+        assert len(uni) == 130
+        full = uni.full_mask()
+        assert full.bit_length() == 130
+        assert uni.decode(full) == frozenset(pool)
+        high = uni.encode([pool[127]])
+        assert high == 1 << 127
+        assert uni.decode(high | 1) == {pool[127], pool[0]}
+
+    def test_encode_known_clips_strangers(self):
+        uni = Universe("ab")
+        assert uni.decode(uni.encode_known("abz")) == frozenset("ab")
+        assert len(uni) == 2  # z was not interned
+
+    def test_encode_interns_strangers(self):
+        uni = Universe("ab")
+        mask = uni.encode("abz")
+        assert uni.decode(mask) == frozenset("abz")
+        assert uni.index_of("z") == 2
+
+    def test_encode_strict_raises_on_strangers(self):
+        uni = Universe("ab")
+        try:
+            uni.encode_strict("abz")
+        except KeyError:
+            pass
+        else:  # pragma: no cover
+            raise AssertionError("expected KeyError")
+
+    def test_hashable_non_string_points(self):
+        uni = Universe([("e", 1), ("e", 2)])
+        mask = uni.encode([("e", 2)])
+        assert uni.decode(mask) == {("e", 2)}
+
+
+class TestBitops:
+    def test_iter_bits_ascending(self):
+        assert list(iter_bits(0b101001)) == [0, 3, 5]
+        assert bit_indices(0) == []
+
+    def test_iter_bits_beyond_word_width(self):
+        mask = (1 << 200) | (1 << 64) | 1
+        assert list(iter_bits(mask)) == [0, 64, 200]
+
+    def test_intersection_closure_contains_carrier(self):
+        closed = close_under_intersection([0b011, 0b110], 0b111)
+        assert closed == {0b111, 0b011, 0b110, 0b010}
+
+    def test_union_closure_contains_empty(self):
+        closed = close_under_union([0b01, 0b10])
+        assert closed == {0b00, 0b01, 0b10, 0b11}
+
+
+class TestTopologyKernels:
+    def test_minimal_opens_are_subbase_intersections(self):
+        # subbase {a}, {a,b} on carrier {a,b,c}
+        minimal = minimal_open_masks(0b111, [0b001, 0b011])
+        assert minimal == {0: 0b001, 1: 0b011, 2: 0b111}
+
+    def test_topology_masks_include_bounds(self):
+        opens = topology_masks_from_subbase(0b111, [0b001])
+        assert 0 in opens and 0b111 in opens and 0b001 in opens
+
+    def test_empty_carrier(self):
+        assert topology_masks_from_subbase(0, []) == {0}
+
+
+class TestClosureMask:
+    def test_empty_lhs_fires_immediately(self):
+        # {} -> a (bit 0)
+        assert closure_mask(0, [(0, 0b01)], 2) == 0b01
+
+    def test_chain_closure(self):
+        # a->b, b->c, c->d over bits 0..3 starting from {a}
+        fds = [(0b0001, 0b0010), (0b0010, 0b0100), (0b0100, 0b1000)]
+        assert closure_mask(0b0001, fds, 4) == 0b1111
+
+    def test_compound_lhs_waits_for_all_attrs(self):
+        # ab->c: closure of {a} must not include c
+        fds = [(0b011, 0b100)]
+        assert closure_mask(0b001, fds, 3) == 0b001
+        assert closure_mask(0b011, fds, 3) == 0b111
+
+    def test_kernel_universe_grows_with_queries(self):
+        kern = FDKernel([])
+        assert kern.closure({"fresh"}) == {"fresh"}
+
+
+class TestUnionFind:
+    def test_smaller_root_survives(self):
+        uf = UnionFind(5)
+        assert uf.union(4, 2) == 2
+        assert uf.find(4) == 2
+
+    def test_path_compression_halves_chains(self):
+        uf = UnionFind(6)
+        # Build the chain 5 -> 4 -> 3 -> 2 -> 1 -> 0 by hand.
+        uf.parent = [0, 0, 1, 2, 3, 4]
+        assert uf.find(5) == 0
+        # Path halving rewires every other node to its grandparent, so
+        # the 5-hop chain must come back at most 3 hops long (and a
+        # second find shortens it again).
+        def hops_from(x: int) -> int:
+            hops = 0
+            while uf.parent[x] != x:
+                x = uf.parent[x]
+                hops += 1
+            return hops
+
+        assert hops_from(5) <= 3
+        uf.find(5)
+        assert hops_from(5) <= 2
+
+    def test_transitive_merges_collapse(self):
+        uf = UnionFind(10)
+        for a, b in [(9, 8), (8, 7), (7, 6)]:
+            uf.union(a, b)
+        assert len({uf.find(x) for x in (6, 7, 8, 9)}) == 1
+
+
+class TestChaseKernel:
+    def test_classic_lossless_pair(self):
+        # schema (a, b, c); parts {a,b}, {b,c}; b->c
+        assert is_lossless_indices(3, [(0, 1), (1, 2)], [((1,), (2,))])
+
+    def test_lossy_without_fd(self):
+        assert not is_lossless_indices(3, [(0, 1), (1, 2)], [])
+
+    def test_no_parts_is_lossy(self):
+        assert not is_lossless_indices(3, [], [])
+
+    def test_full_part_always_lossless(self):
+        assert is_lossless_indices(3, [(0, 1, 2), (0,)], [])
+
+    def test_chase_rows_resolves_symbols(self):
+        rows, uf = chase_rows(3, [(0, 1), (1, 2)], [((1,), (2,))])
+        # Row 0's c-cell must have been equated to the distinguished c.
+        assert uf.find(rows[0][2]) == 2

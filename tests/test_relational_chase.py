@@ -1,6 +1,9 @@
 """Unit tests for the chase and lossless-join tests (repro.relational.chase)."""
 
 import random
+import time
+
+import pytest
 
 from repro.relational import FD, Relation, binary_lossless, is_lossless
 from repro.relational.chase import Tableau
@@ -22,6 +25,31 @@ class TestTableau:
         changed = t.chase_step(FD({"b"}, {"c"}))
         assert changed
         assert t.rows[0]["c"] == t.rows[1]["c"] == ("a", "c")
+
+    def test_chase_step_merge_heavy_regression(self):
+        """Regression for the quadratic symbol-rewrite loop.
+
+        Every row agrees on the (empty-complement) lhs attribute ``a``, so
+        one chase step performs a merge per row pair per rhs attribute.
+        The old implementation rescanned every cell of every row for each
+        merge — cubic in the row count here; the symbol-location index
+        makes the step near-linear.  The tableau is big enough that the
+        old loop took several seconds; the budget fails loudly if the
+        rescan comes back, while the equated symbols pin correctness.
+        """
+        n_rows, extra_attrs = 120, 6
+        schema = ["a"] + [f"x{i}" for i in range(extra_attrs)]
+        parts = [{"a"} for _ in range(n_rows)]
+        t = Tableau.for_decomposition(schema, parts)
+        fd = FD({"a"}, set(schema) - {"a"})
+        start = time.perf_counter()
+        assert t.chase_step(fd)
+        elapsed = time.perf_counter() - start
+        # All rows must now agree on every attribute (symbols equated
+        # pairwise across the whole column).
+        first = t.rows[0]
+        assert all(row == first for row in t.rows)
+        assert elapsed < 2.0, f"chase_step took {elapsed:.2f}s; rewrite loop regressed"
 
 
 class TestLossless:
@@ -53,6 +81,7 @@ class TestLossless:
 
 
 class TestChaseAgainstInstances:
+    @pytest.mark.slow
     def test_chase_validated_by_brute_force(self):
         """Schema-level verdict must match instance-level round-trips."""
         rng = random.Random(7)

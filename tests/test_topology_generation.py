@@ -1,5 +1,7 @@
 """Unit tests for repro.topology.generation (the section 3.1 construction)."""
 
+import pytest
+
 from repro.topology import (
     FiniteSpace,
     intersections_of,
@@ -100,6 +102,7 @@ class TestRedundancy:
         subbase = [{"a", "b"}, {"b", "c"}]
         assert not redundant_in_subbase("abc", subbase)
 
+    @pytest.mark.slow
     def test_irredundant_subbases_minimal(self):
         subbase = [{"a", "b"}, {"b", "c"}, {"b"}]
         answers = irredundant_subbases("abc", subbase)
@@ -108,6 +111,7 @@ class TestRedundancy:
             for other in answers:
                 assert not (other < answer)
 
+    @pytest.mark.slow
     def test_irredundant_subbases_limit(self):
         subbase = [{"a"}, {"b"}, {"c"}, {"a", "b"}, {"b", "c"}]
         answers = irredundant_subbases("abc", subbase, limit=1)
