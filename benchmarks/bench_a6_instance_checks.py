@@ -1,0 +1,144 @@
+"""A6-instance — kernel-interned instance checks vs. the naive oracles.
+
+Scales the section-6 instance-level predicates (FD ``holds_in``, MVD
+swap closure, the instance lossless-join check) into the thousands of
+rows and times the kernel route against the retained ``*_naive``
+oracles.  Each kernel bench measures the steady state — the interned
+instance and its partition indexes are memoised, which is exactly the
+workload of dependency sweeps probing one relation many times; the
+first call additionally pays one interning pass over the rows.
+
+Run with ``--bench-json`` to record the timings in ``BENCH_kernel.json``
+(the perf trajectory ``benchmarks/compare_bench.py`` diffs against).
+"""
+
+import random
+
+import pytest
+
+from repro.relational import FD, Relation
+from repro.relational.algebra import (
+    is_lossless_decomposition,
+    is_lossless_decomposition_naive,
+)
+from repro.relational.fd import holds_in, holds_in_naive
+from repro.relational.mvd import MVD
+from repro.relational.mvd import holds_in as mvd_holds_in
+from repro.relational.mvd import holds_in_naive as mvd_holds_in_naive
+
+ATTRS = ("a", "b", "c", "d", "e", "f")
+SIZES = [200, 1000, 2000]
+
+
+def fd_relation(n_rows: int) -> Relation:
+    """``a`` is a row key; ``c``, ``d``, ``f`` are functions of the
+    group key ``b`` (groups of ~8); ``e`` is noise."""
+    rng = random.Random(7)
+    groups = max(1, n_rows // 8)
+    rows = []
+    for i in range(n_rows):
+        b = i % groups
+        rows.append({
+            "a": i, "b": b, "c": (b * b) % 11, "d": b % 5,
+            "e": rng.randint(0, 4), "f": (b + 3) % 7,
+        })
+    return Relation(ATTRS, rows)
+
+
+# Three satisfied FDs that force full scans, one violated (b -/-> e).
+FDS = [
+    FD({"b"}, {"c", "d"}),
+    FD({"b", "f"}, {"c"}),
+    FD({"a"}, {"b", "c", "d", "e", "f"}),
+    FD({"b"}, {"e"}),
+]
+
+
+def mvd_relation(n_rows: int) -> Relation:
+    """Product-structured groups so ``a ->> b,c`` holds: within each
+    ``a``-group the ``(b, c)`` block and the ``(d, e, f)`` block vary
+    independently (4 x 4 combinations per group)."""
+    rows = []
+    for x in range(max(1, n_rows // 16)):
+        for y in range(4):
+            for z in range(4):
+                rows.append({
+                    "a": x, "b": y, "c": y + 10,
+                    "d": z, "e": z + 10, "f": x % 3,
+                })
+    return Relation(ATTRS, rows)
+
+
+MVDS = [MVD({"a"}, {"b", "c"}, ATTRS), MVD({"a"}, {"d", "e", "f"}, ATTRS)]
+
+
+def lossless_relation(n_rows: int) -> Relation:
+    """``c`` is a row key shared by both parts, so the decomposition
+    ``{a,b,c} / {c,d,e,f}`` is lossless and the re-join stays linear."""
+    rng = random.Random(11)
+    rows = [
+        {"a": i % 13, "b": rng.randint(0, 6), "c": i,
+         "d": i % 7, "e": rng.randint(0, 6), "f": i % 3}
+        for i in range(n_rows)
+    ]
+    return Relation(ATTRS, rows)
+
+
+PARTS = [frozenset({"a", "b", "c"}), frozenset({"c", "d", "e", "f"})]
+
+
+@pytest.mark.parametrize("rows", SIZES)
+def test_a6_fd_holds_kernel(benchmark, rows):
+    rel = fd_relation(rows)
+    verdicts = benchmark(lambda: [holds_in(fd, rel) for fd in FDS])
+    assert verdicts == [True, True, True, False]
+
+
+@pytest.mark.parametrize("rows", SIZES)
+def test_a6_fd_holds_naive(benchmark, rows):
+    rel = fd_relation(rows)
+    verdicts = benchmark(lambda: [holds_in_naive(fd, rel) for fd in FDS])
+    assert verdicts == [True, True, True, False]
+
+
+@pytest.mark.parametrize("rows", SIZES)
+def test_a6_mvd_holds_kernel(benchmark, rows):
+    rel = mvd_relation(rows)
+    verdicts = benchmark(lambda: [mvd_holds_in(m, rel) for m in MVDS])
+    assert verdicts == [True, True]
+
+
+@pytest.mark.parametrize("rows", SIZES)
+def test_a6_mvd_holds_naive(benchmark, rows):
+    rel = mvd_relation(rows)
+    verdicts = benchmark(lambda: [mvd_holds_in_naive(m, rel) for m in MVDS])
+    assert verdicts == [True, True]
+
+
+@pytest.mark.parametrize("rows", SIZES)
+def test_a6_lossless_kernel(benchmark, rows):
+    rel = lossless_relation(rows)
+    assert benchmark(is_lossless_decomposition, rel, PARTS)
+
+
+@pytest.mark.parametrize("rows", SIZES)
+def test_a6_lossless_naive(benchmark, rows):
+    rel = lossless_relation(rows)
+    assert benchmark(is_lossless_decomposition_naive, rel, PARTS)
+
+
+def test_a6_agreement_at_scale(benchmark):
+    """One differential pass at the largest size, timed end to end."""
+    rel = fd_relation(SIZES[-1])
+    mrel = mvd_relation(SIZES[-1])
+    lrel = lossless_relation(SIZES[-1])
+
+    def agree():
+        ok = all(holds_in(fd, rel) == holds_in_naive(fd, rel) for fd in FDS)
+        ok = ok and all(
+            mvd_holds_in(m, mrel) == mvd_holds_in_naive(m, mrel) for m in MVDS
+        )
+        return ok and is_lossless_decomposition(lrel, PARTS) == \
+            is_lossless_decomposition_naive(lrel, PARTS)
+
+    assert benchmark(agree)

@@ -1,0 +1,105 @@
+"""Diff two ``--bench-json`` dumps and fail on kernel-path regressions.
+
+The benches can record their timings with ``--bench-json [PATH]``
+(default ``BENCH_kernel.json``); the committed dump is the perf
+trajectory later PRs compare against.  This script diffs a fresh dump
+against a baseline and exits non-zero when any *kernel* benchmark — the
+ones exercising the bitset/instance kernels — regressed by more than the
+threshold factor.
+
+Usage::
+
+    python -m pytest benchmarks --bench-json fresh.json
+    python benchmarks/compare_bench.py fresh.json [BENCH_kernel.json]
+        [--threshold 2.0] [--all]
+
+Comparison is on ``min_s`` (the least-noisy statistic across rounds);
+``--all`` widens the check to every shared benchmark instead of the
+kernel set.  The slow-lane test ``tests/test_bench_regression.py`` runs
+this diff against the committed baseline.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+# Bench modules whose timings ride on the repro.kernel fast paths:
+# topology generation (a2), attribute closure (a3), the chase (a4), and
+# the interned instance checks (a6-instance).
+KERNEL_BENCH_PREFIXES = (
+    "benchmarks/bench_a2_topology_generation.py::",
+    "benchmarks/bench_a3_closure_vs_relational.py::",
+    "benchmarks/bench_a4_chase.py::",
+    "benchmarks/bench_a6_instance_checks.py::",
+)
+
+
+def load(path: str) -> dict[str, dict]:
+    """The dump's records, keyed by benchmark fullname."""
+    with open(path) as fh:
+        payload = json.load(fh)
+    return {record["fullname"]: record for record in payload["benchmarks"]}
+
+
+def is_kernel_bench(fullname: str) -> bool:
+    return fullname.startswith(KERNEL_BENCH_PREFIXES)
+
+
+def diff(baseline: dict[str, dict], fresh: dict[str, dict],
+         threshold: float = 2.0, kernel_only: bool = True,
+         stat: str = "min_s") -> list[dict]:
+    """Regressions of ``fresh`` against ``baseline`` beyond ``threshold``.
+
+    Only benchmarks present in both dumps are compared (new benches have
+    no baseline yet; retired ones no longer matter).  Returns one record
+    per regression, worst first.
+    """
+    out = []
+    for name, base in baseline.items():
+        new = fresh.get(name)
+        if new is None or (kernel_only and not is_kernel_bench(name)):
+            continue
+        old_t, new_t = base[stat], new[stat]
+        if old_t <= 0.0:
+            continue
+        ratio = new_t / old_t
+        if ratio > threshold:
+            out.append({
+                "fullname": name, "baseline_s": old_t,
+                "fresh_s": new_t, "ratio": ratio,
+            })
+    return sorted(out, key=lambda r: -r["ratio"])
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("fresh", help="freshly dumped --bench-json file")
+    parser.add_argument("baseline", nargs="?", default="BENCH_kernel.json",
+                        help="baseline dump (default: the committed "
+                             "BENCH_kernel.json)")
+    parser.add_argument("--threshold", type=float, default=2.0,
+                        help="failure factor (default 2.0)")
+    parser.add_argument("--all", action="store_true",
+                        help="compare every shared benchmark, not only the "
+                             "kernel set")
+    args = parser.parse_args(argv)
+    baseline, fresh = load(args.baseline), load(args.fresh)
+    regressions = diff(baseline, fresh, threshold=args.threshold,
+                       kernel_only=not args.all)
+    shared = [n for n in baseline if n in fresh
+              and (args.all or is_kernel_bench(n))]
+    print(f"compared {len(shared)} benchmarks "
+          f"({'all' if args.all else 'kernel'}), "
+          f"threshold {args.threshold:.2f}x")
+    for r in regressions:
+        print(f"  REGRESSED {r['ratio']:5.2f}x  {r['fullname']}  "
+              f"{r['baseline_s'] * 1e6:.1f}us -> {r['fresh_s'] * 1e6:.1f}us")
+    if not regressions:
+        print("  no regressions")
+    return 1 if regressions else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

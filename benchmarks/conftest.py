@@ -10,14 +10,28 @@ import pytest
 from repro.core.employee import employee_extension, employee_schema
 
 
+def _json_path(value: str) -> str:
+    # Guards against argparse swallowing a following test-path argument
+    # (`--bench-json benchmarks/bench_x.py`) and the session-finish hook
+    # then overwriting that file with the JSON dump.
+    if not value.endswith(".json"):
+        raise pytest.UsageError(
+            f"--bench-json expects a .json path, got {value!r}"
+        )
+    return value
+
+
 def pytest_addoption(parser):
     parser.addoption(
         "--bench-json",
-        action="store_const",
+        nargs="?",
         const="BENCH_kernel.json",
         default=None,
-        help="dump per-benchmark timing stats to BENCH_kernel.json so "
-             "later PRs have a perf trajectory to compare against",
+        type=_json_path,
+        metavar="PATH",
+        help="dump per-benchmark timing stats to PATH (default "
+             "BENCH_kernel.json) so later PRs have a perf trajectory to "
+             "compare against; diff dumps with benchmarks/compare_bench.py",
     )
 
 

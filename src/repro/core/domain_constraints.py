@@ -24,6 +24,7 @@ from repro.core.generalisation import GeneralisationStructure
 from repro.core.integrity import IntegrityConstraint
 from repro.core.schema import Schema
 from repro.errors import DependencyError
+from repro.kernel import InstanceKernel
 from repro.relational import Relation
 from repro.relational.mvd import MVD, holds_in as mvd_holds, violating_swaps
 
@@ -140,22 +141,32 @@ def fd_domain_constraint(schema: Schema, fd) -> DomainConstraint:
 
     Provided for completeness of the section-6 picture: the hierarchy is
     FD < MVD < domain constraint, and tests confirm both inclusions on
-    concrete states.
+    concrete states.  The extension check runs on the interned instance
+    (id rows grouped by the determinant partition);
+    :func:`fd_extension_holds_naive` retains the witness-dict sweep as
+    the reference oracle.
     """
-    from repro.core.fd import EntityFD, holds as fd_holds
+    from repro.core.fd import EntityFD
 
     if not isinstance(fd, EntityFD):
         raise DependencyError("fd_domain_constraint expects an EntityFD")
     fd.validate(schema)
 
     def predicate(relation: Relation) -> bool:
-        witness = {}
-        for t in relation.tuples:
-            key = t.project(fd.determinant.attributes)
-            value = t.project(fd.dependent.attributes)
-            if key in witness and witness[key] != value:
-                return False
-            witness[key] = value
-        return True
+        return InstanceKernel.of(relation).fd_holds(
+            fd.determinant.attributes, fd.dependent.attributes
+        )
 
     return DomainConstraint(f"domain[{fd!r}]", fd.context, predicate)
+
+
+def fd_extension_holds_naive(fd, relation: Relation) -> bool:
+    """Reference oracle for the :func:`fd_domain_constraint` predicate."""
+    witness = {}
+    for t in relation.tuples:
+        key = t.project(fd.determinant.attributes)
+        value = t.project(fd.dependent.attributes)
+        if key in witness and witness[key] != value:
+            return False
+        witness[key] = value
+    return True

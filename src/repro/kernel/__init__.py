@@ -22,6 +22,7 @@ from repro.kernel.bitops import (
 )
 from repro.kernel.chase import UnionFind, chase_rows, is_lossless_indices
 from repro.kernel.fd import FDKernel, closure_mask
+from repro.kernel.instance import InstanceKernel, join_id_rows, join_interned
 from repro.kernel.topology import (
     base_masks_from_subbase,
     minimal_open_masks,
@@ -35,6 +36,9 @@ __all__ = [
     "Universe",
     "UnionFind",
     "FDKernel",
+    "InstanceKernel",
+    "join_id_rows",
+    "join_interned",
     "closure_mask",
     "chase_rows",
     "is_lossless_indices",

@@ -1,0 +1,288 @@
+"""Kernel-interned relation instances.
+
+The instance-level predicates of the section-6 programme — ``holds_in``
+for FDs, the MVD swap closure, JD reconstruction, and the instance
+lossless-join check — all reduce to grouping and joining rows on
+attribute subsets.  Running them over dict-backed ``Tuple`` objects pays
+a projection (sort + hash) per tuple per query.  This module interns a
+:class:`~repro.relational.relation.Relation` once into a column-major
+array of small integer *symbol ids* over per-attribute symbol tables;
+the predicates then operate on plain ``tuple[int, ...]`` keys, and
+per-attribute-set partition indexes are cached on the interned instance
+(the LHS-partition idea of :mod:`repro.kernel.chase`, lifted to concrete
+rows).
+
+Layering: like :mod:`repro.kernel.universe`, this module never imports
+the object level.  It consumes any relation-shaped object (``.schema``
+plus ``.tuples`` yielding sorted ``(attr, value)`` items) and produces
+raw data — verdicts, id rows, or sorted item tuples ready for a trusted
+``Tuple`` constructor — so the :mod:`repro.relational` modules can route
+through it without an import cycle.
+
+Caching and invalidation: relations are immutable values, so an
+interned instance can never go stale — every derived relation
+(``with_tuples``, repairs, projections) is a new object and interns
+fresh.  :meth:`InstanceKernel.of` memoises instances on the relation
+itself in a bounded table that is flushed wholesale when full, the same
+policy as the lossless memo in :mod:`repro.relational.chase`; partition
+and projection indexes live on the instance and share its lifetime.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable
+
+AttrName = str
+Value = Hashable
+IdRow = tuple  # tuple[int, ...] — one interned row, columns in sorted-attr order
+
+
+class InstanceKernel:
+    """A column-major interned view of one relation.
+
+    ``attrs`` is the sorted attribute tuple; ``rows[r][i]`` is the symbol
+    id of row ``r`` in column ``i``; ``symbols[i]`` decodes ids of column
+    ``i`` back to values and ``tables[i]`` encodes values to ids.  Ids
+    are assigned per attribute in first-seen order, so equality of values
+    within a column is exactly equality of ids.
+    """
+
+    __slots__ = ("attrs", "attr_index", "rows", "row_set", "n_rows",
+                 "symbols", "tables", "_partitions", "_projections")
+
+    def __init__(self, relation):
+        attrs = sorted(relation.schema)
+        self.attrs: tuple[AttrName, ...] = tuple(attrs)
+        self.attr_index: dict[AttrName, int] = {a: i for i, a in enumerate(attrs)}
+        tables: list[dict[Value, int]] = [{} for _ in attrs]
+        symbols: list[list[Value]] = [[] for _ in attrs]
+        rows: list[IdRow] = []
+        for t in relation.tuples:
+            row = []
+            # Tuple iterates its items sorted by attribute name, which is
+            # exactly the column order of ``attrs``.
+            for pos, (_, value) in enumerate(t):
+                table = tables[pos]
+                sid = table.get(value)
+                if sid is None:
+                    sid = len(table)
+                    table[value] = sid
+                    symbols[pos].append(value)
+                row.append(sid)
+            rows.append(tuple(row))
+        self.rows = rows
+        self.row_set: set[IdRow] = set(rows)
+        self.n_rows = len(rows)
+        self.symbols = symbols
+        self.tables = tables
+        self._partitions: dict[tuple[int, ...], dict[IdRow, list[int]]] = {}
+        self._projections: dict[tuple[int, ...], set[IdRow]] = {}
+
+    # ------------------------------------------------------------------
+    # memoised construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def of(cls, relation) -> "InstanceKernel":
+        """The interned instance of ``relation``, memoised.
+
+        Relations are immutable, so entries never go stale; the table is
+        bounded and flushed wholesale when full.
+        """
+        inst = _INSTANCE_MEMO.get(relation)
+        if inst is None:
+            if len(_INSTANCE_MEMO) >= _INSTANCE_MEMO_CAP:
+                _INSTANCE_MEMO.clear()
+            inst = cls(relation)
+            _INSTANCE_MEMO[relation] = inst
+        return inst
+
+    # ------------------------------------------------------------------
+    # indexes
+    # ------------------------------------------------------------------
+    def indices_of(self, attrs: Iterable[AttrName]) -> tuple[int, ...]:
+        """The sorted column positions of ``attrs`` (KeyError if absent)."""
+        index = self.attr_index
+        return tuple(sorted(index[a] for a in attrs))
+
+    def partition(self, idxs: tuple[int, ...]) -> dict[IdRow, list[int]]:
+        """Row numbers grouped by their key on columns ``idxs``, cached."""
+        part = self._partitions.get(idxs)
+        if part is None:
+            part = {}
+            for r, row in enumerate(self.rows):
+                part.setdefault(tuple(row[i] for i in idxs), []).append(r)
+            self._partitions[idxs] = part
+        return part
+
+    def projection(self, idxs: tuple[int, ...]) -> set[IdRow]:
+        """The distinct id rows of the projection onto columns ``idxs``, cached."""
+        proj = self._projections.get(idxs)
+        if proj is None:
+            proj = {tuple(row[i] for i in idxs) for row in self.rows}
+            self._projections[idxs] = proj
+        return proj
+
+    # ------------------------------------------------------------------
+    # instance-level predicates
+    # ------------------------------------------------------------------
+    def fd_holds(self, lhs_attrs: Iterable[AttrName],
+                 rhs_attrs: Iterable[AttrName]) -> bool:
+        """Whether every lhs-group agrees on the rhs columns."""
+        rhs = self.indices_of(rhs_attrs)
+        if not rhs:
+            return True
+        lhs = self.indices_of(lhs_attrs)
+        rows = self.rows
+        for group in self.partition(lhs).values():
+            if len(group) < 2:
+                continue
+            first = rows[group[0]]
+            for r in group[1:]:
+                row = rows[r]
+                if any(row[i] != first[i] for i in rhs):
+                    return False
+        return True
+
+    def mvd_holds(self, lhs_attrs: Iterable[AttrName],
+                  rhs_attrs: Iterable[AttrName]) -> bool:
+        """The swap-closure semantics of ``lhs ->> rhs``, by counting.
+
+        Within an lhs-group the rows are pairs ``(y, z)`` over the
+        disjoint column blocks ``Y = rhs - lhs`` and ``Z = rest``; the
+        group is closed under swaps iff it is the full product of its
+        Y- and Z-projections, i.e. ``|group| == |Y's| * |Z's|``.  One
+        pass per group instead of the naive quadratic swap enumeration.
+        """
+        lhs = frozenset(lhs_attrs)
+        x = self.indices_of(lhs)
+        y = self.indices_of(frozenset(rhs_attrs) - lhs)
+        in_xy = set(x) | set(y)
+        z = tuple(i for i in range(len(self.attrs)) if i not in in_xy)
+        rows = self.rows
+        for group in self.partition(x).values():
+            size = len(group)
+            if size < 2:
+                continue
+            ys = {tuple(rows[r][i] for i in y) for r in group}
+            zs = {tuple(rows[r][i] for i in z) for r in group}
+            if len(ys) * len(zs) != size:
+                return False
+        return True
+
+    def jd_holds(self, components: Iterable[Iterable[AttrName]]) -> bool:
+        """Whether joining the projections onto ``components`` recovers
+        exactly the interned rows (components must cover the schema)."""
+        return self._joins_back([self.indices_of(c) for c in components])
+
+    def joins_back(self, parts: Iterable[Iterable[AttrName]]) -> bool:
+        """The instance lossless-join check over attribute-set ``parts``."""
+        return self._joins_back([self.indices_of(p) for p in parts])
+
+    def _joins_back(self, idx_parts: list[tuple[int, ...]]) -> bool:
+        if not idx_parts:
+            # The empty join is the zero-ary TRUE relation {()}.
+            return self.row_set == {()}
+        attrs, rows = idx_parts[0], self.projection(idx_parts[0])
+        for idxs in idx_parts[1:]:
+            attrs, rows = join_id_rows(attrs, rows, idxs, self.projection(idxs))
+            if not rows:
+                break
+        return rows == self.row_set
+
+    # ------------------------------------------------------------------
+    # decode
+    # ------------------------------------------------------------------
+    def project_items(self, attrs: Iterable[AttrName]):
+        """The distinct projected rows, decoded to sorted item tuples.
+
+        Deduplication happens at the id level; each distinct row is
+        decoded once, ready for a trusted ``Tuple`` constructor.
+        """
+        idxs = self.indices_of(attrs)
+        names = tuple(self.attrs[i] for i in idxs)
+        columns = tuple(self.symbols[i] for i in idxs)
+        width = range(len(idxs))
+        for key in self.projection(idxs):
+            yield tuple((names[p], columns[p][key[p]]) for p in width)
+
+
+def join_id_rows(a_attrs: tuple[int, ...], a_rows: Iterable[IdRow],
+                 b_attrs: tuple[int, ...], b_rows: Iterable[IdRow],
+                 ) -> tuple[tuple[int, ...], set[IdRow]]:
+    """Natural join of two id-row sets from the *same* interned instance.
+
+    Both sides share the parent's per-attribute symbol tables, so the
+    join is a pure integer hash join on the shared columns; the result is
+    keyed over the sorted union of the column positions.
+    """
+    a_pos = {attr: p for p, attr in enumerate(a_attrs)}
+    b_pos = {attr: p for p, attr in enumerate(b_attrs)}
+    shared = tuple(attr for attr in b_attrs if attr in a_pos)
+    a_key = tuple(a_pos[attr] for attr in shared)
+    b_key = tuple(b_pos[attr] for attr in shared)
+    out_attrs = tuple(sorted(set(a_attrs) | set(b_attrs)))
+    picks = tuple(
+        (True, a_pos[attr]) if attr in a_pos else (False, b_pos[attr])
+        for attr in out_attrs
+    )
+    index: dict[IdRow, list[IdRow]] = {}
+    for row in b_rows:
+        index.setdefault(tuple(row[p] for p in b_key), []).append(row)
+    out: set[IdRow] = set()
+    for ra in a_rows:
+        matches = index.get(tuple(ra[p] for p in a_key))
+        if not matches:
+            continue
+        for rb in matches:
+            out.add(tuple(ra[p] if left else rb[p] for left, p in picks))
+    return out_attrs, out
+
+
+def join_interned(left: InstanceKernel, right: InstanceKernel):
+    """Natural join of two independently interned relations.
+
+    The two symbol spaces differ, so the shared columns are bridged by a
+    per-attribute translation of right ids into left ids (built once, in
+    the size of the right symbol table); a right value the left relation
+    never saw cannot join and its rows are skipped.  Yields the joined
+    rows as sorted ``(attr, value)`` item tuples, distinct by
+    construction (a left row and the right-only block determine the
+    output row).
+    """
+    shared_names = [a for a in right.attrs if a in left.attr_index]
+    r_shared = tuple(right.attr_index[a] for a in shared_names)
+    translations = [
+        [left.tables[left.attr_index[a]].get(v) for v in right.symbols[rp]]
+        for a, rp in zip(shared_names, r_shared)
+    ]
+    l_key = tuple(left.attr_index[a] for a in shared_names)
+    r_only = tuple(p for p, a in enumerate(right.attrs)
+                   if a not in left.attr_index)
+    out_names = sorted(set(left.attrs) | set(right.attrs))
+    picks = tuple(
+        (True, left.attr_index[a]) if a in left.attr_index
+        else (False, right.attr_index[a])
+        for a in out_names
+    )
+    index = left.partition(l_key)
+    l_rows = left.rows
+    l_symbols, r_symbols = left.symbols, right.symbols
+    for r_row in right.rows:
+        key = []
+        for trans, rp in zip(translations, r_shared):
+            lid = trans[r_row[rp]]
+            if lid is None:
+                break
+            key.append(lid)
+        else:
+            for li in index.get(tuple(key), ()):
+                l_row = l_rows[li]
+                yield tuple(
+                    (a, l_symbols[p][l_row[p]] if left_side
+                     else r_symbols[p][r_row[p]])
+                    for a, (left_side, p) in zip(out_names, picks)
+                )
+
+
+_INSTANCE_MEMO: dict = {}
+_INSTANCE_MEMO_CAP = 256

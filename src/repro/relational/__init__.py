@@ -10,10 +10,13 @@ to entity types, and the normalization machinery used as a baseline.
 from repro.relational.relation import Tuple, Relation
 from repro.relational.algebra import (
     project,
+    project_naive,
     select,
     rename,
     natural_join,
+    natural_join_naive,
     join_all,
+    join_all_naive,
     union,
     difference,
     intersection,
@@ -21,10 +24,12 @@ from repro.relational.algebra import (
     division,
     semijoin,
     is_lossless_decomposition,
+    is_lossless_decomposition_naive,
 )
 from repro.relational.fd import (
     FD,
     holds_in,
+    holds_in_naive,
     violating_pairs,
     closure,
     implies,
@@ -67,10 +72,13 @@ __all__ = [
     "Tuple",
     "Relation",
     "project",
+    "project_naive",
     "select",
     "rename",
     "natural_join",
+    "natural_join_naive",
     "join_all",
+    "join_all_naive",
     "union",
     "difference",
     "intersection",
@@ -78,8 +86,10 @@ __all__ = [
     "division",
     "semijoin",
     "is_lossless_decomposition",
+    "is_lossless_decomposition_naive",
     "FD",
     "holds_in",
+    "holds_in_naive",
     "violating_pairs",
     "closure",
     "implies",

@@ -13,11 +13,29 @@ from collections.abc import Callable, Iterable, Mapping
 from functools import reduce
 
 from repro.errors import RelationError
+from repro.kernel import InstanceKernel, join_interned
 from repro.relational.relation import AttrName, Relation, Tuple
 
 
 def project(relation: Relation, attrs: Iterable[AttrName]) -> Relation:
-    """``pi_attrs(relation)`` — duplicate-eliminating projection."""
+    """``pi_attrs(relation)`` — duplicate-eliminating projection.
+
+    Deduplicates on the interned id rows and decodes each distinct
+    output row once into a trusted ``Tuple``; the per-tuple dict
+    projection is retained as :func:`project_naive`.
+    """
+    wanted = frozenset(attrs)
+    missing = wanted - relation.schema
+    if missing:
+        raise RelationError(f"projection on absent attributes: {sorted(missing)}")
+    inst = InstanceKernel.of(relation)
+    return Relation._trusted(
+        wanted, (Tuple._trusted(items) for items in inst.project_items(wanted))
+    )
+
+
+def project_naive(relation: Relation, attrs: Iterable[AttrName]) -> Relation:
+    """Reference oracle for :func:`project` (per-tuple dict projection)."""
     wanted = frozenset(attrs)
     missing = wanted - relation.schema
     if missing:
@@ -41,10 +59,20 @@ def rename(relation: Relation, renaming: Mapping[AttrName, AttrName]) -> Relatio
 def natural_join(left: Relation, right: Relation) -> Relation:
     """``left * right`` — the join the Extension Axiom is phrased with.
 
-    Implemented as a hash join on the shared attributes; on disjoint
-    schemas it degenerates to the cartesian product, matching the
-    classical definition.
+    A hash join on the shared attributes (degenerating to the cartesian
+    product when they are disjoint), run over the interned instances:
+    right ids are translated into the left symbol space once per shared
+    column, matching rows are found through the cached partition index,
+    and each output row is decoded once into a trusted ``Tuple``.  The
+    tuple-merge implementation is retained as :func:`natural_join_naive`.
     """
+    schema = left.schema | right.schema
+    joined = join_interned(InstanceKernel.of(left), InstanceKernel.of(right))
+    return Relation._trusted(schema, (Tuple._trusted(items) for items in joined))
+
+
+def natural_join_naive(left: Relation, right: Relation) -> Relation:
+    """Reference oracle for :func:`natural_join` (tuple-merge hash join)."""
     shared = left.schema & right.schema
     schema = left.schema | right.schema
     index: dict[Tuple, list[Tuple]] = {}
@@ -121,12 +149,49 @@ def is_lossless_decomposition(relation: Relation,
     This is the *instance-level* lossless check used to validate the chase
     (schema-level) test in :mod:`repro.relational.chase` and to demonstrate
     the information loss the View Axiom is designed to prevent.
+
+    The projections and joins all stem from one relation, so the whole
+    pipeline stays in its interned symbol space: id-level projections
+    (cached on the instance), integer hash joins, and a final row-set
+    comparison with no tuple decoding at all.  The object-level pipeline
+    is retained as :func:`is_lossless_decomposition_naive`.
     """
-    parts = [project(relation, s) for s in schemas]
+    parts = [frozenset(s) for s in schemas]
+    for part in parts:
+        missing = part - relation.schema
+        if missing:
+            raise RelationError(f"projection on absent attributes: {sorted(missing)}")
+    covered = frozenset().union(*parts) if parts else frozenset()
+    if covered != relation.schema:
+        raise RelationError("decomposition does not cover the schema")
+    return InstanceKernel.of(relation).joins_back(parts)
+
+
+def join_all_naive(relations: Iterable[Relation]) -> Relation:
+    """The n-ary fold of :func:`natural_join_naive` from the TRUE unit.
+
+    The oracle counterpart of :func:`join_all`, shared by every naive
+    reconstruction pipeline (JD oracle, lossless oracle, known-lossless
+    test fixtures) so they stay kernel-free through one code path.
+    """
+    joined = Relation((), [Tuple({})])
+    for relation in relations:
+        joined = natural_join_naive(joined, relation)
+    return joined
+
+
+def is_lossless_decomposition_naive(relation: Relation,
+                                    schemas: Iterable[Iterable[AttrName]]) -> bool:
+    """Reference oracle for :func:`is_lossless_decomposition`.
+
+    Built exclusively from the naive projection and join so the oracle
+    shares no code with the kernel route.
+    """
+    parts = [project_naive(relation, s) for s in schemas]
     covered = frozenset().union(*(p.schema for p in parts)) if parts else frozenset()
     if covered != relation.schema:
         raise RelationError("decomposition does not cover the schema")
-    return join_all(parts) == relation
+    return join_all_naive(parts) == relation
 
 
 def _require_same_schema(left: Relation, right: Relation, op: str) -> None:

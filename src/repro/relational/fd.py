@@ -14,7 +14,7 @@ from collections.abc import Iterable
 from itertools import combinations
 
 from repro.errors import DependencyError
-from repro.kernel import FDKernel
+from repro.kernel import FDKernel, InstanceKernel
 from repro.relational.relation import AttrName, Relation
 
 
@@ -52,7 +52,23 @@ class FD:
 
 
 def holds_in(fd: FD, relation: Relation) -> bool:
-    """Whether ``relation`` satisfies ``fd`` (the semantic definition)."""
+    """Whether ``relation`` satisfies ``fd`` (the semantic definition).
+
+    Runs on the interned instance (symbol-id rows grouped by the cached
+    lhs partition) instead of projecting dict-tuples per row; the
+    original sweep is retained as :func:`holds_in_naive`.  Repeated
+    checks against one relation — dependency sweeps, Armstrong-relation
+    search — reuse the interning via the instance memo.
+    """
+    if not (fd.lhs | fd.rhs) <= relation.schema:
+        raise DependencyError(
+            f"FD {fd!r} mentions attributes outside schema {sorted(relation.schema)}"
+        )
+    return InstanceKernel.of(relation).fd_holds(fd.lhs, fd.rhs)
+
+
+def holds_in_naive(fd: FD, relation: Relation) -> bool:
+    """Reference oracle for :func:`holds_in` (witness-dict sweep)."""
     if not (fd.lhs | fd.rhs) <= relation.schema:
         raise DependencyError(
             f"FD {fd!r} mentions attributes outside schema {sorted(relation.schema)}"

@@ -12,7 +12,13 @@ from __future__ import annotations
 from collections.abc import Iterable
 
 from repro.errors import DependencyError
-from repro.relational.algebra import join_all, project
+from repro.kernel import InstanceKernel
+from repro.relational.algebra import (
+    join_all,
+    join_all_naive,
+    project,
+    project_naive,
+)
 from repro.relational.mvd import MVD
 from repro.relational.relation import AttrName, Relation
 
@@ -55,13 +61,29 @@ class JoinDependency:
 
 
 def holds_in(jd: JoinDependency, relation: Relation) -> bool:
-    """Whether joining the projections reconstructs the relation."""
+    """Whether joining the projections reconstructs the relation.
+
+    The projections and joins never leave the relation's interned symbol
+    space (see :func:`repro.relational.algebra.is_lossless_decomposition`);
+    the object-level pipeline is retained as :func:`holds_in_naive`.
+    """
     if relation.schema != jd.universe:
         raise DependencyError(
             f"JD universe {sorted(jd.universe)} does not match the relation "
             f"schema {sorted(relation.schema)}"
         )
-    joined = join_all(project(relation, c) for c in jd.components)
+    return InstanceKernel.of(relation).jd_holds(jd.components)
+
+
+def holds_in_naive(jd: JoinDependency, relation: Relation) -> bool:
+    """Reference oracle for :func:`holds_in`, built from the naive
+    projection and join only."""
+    if relation.schema != jd.universe:
+        raise DependencyError(
+            f"JD universe {sorted(jd.universe)} does not match the relation "
+            f"schema {sorted(relation.schema)}"
+        )
+    joined = join_all_naive(project_naive(relation, c) for c in jd.components)
     return joined == relation
 
 

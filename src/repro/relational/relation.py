@@ -95,6 +95,20 @@ class Tuple:
         """A copy with attributes renamed by ``renaming`` (others kept)."""
         return Tuple({renaming.get(a, a): v for a, v in self._items})
 
+    @classmethod
+    def _trusted(cls, items: tuple) -> "Tuple":
+        """Wrap pre-sorted, pre-validated ``(attr, value)`` items.
+
+        The decode path of :mod:`repro.kernel.instance` emits items
+        already in sorted order with known-hashable values, so the
+        constructor's re-sort and validation would be pure overhead.
+        The randomized kernel-equivalence suite guards this shortcut.
+        """
+        t = object.__new__(cls)
+        t._items = items
+        t._hash = hash(items)
+        return t
+
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, Tuple):
             return NotImplemented
@@ -149,6 +163,20 @@ class Relation:
     @property
     def tuples(self) -> frozenset[Tuple]:
         return self._tuples
+
+    @classmethod
+    def _trusted(cls, schema: Iterable[AttrName], tuples: Iterable) -> "Relation":
+        """Wrap tuples already known to share ``schema``.
+
+        Kernel decode produces equal-schema :class:`Tuple` values by
+        construction, so the per-tuple schema validation of the public
+        constructor is skipped — the same trusted-construction policy as
+        ``FiniteSpace._trusted`` in the topology layer.
+        """
+        r = object.__new__(cls)
+        r._schema = frozenset(schema)
+        r._tuples = frozenset(tuples)
+        return r
 
     @classmethod
     def from_rows(cls, schema: Iterable[AttrName], rows: Iterable[Iterable[Value]]) -> "Relation":

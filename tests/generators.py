@@ -1,0 +1,122 @@
+"""Shared seeded random-instance generators for the differential suites.
+
+Every kernel-vs-naive equivalence test draws its inputs from here so the
+case distributions stay consistent across suites: set families and FD
+sets for the PR-1 kernels (topology generation, closure, chase) and
+relation instances, MVDs, JDs, and decompositions with known
+lossless/lossy status for the instance kernel.  All generators are pure
+functions of the passed ``random.Random``, keeping every suite
+reproducible from its seed.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.relational import FD, MVD, JoinDependency, Relation
+from repro.relational.algebra import join_all_naive, project_naive
+
+
+def random_family(rng: random.Random, points: list[str]) -> list[frozenset[str]]:
+    """A small random family of subsets of ``points`` (may repeat/overlap)."""
+    n_sets = rng.randint(0, 6)
+    return [
+        frozenset(rng.sample(points, rng.randint(0, len(points))))
+        for _ in range(n_sets)
+    ]
+
+
+def random_fds(rng: random.Random, attrs: list[str], max_fds: int) -> list[FD]:
+    """Up to ``max_fds`` random FDs with small sides over ``attrs``."""
+    out = []
+    for _ in range(rng.randint(0, max_fds)):
+        lhs = rng.sample(attrs, rng.randint(0, min(3, len(attrs) - 1)))
+        rhs = rng.sample(attrs, rng.randint(1, min(3, len(attrs))))
+        out.append(FD(lhs, rhs))
+    return out
+
+
+def random_relation(rng: random.Random, attrs: list[str],
+                    max_rows: int = 8, domain: int = 3) -> Relation:
+    """A random relation over ``attrs`` with values in ``0..domain-1``.
+
+    The small domain keeps agreement on lhs-groups (and therefore both
+    satisfied and violated dependencies) common rather than vanishingly
+    rare.
+    """
+    rows = [
+        {a: rng.randint(0, domain - 1) for a in attrs}
+        for _ in range(rng.randint(0, max_rows))
+    ]
+    return Relation(attrs, rows)
+
+
+def random_attr_subset(rng: random.Random, attrs: list[str],
+                       min_size: int = 0) -> frozenset[str]:
+    """A random subset of ``attrs`` of size at least ``min_size``."""
+    return frozenset(rng.sample(attrs, rng.randint(min_size, len(attrs))))
+
+
+def random_instance_fd(rng: random.Random, attrs: list[str]) -> FD:
+    """One random FD whose sides lie inside ``attrs`` (rhs nonempty)."""
+    lhs = rng.sample(attrs, rng.randint(0, len(attrs)))
+    rhs = rng.sample(attrs, rng.randint(1, len(attrs)))
+    return FD(lhs, rhs)
+
+
+def random_mvd(rng: random.Random, attrs: list[str]) -> MVD:
+    """One random MVD over the universe ``attrs``."""
+    lhs = rng.sample(attrs, rng.randint(0, len(attrs)))
+    rhs = rng.sample(attrs, rng.randint(0, len(attrs)))
+    return MVD(lhs, rhs, attrs)
+
+
+def random_cover(rng: random.Random, attrs: list[str],
+                 max_parts: int = 4) -> list[frozenset[str]]:
+    """Random attribute subsets patched to cover ``attrs`` exactly.
+
+    Any attribute the sampled parts miss is appended to a random part,
+    so the result is always a legal decomposition of the universe.
+    """
+    parts = [
+        set(rng.sample(attrs, rng.randint(1, len(attrs))))
+        for _ in range(rng.randint(1, max_parts))
+    ]
+    missing = set(attrs) - set().union(*parts)
+    for a in missing:
+        rng.choice(parts).add(a)
+    return [frozenset(p) for p in parts]
+
+
+def random_jd(rng: random.Random, attrs: list[str],
+              max_components: int = 4) -> JoinDependency:
+    """One random JD whose components cover the universe ``attrs``."""
+    return JoinDependency(random_cover(rng, attrs, max_components), attrs)
+
+
+def lossless_instance(rng: random.Random, attrs: list[str],
+                      parts: list[frozenset[str]],
+                      max_rows: int = 8, domain: int = 3) -> Relation:
+    """A relation that is lossless for ``parts`` by construction.
+
+    Joining the projections of any relation yields a fixpoint of
+    project-then-join (each part's projection of the join equals the
+    part's projection of the original), so the join of a random seed
+    relation's projections is a known-lossless instance.  Built from the
+    naive operators only, keeping the construction independent of the
+    kernel under test.
+    """
+    seed = random_relation(rng, attrs, max_rows=max_rows, domain=domain)
+    return join_all_naive(project_naive(seed, part) for part in parts)
+
+
+def lossy_case(rng: random.Random,
+               n_rows: int = 3) -> tuple[Relation, list[frozenset[str]]]:
+    """A relation/decomposition pair that is lossy by construction.
+
+    ``n_rows >= 2`` diagonal tuples over ``{a, b}`` split into ``{a}``
+    and ``{b}``: the join manufactures all ``n_rows**2`` combinations.
+    """
+    n_rows = max(2, n_rows)
+    rows = [{"a": i, "b": rng.randint(0, 1) * n_rows + i} for i in range(n_rows)]
+    return Relation(["a", "b"], rows), [frozenset("a"), frozenset("b")]

@@ -1,0 +1,112 @@
+"""Bench-regression lane: diff fresh kernel timings against the committed dump.
+
+``benchmarks/compare_bench.py`` is the trajectory tool: it diffs a fresh
+``--bench-json`` dump against the committed ``BENCH_kernel.json`` and
+fails on a >2x regression of any kernel benchmark.  The fast tests here
+pin the tool's diff semantics on synthetic dumps; the slow-lane test
+re-times the instance-check benches in a subprocess and runs the real
+diff (slow because it spins a full pytest-benchmark session; wall-clock
+baselines also only make sense within one machine generation, which is
+what the generous 2x threshold absorbs).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "benchmarks"))
+
+import compare_bench  # noqa: E402  (needs the benchmarks dir on sys.path)
+
+
+def _dump(records: dict[str, float]) -> dict[str, dict]:
+    return {
+        name: {"fullname": name, "min_s": t, "mean_s": t}
+        for name, t in records.items()
+    }
+
+
+KERNEL_NAME = "benchmarks/bench_a6_instance_checks.py::test_a6_fd_holds_kernel[1000]"
+OTHER_NAME = "benchmarks/bench_e01_employee_table.py::test_e01_employee_table"
+
+
+class TestCompareBenchTool:
+    def test_flags_kernel_regressions_beyond_threshold(self):
+        baseline = _dump({KERNEL_NAME: 1e-3})
+        fresh = _dump({KERNEL_NAME: 2.5e-3})
+        out = compare_bench.diff(baseline, fresh, threshold=2.0)
+        assert [r["fullname"] for r in out] == [KERNEL_NAME]
+        assert out[0]["ratio"] == pytest.approx(2.5)
+
+    def test_within_threshold_passes(self):
+        baseline = _dump({KERNEL_NAME: 1e-3})
+        fresh = _dump({KERNEL_NAME: 1.9e-3})
+        assert compare_bench.diff(baseline, fresh, threshold=2.0) == []
+
+    def test_non_kernel_benches_ignored_unless_all(self):
+        baseline = _dump({OTHER_NAME: 1e-3})
+        fresh = _dump({OTHER_NAME: 9e-3})
+        assert compare_bench.diff(baseline, fresh, threshold=2.0) == []
+        widened = compare_bench.diff(baseline, fresh, threshold=2.0,
+                                     kernel_only=False)
+        assert [r["fullname"] for r in widened] == [OTHER_NAME]
+
+    def test_unmatched_benches_are_skipped(self):
+        baseline = _dump({KERNEL_NAME: 1e-3, KERNEL_NAME + "x": 1e-3})
+        fresh = _dump({KERNEL_NAME: 1e-3})
+        assert compare_bench.diff(baseline, fresh, threshold=2.0) == []
+
+    def test_worst_regression_sorts_first(self):
+        a = KERNEL_NAME
+        b = "benchmarks/bench_a4_chase.py::test_a4_chase"
+        baseline = _dump({a: 1e-3, b: 1e-3})
+        fresh = _dump({a: 3e-3, b: 5e-3})
+        out = compare_bench.diff(baseline, fresh, threshold=2.0)
+        assert [r["fullname"] for r in out] == [b, a]
+
+    def test_main_exit_codes(self, tmp_path):
+        payload = {"benchmarks": [
+            {"fullname": KERNEL_NAME, "min_s": 1e-3, "mean_s": 1e-3},
+        ]}
+        base = tmp_path / "base.json"
+        base.write_text(json.dumps(payload))
+        fresh_ok = tmp_path / "ok.json"
+        fresh_ok.write_text(json.dumps(payload))
+        assert compare_bench.main([str(fresh_ok), str(base)]) == 0
+        payload["benchmarks"][0] = dict(payload["benchmarks"][0], min_s=5e-3)
+        fresh_bad = tmp_path / "bad.json"
+        fresh_bad.write_text(json.dumps(payload))
+        assert compare_bench.main([str(fresh_bad), str(base)]) == 1
+
+
+@pytest.mark.slow
+class TestFreshDumpAgainstCommitted:
+    def test_instance_kernel_benches_within_2x_of_committed(self, tmp_path):
+        """Re-run the a6-instance benches and diff against the committed
+        ``BENCH_kernel.json`` with the real tool."""
+        committed = REPO / "BENCH_kernel.json"
+        assert committed.exists(), "committed bench dump missing"
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(REPO / "src") + os.pathsep + \
+            env.get("PYTHONPATH", "")
+        fresh_path = tmp_path / "fresh.json"
+        proc = subprocess.run(
+            [sys.executable, "-m", "pytest",
+             str(REPO / "benchmarks" / "bench_a6_instance_checks.py"),
+             "-q", "--benchmark-min-rounds=3", "--bench-json", str(fresh_path)],
+            cwd=tmp_path, env=env, capture_output=True, text=True, timeout=600,
+        )
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        regressions = compare_bench.diff(
+            compare_bench.load(str(committed)),
+            compare_bench.load(str(fresh_path)),
+            threshold=2.0,
+        )
+        assert not regressions, regressions

@@ -5,6 +5,9 @@ original implementation as a ``*_naive`` reference oracle.  These
 property tests drive both routes with seeded random inputs (~200 cases
 per property) and assert exact agreement — the kernels are only allowed
 to be faster, never different.
+
+Inputs come from the shared :mod:`generators` harness (also used by
+``test_kernel_instance_equivalence.py`` for the instance kernel).
 """
 
 from __future__ import annotations
@@ -13,9 +16,10 @@ import random
 
 import pytest
 
+from generators import random_family, random_fds
 from repro.kernel import FDKernel
 from repro.relational.chase import is_lossless, is_lossless_naive
-from repro.relational.fd import FD, closure, closure_naive, implies
+from repro.relational.fd import closure, closure_naive, implies
 from repro.topology.generation import (
     intersections_of,
     intersections_of_naive,
@@ -30,23 +34,6 @@ from repro.topology.generation import (
 )
 
 CASES = 200
-
-
-def random_family(rng: random.Random, points: list[str]) -> list[frozenset[str]]:
-    n_sets = rng.randint(0, 6)
-    return [
-        frozenset(rng.sample(points, rng.randint(0, len(points))))
-        for _ in range(n_sets)
-    ]
-
-
-def random_fds(rng: random.Random, attrs: list[str], max_fds: int) -> list[FD]:
-    out = []
-    for _ in range(rng.randint(0, max_fds)):
-        lhs = rng.sample(attrs, rng.randint(0, min(3, len(attrs) - 1)))
-        rhs = rng.sample(attrs, rng.randint(1, min(3, len(attrs))))
-        out.append(FD(lhs, rhs))
-    return out
 
 
 class TestTopologyGenerationEquivalence:

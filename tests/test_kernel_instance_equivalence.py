@@ -1,0 +1,262 @@
+"""Randomized equivalence: the instance kernel vs. the naive oracles.
+
+PR 1's pattern applied to the instance-level predicates: every check
+routed through :class:`repro.kernel.InstanceKernel` keeps its original
+implementation as a ``*_naive`` reference oracle, and these suites drive
+both routes with ~200 seeded random cases per property (drawn from the
+shared :mod:`generators` harness) plus the degenerate corners — empty
+relation, single tuple, ``lhs = universe``, ``rhs subseteq lhs`` — and
+assert exact agreement.
+"""
+
+from __future__ import annotations
+
+import random
+
+from generators import (
+    lossless_instance,
+    lossy_case,
+    random_cover,
+    random_instance_fd,
+    random_jd,
+    random_mvd,
+    random_relation,
+)
+from repro.core.domain_constraints import fd_extension_holds_naive
+from repro.kernel import InstanceKernel
+from repro.relational import FD, MVD, Relation
+from repro.relational.algebra import (
+    is_lossless_decomposition,
+    is_lossless_decomposition_naive,
+    natural_join,
+    natural_join_naive,
+    project,
+    project_naive,
+)
+from repro.relational.fd import holds_in as fd_holds_in
+from repro.relational.fd import holds_in_naive as fd_holds_in_naive
+from repro.relational.jd import JoinDependency
+from repro.relational.jd import holds_in as jd_holds_in
+from repro.relational.jd import holds_in_naive as jd_holds_in_naive
+from repro.relational.mvd import holds_in as mvd_holds_in
+from repro.relational.mvd import holds_in_naive as mvd_holds_in_naive
+
+CASES = 200
+
+
+def _attrs(rng: random.Random, lo: int = 1, hi: int = 5) -> list[str]:
+    return [f"a{i}" for i in range(rng.randint(lo, hi))]
+
+
+class TestFDHoldsEquivalence:
+    def test_holds_in_matches_naive(self):
+        rng = random.Random(0xF1)
+        verdicts = set()
+        for case in range(CASES):
+            attrs = _attrs(rng)
+            rel = random_relation(rng, attrs)
+            fd = random_instance_fd(rng, attrs)
+            verdict = fd_holds_in(fd, rel)
+            assert verdict == fd_holds_in_naive(fd, rel), (case, fd)
+            verdicts.add(verdict)
+        assert verdicts == {True, False}  # the sample is not one-sided
+
+    def test_degenerate_cases(self):
+        rng = random.Random(0xF2)
+        for case in range(60):
+            attrs = _attrs(rng, lo=2)
+            cases = [
+                (random_instance_fd(rng, attrs), Relation(attrs)),  # empty
+                (random_instance_fd(rng, attrs),
+                 random_relation(rng, attrs, max_rows=1)),  # single tuple
+                (FD(attrs, rng.sample(attrs, 1)),
+                 random_relation(rng, attrs)),  # lhs = universe
+            ]
+            lhs = rng.sample(attrs, rng.randint(1, len(attrs)))
+            rhs = rng.sample(lhs, rng.randint(1, len(lhs)))
+            cases.append((FD(lhs, rhs), random_relation(rng, attrs)))  # rhs <= lhs
+            for fd, rel in cases:
+                assert fd_holds_in(fd, rel) == fd_holds_in_naive(fd, rel), \
+                    (case, fd, rel)
+
+    def test_interning_is_reused_across_checks(self):
+        rng = random.Random(0xF3)
+        attrs = _attrs(rng, lo=3)
+        rel = random_relation(rng, attrs, max_rows=12)
+        inst = InstanceKernel.of(rel)
+        assert InstanceKernel.of(rel) is inst
+        fd = random_instance_fd(rng, attrs)
+        assert fd_holds_in(fd, rel) == fd_holds_in_naive(fd, rel)
+        # The lhs partition built by the check is cached on the instance.
+        assert inst.indices_of(fd.lhs) in inst._partitions
+
+
+class TestMVDHoldsEquivalence:
+    def test_holds_in_matches_naive(self):
+        rng = random.Random(0xF4)
+        verdicts = set()
+        for case in range(CASES):
+            attrs = _attrs(rng)
+            rel = random_relation(rng, attrs)
+            mvd = random_mvd(rng, attrs)
+            verdict = mvd_holds_in(mvd, rel)
+            assert verdict == mvd_holds_in_naive(mvd, rel), (case, mvd)
+            verdicts.add(verdict)
+        assert verdicts == {True, False}
+
+    def test_degenerate_cases(self):
+        rng = random.Random(0xF5)
+        for case in range(60):
+            attrs = _attrs(rng, lo=2)
+            lhs = rng.sample(attrs, rng.randint(1, len(attrs)))
+            cases = [
+                (random_mvd(rng, attrs), Relation(attrs)),  # empty relation
+                (random_mvd(rng, attrs),
+                 random_relation(rng, attrs, max_rows=1)),  # single tuple
+                (MVD(attrs, rng.sample(attrs, 1), attrs),
+                 random_relation(rng, attrs)),  # lhs = universe
+                (MVD(lhs, rng.sample(lhs, rng.randint(0, len(lhs))), attrs),
+                 random_relation(rng, attrs)),  # rhs <= lhs (trivial)
+            ]
+            for mvd, rel in cases:
+                assert mvd_holds_in(mvd, rel) == mvd_holds_in_naive(mvd, rel), \
+                    (case, mvd, rel)
+
+
+class TestJDHoldsEquivalence:
+    def test_holds_in_matches_naive(self):
+        rng = random.Random(0xF6)
+        verdicts = set()
+        for case in range(CASES):
+            attrs = _attrs(rng)
+            rel = random_relation(rng, attrs)
+            jd = random_jd(rng, attrs)
+            verdict = jd_holds_in(jd, rel)
+            assert verdict == jd_holds_in_naive(jd, rel), (case, jd)
+            verdicts.add(verdict)
+        assert verdicts == {True, False}
+
+    def test_degenerate_cases(self):
+        rng = random.Random(0xF7)
+        for case in range(60):
+            attrs = _attrs(rng, lo=1)
+            cases = [
+                (random_jd(rng, attrs), Relation(attrs)),  # empty relation
+                (random_jd(rng, attrs),
+                 random_relation(rng, attrs, max_rows=1)),  # single tuple
+                (JoinDependency([attrs], attrs),
+                 random_relation(rng, attrs)),  # whole-universe component
+            ]
+            for jd, rel in cases:
+                assert jd_holds_in(jd, rel) == jd_holds_in_naive(jd, rel), \
+                    (case, jd, rel)
+
+
+class TestProjectJoinEquivalence:
+    def test_project_matches_naive(self):
+        rng = random.Random(0xF8)
+        for case in range(CASES):
+            attrs = _attrs(rng)
+            rel = random_relation(rng, attrs)
+            wanted = rng.sample(attrs, rng.randint(0, len(attrs)))
+            assert project(rel, wanted) == project_naive(rel, wanted), case
+
+    def test_natural_join_matches_naive(self):
+        rng = random.Random(0xF9)
+        for case in range(CASES):
+            # Overlapping, nested, equal, and disjoint schema pairs all
+            # occur: attributes are drawn from one small pool.
+            pool = [f"a{i}" for i in range(rng.randint(2, 6))]
+            left_attrs = rng.sample(pool, rng.randint(1, len(pool)))
+            right_attrs = rng.sample(pool, rng.randint(1, len(pool)))
+            left = random_relation(rng, left_attrs)
+            right = random_relation(rng, right_attrs)
+            fast = natural_join(left, right)
+            slow = natural_join_naive(left, right)
+            assert fast == slow, (case, left, right)
+
+    def test_join_of_projections_matches_naive_pipeline(self):
+        rng = random.Random(0xFA)
+        for case in range(100):
+            attrs = _attrs(rng, lo=2)
+            rel = random_relation(rng, attrs)
+            parts = random_cover(rng, attrs)
+            fast = parts and natural_join(project(rel, parts[0]),
+                                          project(rel, parts[-1]))
+            slow = parts and natural_join_naive(project_naive(rel, parts[0]),
+                                                project_naive(rel, parts[-1]))
+            assert fast == slow, case
+
+
+class TestLosslessDecompositionEquivalence:
+    def test_matches_naive_on_random_covers(self):
+        rng = random.Random(0xFB)
+        verdicts = set()
+        for case in range(CASES):
+            attrs = _attrs(rng)
+            rel = random_relation(rng, attrs)
+            parts = random_cover(rng, attrs)
+            verdict = is_lossless_decomposition(rel, parts)
+            assert verdict == is_lossless_decomposition_naive(rel, parts), \
+                (case, parts)
+            verdicts.add(verdict)
+        assert verdicts == {True, False}
+
+    def test_known_lossless_instances(self):
+        rng = random.Random(0xFC)
+        for case in range(80):
+            attrs = _attrs(rng, lo=2)
+            parts = random_cover(rng, attrs)
+            rel = lossless_instance(rng, attrs, parts)
+            assert is_lossless_decomposition(rel, parts), case
+            assert is_lossless_decomposition_naive(rel, parts), case
+
+    def test_known_lossy_instances(self):
+        rng = random.Random(0xFD)
+        for case in range(40):
+            rel, parts = lossy_case(rng, n_rows=rng.randint(2, 5))
+            assert not is_lossless_decomposition(rel, parts), case
+            assert not is_lossless_decomposition_naive(rel, parts), case
+
+    def test_degenerate_cases(self):
+        rng = random.Random(0xFE)
+        for case in range(40):
+            attrs = _attrs(rng, lo=1)
+            parts = random_cover(rng, attrs)
+            for rel in (Relation(attrs), random_relation(rng, attrs, max_rows=1)):
+                assert is_lossless_decomposition(rel, parts) == \
+                    is_lossless_decomposition_naive(rel, parts), case
+        # Zero-ary relations against the empty decomposition.
+        for rel in (Relation(()), Relation((), [{}])):
+            assert is_lossless_decomposition(rel, []) == \
+                is_lossless_decomposition_naive(rel, [])
+
+
+class TestDomainConstraintExtensionChecks:
+    def test_fd_domain_constraint_predicate_matches_naive(self):
+        """The kernel-routed predicate inside ``fd_domain_constraint``
+        agrees with the retained witness-dict oracle on the employee
+        state and on random perturbations of it."""
+        from repro.core.domain_constraints import fd_domain_constraint
+        from repro.core.employee import employee_extension, employee_schema
+        from repro.core.fd import EntityFD, holds_naive
+
+        schema = employee_schema()
+        db = employee_extension(schema)
+        rng = random.Random(0xFF)
+        names = sorted(e.name for e in schema)
+        pairs = [(e, f, h)
+                 for h in names for e in names for f in names]
+        rng.shuffle(pairs)
+        checked = 0
+        for e, f, h in pairs:
+            fd = EntityFD(schema[e], schema[f], schema[h])
+            try:
+                constraint = fd_domain_constraint(schema, fd)
+            except Exception:
+                continue  # ill-typed triple — not a legal entity FD
+            checked += 1
+            assert constraint.holds(db) == \
+                fd_extension_holds_naive(fd, db.R(fd.context))
+            assert constraint.holds(db) == holds_naive(fd, db)
+        assert checked >= 10
