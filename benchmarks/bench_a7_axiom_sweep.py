@@ -1,0 +1,155 @@
+"""A7 — full axiom sweeps: batch engine vs. the per-constraint path.
+
+The paper's actual workload is the *audit*: ``check_all`` over a whole
+database state probes every ISA pair (Containment Condition), every
+compound type (Extension Axiom), and every integrity constraint in one
+go.  This bench scales a generated extension to 100/500/1000 rows per
+relation and times the batch route — shared-interned
+``DatabaseExtension.kernel``, ``CheckSet``-grouped dependencies,
+join-membership factorised through the contributors — against
+``check_all_naive``, which runs the same audit one constraint at a time
+through the object-level operators.  A second pair times the
+output-sensitive FD witness producer against the retained all-pairs
+scan.
+
+Kernel benches measure the steady state (the extension kernel and its
+partition indexes are memoised on the state, which is exactly the
+repeated-audit workload); the first call additionally pays one interning
+pass per relation.
+
+Run with ``--bench-json`` to record the timings in ``BENCH_kernel.json``
+(the perf trajectory ``benchmarks/compare_bench.py`` diffs against).
+"""
+
+import pytest
+
+from repro.core import (
+    CardinalityConstraint,
+    DatabaseExtension,
+    EntityFD,
+    FunctionalConstraint,
+    ParticipationConstraint,
+    Schema,
+    SubsetConstraint,
+    check_all,
+    check_all_naive,
+)
+from repro.relational import FD, Relation
+from repro.relational.fd import violating_pairs, violating_pairs_naive
+
+SIZES = [100, 500, 1000]
+WITNESS_SIZES = [200, 1000]
+
+
+def sweep_state(n: int):
+    """A consistent five-type state with ~n rows per relation.
+
+    ``person`` and ``dept`` overlap on ``dname`` so the contributor join
+    of the compound ``worksfor`` stays linear; ``manager`` specialises
+    ``worksfor`` and ``office`` compounds ``dept``, giving the audit two
+    compound types, five ISA containment pairs, and constraints over
+    three different context relations.
+    """
+    schema = Schema.from_attribute_sets(
+        {
+            "person": {"pname", "dname"},
+            "dept": {"dname", "budget"},
+            "worksfor": {"pname", "dname", "budget", "role"},
+            "manager": {"pname", "dname", "budget", "role", "bonus"},
+            "office": {"dname", "budget", "floor"},
+        },
+        domains={
+            "pname": range(n), "dname": range(n), "budget": range(53),
+            "role": range(7), "bonus": range(11), "floor": range(11),
+        },
+    )
+    dept_of = [(i * 3 + 1) % n for i in range(n)]
+    depts = [{"dname": j, "budget": j % 53} for j in range(n)]
+    persons = [{"pname": i, "dname": dept_of[i]} for i in range(n)]
+    worksfor = [
+        {"pname": i, "dname": dept_of[i], "budget": dept_of[i] % 53,
+         "role": i % 7}
+        for i in range(n)
+    ]
+    managers = [dict(w, bonus=w["pname"] % 11) for w in worksfor
+                if w["pname"] % 3 == 0]
+    offices = [{"dname": j, "budget": j % 53, "floor": j % 11}
+               for j in range(n)]
+    db = DatabaseExtension(schema, {
+        "person": persons, "dept": depts, "worksfor": worksfor,
+        "manager": managers, "office": offices,
+    })
+    constraints = [
+        FunctionalConstraint(EntityFD(schema["person"], schema["dept"],
+                                      schema["worksfor"])),
+        CardinalityConstraint(schema["worksfor"], schema["person"],
+                              schema["dept"], "1:n"),
+        FunctionalConstraint(EntityFD(schema["person"], schema["worksfor"],
+                                      schema["manager"])),
+        SubsetConstraint(schema["manager"], schema["worksfor"]),
+        SubsetConstraint(schema["worksfor"], schema["person"]),
+        ParticipationConstraint(schema["worksfor"], schema["person"]),
+        ParticipationConstraint(schema["office"], schema["dept"]),
+    ]
+    return schema, db, constraints
+
+
+_STATES: dict[int, tuple] = {}
+
+
+def state(n: int):
+    if n not in _STATES:
+        _STATES[n] = sweep_state(n)
+    return _STATES[n]
+
+
+@pytest.mark.parametrize("rows", SIZES)
+def test_a7_check_all_batch(benchmark, rows):
+    schema, db, constraints = state(rows)
+    report = benchmark(check_all, schema, db, constraints=constraints)
+    assert report.ok()
+
+
+@pytest.mark.parametrize("rows", SIZES)
+def test_a7_check_all_per_constraint(benchmark, rows):
+    schema, db, constraints = state(rows)
+    report = benchmark(check_all_naive, schema, db, constraints=constraints)
+    assert report.ok()
+
+
+def witness_relation(n: int) -> Relation:
+    """``b -> e`` is violated in most b-groups, but with only ~2 distinct
+    e-values per group the violation count stays output-bounded."""
+    rows = [
+        {"a": i, "b": i % (max(1, n // 8)), "e": (i % 2) * (i % 3 == 0)}
+        for i in range(n)
+    ]
+    return Relation(("a", "b", "e"), rows)
+
+
+@pytest.mark.parametrize("rows", WITNESS_SIZES)
+def test_a7_witness_pairs_kernel(benchmark, rows):
+    rel = witness_relation(rows)
+    fd = FD({"b"}, {"e"})
+    pairs = benchmark(violating_pairs, fd, rel)
+    assert pairs
+
+
+@pytest.mark.parametrize("rows", WITNESS_SIZES)
+def test_a7_witness_pairs_naive(benchmark, rows):
+    rel = witness_relation(rows)
+    fd = FD({"b"}, {"e"})
+    pairs = benchmark(violating_pairs_naive, fd, rel)
+    assert pairs
+
+
+def test_a7_agreement_at_scale(benchmark):
+    """One differential audit at the largest size, timed end to end."""
+    schema, db, constraints = state(SIZES[-1])
+
+    def agree():
+        routed = check_all(schema, db, constraints=constraints)
+        naive = check_all_naive(schema, db, constraints=constraints)
+        return routed.findings == naive.findings
+
+    assert benchmark(agree)

@@ -15,8 +15,11 @@ Usage::
 
 Comparison is on ``min_s`` (the least-noisy statistic across rounds);
 ``--all`` widens the check to every shared benchmark instead of the
-kernel set.  The slow-lane test ``tests/test_bench_regression.py`` runs
-this diff against the committed baseline.
+kernel set.  A baseline benchmark missing from the fresh dump also fails
+the gate — a silently retired or renamed bench must update the baseline
+explicitly, not slip past because only shared names are compared.  The
+slow-lane test ``tests/test_bench_regression.py`` runs this diff against
+the committed baseline.
 """
 
 from __future__ import annotations
@@ -26,13 +29,15 @@ import json
 import sys
 
 # Bench modules whose timings ride on the repro.kernel fast paths:
-# topology generation (a2), attribute closure (a3), the chase (a4), and
-# the interned instance checks (a6-instance).
+# topology generation (a2), attribute closure (a3), the chase (a4), the
+# interned instance checks (a6-instance), and the batched axiom sweeps
+# over the shared-interned extension (a7).
 KERNEL_BENCH_PREFIXES = (
     "benchmarks/bench_a2_topology_generation.py::",
     "benchmarks/bench_a3_closure_vs_relational.py::",
     "benchmarks/bench_a4_chase.py::",
     "benchmarks/bench_a6_instance_checks.py::",
+    "benchmarks/bench_a7_axiom_sweep.py::",
 )
 
 
@@ -73,6 +78,20 @@ def diff(baseline: dict[str, dict], fresh: dict[str, dict],
     return sorted(out, key=lambda r: -r["ratio"])
 
 
+def missing_baselines(baseline: dict[str, dict], fresh: dict[str, dict],
+                      kernel_only: bool = True) -> list[str]:
+    """Baseline benchmarks absent from the fresh dump.
+
+    A retired or renamed bench silently shrinks the trajectory the
+    regression gate watches, so its disappearance must fail the gate
+    until the baseline is regenerated deliberately.
+    """
+    return sorted(
+        name for name in baseline
+        if name not in fresh and (not kernel_only or is_kernel_bench(name))
+    )
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("fresh", help="freshly dumped --bench-json file")
@@ -88,6 +107,7 @@ def main(argv: list[str] | None = None) -> int:
     baseline, fresh = load(args.baseline), load(args.fresh)
     regressions = diff(baseline, fresh, threshold=args.threshold,
                        kernel_only=not args.all)
+    gone = missing_baselines(baseline, fresh, kernel_only=not args.all)
     shared = [n for n in baseline if n in fresh
               and (args.all or is_kernel_bench(n))]
     print(f"compared {len(shared)} benchmarks "
@@ -96,9 +116,11 @@ def main(argv: list[str] | None = None) -> int:
     for r in regressions:
         print(f"  REGRESSED {r['ratio']:5.2f}x  {r['fullname']}  "
               f"{r['baseline_s'] * 1e6:.1f}us -> {r['fresh_s'] * 1e6:.1f}us")
-    if not regressions:
+    for name in gone:
+        print(f"  MISSING  {name}  (in baseline, absent from fresh dump)")
+    if not regressions and not gone:
         print("  no regressions")
-    return 1 if regressions else 0
+    return 1 if regressions or gone else 0
 
 
 if __name__ == "__main__":

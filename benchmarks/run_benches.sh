@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Refresh the committed perf trajectory, gated by the regression diff.
+#
+# Dumps a fresh --bench-json from the full benchmark suite, diffs it
+# against the committed BENCH_kernel.json with compare_bench.py (which
+# fails on >2x kernel regressions AND on kernel baselines missing from
+# the fresh dump), and only on a passing diff replaces the committed
+# baseline with the fresh numbers.  Extra arguments are forwarded to
+# pytest (e.g. --benchmark-min-rounds=3 for a quicker sweep).
+#
+# Usage: benchmarks/run_benches.sh [pytest args...]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+fresh="$(mktemp --suffix=.json)"
+trap 'rm -f "$fresh"' EXIT
+
+python -m pytest benchmarks -q --bench-json "$fresh" "$@"
+python benchmarks/compare_bench.py "$fresh" BENCH_kernel.json
+mv "$fresh" BENCH_kernel.json
+trap - EXIT
+echo "BENCH_kernel.json refreshed"

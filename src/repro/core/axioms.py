@@ -6,6 +6,16 @@ for a schema (intension-level axioms) or a full database state (adding the
 extension-level axioms).  Constructors elsewhere already *enforce* several
 of these; the checkers re-derive the verdicts independently so audits do
 not rely on construction-time behaviour.
+
+The extension-level checkers are *sweeps*, not single predicates: one
+audit probes every compound type, every ISA pair, and every integrity
+constraint against the same state.  They therefore run on the state's
+shared-interned kernel (:attr:`DatabaseExtension.kernel`) and batch the
+constraint checks through :class:`repro.kernel.CheckSet`, grouping
+dependencies by context relation and determinant so each partition index
+is built once for the whole audit.  ``check_*_naive`` counterparts retain
+the per-constraint object-level routes as differential oracles (and as
+the baseline of benchmark A7).
 """
 
 from __future__ import annotations
@@ -17,9 +27,19 @@ from repro.core.attributes import AttributeUniverse, is_atomic_value
 from repro.core.contributors import ContributorAssignment
 from repro.core.entity_types import EntityType
 from repro.core.extension import DatabaseExtension
-from repro.core.integrity import IntegrityConstraint
+from repro.core.fd import holds_naive as _entity_fd_holds_naive
+from repro.core.integrity import (
+    CardinalityConstraint,
+    FunctionalConstraint,
+    IntegrityConstraint,
+    ParticipationConstraint,
+    SubsetConstraint,
+)
 from repro.core.schema import Schema
 from repro.core.views import EntityViewType
+from repro.errors import DependencyError
+from repro.kernel import CheckSet
+from repro.relational.algebra import project_naive
 
 
 @dataclass(frozen=True)
@@ -115,10 +135,27 @@ def check_relationship_axiom(schema: Schema,
 
 
 def check_extension_axiom(db: DatabaseExtension) -> list[AxiomFinding]:
-    """Compound extensions embed injectively in their contributor joins."""
+    """Compound extensions embed injectively in their contributor joins.
+
+    The per-type reports run on the shared kernel (join membership
+    factorised through the contributors); the object-level sweep is
+    retained as :func:`check_extension_axiom_naive`.
+    """
+    return _extension_axiom_findings(db, DatabaseExtension.extension_axiom_violations)
+
+
+def check_extension_axiom_naive(db: DatabaseExtension) -> list[AxiomFinding]:
+    """Reference oracle for :func:`check_extension_axiom` (per-type
+    contributor joins materialised at the object level)."""
+    return _extension_axiom_findings(
+        db, DatabaseExtension.extension_axiom_violations_naive
+    )
+
+
+def _extension_axiom_findings(db: DatabaseExtension, report_of) -> list[AxiomFinding]:
     findings = []
     for e in sorted(db.contributors.compound_types()):
-        report = db.extension_axiom_violations(e)
+        report = report_of(db, e)
         for t in report["unsupported"]:
             findings.append(AxiomFinding(
                 "Extension Axiom",
@@ -152,10 +189,49 @@ def check_view_axiom(schema: Schema,
 
 
 def check_integrity_axiom(schema: Schema,
-                          constraints: Iterable[IntegrityConstraint]) -> list[AxiomFinding]:
-    """Constraints are predicates over entity types, implying an entity type."""
+                          constraints: Iterable[IntegrityConstraint],
+                          db: DatabaseExtension | None = None) -> list[AxiomFinding]:
+    """Constraints are predicates over entity types, implying an entity type.
+
+    With a database state the audit additionally judges each well-typed
+    constraint *against* the state: all entity-level dependencies are
+    compiled into one :class:`~repro.kernel.CheckSet` per context
+    relation (shared-interned, so constraints with a common determinant
+    share its partition index) and the set-containment constraints run
+    as id-space projections on the same kernel.  The per-constraint
+    route is retained as :func:`check_integrity_axiom_naive`.
+    """
+    findings, checkable = _integrity_typing_findings(schema, constraints)
+    if db is not None and checkable:
+        ill_typed, judged = _split_ill_typed(checkable, schema)
+        findings += ill_typed
+        verdicts = _batch_constraint_verdicts(judged, db)
+        findings += _violated_constraint_findings(judged, verdicts)
+    return findings
+
+
+def check_integrity_axiom_naive(schema: Schema,
+                                constraints: Iterable[IntegrityConstraint],
+                                db: DatabaseExtension | None = None) -> list[AxiomFinding]:
+    """Reference oracle for :func:`check_integrity_axiom` (one
+    object-level check per constraint)."""
+    findings, checkable = _integrity_typing_findings(schema, constraints)
+    if db is not None and checkable:
+        ill_typed, judged = _split_ill_typed(checkable, schema)
+        findings += ill_typed
+        verdicts = [_constraint_holds_naive(c, db) for c in judged]
+        findings += _violated_constraint_findings(judged, verdicts)
+    return findings
+
+
+def _integrity_typing_findings(schema: Schema,
+                               constraints: Iterable[IntegrityConstraint],
+                               ) -> tuple[list[AxiomFinding], list[IntegrityConstraint]]:
+    """The classic typing findings plus the well-typed constraints."""
     findings = []
+    checkable = []
     for constraint in constraints:
+        well_typed = True
         for e in sorted(constraint.entity_types() | {constraint.context}):
             if e not in schema:
                 findings.append(AxiomFinding(
@@ -164,7 +240,127 @@ def check_integrity_axiom(schema: Schema,
                     "which is not an entity type",
                     (constraint, e),
                 ))
-    return findings
+                well_typed = False
+        if well_typed:
+            checkable.append(constraint)
+    return findings, checkable
+
+
+def _constraint_fds(c: IntegrityConstraint) -> list:
+    """The entity-level FDs a built-in constraint compiles to."""
+    if isinstance(c, FunctionalConstraint):
+        return [c.fd]
+    if isinstance(c, CardinalityConstraint):
+        return c.as_fds()
+    return []
+
+
+def _split_ill_typed(constraints: list[IntegrityConstraint], schema: Schema,
+                     ) -> tuple[list[AxiomFinding], list[IntegrityConstraint]]:
+    """Report FD-bearing constraints whose dependency typing is illegal.
+
+    ``EntityFD`` values are deliberately unvalidated at construction
+    ("constructed in bulk by generators before filtering"), so an audit
+    may meet a constraint whose determinant or dependent is in the
+    schema yet not a generalisation of the context.  Judging it against
+    a state would raise mid-audit; instead the audit reports it as an
+    Integrity Axiom finding and skips its verdict — the same policy as
+    for constraints over missing entity types.
+    """
+    findings, judged = [], []
+    for c in constraints:
+        try:
+            for fd in _constraint_fds(c):
+                fd.validate(schema)
+        except DependencyError as exc:
+            findings.append(AxiomFinding(
+                "Integrity Axiom",
+                f"constraint {c.name!r} is ill-typed: {exc}",
+                (c,),
+            ))
+            continue
+        judged.append(c)
+    return findings, judged
+
+
+def _violated_constraint_findings(constraints: list[IntegrityConstraint],
+                                  verdicts: list[bool]) -> list[AxiomFinding]:
+    return [
+        AxiomFinding(
+            "Integrity Axiom",
+            f"constraint {c.name!r} is violated in the current state",
+            (c,),
+        )
+        for c, ok in zip(constraints, verdicts) if not ok
+    ]
+
+
+def _batch_constraint_verdicts(constraints: list[IntegrityConstraint],
+                               db: DatabaseExtension) -> list[bool]:
+    """One verdict per constraint, batched on the shared kernel.
+
+    Entity-level FDs are grouped into one ``CheckSet`` per context
+    relation; subset/participation constraints are id-space projection
+    containments; unknown constraint kinds fall back to their own
+    ``holds``.
+    """
+    kern = db.kernel
+    verdicts = [True] * len(constraints)
+    checksets: dict[str, CheckSet] = {}
+    next_key: dict[str, int] = {}
+    fd_keys: list[list[tuple[str, int]]] = [[] for _ in constraints]
+    for i, c in enumerate(constraints):
+        if isinstance(c, (FunctionalConstraint, CardinalityConstraint)):
+            fds = _constraint_fds(c)
+        elif isinstance(c, SubsetConstraint):
+            verdicts[i] = not kern.stray_projection(
+                c.special.name, c.general.attributes, c.general.name
+            )
+            continue
+        elif isinstance(c, ParticipationConstraint):
+            covered = kern.project_named(
+                c.relationship.name, c.member.attributes
+            )
+            verdicts[i] = kern.instance(c.member.name).row_set <= covered
+            continue
+        else:
+            verdicts[i] = c.holds(db)
+            continue
+        # Typing was vetted by _split_ill_typed before verdicts are
+        # requested, so compilation cannot raise here.
+        for fd in fds:
+            context = fd.context.name
+            checkset = checksets.get(context)
+            if checkset is None:
+                checkset = checksets[context] = CheckSet(kern.instance(context))
+            key = (context, next_key.get(context, 0))
+            next_key[context] = key[1] + 1
+            checkset.add_fd(key, fd.determinant.attributes,
+                            fd.dependent.attributes)
+            fd_keys[i].append(key)
+    results = {}
+    for checkset in checksets.values():
+        results.update(checkset.run())
+    for i, keys in enumerate(fd_keys):
+        if keys and not all(results[k].ok for k in keys):
+            verdicts[i] = False
+    return verdicts
+
+
+def _constraint_holds_naive(c: IntegrityConstraint, db: DatabaseExtension) -> bool:
+    """The per-constraint object-level verdict (no kernel routes)."""
+    if isinstance(c, FunctionalConstraint):
+        return _entity_fd_holds_naive(c.fd, db)
+    if isinstance(c, CardinalityConstraint):
+        return all(_entity_fd_holds_naive(fd, db) for fd in c.as_fds())
+    if isinstance(c, SubsetConstraint):
+        return project_naive(
+            db.R(c.special), c.general.attributes
+        ).is_subset_of(db.R(c.general))
+    if isinstance(c, ParticipationConstraint):
+        covered = project_naive(db.R(c.relationship), c.member.attributes)
+        return db.R(c.member).tuples <= covered.tuples
+    return c.holds(db)
 
 
 def check_containment(db: DatabaseExtension) -> list[AxiomFinding]:
@@ -172,16 +368,27 @@ def check_containment(db: DatabaseExtension) -> list[AxiomFinding]:
 
     Not one of the six axioms by name, but the section 4 condition the
     whole extension mapping rests on — included in full-state audits.
+    Violations come from the shared kernel's id-space projections;
+    :func:`check_containment_naive` retains the object-level sweep.
     """
-    findings = []
-    for s, e, stray in db.containment_violations():
-        findings.append(AxiomFinding(
+    return _containment_findings(db.containment_violations())
+
+
+def check_containment_naive(db: DatabaseExtension) -> list[AxiomFinding]:
+    """Reference oracle for :func:`check_containment`."""
+    return _containment_findings(db.containment_violations_naive())
+
+
+def _containment_findings(violations) -> list[AxiomFinding]:
+    return [
+        AxiomFinding(
             "Containment Condition",
             f"pi_{e.name}^{s.name}(R_{s.name}) has {len(stray)} tuple(s) "
             f"outside R_{e.name}",
             (s, e),
-        ))
-    return findings
+        )
+        for s, e, stray in violations
+    ]
 
 
 def check_all(schema: Schema,
@@ -189,15 +396,45 @@ def check_all(schema: Schema,
               views: Iterable[EntityViewType] = (),
               constraints: Iterable[IntegrityConstraint] = (),
               contributors: ContributorAssignment | None = None) -> AxiomReport:
-    """Run every applicable checker and aggregate the findings."""
+    """Run every applicable checker and aggregate the findings.
+
+    With a database state this is the paper's full audit — the
+    Containment Condition, the Extension Axiom over every compound type,
+    and every integrity constraint judged against the state — executed
+    as batched sweeps over the state's shared-interned kernel.  The
+    per-constraint object-level route is retained as
+    :func:`check_all_naive` (the A7 baseline).
+    """
     contributors = contributors or ContributorAssignment(schema)
     report = AxiomReport()
     report.findings += check_attribute_axiom(schema.universe)
     report.findings += check_entity_type_axiom(schema.entity_types)
     report.findings += check_relationship_axiom(schema, contributors)
     report.findings += check_view_axiom(schema, views)
-    report.findings += check_integrity_axiom(schema, constraints)
+    report.findings += check_integrity_axiom(schema, constraints, db)
     if db is not None:
         report.findings += check_containment(db)
         report.findings += check_extension_axiom(db)
+    return report
+
+
+def check_all_naive(schema: Schema,
+                    db: DatabaseExtension | None = None,
+                    views: Iterable[EntityViewType] = (),
+                    constraints: Iterable[IntegrityConstraint] = (),
+                    contributors: ContributorAssignment | None = None) -> AxiomReport:
+    """Reference oracle for :func:`check_all`: identical findings, but
+    every extension-level check runs its per-constraint object-level
+    route (naive projections, materialised joins, one pass per
+    constraint)."""
+    contributors = contributors or ContributorAssignment(schema)
+    report = AxiomReport()
+    report.findings += check_attribute_axiom(schema.universe)
+    report.findings += check_entity_type_axiom(schema.entity_types)
+    report.findings += check_relationship_axiom(schema, contributors)
+    report.findings += check_view_axiom(schema, views)
+    report.findings += check_integrity_axiom_naive(schema, constraints, db)
+    if db is not None:
+        report.findings += check_containment_naive(db)
+        report.findings += check_extension_axiom_naive(db)
     return report

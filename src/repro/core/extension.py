@@ -26,6 +26,7 @@ from repro.core.generalisation import GeneralisationStructure
 from repro.core.schema import Schema
 from repro.core.specialisation import SpecialisationStructure
 from repro.errors import ContainmentError, ExtensionError
+from repro.kernel import ExtensionKernel
 from repro.relational import Relation, Tuple, join_all, project
 
 
@@ -77,6 +78,7 @@ class DatabaseExtension:
             self._relations[e] = rel
         for e in schema:
             self._relations.setdefault(e, Relation(e.attributes))
+        self._kernel: ExtensionKernel | None = None
 
     def _validate_domains(self, e: EntityType, rel: Relation) -> None:
         for t in rel.tuples:
@@ -105,6 +107,23 @@ class DatabaseExtension:
     def total_instances(self) -> int:
         """Total tuple count across all relations."""
         return sum(len(r) for r in self._relations.values())
+
+    @property
+    def kernel(self) -> ExtensionKernel:
+        """The shared-interned kernel view of this state, built lazily.
+
+        All relations of the extension intern into one symbol table per
+        attribute, so the cross-relation comparisons behind the
+        Containment Condition and the Extension Axiom are pure id-space
+        lookups.  Relations are fixed after construction (every update
+        returns a new ``DatabaseExtension``), so the kernel never goes
+        stale.
+        """
+        if self._kernel is None:
+            self._kernel = ExtensionKernel(
+                {e.name: rel for e, rel in self._relations.items()}
+            )
+        return self._kernel
 
     # ------------------------------------------------------------------
     # projections and extension mappings (section 4.1-4.2)
@@ -138,8 +157,29 @@ class DatabaseExtension:
         """All pairs ``(s, e)`` where ``pi_e^s(R_s)`` escapes ``R_e``.
 
         Returns the offending projected tuples as a relation per pair;
-        empty list means the Containment Condition holds.
+        empty list means the Containment Condition holds.  Each pair is a
+        cached id-level projection and a set difference in the shared
+        symbol space — no tuples are built unless a violation exists; the
+        object-level sweep is retained as
+        :func:`containment_violations_naive`.
         """
+        kern = self.kernel
+        out: list[tuple[EntityType, EntityType, Relation]] = []
+        for e in self.schema:
+            for s in self.spec.S(e):
+                if s == e:
+                    continue
+                stray = kern.stray_projection(s.name, e.attributes, e.name)
+                if stray:
+                    out.append((s, e, Relation._trusted(
+                        e.attributes,
+                        (Tuple._trusted(items) for items in
+                         kern.decode_named(e.attributes, stray)),
+                    )))
+        return out
+
+    def containment_violations_naive(self) -> list[tuple[EntityType, EntityType, Relation]]:
+        """Reference oracle for :meth:`containment_violations`."""
         out: list[tuple[EntityType, EntityType, Relation]] = []
         for e in self.schema:
             r_e = self.R(e)
@@ -170,7 +210,26 @@ class DatabaseExtension:
     # Extension Axiom
     # ------------------------------------------------------------------
     def contributor_join(self, e: EntityType | str) -> Relation:
-        """``join of E_c(c) over c in CO_e`` — the bound on a compound type."""
+        """``join of E_c(c) over c in CO_e`` — the bound on a compound type.
+
+        The n-ary join runs entirely in the shared id space (one hash
+        join per contributor, no per-pair symbol translations) and each
+        output row is decoded once; the pairwise object-level fold is
+        retained as :meth:`contributor_join_naive`.
+        """
+        e = self._resolve(e)
+        cos = self.contributors.contributors(e)
+        if not cos:
+            raise ExtensionError(f"{e.name!r} has no contributors; the join is undefined")
+        names, rows = self.kernel.join_named(c.name for c in sorted(cos))
+        return Relation._trusted(
+            frozenset(names),
+            (Tuple._trusted(items) for items in
+             self.kernel.decode_named(names, rows)),
+        )
+
+    def contributor_join_naive(self, e: EntityType | str) -> Relation:
+        """Reference oracle for :meth:`contributor_join`."""
         e = self._resolve(e)
         cos = self.contributors.contributors(e)
         if not cos:
@@ -190,12 +249,44 @@ class DatabaseExtension:
         * ``collisions``: groups of distinct compound tuples mapping to the
           same combination (injectivity failure — "an employee can be a
           manager in at most one way" would be violated).
+
+        Membership of a full combined-width row in the contributor join
+        factorises through the contributors, so the kernel probes each
+        compound row against every contributor's row set directly and the
+        join is never materialised; the join-building sweep is retained
+        as :meth:`extension_axiom_violations_naive`.
         """
         e = self._resolve(e)
         cos = self.contributors.contributors(e)
         if not cos:
             return {"unsupported": Relation(e.attributes), "collisions": []}
-        joined = self.contributor_join(e)
+        kern = self.kernel
+        raw_unsupported, raw_collisions = kern.compound_report(
+            e.name, (c.name for c in sorted(cos))
+        )
+        inst = kern.instance(e.name)
+        collisions = [
+            sorted((Tuple._trusted(inst.decode_row(row)) for row in group),
+                   key=repr)
+            for group in raw_collisions
+        ]
+        return {
+            "unsupported": Relation._trusted(
+                e.attributes,
+                (Tuple._trusted(inst.decode_row(row))
+                 for row in raw_unsupported),
+            ),
+            "collisions": collisions,
+        }
+
+    def extension_axiom_violations_naive(self, e: EntityType | str) -> dict[str, object]:
+        """Reference oracle for :meth:`extension_axiom_violations`
+        (materialises the contributor join)."""
+        e = self._resolve(e)
+        cos = self.contributors.contributors(e)
+        if not cos:
+            return {"unsupported": Relation(e.attributes), "collisions": []}
+        joined = self.contributor_join_naive(e)
         combined_attrs = frozenset().union(*(c.attributes for c in cos))
         unsupported: list[Tuple] = []
         groups: dict[Tuple, list[Tuple]] = {}

@@ -20,6 +20,7 @@ from repro.kernel.bitops import (
     iter_bits,
     popcount,
 )
+from repro.kernel.batch import BatchVerdict, CheckSet, ExtensionKernel
 from repro.kernel.chase import UnionFind, chase_rows, is_lossless_indices
 from repro.kernel.fd import FDKernel, closure_mask
 from repro.kernel.instance import InstanceKernel, join_id_rows, join_interned
@@ -37,6 +38,9 @@ __all__ = [
     "UnionFind",
     "FDKernel",
     "InstanceKernel",
+    "BatchVerdict",
+    "CheckSet",
+    "ExtensionKernel",
     "join_id_rows",
     "join_interned",
     "closure_mask",

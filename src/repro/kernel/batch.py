@@ -1,0 +1,322 @@
+"""Batch constraint engine and shared extension interning.
+
+The paper's design axioms are *set-of-constraints* statements: an
+Extension or Integrity axiom audit probes one database state against many
+FDs, MVDs, and join dependencies at once.  :class:`CheckSet` compiles a
+heterogeneous constraint set against one interned instance and evaluates
+it in a single sweep — constraints are grouped by their left-hand-side
+attribute set, so each partition index is built once (and cached on the
+instance) and every constraint sharing it is judged inside the same group
+loop, with optional kernel-side witnesses (violating row pairs, missing
+swap rows, spurious join rows) as raw id rows.
+
+:class:`ExtensionKernel` lifts the interning from one relation to a whole
+``DatabaseExtension``: every relation is interned against *one symbol
+table per attribute name*, so the cross-relation comparisons behind the
+Containment Condition and the Extension Axiom — projections of a
+specialisation landing inside a generalisation, compound rows embedding
+in their contributor join — are pure id-space hash lookups with no
+per-pair translation tables.  Membership of a full-width tuple in the
+contributor join factorises through the components
+(``t in R_1 * ... * R_n`` iff every projection ``pi_i(t)`` is in
+``R_i``), so the Extension Axiom check never materialises the join.
+
+Layering: like the rest of :mod:`repro.kernel`, this module never imports
+the object level.  ``CheckSet`` wraps an :class:`InstanceKernel`;
+``ExtensionKernel`` consumes a ``{name: relation-shaped object}`` mapping
+and produces raw verdicts and id rows for the :mod:`repro.core` layer to
+decode.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+
+from repro.kernel.instance import AttrName, IdRow, InstanceKernel, join_id_rows
+
+
+class BatchVerdict:
+    """One constraint's outcome: the verdict plus raw id-row witnesses.
+
+    ``witness`` is a tuple whose element shape depends on the constraint
+    kind — ``(row, row)`` pairs for FDs, missing full-width rows for
+    MVDs, spurious full-width rows for JDs — and is empty unless the
+    sweep ran with ``witnesses=True``.
+    """
+
+    __slots__ = ("ok", "witness")
+
+    def __init__(self, ok: bool, witness: tuple = ()):
+        self.ok = ok
+        self.witness = witness
+
+    def __repr__(self) -> str:
+        return f"BatchVerdict(ok={self.ok}, witnesses={len(self.witness)})"
+
+
+class CheckSet:
+    """A compiled heterogeneous constraint set over one interned instance.
+
+    Add constraints under caller-chosen keys, then :meth:`run` the whole
+    set: FDs and MVDs are grouped by their lhs column tuple so each
+    partition is walked once for all of them, and JDs reuse the
+    instance's cached id-level projections.  Verdict-only runs drop a
+    violated constraint from the sweep immediately; witness runs keep
+    scanning to collect every witness.
+    """
+
+    __slots__ = ("instance", "_fds", "_mvds", "_jds", "_keys")
+
+    def __init__(self, instance: InstanceKernel):
+        self.instance = instance
+        self._fds: list[tuple] = []    # (key, lhs_idxs, rhs_idxs)
+        self._mvds: list[tuple] = []   # (key, x_idxs, y_idxs, z_idxs)
+        self._jds: list[tuple] = []    # (key, tuple of component idx tuples)
+        self._keys: set = set()
+
+    def _claim(self, key) -> None:
+        if key in self._keys:
+            raise ValueError(f"duplicate CheckSet key: {key!r}")
+        self._keys.add(key)
+
+    def add_fd(self, key, lhs_attrs: Iterable[AttrName],
+               rhs_attrs: Iterable[AttrName]) -> "CheckSet":
+        """Register ``lhs -> rhs`` under ``key``."""
+        self._claim(key)
+        inst = self.instance
+        self._fds.append(
+            (key, inst.indices_of(lhs_attrs), inst.indices_of(rhs_attrs))
+        )
+        return self
+
+    def add_mvd(self, key, lhs_attrs: Iterable[AttrName],
+                rhs_attrs: Iterable[AttrName]) -> "CheckSet":
+        """Register ``lhs ->> rhs`` (universe = the instance schema)."""
+        self._claim(key)
+        x, y, z = self.instance.mvd_indices(lhs_attrs, rhs_attrs)
+        self._mvds.append((key, x, y, z))
+        return self
+
+    def add_jd(self, key,
+               components: Iterable[Iterable[AttrName]]) -> "CheckSet":
+        """Register ``JD[components]`` (components must cover the schema)."""
+        self._claim(key)
+        inst = self.instance
+        self._jds.append(
+            (key, tuple(inst.indices_of(c) for c in components))
+        )
+        return self
+
+    def run(self, witnesses: bool = False) -> dict:
+        """Evaluate every registered constraint in one grouped sweep."""
+        results: dict = {}
+        by_lhs: dict[tuple[int, ...], list[list]] = {}
+        # Entry layout: [key, kind, cols..., ok, witness-list].
+        for key, lhs, rhs in self._fds:
+            by_lhs.setdefault(lhs, []).append([key, "fd", rhs, True, []])
+        for key, x, y, z in self._mvds:
+            by_lhs.setdefault(x, []).append([key, "mvd", (y, z), True, []])
+        for lhs, entries in by_lhs.items():
+            self._sweep_lhs_group(lhs, entries, witnesses)
+            for key, _, _, ok, wit in entries:
+                results[key] = BatchVerdict(ok, tuple(wit))
+        row_set = self.instance.row_set
+        for key, parts in self._jds:
+            if witnesses:
+                joined = self.instance.joined_projection_rows(list(parts))
+                spurious = joined - row_set
+                results[key] = BatchVerdict(not spurious, tuple(spurious))
+            else:
+                results[key] = BatchVerdict(
+                    self.instance._joins_back(list(parts))
+                )
+        return results
+
+    def _sweep_lhs_group(self, lhs: tuple[int, ...], entries: list[list],
+                         witnesses: bool) -> None:
+        """One walk over the lhs partition, judging every entry in it."""
+        rows = self.instance.rows
+        live = list(entries)
+        for group in self.instance.partition(lhs).values():
+            if len(group) < 2 or not live:
+                if not live:
+                    break
+                continue
+            group_rows = [rows[r] for r in group]
+            still = []
+            for entry in live:
+                kind = entry[1]
+                if kind == "fd":
+                    violated = self._judge_fd(group_rows, entry, witnesses)
+                else:
+                    violated = self._judge_mvd(group_rows, entry, witnesses)
+                if violated:
+                    entry[3] = False
+                # Witness runs keep scanning every group; verdict-only
+                # runs retire a constraint at its first violation.
+                if witnesses or not violated:
+                    still.append(entry)
+            live = still
+
+    @staticmethod
+    def _judge_fd(group_rows: list[IdRow], entry: list,
+                  witnesses: bool) -> bool:
+        rhs = entry[2]
+        if not witnesses:
+            first = group_rows[0]
+            for row in group_rows[1:]:
+                for i in rhs:
+                    if row[i] != first[i]:
+                        return True
+            return False
+        buckets: dict[IdRow, list[IdRow]] = {}
+        for row in group_rows:
+            buckets.setdefault(tuple(row[i] for i in rhs), []).append(row)
+        if len(buckets) < 2:
+            return False
+        wit = entry[4]
+        blocks = list(buckets.values())
+        for bi, block in enumerate(blocks):
+            for other in blocks[bi + 1:]:
+                for ra in block:
+                    for rb in other:
+                        wit.append((ra, rb))
+        return True
+
+    @staticmethod
+    def _judge_mvd(group_rows: list[IdRow], entry: list,
+                   witnesses: bool) -> bool:
+        y, z = entry[2]
+        ys = {tuple(row[i] for i in y) for row in group_rows}
+        zs = {tuple(row[i] for i in z) for row in group_rows}
+        if len(ys) * len(zs) == len(group_rows):
+            return False
+        if witnesses:
+            wit = entry[4]
+            present = set(group_rows)
+            base = list(group_rows[0])
+            for yv in ys:
+                for i, v in zip(y, yv):
+                    base[i] = v
+                for zv in zs:
+                    for i, v in zip(z, zv):
+                        base[i] = v
+                    candidate = tuple(base)
+                    if candidate not in present:
+                        wit.append(candidate)
+        return True
+
+
+class ExtensionKernel:
+    """Shared per-attribute interning across all relations of an extension.
+
+    Every relation is interned through one ``{attr: (table, symbols)}``
+    map, so equal values of one attribute receive equal ids in *every*
+    relation and cross-relation row comparisons need no translation.
+    Relations (and therefore instances) are immutable; a
+    ``DatabaseExtension`` builds one kernel lazily and keeps it for life.
+    """
+
+    __slots__ = ("shared", "instances")
+
+    def __init__(self, relations: Mapping[str, object]):
+        self.shared: dict[AttrName, tuple[dict, list]] = {}
+        self.instances: dict[str, InstanceKernel] = {
+            name: InstanceKernel(rel, shared=self.shared)
+            for name, rel in sorted(relations.items())
+        }
+
+    def instance(self, name: str) -> InstanceKernel:
+        """The shared-space interned instance of relation ``name``."""
+        return self.instances[name]
+
+    # ------------------------------------------------------------------
+    # cross-relation id-space operations
+    # ------------------------------------------------------------------
+    def project_named(self, name: str,
+                      attrs: Iterable[AttrName]) -> set[IdRow]:
+        """Distinct id rows of ``pi_attrs(R_name)``, columns in sorted
+        attribute order, in the shared symbol space (cached)."""
+        inst = self.instances[name]
+        return inst.projection(inst.indices_of(attrs))
+
+    def stray_projection(self, s_name: str, e_attrs: Iterable[AttrName],
+                         e_name: str) -> set[IdRow]:
+        """``pi_e(R_s) - R_e`` as id rows — the Containment Condition's
+        violation set for one (specialisation, generalisation) pair.
+
+        Both sides are full-width rows over ``e_attrs`` in sorted order
+        and share every attribute's symbol table, so the difference is a
+        plain set subtraction.
+        """
+        return self.project_named(s_name, e_attrs) - \
+            self.instances[e_name].row_set
+
+    def join_named(self, names: Iterable[str],
+                   ) -> tuple[tuple[AttrName, ...], set[IdRow]]:
+        """The n-ary natural join of whole relations, in id space.
+
+        Column labels are attribute *names* (``join_id_rows`` treats
+        labels opaquely), which is sound exactly because the symbol
+        spaces coincide per attribute.  Returns the sorted output
+        attributes and the joined rows.
+        """
+        names = list(names)
+        first = self.instances[names[0]]
+        attrs: tuple = first.attrs
+        rows: set[IdRow] = first.row_set
+        for name in names[1:]:
+            inst = self.instances[name]
+            if rows:
+                attrs, rows = join_id_rows(attrs, rows, inst.attrs,
+                                           inst.row_set)
+            else:
+                # An empty intermediate join stays empty, but the output
+                # schema must still be the full attribute union.
+                attrs = tuple(sorted(set(attrs) | set(inst.attrs)))
+        return attrs, rows
+
+    def compound_report(self, e_name: str, contributor_names: Iterable[str],
+                        ) -> tuple[list[IdRow], list[list[IdRow]]]:
+        """The Extension Axiom's two failure modes for one compound type.
+
+        Returns ``(unsupported, collisions)`` over full-width id rows of
+        ``R_e``: rows whose contributor projection is missing from the
+        contributor join, and groups of >=2 rows sharing one contributor
+        combination.  Join membership of a row spanning the combined
+        attributes factorises through the components, so each contributor
+        costs one projected-key lookup per compound row and the join
+        itself is never materialised.
+        """
+        e_inst = self.instances[e_name]
+        probes = []
+        combined: set[AttrName] = set()
+        for c_name in contributor_names:
+            c_inst = self.instances[c_name]
+            combined.update(c_inst.attrs)
+            probes.append((e_inst.indices_of(c_inst.attrs), c_inst.row_set))
+        image_idxs = e_inst.indices_of(combined)
+        unsupported: list[IdRow] = []
+        groups: dict[IdRow, list[IdRow]] = {}
+        for row in e_inst.rows:
+            for idxs, c_rows in probes:
+                if tuple(row[i] for i in idxs) not in c_rows:
+                    unsupported.append(row)
+                    break
+            groups.setdefault(
+                tuple(row[i] for i in image_idxs), []
+            ).append(row)
+        collisions = [g for g in groups.values() if len(g) > 1]
+        return unsupported, collisions
+
+    # ------------------------------------------------------------------
+    # decode
+    # ------------------------------------------------------------------
+    def decode_named(self, attrs: Iterable[AttrName], rows: Iterable[IdRow]):
+        """Decode id rows over ``attrs`` (sorted-attribute column order)
+        into sorted ``(attr, value)`` item tuples via the shared tables."""
+        names = tuple(sorted(attrs))
+        columns = tuple(self.shared[a][1] for a in names)
+        width = range(len(names))
+        for row in rows:
+            yield tuple((names[p], columns[p][row[p]]) for p in width)

@@ -50,12 +50,25 @@ class InstanceKernel:
     __slots__ = ("attrs", "attr_index", "rows", "row_set", "n_rows",
                  "symbols", "tables", "_partitions", "_projections")
 
-    def __init__(self, relation):
+    def __init__(self, relation, shared: dict | None = None):
         attrs = sorted(relation.schema)
         self.attrs: tuple[AttrName, ...] = tuple(attrs)
         self.attr_index: dict[AttrName, int] = {a: i for i, a in enumerate(attrs)}
-        tables: list[dict[Value, int]] = [{} for _ in attrs]
-        symbols: list[list[Value]] = [[] for _ in attrs]
+        if shared is None:
+            tables: list[dict[Value, int]] = [{} for _ in attrs]
+            symbols: list[list[Value]] = [[] for _ in attrs]
+        else:
+            # Shared interning (one symbol space per attribute *name*,
+            # spanning every relation of a DatabaseExtension): the caller
+            # owns ``shared`` and hands each column its per-attribute
+            # table/decode pair, so id rows of different relations are
+            # directly comparable on shared attributes with no
+            # translation tables.  Ids may be sparse for any one relation.
+            tables, symbols = [], []
+            for a in attrs:
+                table, syms = shared.setdefault(a, ({}, []))
+                tables.append(table)
+                symbols.append(syms)
         rows: list[IdRow] = []
         for t in relation.tuples:
             row = []
@@ -143,6 +156,20 @@ class InstanceKernel:
                     return False
         return True
 
+    def mvd_indices(self, lhs_attrs: Iterable[AttrName],
+                    rhs_attrs: Iterable[AttrName],
+                    ) -> tuple[tuple[int, ...], tuple[int, ...], tuple[int, ...]]:
+        """The ``(X, Y, Z)`` column blocks of ``lhs ->> rhs``:
+        ``X = lhs``, ``Y = rhs - lhs``, ``Z`` the remaining columns.
+        Shared by the single-check route and the batch engine so the
+        block derivation cannot drift between them."""
+        lhs = frozenset(lhs_attrs)
+        x = self.indices_of(lhs)
+        y = self.indices_of(frozenset(rhs_attrs) - lhs)
+        in_xy = set(x) | set(y)
+        z = tuple(i for i in range(len(self.attrs)) if i not in in_xy)
+        return x, y, z
+
     def mvd_holds(self, lhs_attrs: Iterable[AttrName],
                   rhs_attrs: Iterable[AttrName]) -> bool:
         """The swap-closure semantics of ``lhs ->> rhs``, by counting.
@@ -153,11 +180,7 @@ class InstanceKernel:
         Y- and Z-projections, i.e. ``|group| == |Y's| * |Z's|``.  One
         pass per group instead of the naive quadratic swap enumeration.
         """
-        lhs = frozenset(lhs_attrs)
-        x = self.indices_of(lhs)
-        y = self.indices_of(frozenset(rhs_attrs) - lhs)
-        in_xy = set(x) | set(y)
-        z = tuple(i for i in range(len(self.attrs)) if i not in in_xy)
+        x, y, z = self.mvd_indices(lhs_attrs, rhs_attrs)
         rows = self.rows
         for group in self.partition(x).values():
             size = len(group)
@@ -182,16 +205,32 @@ class InstanceKernel:
         if not idx_parts:
             # The empty join is the zero-ary TRUE relation {()}.
             return self.row_set == {()}
+        return self.joined_projection_rows(idx_parts) == self.row_set
+
+    def joined_projection_rows(self, idx_parts: list[tuple[int, ...]]) -> set[IdRow]:
+        """The id rows of the join of the projections onto ``idx_parts``.
+
+        When the parts cover the schema the result is full-width (columns
+        in attribute order), so ``result - row_set`` is exactly the set of
+        spurious rows the reconstruction manufactures.
+        """
         attrs, rows = idx_parts[0], self.projection(idx_parts[0])
         for idxs in idx_parts[1:]:
             attrs, rows = join_id_rows(attrs, rows, idxs, self.projection(idxs))
             if not rows:
                 break
-        return rows == self.row_set
+        return rows
 
     # ------------------------------------------------------------------
     # decode
     # ------------------------------------------------------------------
+    def decode_row(self, row: IdRow):
+        """One full-width id row as sorted ``(attr, value)`` items."""
+        symbols = self.symbols
+        return tuple(
+            (a, symbols[i][row[i]]) for i, a in enumerate(self.attrs)
+        )
+
     def project_items(self, attrs: Iterable[AttrName]):
         """The distinct projected rows, decoded to sorted item tuples.
 

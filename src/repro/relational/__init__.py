@@ -31,6 +31,7 @@ from repro.relational.fd import (
     holds_in,
     holds_in_naive,
     violating_pairs,
+    violating_pairs_naive,
     closure,
     implies,
     equivalent,
@@ -44,13 +45,16 @@ from repro.relational.jd import (
     JoinDependency,
     mvd_as_binary_jd,
     spurious_tuples,
+    spurious_tuples_naive,
 )
 from repro.relational.mvd import (
     MVD,
     decomposition_mvd,
     fd_implies_mvd,
     swap_closure,
+    swap_closure_naive,
     violating_swaps,
+    violating_swaps_naive,
 )
 from repro.relational.armstrong_relation import (
     two_tuple_witness,
@@ -91,6 +95,7 @@ __all__ = [
     "holds_in",
     "holds_in_naive",
     "violating_pairs",
+    "violating_pairs_naive",
     "closure",
     "implies",
     "equivalent",
@@ -102,11 +107,14 @@ __all__ = [
     "JoinDependency",
     "mvd_as_binary_jd",
     "spurious_tuples",
+    "spurious_tuples_naive",
     "MVD",
     "decomposition_mvd",
     "fd_implies_mvd",
     "swap_closure",
+    "swap_closure_naive",
     "violating_swaps",
+    "violating_swaps_naive",
     "is_lossless",
     "binary_lossless",
     "two_tuple_witness",

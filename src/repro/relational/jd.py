@@ -12,15 +12,10 @@ from __future__ import annotations
 from collections.abc import Iterable
 
 from repro.errors import DependencyError
-from repro.kernel import InstanceKernel
-from repro.relational.algebra import (
-    join_all,
-    join_all_naive,
-    project,
-    project_naive,
-)
+from repro.kernel import CheckSet, InstanceKernel
+from repro.relational.algebra import join_all_naive, project_naive
 from repro.relational.mvd import MVD
-from repro.relational.relation import AttrName, Relation
+from repro.relational.relation import AttrName, Relation, Tuple
 
 
 class JoinDependency:
@@ -91,11 +86,28 @@ def spurious_tuples(jd: JoinDependency, relation: Relation) -> Relation:
     """The tuples the join manufactures beyond ``relation`` (the witness).
 
     The reconstruction can only ever *add* tuples, so a nonempty result is
-    exactly a violation.
+    exactly a violation.  The whole pipeline — cached id-level
+    projections, integer hash joins, the final difference — runs in the
+    relation's interned symbol space and only the spurious rows are ever
+    decoded; the object-level pipeline is retained as
+    :func:`spurious_tuples_naive`.
     """
     if relation.schema != jd.universe:
         raise DependencyError("JD universe does not match the relation schema")
-    joined = join_all(project(relation, c) for c in jd.components)
+    inst = InstanceKernel.of(relation)
+    verdict = CheckSet(inst).add_jd(0, jd.components).run(witnesses=True)[0]
+    return Relation._trusted(
+        jd.universe,
+        (Tuple._trusted(inst.decode_row(row)) for row in verdict.witness),
+    )
+
+
+def spurious_tuples_naive(jd: JoinDependency, relation: Relation) -> Relation:
+    """Reference oracle for :func:`spurious_tuples`, built from the naive
+    projection and join only."""
+    if relation.schema != jd.universe:
+        raise DependencyError("JD universe does not match the relation schema")
+    joined = join_all_naive(project_naive(relation, c) for c in jd.components)
     return Relation(jd.universe, joined.tuples - relation.tuples)
 
 

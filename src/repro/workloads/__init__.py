@@ -8,6 +8,7 @@ from repro.workloads.schemas import (
 )
 from repro.workloads.extensions import (
     enforce_extension_axiom,
+    enforce_extension_axiom_naive,
     inject_containment_violation,
     inject_injectivity_violation,
     random_extension,
@@ -21,6 +22,7 @@ __all__ = [
     "schema_of_attribute_sets",
     "intersection_close",
     "enforce_extension_axiom",
+    "enforce_extension_axiom_naive",
     "inject_containment_violation",
     "inject_injectivity_violation",
     "random_extension",

@@ -59,6 +59,11 @@ def enforce_extension_axiom(db: DatabaseExtension) -> DatabaseExtension:
     (3) support — drop compound tuples no longer covered by the contributor
     join.  Deletions are monotone, so the loop terminates; the
     lexicographic choice keeps generated workloads reproducible.
+
+    Each iteration's diagnosis runs on the state's shared-interned kernel
+    (batched axiom reports, and containment victims found by one id-space
+    scan per violating pair instead of a per-tuple projection sweep); the
+    object-level loop is retained as :func:`enforce_extension_axiom_naive`.
     """
     current = db
     changed = True
@@ -74,6 +79,58 @@ def enforce_extension_axiom(db: DatabaseExtension) -> DatabaseExtension:
                 current = current.replace(e, current.R(e).without_tuples(doomed))
                 changed = True
         for s, e, stray in current.containment_violations():
+            victims = _projecting_into(current, s, e.attributes, stray)
+            if victims:
+                current = current.replace(s, current.R(s).without_tuples(victims))
+                changed = True
+    return current
+
+
+def _projecting_into(db: DatabaseExtension, s, e_attrs, stray) -> list[Tuple]:
+    """The tuples of ``R_s`` whose ``e_attrs``-projection lies in ``stray``.
+
+    One walk over the cached projection partition of the live instance:
+    each stray tuple is encoded into the live symbol space (a stray value
+    deleted from ``R_s`` by an earlier repair simply cannot match) and the
+    matching rows are read off the partition index, instead of projecting
+    every live tuple.
+    """
+    inst = db.kernel.instance(s.name)
+    idxs = inst.indices_of(e_attrs)
+    tables = [inst.tables[i] for i in idxs]
+    part = inst.partition(idxs)
+    rows = inst.rows
+    victims: list[Tuple] = []
+    for t in stray.tuples:
+        key = []
+        for table, (_, value) in zip(tables, t):
+            sid = table.get(value)
+            if sid is None:
+                break
+            key.append(sid)
+        else:
+            for r in part.get(tuple(key), ()):
+                victims.append(Tuple._trusted(inst.decode_row(rows[r])))
+    return victims
+
+
+def enforce_extension_axiom_naive(db: DatabaseExtension) -> DatabaseExtension:
+    """Reference oracle for :func:`enforce_extension_axiom` (per-tuple
+    object-level repairs; identical fixpoint)."""
+    current = db
+    changed = True
+    while changed:
+        changed = False
+        for e in sorted(current.contributors.compound_types(),
+                        key=lambda t: (len(t.attributes), t.name)):
+            report = current.extension_axiom_violations_naive(e)
+            doomed = list(report["unsupported"].tuples)
+            for group in report["collisions"]:
+                doomed += sorted(group, key=repr)[1:]
+            if doomed:
+                current = current.replace(e, current.R(e).without_tuples(doomed))
+                changed = True
+        for s, e, stray in current.containment_violations_naive():
             victims = [
                 t for t in current.R(s).tuples
                 if t.project(e.attributes) in stray.tuples

@@ -110,6 +110,35 @@ def lossless_instance(rng: random.Random, attrs: list[str],
     return join_all_naive(project_naive(seed, part) for part in parts)
 
 
+def random_database_states(rng: random.Random,
+                           n_attrs: int = 6, n_types: int = 5,
+                           rows_per_leaf: int = 3) -> list:
+    """A random schema's consistent extension plus injected-violation
+    states (containment break, injectivity break) when the schema shape
+    admits them.  Returns ``[(schema, db), ...]`` — the substrate of the
+    batch-vs-sequential extension sweeps.
+    """
+    from repro.errors import ExtensionError
+    from repro.workloads import (
+        inject_containment_violation,
+        inject_injectivity_violation,
+        random_extension,
+        random_schema,
+    )
+    from repro.workloads.schemas import SHAPES
+
+    schema = random_schema(rng, n_attrs=n_attrs, n_types=n_types,
+                           shape=rng.choice(SHAPES))
+    db = random_extension(rng, schema, rows_per_leaf=rows_per_leaf)
+    states = [(schema, db)]
+    for inject in (inject_containment_violation, inject_injectivity_violation):
+        try:
+            states.append((schema, inject(rng, db)))
+        except ExtensionError:
+            pass  # shape offers no ISA edge / mutable compound to break
+    return states
+
+
 def lossy_case(rng: random.Random,
                n_rows: int = 3) -> tuple[Relation, list[frozenset[str]]]:
     """A relation/decomposition pair that is lossy by construction.

@@ -58,10 +58,30 @@ class TestCompareBenchTool:
                                      kernel_only=False)
         assert [r["fullname"] for r in widened] == [OTHER_NAME]
 
-    def test_unmatched_benches_are_skipped(self):
+    def test_unmatched_benches_are_skipped_by_diff(self):
         baseline = _dump({KERNEL_NAME: 1e-3, KERNEL_NAME + "x": 1e-3})
         fresh = _dump({KERNEL_NAME: 1e-3})
         assert compare_bench.diff(baseline, fresh, threshold=2.0) == []
+
+    def test_missing_kernel_baseline_is_reported(self):
+        """A retired/renamed kernel bench must not pass the gate silently."""
+        baseline = _dump({KERNEL_NAME: 1e-3, KERNEL_NAME + "x": 1e-3})
+        fresh = _dump({KERNEL_NAME: 1e-3})
+        assert compare_bench.missing_baselines(baseline, fresh) == \
+            [KERNEL_NAME + "x"]
+
+    def test_missing_non_kernel_baseline_needs_all(self):
+        baseline = _dump({OTHER_NAME: 1e-3})
+        fresh = _dump({})
+        assert compare_bench.missing_baselines(baseline, fresh) == []
+        assert compare_bench.missing_baselines(
+            baseline, fresh, kernel_only=False
+        ) == [OTHER_NAME]
+
+    def test_new_fresh_benches_do_not_trip_missing(self):
+        baseline = _dump({KERNEL_NAME: 1e-3})
+        fresh = _dump({KERNEL_NAME: 1e-3, KERNEL_NAME + "new": 1e-3})
+        assert compare_bench.missing_baselines(baseline, fresh) == []
 
     def test_worst_regression_sorts_first(self):
         a = KERNEL_NAME
@@ -85,12 +105,22 @@ class TestCompareBenchTool:
         fresh_bad.write_text(json.dumps(payload))
         assert compare_bench.main([str(fresh_bad), str(base)]) == 1
 
+    def test_main_fails_on_missing_kernel_baseline(self, tmp_path):
+        base = tmp_path / "base.json"
+        base.write_text(json.dumps({"benchmarks": [
+            {"fullname": KERNEL_NAME, "min_s": 1e-3, "mean_s": 1e-3},
+        ]}))
+        fresh = tmp_path / "fresh.json"
+        fresh.write_text(json.dumps({"benchmarks": []}))
+        assert compare_bench.main([str(fresh), str(base)]) == 1
+
 
 @pytest.mark.slow
 class TestFreshDumpAgainstCommitted:
     def test_instance_kernel_benches_within_2x_of_committed(self, tmp_path):
-        """Re-run the a6-instance benches and diff against the committed
-        ``BENCH_kernel.json`` with the real tool."""
+        """Re-run the a6-instance and a7-sweep benches and diff against
+        the committed ``BENCH_kernel.json`` with the real tool (including
+        the missing-baseline gate, restricted to the re-run modules)."""
         committed = REPO / "BENCH_kernel.json"
         assert committed.exists(), "committed bench dump missing"
         env = dict(os.environ)
@@ -100,13 +130,19 @@ class TestFreshDumpAgainstCommitted:
         proc = subprocess.run(
             [sys.executable, "-m", "pytest",
              str(REPO / "benchmarks" / "bench_a6_instance_checks.py"),
+             str(REPO / "benchmarks" / "bench_a7_axiom_sweep.py"),
              "-q", "--benchmark-min-rounds=3", "--bench-json", str(fresh_path)],
             cwd=tmp_path, env=env, capture_output=True, text=True, timeout=600,
         )
         assert proc.returncode == 0, proc.stdout + proc.stderr
-        regressions = compare_bench.diff(
-            compare_bench.load(str(committed)),
-            compare_bench.load(str(fresh_path)),
-            threshold=2.0,
-        )
+        baseline = compare_bench.load(str(committed))
+        fresh = compare_bench.load(str(fresh_path))
+        regressions = compare_bench.diff(baseline, fresh, threshold=2.0)
         assert not regressions, regressions
+        rerun_prefixes = ("benchmarks/bench_a6_instance_checks.py::",
+                          "benchmarks/bench_a7_axiom_sweep.py::")
+        gone = [
+            name for name in compare_bench.missing_baselines(baseline, fresh)
+            if name.startswith(rerun_prefixes)
+        ]
+        assert not gone, gone
