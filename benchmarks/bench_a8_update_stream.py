@@ -1,0 +1,200 @@
+"""A8 — sustained update streams: delta derivation vs. full re-intern.
+
+The update-serving workload the delta layer exists for: a stream of
+single-tuple ``insert``/``delete`` updates against a five-relation state
+(~n rows per relation), with a full ``check_all`` audit after every
+half-batch.  The delta route patches the predecessor's kernel per update
+(shared append-only symbol tables, partition indexes maintained in the
+size of the delta) and each audit re-judges only the dirty contexts,
+merging chained cached verdicts for the rest.  The baseline replays the
+pre-delta behaviour: every update rebuilds the ``DatabaseExtension``
+through the public constructor (full domain re-validation) and every
+audit starts cold — fresh interning plus full sweeps.
+
+A second pair times the §6 evolution loop: adding and removing an entity
+type on an 18-type schema, with the specialisation topology (903 opens)
+maintained incrementally by point patches versus regenerated from the
+subbase on every edit.
+
+Run with ``--bench-json`` to record the timings in ``BENCH_kernel.json``
+(the perf trajectory ``benchmarks/compare_bench.py`` diffs against; the
+a8 names are part of the guarded kernel set).
+"""
+
+import random
+
+import pytest
+
+from bench_a7_axiom_sweep import sweep_state
+
+from repro.core import DatabaseExtension, SpecialisationStructure, check_all
+from repro.relational import Tuple
+from repro.workloads import random_schema
+
+SIZES = [200, 1000]
+BATCH = 10  # updates per benchmark round, audited twice per round
+
+
+def stream_rows(n: int) -> list[dict]:
+    """Fresh ``manager`` rows the a7 state does not contain.
+
+    ``pname % 3 == 1`` names employees who are not yet managers, and the
+    projection onto the contributor ``worksfor`` already exists, so the
+    inserts keep every axiom satisfied (and their upward propagation
+    dedups to a no-op — only the ``manager`` relation gets dirty).
+    """
+    dept_of = [(i * 3 + 1) % n for i in range(n)]
+    rows = []
+    for i in range(1, n, 3):
+        rows.append({"pname": i, "dname": dept_of[i],
+                     "budget": dept_of[i] % 53, "role": i % 7,
+                     "bonus": (i + 5) % 11})
+        if len(rows) == BATCH // 2:
+            return rows
+    raise AssertionError("state too small for the stream")
+
+
+def _audited(schema, db, constraints):
+    report = check_all(schema, db, constraints=constraints)
+    assert report.ok()
+    return db
+
+
+@pytest.mark.parametrize("rows", SIZES)
+def test_a8_update_stream_delta(benchmark, rows):
+    """Delta route: derived kernels + dirty-context audits."""
+    schema, db, constraints = sweep_state(rows)
+    batch = [Tuple(r) for r in stream_rows(rows)]
+    db = _audited(schema, db, constraints)  # warm root kernel and caches
+    holder = {"db": db}
+
+    def round_trip():
+        current = holder["db"]
+        for t in batch:
+            current = current.insert("manager", t)
+        current = _audited(schema, current, constraints)
+        for t in batch:
+            current = current.delete("manager", t)
+        current = _audited(schema, current, constraints)
+        holder["db"] = current
+        return current
+
+    final = benchmark(round_trip)
+    assert final.R("manager") == db.R("manager")
+
+
+@pytest.mark.parametrize("rows", SIZES)
+def test_a8_update_stream_full(benchmark, rows):
+    """Baseline: the pre-delta path — every update rebuilds the state
+    through the public constructor, every audit starts cold."""
+    schema, db, constraints = sweep_state(rows)
+    batch = [Tuple(r) for r in stream_rows(rows)]
+    holder = {"db": db}
+
+    def rebuilt(current, manager_rel):
+        relations = {e.name: rel for e, rel in current._relations.items()}
+        relations["manager"] = manager_rel
+        return DatabaseExtension(schema, relations, current.contributors)
+
+    def round_trip():
+        current = holder["db"]
+        for t in batch:
+            current = rebuilt(current, current.R("manager").with_tuples([t]))
+        current = _audited(schema, current, constraints)
+        for t in batch:
+            current = rebuilt(current, current.R("manager").without_tuples([t]))
+        current = _audited(schema, current, constraints)
+        holder["db"] = current
+        return current
+
+    final = benchmark(round_trip)
+    assert final.R("manager") == db.R("manager")
+
+
+# ----------------------------------------------------------------------
+# subbase edits: incremental topology maintenance vs. regeneration
+# ----------------------------------------------------------------------
+N_TYPES = 18
+N_EDITS = 4  # fresh types added then removed per round (8 edits total)
+
+
+def edit_fixture():
+    """An 18-type tree schema (903 opens), a built structure, and a
+    ladder of fresh types landing mid-hierarchy (nontrivial cover
+    sets), with the schema of every edit step precomputed so the loops
+    time only the topology maintenance."""
+    from repro.core.entity_types import EntityType
+
+    schema = random_schema(random.Random(7), n_attrs=10,
+                           n_types=N_TYPES, shape="tree")
+    spec = SpecialisationStructure(schema)
+    _ = spec.space
+    used = {e.attributes for e in schema}
+    fresh = []
+    for base in sorted(schema, key=lambda e: -len(e.attributes)):
+        for extra in sorted(schema.universe.property_names):
+            candidate = base.attributes | {extra}
+            if candidate not in used:
+                used.add(candidate)
+                fresh.append(EntityType(f"a8_fresh_{len(fresh)}", candidate))
+                break
+        if len(fresh) == N_EDITS:
+            break
+    assert len(fresh) == N_EDITS, "schema left no room for fresh types"
+    schemas = [schema]
+    for t in fresh:
+        schemas.append(schemas[-1].with_entity_type(t))
+    return schemas, spec, fresh
+
+
+def test_a8_subbase_edit_incremental(benchmark):
+    """The §6 evolution loop with the topology *maintained*: each edit
+    patches the minimal opens and the open family in mask form; the
+    frozenset family is decoded once, when the final space is read."""
+    schemas, spec, fresh = edit_fixture()
+
+    def edit_loop():
+        current = spec
+        for i, t in enumerate(fresh):
+            current = current.with_type_added(schemas[i + 1], t)
+        for i, t in reversed(list(enumerate(fresh))):
+            current = current.with_type_removed(schemas[i], t)
+        return len(current.space.opens)
+
+    opens = benchmark(edit_loop)
+    assert opens == len(spec.space.opens)
+
+
+def test_a8_subbase_edit_regen(benchmark):
+    """Baseline: every edit regenerates the topology from its subbase
+    (the pre-incremental behaviour of a SchemaChange analysis)."""
+    schemas, spec, fresh = edit_fixture()
+
+    def edit_loop():
+        for i in range(1, len(schemas)):
+            _ = SpecialisationStructure(schemas[i]).space
+        for i in range(len(schemas) - 2, -1, -1):
+            current = SpecialisationStructure(schemas[i])
+            _ = current.space
+        return len(current.space.opens)
+
+    opens = benchmark(edit_loop)
+    assert opens == len(spec.space.opens)
+
+
+def test_a8_agreement(benchmark):
+    """One differential round at the largest size, timed end to end."""
+    schema, db, constraints = sweep_state(SIZES[-1])
+    from repro.core import check_all_naive
+
+    batch = [Tuple(r) for r in stream_rows(SIZES[-1])]
+
+    def agree():
+        current = db
+        for t in batch:
+            current = current.insert("manager", t)
+        routed = check_all(schema, current, constraints=constraints)
+        naive = check_all_naive(schema, current, constraints=constraints)
+        return routed.findings == naive.findings
+
+    assert benchmark(agree)

@@ -16,8 +16,12 @@ export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 fresh="$(mktemp --suffix=.json)"
 trap 'rm -f "$fresh"' EXIT
 
-python -m pytest benchmarks -q --bench-json "$fresh" "$@"
-python benchmarks/compare_bench.py "$fresh" BENCH_kernel.json
-mv "$fresh" BENCH_kernel.json
+# Each step's exit code is checked explicitly: `set -e` semantics are
+# not guaranteed when the script is run as `sh run_benches.sh` under
+# shells whose -e handling differs, and a failed diff must never leave
+# the gate green (or refresh the baseline).
+python -m pytest benchmarks -q --bench-json "$fresh" "$@" || exit $?
+python benchmarks/compare_bench.py "$fresh" BENCH_kernel.json || exit $?
+mv "$fresh" BENCH_kernel.json || exit $?
 trap - EXIT
 echo "BENCH_kernel.json refreshed"

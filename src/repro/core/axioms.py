@@ -73,7 +73,16 @@ class AxiomReport:
 
 
 def check_attribute_axiom(universe: AttributeUniverse) -> list[AxiomFinding]:
-    """Each attribute: one property name, one atomic value set, atomic values."""
+    """Each attribute: one property name, one atomic value set, atomic values.
+
+    The sweep walks every value of every domain, which dominates
+    repeated audits of large-domain states; universes are immutable, so
+    the findings are memoised per universe (bounded, identity-keyed —
+    the memo pins the universe so ids cannot be recycled underneath it).
+    """
+    cached = _ATTRIBUTE_AXIOM_MEMO.get(id(universe))
+    if cached is not None and cached[0] is universe:
+        return list(cached[1])
     findings = []
     for name in sorted(universe.property_names):
         domain = universe.domain(name)
@@ -84,7 +93,14 @@ def check_attribute_axiom(universe: AttributeUniverse) -> list[AxiomFinding]:
                     f"property {name!r} admits decomposable value {value!r}",
                     (name, value),
                 ))
+    if len(_ATTRIBUTE_AXIOM_MEMO) >= _ATTRIBUTE_AXIOM_MEMO_CAP:
+        _ATTRIBUTE_AXIOM_MEMO.clear()
+    _ATTRIBUTE_AXIOM_MEMO[id(universe)] = (universe, tuple(findings))
     return findings
+
+
+_ATTRIBUTE_AXIOM_MEMO: dict = {}
+_ATTRIBUTE_AXIOM_MEMO_CAP = 64
 
 
 def check_entity_type_axiom(entity_types: Iterable[EntityType]) -> list[AxiomFinding]:
@@ -295,6 +311,47 @@ def _violated_constraint_findings(constraints: list[IntegrityConstraint],
     ]
 
 
+def _constraint_reads(c: IntegrityConstraint) -> frozenset[str] | None:
+    """The relation names a built-in constraint's verdict depends on
+    (``None`` for unknown kinds, whose ``holds`` may read anything)."""
+    if isinstance(c, (FunctionalConstraint, CardinalityConstraint)):
+        return frozenset({c.context.name})
+    if isinstance(c, SubsetConstraint):
+        return frozenset({c.special.name, c.general.name})
+    if isinstance(c, ParticipationConstraint):
+        return frozenset({c.relationship.name, c.member.name})
+    return None
+
+
+def _chain_delta_rows(db: DatabaseExtension, anc: DatabaseExtension,
+                      name: str) -> tuple[list, list] | None:
+    """Accumulated (added, removed) id rows of relation ``name`` between
+    ``anc`` and ``db``, or ``None`` when the span is not patch-derived
+    for it (a wholesale replace, a never-derived kernel, or ``anc`` not
+    on the derivation path).
+
+    Kernel derivation flattens whole update spans into one patch, so
+    the walk hops from each derived state to its recorded derivation
+    base (typically audit point to audit point) rather than stepping
+    the per-update delta chain.
+    """
+    added: list = []
+    removed: list = []
+    node = db
+    while node is not anc:
+        kdelta, base = node._kernel_delta, node._kernel_base
+        if kdelta is None or base is None:
+            return None
+        idelta = kdelta.instances.get(name)
+        if idelta is not None:
+            added += idelta.added
+            removed += idelta.removed
+        elif name in kdelta.instances:
+            return None  # replaced wholesale on this span
+        node = base
+    return added, removed
+
+
 def _batch_constraint_verdicts(constraints: list[IntegrityConstraint],
                                db: DatabaseExtension) -> list[bool]:
     """One verdict per constraint, batched on the shared kernel.
@@ -303,17 +360,41 @@ def _batch_constraint_verdicts(constraints: list[IntegrityConstraint],
     relation; subset/participation constraints are id-space projection
     containments; unknown constraint kinds fall back to their own
     ``holds``.
+
+    Audits of an update chain are incremental: verdicts are cached per
+    state, a successor reuses the nearest audited ancestor's verdict for
+    every constraint whose relations did not change, and a dirty context
+    whose compiled ``CheckSet`` survived from that ancestor re-sweeps
+    only the lhs-groups the chain's id-row delta touched
+    (:meth:`~repro.kernel.CheckSet.recheck`).
     """
     kern = db.kernel
+    if db._constraint_cache is not None:
+        # A repeat audit of an already-audited state: the state is its
+        # own nearest audited ancestor at distance zero (empty dirty
+        # set), matching the self-check-first behaviour of the
+        # containment and Extension-Axiom caches.
+        anc, dirty = db, frozenset()
+    else:
+        anc, dirty = db._dirty_since(
+            lambda n: n._constraint_cache is not None)
+    prior = anc._constraint_cache if anc is not None else None
+    cache: dict = {}
     verdicts = [True] * len(constraints)
     checksets: dict[str, CheckSet] = {}
     next_key: dict[str, int] = {}
     fd_keys: list[list[tuple[str, int]]] = [[] for _ in constraints]
+    judged_fd: list[int] = []
     for i, c in enumerate(constraints):
+        reads = _constraint_reads(c)
+        if (prior is not None and reads is not None and c in prior
+                and not (reads & dirty)):
+            verdicts[i] = cache[c] = prior[c]
+            continue
         if isinstance(c, (FunctionalConstraint, CardinalityConstraint)):
             fds = _constraint_fds(c)
         elif isinstance(c, SubsetConstraint):
-            verdicts[i] = not kern.stray_projection(
+            verdicts[i] = cache[c] = not kern.stray_projection(
                 c.special.name, c.general.attributes, c.general.name
             )
             continue
@@ -321,13 +402,15 @@ def _batch_constraint_verdicts(constraints: list[IntegrityConstraint],
             covered = kern.project_named(
                 c.relationship.name, c.member.attributes
             )
-            verdicts[i] = kern.instance(c.member.name).row_set <= covered
+            verdicts[i] = cache[c] = \
+                kern.instance(c.member.name).row_set <= covered
             continue
         else:
-            verdicts[i] = c.holds(db)
+            verdicts[i] = cache[c] = c.holds(db)
             continue
         # Typing was vetted by _split_ill_typed before verdicts are
         # requested, so compilation cannot raise here.
+        judged_fd.append(i)
         for fd in fds:
             context = fd.context.name
             checkset = checksets.get(context)
@@ -338,13 +421,43 @@ def _batch_constraint_verdicts(constraints: list[IntegrityConstraint],
             checkset.add_fd(key, fd.determinant.attributes,
                             fd.dependent.attributes)
             fd_keys[i].append(key)
-    results = {}
-    for checkset in checksets.values():
-        results.update(checkset.run())
-    for i, keys in enumerate(fd_keys):
-        if keys and not all(results[k].ok for k in keys):
-            verdicts[i] = False
+    results: dict = {}
+    for context, checkset in checksets.items():
+        results.update(_run_context_checkset(db, anc, context, checkset))
+    for i in judged_fd:
+        verdicts[i] = cache[constraints[i]] = \
+            all(results[k].ok for k in fd_keys[i])
+    if anc is not None and anc is not db:
+        # Carry clean contexts' compiled sets forward so a later audit
+        # that dirties them can still recheck instead of re-sweeping.
+        # Sharing is safe: recheck only ever runs on a rebound copy.
+        for context, checkset in anc._checkset_cache.items():
+            if context not in db._checkset_cache and context not in dirty:
+                db._checkset_cache[context] = checkset
+    db._constraint_cache = cache
     return verdicts
+
+
+def _run_context_checkset(db: DatabaseExtension,
+                          anc: DatabaseExtension | None,
+                          context: str, compiled: CheckSet) -> dict:
+    """Verdicts for one context's FD set: a dirty re-sweep of only the
+    touched lhs-groups when the ancestor's compiled set and the chain's
+    id-row delta allow it, a full recorded run otherwise."""
+    if anc is not None:
+        old = anc._checkset_cache.get(context)
+        if (old is not None and old._violating is not None
+                and old._fds == compiled._fds and not old._mvds
+                and not old._jds):
+            delta_rows = _chain_delta_rows(db, anc, context)
+            if delta_rows is not None:
+                rebound = old.rebound(compiled.instance)
+                results = rebound.recheck(*delta_rows)
+                db._checkset_cache[context] = rebound
+                return results
+    results = compiled.run(record=True)
+    db._checkset_cache[context] = compiled
+    return results
 
 
 def _constraint_holds_naive(c: IntegrityConstraint, db: DatabaseExtension) -> bool:

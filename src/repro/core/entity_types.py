@@ -32,7 +32,7 @@ class EntityType:
     True
     """
 
-    __slots__ = ("name", "attributes")
+    __slots__ = ("name", "attributes", "_hash")
 
     def __init__(self, name: str, attributes: Iterable[PropertyName]):
         if not isinstance(name, str) or not name:
@@ -49,6 +49,9 @@ class EntityType:
                 raise SchemaError(f"entity type {name!r} has a bad property name: {a!r}")
         self.name = name
         self.attributes = attrs
+        # Entity types are the points of every topology and the keys of
+        # every extension mapping; hashing is hot enough to precompute.
+        self._hash = hash((name, attrs))
 
     def is_specialisation_of(self, other: "EntityType") -> bool:
         """Whether ``self`` carries at least all attributes of ``other``.
@@ -75,7 +78,7 @@ class EntityType:
         return self.name == other.name and self.attributes == other.attributes
 
     def __hash__(self) -> int:
-        return hash((self.name, self.attributes))
+        return self._hash
 
     def __lt__(self, other: "EntityType") -> bool:
         """Sort by name for deterministic renders; not the ISA order."""

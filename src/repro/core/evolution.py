@@ -143,11 +143,49 @@ class EvolutionReport:
     notes: list[str] = field(default_factory=list)
 
 
+def evolved_structure(structure, change: SchemaChange, new_schema: Schema):
+    """The successor schema's structure, patched from ``structure``.
+
+    Works for :class:`SpecialisationStructure` and its dual (both expose
+    the same ``with_type_*`` derivation methods).  Every
+    :class:`SchemaChange` edits one entity type, so the successor's
+    intension topology is maintained incrementally — one point patch (or
+    a remove+add pair for an attribute edit) against the built space —
+    instead of being regenerated from its subbase; when the old space
+    was never built, nothing is patched and the successor stays lazy.
+    The regenerating constructor is the reference oracle.
+    """
+    old_schema = structure.schema
+    if isinstance(change, AddEntityType):
+        return structure.with_type_added(new_schema, new_schema[change.name])
+    if isinstance(change, RemoveEntityType):
+        return structure.with_type_removed(new_schema, old_schema[change.name])
+    if isinstance(change, RenameEntityType):
+        return structure.with_type_renamed(
+            new_schema, old_schema[change.old_name], new_schema[change.new_name])
+    if isinstance(change, (AddAttribute, RemoveAttribute)):
+        # An attribute edit moves one point of the preorder: remove the
+        # old type, then add it back with the changed attribute set.
+        old_type = old_schema[change.type_name]
+        mid_schema = old_schema.without_entity_type(change.type_name)
+        mid = structure.with_type_removed(mid_schema, old_type)
+        return mid.with_type_added(new_schema, new_schema[change.type_name])
+    return type(structure)(new_schema)
+
+
 def intension_map(old: Schema, new: Schema,
-                  mapping: dict[EntityType, EntityType]) -> SpaceMap:
-    """The induced map between the two specialisation spaces."""
-    old_space = SpecialisationStructure(old).space
-    new_space = SpecialisationStructure(new).space
+                  mapping: dict[EntityType, EntityType],
+                  old_space=None, new_space=None) -> SpaceMap:
+    """The induced map between the two specialisation spaces.
+
+    ``old_space``/``new_space`` let callers supply already built (or
+    incrementally derived) spaces; by default both are regenerated from
+    their subbases.
+    """
+    if old_space is None:
+        old_space = SpecialisationStructure(old).space
+    if new_space is None:
+        new_space = SpecialisationStructure(new).space
     missing = old_space.points - frozenset(mapping)
     if missing:
         raise EvolutionError(
@@ -212,7 +250,16 @@ def analyse(db: DatabaseExtension, change: SchemaChange) -> EvolutionReport:
                 f"dropping {e.name!r} forgets {len(db.R(e))} instance(s)"
             )
     try:
-        space_map = intension_map(db.schema, new_schema, mapping)
+        # The old structure lives on the state (its space is built at
+        # most once across repeated analyses) and the new space is
+        # patched from it instead of regenerated.  Force the old space
+        # *before* deriving, so even a first-time analysis patches
+        # rather than regenerating both sides.
+        old_space = db.spec.space
+        new_spec = evolved_structure(db.spec, change, new_schema)
+        space_map = intension_map(db.schema, new_schema, mapping,
+                                  old_space=old_space,
+                                  new_space=new_spec.space)
         embeds = space_map.is_embedding()
     except EvolutionError:
         embeds = False

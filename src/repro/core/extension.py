@@ -26,8 +26,42 @@ from repro.core.generalisation import GeneralisationStructure
 from repro.core.schema import Schema
 from repro.core.specialisation import SpecialisationStructure
 from repro.errors import ContainmentError, ExtensionError
-from repro.kernel import ExtensionKernel
+from repro.kernel import ExtensionKernel, derive_extension_kernel
 from repro.relational import Relation, Tuple, join_all, project
+
+# How far a successor state may sit from its delta-chain root before the
+# chain is severed.  Severing bounds the memory a long update stream pins
+# (every delta holds its parent alive) and, because a severed state
+# interns afresh on demand, also compacts the append-only shared symbol
+# tables that would otherwise accumulate every value ever seen.
+_CHAIN_CAP = 1024
+
+
+class StateDelta:
+    """How one :class:`DatabaseExtension` was derived from its parent.
+
+    ``added``/``removed`` map relation names to the tuples an update
+    genuinely added or removed (no-op rows are filtered at construction
+    of the successor); ``replaced`` names relations swapped wholesale.
+    ``changed`` is the union of the touched names — the dirty set the
+    audit caches and the kernel derivation consult.
+    """
+
+    __slots__ = ("parent", "added", "removed", "replaced", "changed")
+
+    def __init__(self, parent: "DatabaseExtension",
+                 added: Mapping[str, list] | None = None,
+                 removed: Mapping[str, list] | None = None,
+                 replaced: Iterable[str] = ()):
+        self.parent = parent
+        self.added = {name: tuple(ts) for name, ts in (added or {}).items()}
+        self.removed = {name: tuple(ts) for name, ts in (removed or {}).items()}
+        self.replaced = frozenset(replaced)
+        self.changed = (frozenset(self.added) | frozenset(self.removed)
+                        | self.replaced)
+
+    def __repr__(self) -> str:
+        return f"StateDelta(changed={sorted(self.changed)})"
 
 
 class DatabaseExtension:
@@ -74,14 +108,64 @@ class DatabaseExtension:
                     f"relation for {e.name!r} has schema {sorted(rel.schema)}, "
                     f"expected {sorted(e.attributes)}"
                 )
-            self._validate_domains(e, rel)
+            self._validate_domains(e, rel.tuples)
             self._relations[e] = rel
         for e in schema:
             self._relations.setdefault(e, Relation(e.attributes))
         self._kernel: ExtensionKernel | None = None
+        self._init_delta_state(None, 0)
 
-    def _validate_domains(self, e: EntityType, rel: Relation) -> None:
-        for t in rel.tuples:
+    def _init_delta_state(self, delta: StateDelta | None, depth: int) -> None:
+        self._delta = delta
+        self._depth = depth
+        # Set together when the kernel is chain-derived: the ancestor
+        # state whose kernel was patched, and the id-level row changes
+        # relative to it (the recheck granularity).
+        self._kernel_base = None
+        self._kernel_delta = None
+        # Chained audit caches (see the "dirty-context audits" block
+        # below): filled by the first audit of this state, consulted by
+        # successor states for their clean contexts.
+        self._containment_cache: dict | None = None
+        self._ea_cache: dict = {}
+        self._constraint_cache: dict | None = None
+        self._checkset_cache: dict = {}
+
+    @classmethod
+    def _derived(cls, parent: "DatabaseExtension",
+                 relations: dict[EntityType, Relation],
+                 added: Mapping[str, list] | None = None,
+                 removed: Mapping[str, list] | None = None,
+                 replaced: Iterable[str] = ()) -> "DatabaseExtension":
+        """A successor state sharing everything the update left alone.
+
+        Schema, structures, contributor assignment, and every untouched
+        :class:`Relation` are shared by reference; domain validation is
+        the *caller's* duty for exactly the tuples it introduced (all
+        other tuples were validated when their state was built).  The
+        successor records the update as a :class:`StateDelta` so its
+        kernel and audits derive incrementally — unless the delta chain
+        has grown past ``_CHAIN_CAP``, where it is severed to bound
+        memory and re-compact the shared symbol tables.
+        """
+        db = object.__new__(cls)
+        db.schema = parent.schema
+        db.spec = parent.spec
+        db.gen = parent.gen
+        db.contributors = parent.contributors
+        db._relations = relations
+        db._kernel = None
+        if parent._depth + 1 >= _CHAIN_CAP:
+            db._init_delta_state(None, 0)
+        else:
+            db._init_delta_state(
+                StateDelta(parent, added, removed, replaced),
+                parent._depth + 1,
+            )
+        return db
+
+    def _validate_domains(self, e: EntityType, tuples: Iterable[Tuple]) -> None:
+        for t in tuples:
             for a in e.attributes:
                 domain = self.schema.universe.domain(a)
                 if t[a] not in domain:
@@ -118,12 +202,103 @@ class DatabaseExtension:
         lookups.  Relations are fixed after construction (every update
         returns a new ``DatabaseExtension``), so the kernel never goes
         stale.
+
+        A state produced by ``insert``/``delete``/``replace`` whose
+        ancestor already interned *derives* its kernel through
+        :mod:`repro.kernel.delta` instead of re-interning: the walk
+        finds the nearest interned ancestor, flattens the intervening
+        :class:`StateDelta` steps into one net row delta per relation
+        (so ten single-row updates between two audits cost one patch,
+        not ten), and derives in a single call, recording the ancestor
+        and the id-level :class:`~repro.kernel.delta.KernelDelta` so
+        audits can re-sweep only dirty lhs-groups.
+        :meth:`kernel_naive` is the from-scratch oracle.
         """
-        if self._kernel is None:
-            self._kernel = ExtensionKernel(
-                {e.name: rel for e, rel in self._relations.items()}
-            )
+        if self._kernel is not None:
+            return self._kernel
+        chain: list[DatabaseExtension] = []
+        node = self
+        while node._kernel is None and node._delta is not None:
+            chain.append(node)
+            node = node._delta.parent
+        if node._kernel is None or not chain:
+            self._kernel = self.kernel_naive()
+            return self._kernel
+        patches, replacements = self._flatten_chain(chain)
+        self._kernel, self._kernel_delta = derive_extension_kernel(
+            node._kernel, patches, replacements)
+        self._kernel_base = node
         return self._kernel
+
+    def _flatten_chain(self, chain: list["DatabaseExtension"]
+                       ) -> tuple[dict, dict]:
+        """One net ``(added, removed)`` item-row delta per relation for
+        the whole chain (oldest step first), plus the relations to
+        re-intern wholesale.
+
+        A replace wipes the patches before it (and any patch after it
+        is already reflected in this state's relation, which is what
+        gets re-interned); add/remove pairs of the same row cancel.
+        The object-level updates filter no-ops, so every recorded
+        removal was present and every addition absent at its step —
+        which makes the cancellation exact.
+        """
+        acc: dict[str, list] = {}  # name -> [replaced, added set, removed set]
+        for state in reversed(chain):
+            delta = state._delta
+            for name in delta.replaced:
+                acc[name] = [True, set(), set()]
+            for name, ts in delta.added.items():
+                entry = acc.setdefault(name, [False, set(), set()])
+                for t in ts:
+                    items = tuple(t)
+                    if items in entry[2]:
+                        entry[2].discard(items)
+                    else:
+                        entry[1].add(items)
+            for name, ts in delta.removed.items():
+                entry = acc.setdefault(name, [False, set(), set()])
+                for t in ts:
+                    items = tuple(t)
+                    if items in entry[1]:
+                        entry[1].discard(items)
+                    else:
+                        entry[2].add(items)
+        patches: dict[str, tuple] = {}
+        replacements: dict[str, Relation] = {}
+        for name, (replaced, added, removed) in acc.items():
+            if replaced:
+                replacements[name] = self._relations[self.schema[name]]
+            elif added or removed:
+                patches[name] = (tuple(added), tuple(removed))
+        return patches, replacements
+
+    def kernel_naive(self) -> ExtensionKernel:
+        """A from-scratch interning of this state — the full-rebuild
+        oracle the delta-derived :attr:`kernel` is equivalence-tested
+        against (and the only route for delta-less states)."""
+        return ExtensionKernel(
+            {e.name: rel for e, rel in self._relations.items()}
+        )
+
+    def _dirty_since(self, has_cache) -> tuple["DatabaseExtension | None", frozenset[str] | None]:
+        """The nearest ancestor satisfying ``has_cache`` plus the union
+        of relation names changed between it and this state.
+
+        Returns ``(None, None)`` when the delta chain ends (or is
+        severed) before such an ancestor appears — the caller then runs
+        its full, non-incremental route.
+        """
+        dirty: set[str] = set()
+        node = self
+        while True:
+            delta = node._delta
+            if delta is None:
+                return None, None
+            dirty |= delta.changed
+            node = delta.parent
+            if has_cache(node):
+                return node, frozenset(dirty)
 
     # ------------------------------------------------------------------
     # projections and extension mappings (section 4.1-4.2)
@@ -162,20 +337,49 @@ class DatabaseExtension:
         symbol space — no tuples are built unless a violation exists; the
         object-level sweep is retained as
         :func:`containment_violations_naive`.
+
+        Re-audits of an update chain are *dirty-context* sweeps: the
+        per-pair verdicts are cached on each audited state, and a
+        successor re-judges only the pairs whose relations changed since
+        the nearest audited ancestor, merging the cached verdicts for
+        the rest.
         """
-        kern = self.kernel
+        cache = self._containment_cache
+        if cache is None:
+            anc, dirty = self._dirty_since(
+                lambda n: n._containment_cache is not None)
+            prior = anc._containment_cache if anc is not None else None
+            kern = None
+            cache = {}
+            for e in self.schema:
+                for s in self.spec.S(e):
+                    if s == e:
+                        continue
+                    pair = (s.name, e.name)
+                    if (prior is not None and s.name not in dirty
+                            and e.name not in dirty):
+                        cache[pair] = prior[pair]
+                        continue
+                    if kern is None:
+                        kern = self.kernel
+                    stray = kern.stray_projection(s.name, e.attributes, e.name)
+                    if stray:
+                        cache[pair] = Relation._trusted(
+                            e.attributes,
+                            (Tuple._trusted(items) for items in
+                             kern.decode_named(e.attributes, stray)),
+                        )
+                    else:
+                        cache[pair] = None
+            self._containment_cache = cache
         out: list[tuple[EntityType, EntityType, Relation]] = []
         for e in self.schema:
             for s in self.spec.S(e):
                 if s == e:
                     continue
-                stray = kern.stray_projection(s.name, e.attributes, e.name)
-                if stray:
-                    out.append((s, e, Relation._trusted(
-                        e.attributes,
-                        (Tuple._trusted(items) for items in
-                         kern.decode_named(e.attributes, stray)),
-                    )))
+                stray_rel = cache[(s.name, e.name)]
+                if stray_rel is not None:
+                    out.append((s, e, stray_rel))
         return out
 
     def containment_violations_naive(self) -> list[tuple[EntityType, EntityType, Relation]]:
@@ -255,22 +459,38 @@ class DatabaseExtension:
         compound row against every contributor's row set directly and the
         join is never materialised; the join-building sweep is retained
         as :meth:`extension_axiom_violations_naive`.
+
+        Reports are cached per compound type on the state; a successor
+        in an update chain re-judges a compound only when its relation
+        or one of its contributors' changed since the nearest audited
+        ancestor, reusing the cached report otherwise.
         """
         e = self._resolve(e)
         cos = self.contributors.contributors(e)
         if not cos:
             return {"unsupported": Relation(e.attributes), "collisions": []}
+        cached = self._ea_cache.get(e.name)
+        if cached is not None:
+            return _copy_ea_report(cached)
+        anc, dirty = self._dirty_since(lambda n: e.name in n._ea_cache)
+        if anc is not None:
+            touched = {e.name} | {c.name for c in cos}
+            if not (touched & dirty):
+                report = anc._ea_cache[e.name]
+                self._ea_cache[e.name] = report
+                return _copy_ea_report(report)
         kern = self.kernel
         raw_unsupported, raw_collisions = kern.compound_report(
             e.name, (c.name for c in sorted(cos))
         )
         inst = kern.instance(e.name)
-        collisions = [
-            sorted((Tuple._trusted(inst.decode_row(row)) for row in group),
-                   key=repr)
-            for group in raw_collisions
-        ]
-        return {
+        collisions = sorted(
+            (sorted((Tuple._trusted(inst.decode_row(row)) for row in group),
+                    key=repr)
+             for group in raw_collisions),
+            key=repr,
+        )
+        report = {
             "unsupported": Relation._trusted(
                 e.attributes,
                 (Tuple._trusted(inst.decode_row(row))
@@ -278,6 +498,8 @@ class DatabaseExtension:
             ),
             "collisions": collisions,
         }
+        self._ea_cache[e.name] = report
+        return _copy_ea_report(report)
 
     def extension_axiom_violations_naive(self, e: EntityType | str) -> dict[str, object]:
         """Reference oracle for :meth:`extension_axiom_violations`
@@ -295,7 +517,13 @@ class DatabaseExtension:
             if image not in joined.tuples:
                 unsupported.append(t)
             groups.setdefault(image, []).append(t)
-        collisions = [sorted(g, key=repr) for g in groups.values() if len(g) > 1]
+        # Group order is pinned (like the in-group order) so reports are
+        # reproducible regardless of which route — or which predecessor
+        # state's interning — produced them.
+        collisions = sorted(
+            (sorted(g, key=repr) for g in groups.values() if len(g) > 1),
+            key=repr,
+        )
         return {
             "unsupported": Relation(e.attributes, unsupported),
             "collisions": collisions,
@@ -325,6 +553,11 @@ class DatabaseExtension:
         into every proper generalisation, keeping the Containment
         Condition invariant — the semantic reading of "each manager should
         be an employee".
+
+        The successor is *delta-derived*: only the genuinely added
+        tuples are validated, untouched relations are shared, and the
+        successor's kernel and audits patch the predecessor's instead of
+        rebuilding.  An insert that changes nothing returns ``self``.
         """
         e = self._resolve(e)
         t = row if isinstance(row, Tuple) else Tuple(dict(row))
@@ -332,12 +565,25 @@ class DatabaseExtension:
             raise ExtensionError(
                 f"tuple schema {sorted(t.schema)} does not match {e.name!r}"
             )
-        new = {et.name: rel for et, rel in self._relations.items()}
-        new[e.name] = self.R(e).with_tuples([t])
+        self._validate_domains(e, [t])
+        new = dict(self._relations)
+        added: dict[str, list[Tuple]] = {}
+        if t not in new[e].tuples:
+            # _trusted: the new tuple was validated above and the
+            # existing tuples by their own state's construction, so the
+            # public constructor's per-tuple re-validation is skipped.
+            new[e] = Relation._trusted(e.attributes, new[e].tuples | {t})
+            added[e.name] = [t]
         if propagate:
             for g in self.gen.proper_generalisations(e):
-                new[g.name] = new[g.name].with_tuples([t.project(g.attributes)])
-        return DatabaseExtension(self.schema, new, self.contributors)
+                p = t.project(g.attributes)
+                if p not in new[g].tuples:
+                    new[g] = Relation._trusted(g.attributes,
+                                               new[g].tuples | {p})
+                    added[g.name] = [p]
+        if not added:
+            return self
+        return DatabaseExtension._derived(self, new, added=added)
 
     def delete(self, e: EntityType | str, row: Mapping, propagate: bool = True) -> "DatabaseExtension":
         """Delete a tuple from ``R_e``; optionally cascade to specialisations.
@@ -345,24 +591,108 @@ class DatabaseExtension:
         With ``propagate`` every specialisation tuple projecting onto the
         deleted one is removed too, keeping containment — deleting a
         person deletes the employee and manager facts about them.
+
+        Like :meth:`insert`, the successor is delta-derived; a delete
+        that changes nothing returns ``self``.  The cascade victims are
+        found through the kernel's cached partition indexes when this
+        state already interned, instead of projecting every
+        specialisation tuple.
         """
         e = self._resolve(e)
         t = row if isinstance(row, Tuple) else Tuple(dict(row))
-        new = {et.name: rel for et, rel in self._relations.items()}
-        new[e.name] = self.R(e).without_tuples([t])
+        if t.schema != e.attributes:
+            raise ExtensionError(
+                f"tuple schema {sorted(t.schema)} does not match {e.name!r}"
+            )
+        new = dict(self._relations)
+        removed: dict[str, list[Tuple]] = {}
+        if t in new[e].tuples:
+            new[e] = Relation._trusted(e.attributes, new[e].tuples - {t})
+            removed[e.name] = [t]
         if propagate:
             for s in self.spec.proper_specialisations(e):
-                doomed = [u for u in self.R(s).tuples if u.project(e.attributes) == t]
+                doomed = self._projecting_onto(s, e, t)
                 if doomed:
-                    new[s.name] = new[s.name].without_tuples(doomed)
-        return DatabaseExtension(self.schema, new, self.contributors)
+                    new[s] = Relation._trusted(
+                        s.attributes, new[s].tuples - set(doomed))
+                    removed[s.name] = doomed
+        if not removed:
+            return self
+        return DatabaseExtension._derived(self, new, removed=removed)
+
+    def _projecting_onto(self, s: EntityType, e: EntityType,
+                         t: Tuple) -> list[Tuple]:
+        """The tuples of ``R_s`` whose projection onto ``A_e`` is ``t``.
+
+        Routed through the interned instance's partition index when the
+        kernel exists (one key lookup); the per-tuple projection scan is
+        the fallback for never-interned states.
+        """
+        kern = self._kernel
+        if kern is None:
+            return [u for u in self.R(s).tuples
+                    if u.project(e.attributes) == t]
+        inst = kern.instance(s.name)
+        idxs = inst.indices_of(e.attributes)
+        key = []
+        # Tuple iterates sorted by attribute, matching the sorted column
+        # positions of ``idxs``.
+        for i, (_, value) in zip(idxs, t):
+            sid = inst.tables[i].get(value)
+            if sid is None:
+                return []
+            key.append(sid)
+        rows = inst.rows
+        return [Tuple._trusted(inst.decode_row(rows[r]))
+                for r in inst.partition(idxs).get(tuple(key), ())]
+
+    def remove_tuples(self, e: EntityType | str, rows: Iterable) -> "DatabaseExtension":
+        """Bulk non-propagating delete of ``rows`` from ``R_e``.
+
+        The repair loops (:func:`repro.workloads.enforce_extension_axiom`)
+        drop batches of victims from one relation at a time; expressing
+        the drop as a patch delta (rather than a wholesale ``replace``)
+        lets the successor's kernel and audit caches derive from this
+        state's.  Rows not present are ignored; removing nothing returns
+        ``self``.
+        """
+        e = self._resolve(e)
+        present = self._relations[e].tuples
+        doomed: list[Tuple] = []
+        for row in rows:
+            t = row if isinstance(row, Tuple) else Tuple(dict(row))
+            if t.schema != e.attributes:
+                raise ExtensionError(
+                    f"tuple schema {sorted(t.schema)} does not match {e.name!r}"
+                )
+            if t in present:
+                doomed.append(t)
+        if not doomed:
+            return self
+        new = dict(self._relations)
+        new[e] = Relation._trusted(e.attributes, new[e].tuples - set(doomed))
+        return DatabaseExtension._derived(self, new, removed={e.name: doomed})
 
     def replace(self, e: EntityType | str, relation: Relation | Iterable) -> "DatabaseExtension":
-        """A copy with ``R_e`` wholesale replaced (no propagation)."""
+        """A copy with ``R_e`` wholesale replaced (no propagation).
+
+        The successor is delta-derived with ``e`` marked as replaced:
+        its kernel re-interns only this relation (against the shared
+        symbol tables) and audits re-judge only the contexts that read
+        it.
+        """
         e = self._resolve(e)
-        new = {et.name: rel for et, rel in self._relations.items()}
-        new[e.name] = relation if isinstance(relation, Relation) else Relation(e.attributes, relation)
-        return DatabaseExtension(self.schema, new, self.contributors)
+        if not isinstance(relation, Relation):
+            relation = Relation(e.attributes, relation)
+        if relation.schema != e.attributes:
+            raise ExtensionError(
+                f"relation for {e.name!r} has schema {sorted(relation.schema)}, "
+                f"expected {sorted(e.attributes)}"
+            )
+        self._validate_domains(e, relation.tuples)
+        new = dict(self._relations)
+        new[e] = relation
+        return DatabaseExtension._derived(self, new, replaced=(e.name,))
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, DatabaseExtension):
@@ -372,3 +702,18 @@ class DatabaseExtension:
     def __repr__(self) -> str:
         return (f"DatabaseExtension({len(self.schema)} types, "
                 f"{self.total_instances()} instances)")
+
+
+def _copy_ea_report(report: dict) -> dict:
+    """A caller-owned copy of a cached Extension-Axiom report.
+
+    Reports are cached on the state (and inherited along delta chains),
+    and their collision groups are plain lists — handing out the cached
+    object would let a caller's mutation corrupt every later audit.
+    Relations and Tuples are immutable, so one level of list copying
+    restores the pre-caching ownership contract.
+    """
+    return {
+        "unsupported": report["unsupported"],
+        "collisions": [list(group) for group in report["collisions"]],
+    }

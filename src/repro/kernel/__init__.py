@@ -22,12 +22,23 @@ from repro.kernel.bitops import (
 )
 from repro.kernel.batch import BatchVerdict, CheckSet, ExtensionKernel
 from repro.kernel.chase import UnionFind, chase_rows, is_lossless_indices
+from repro.kernel.delta import (
+    InstanceDelta,
+    KernelDelta,
+    derive_extension_kernel,
+    derive_instance,
+)
 from repro.kernel.fd import FDKernel, closure_mask
 from repro.kernel.instance import InstanceKernel, join_id_rows, join_interned
 from repro.kernel.topology import (
+    add_point_masks,
+    add_subbase_member_masks,
     base_masks_from_subbase,
+    extend_union_closure,
     minimal_open_masks,
     minimal_opens_of_family,
+    remove_point_masks,
+    remove_subbase_member_masks,
     topology_masks_from_subbase,
     union_closure_masks,
 )
@@ -41,6 +52,10 @@ __all__ = [
     "BatchVerdict",
     "CheckSet",
     "ExtensionKernel",
+    "InstanceDelta",
+    "KernelDelta",
+    "derive_instance",
+    "derive_extension_kernel",
     "join_id_rows",
     "join_interned",
     "closure_mask",
@@ -57,4 +72,9 @@ __all__ = [
     "base_masks_from_subbase",
     "topology_masks_from_subbase",
     "union_closure_masks",
+    "extend_union_closure",
+    "add_subbase_member_masks",
+    "remove_subbase_member_masks",
+    "add_point_masks",
+    "remove_point_masks",
 ]

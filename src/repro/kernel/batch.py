@@ -63,9 +63,14 @@ class CheckSet:
     instance's cached id-level projections.  Verdict-only runs drop a
     violated constraint from the sweep immediately; witness runs keep
     scanning to collect every witness.
+
+    Running with ``record=True`` additionally remembers, per constraint,
+    *which* lhs-groups violated it; :meth:`recheck` then re-judges a
+    delta-derived successor instance by re-sweeping only the lhs-groups
+    the delta touched, merging the recorded verdicts for the rest.
     """
 
-    __slots__ = ("instance", "_fds", "_mvds", "_jds", "_keys")
+    __slots__ = ("instance", "_fds", "_mvds", "_jds", "_keys", "_violating")
 
     def __init__(self, instance: InstanceKernel):
         self.instance = instance
@@ -73,6 +78,9 @@ class CheckSet:
         self._mvds: list[tuple] = []   # (key, x_idxs, y_idxs, z_idxs)
         self._jds: list[tuple] = []    # (key, tuple of component idx tuples)
         self._keys: set = set()
+        # key -> set of violating lhs keys (JDs use the sentinel key ()),
+        # populated by run(record=True) and kept current by recheck().
+        self._violating: dict | None = None
 
     def _claim(self, key) -> None:
         if key in self._keys:
@@ -107,37 +115,56 @@ class CheckSet:
         )
         return self
 
-    def run(self, witnesses: bool = False) -> dict:
-        """Evaluate every registered constraint in one grouped sweep."""
-        results: dict = {}
+    def _grouped_entries(self) -> dict[tuple[int, ...], list[list]]:
+        """FD/MVD entries grouped by lhs column tuple.
+
+        Entry layout: ``[key, kind, cols, ok, witness-list, violating-keys]``.
+        """
         by_lhs: dict[tuple[int, ...], list[list]] = {}
-        # Entry layout: [key, kind, cols..., ok, witness-list].
         for key, lhs, rhs in self._fds:
-            by_lhs.setdefault(lhs, []).append([key, "fd", rhs, True, []])
+            by_lhs.setdefault(lhs, []).append([key, "fd", rhs, True, [], set()])
         for key, x, y, z in self._mvds:
-            by_lhs.setdefault(x, []).append([key, "mvd", (y, z), True, []])
+            by_lhs.setdefault(x, []).append(
+                [key, "mvd", (y, z), True, [], set()])
+        return by_lhs
+
+    def run(self, witnesses: bool = False, record: bool = False) -> dict:
+        """Evaluate every registered constraint in one grouped sweep.
+
+        With ``record=True`` the sweep never retires a violated
+        constraint early: it visits every lhs-group and remembers the
+        violating group keys, arming :meth:`recheck`.
+        """
+        results: dict = {}
+        recorded: dict = {} if record else None
+        by_lhs = self._grouped_entries()
         for lhs, entries in by_lhs.items():
-            self._sweep_lhs_group(lhs, entries, witnesses)
-            for key, _, _, ok, wit in entries:
+            self._sweep_lhs_group(lhs, entries, witnesses, record)
+            for key, _, _, ok, wit, vkeys in entries:
                 results[key] = BatchVerdict(ok, tuple(wit))
+                if record:
+                    recorded[key] = vkeys
         row_set = self.instance.row_set
         for key, parts in self._jds:
             if witnesses:
                 joined = self.instance.joined_projection_rows(list(parts))
                 spurious = joined - row_set
-                results[key] = BatchVerdict(not spurious, tuple(spurious))
+                verdict = BatchVerdict(not spurious, tuple(spurious))
             else:
-                results[key] = BatchVerdict(
-                    self.instance._joins_back(list(parts))
-                )
+                verdict = BatchVerdict(self.instance._joins_back(list(parts)))
+            results[key] = verdict
+            if record:
+                recorded[key] = set() if verdict.ok else {()}
+        if record:
+            self._violating = recorded
         return results
 
     def _sweep_lhs_group(self, lhs: tuple[int, ...], entries: list[list],
-                         witnesses: bool) -> None:
+                         witnesses: bool, record: bool = False) -> None:
         """One walk over the lhs partition, judging every entry in it."""
         rows = self.instance.rows
         live = list(entries)
-        for group in self.instance.partition(lhs).values():
+        for group_key, group in self.instance.partition(lhs).items():
             if len(group) < 2 or not live:
                 if not live:
                     break
@@ -152,11 +179,83 @@ class CheckSet:
                     violated = self._judge_mvd(group_rows, entry, witnesses)
                 if violated:
                     entry[3] = False
-                # Witness runs keep scanning every group; verdict-only
-                # runs retire a constraint at its first violation.
-                if witnesses or not violated:
+                    if record:
+                        entry[5].add(group_key)
+                # Witness and recording runs keep scanning every group;
+                # verdict-only runs retire a constraint at its first
+                # violation.
+                if witnesses or record or not violated:
                     still.append(entry)
             live = still
+
+    # ------------------------------------------------------------------
+    # incremental re-evaluation
+    # ------------------------------------------------------------------
+    def rebound(self, instance: InstanceKernel) -> "CheckSet":
+        """A copy of this compiled set bound to a successor instance.
+
+        ``instance`` must be delta-derived from (and therefore share the
+        symbol tables and attribute layout of) the instance this set was
+        compiled against — the compiled column indices and the recorded
+        violating lhs keys stay meaningful only in that shared id space.
+        The copy owns its recorded state, so rechecking it never mutates
+        the original (which may still serve other successors).
+        """
+        twin = object.__new__(CheckSet)
+        twin.instance = instance
+        twin._fds = self._fds
+        twin._mvds = self._mvds
+        twin._jds = self._jds
+        twin._keys = self._keys
+        twin._violating = None if self._violating is None else {
+            key: set(vkeys) for key, vkeys in self._violating.items()
+        }
+        return twin
+
+    def recheck(self, added_rows: Iterable[IdRow] = (),
+                removed_rows: Iterable[IdRow] = ()) -> dict:
+        """Re-judge after a row delta, sweeping only dirty lhs-groups.
+
+        Requires a prior :meth:`run` with ``record=True`` (possibly on
+        an ancestor instance, carried over via :meth:`rebound`).
+        ``added_rows``/``removed_rows`` are the full-width id rows the
+        delta touched; every FD/MVD is re-judged only at the lhs keys
+        those rows project to, while the recorded verdicts stand for
+        every other group.  JDs are global (any delta can create or
+        destroy spurious join rows), so they re-join in full.  The
+        recorded state is updated, so rechecks chain.
+        """
+        if self._violating is None:
+            raise ValueError("recheck needs a prior run(record=True)")
+        changed = tuple(added_rows) + tuple(removed_rows)
+        results: dict = {}
+        rows = self.instance.rows
+        for lhs, entries in self._grouped_entries().items():
+            dirty = {tuple(row[i] for i in lhs) for row in changed}
+            part = self.instance.partition(lhs) if dirty else {}
+            judged: dict[tuple, list | None] = {
+                key: part.get(key) for key in dirty
+            }
+            for entry in entries:
+                key = entry[0]
+                vkeys = self._violating[key] - dirty
+                for group_key, group in judged.items():
+                    if group is None or len(group) < 2:
+                        continue
+                    group_rows = [rows[r] for r in group]
+                    if entry[1] == "fd":
+                        violated = self._judge_fd(group_rows, entry, False)
+                    else:
+                        violated = self._judge_mvd(group_rows, entry, False)
+                    if violated:
+                        vkeys.add(group_key)
+                self._violating[key] = vkeys
+                results[key] = BatchVerdict(not vkeys)
+        for key, parts in self._jds:
+            ok = self.instance._joins_back(list(parts))
+            self._violating[key] = set() if ok else {()}
+            results[key] = BatchVerdict(ok)
+        return results
 
     @staticmethod
     def _judge_fd(group_rows: list[IdRow], entry: list,

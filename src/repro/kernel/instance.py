@@ -22,19 +22,41 @@ through it without an import cycle.
 Caching and invalidation: relations are immutable values, so an
 interned instance can never go stale — every derived relation
 (``with_tuples``, repairs, projections) is a new object and interns
-fresh.  :meth:`InstanceKernel.of` memoises instances on the relation
-itself in a bounded table that is flushed wholesale when full, the same
-policy as the lossless memo in :mod:`repro.relational.chase`; partition
-and projection indexes live on the instance and share its lifetime.
+fresh (or is patched from its predecessor by :mod:`repro.kernel.delta`).
+:meth:`InstanceKernel.of` memoises instances on the relation itself in a
+bounded LRU table; partition and projection indexes live on the instance
+and share its lifetime.
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from collections.abc import Hashable, Iterable
 
 AttrName = str
 Value = Hashable
 IdRow = tuple  # tuple[int, ...] — one interned row, columns in sorted-attr order
+
+
+def intern_row(tables: list, symbols: list, items) -> IdRow:
+    """Intern one row of sorted ``(attr, value)`` items (get-or-append).
+
+    The single definition of the interning protocol: ids are assigned
+    per attribute in first-seen order and only ever appended, shared by
+    fresh construction here and by the patch path in
+    :mod:`repro.kernel.delta` (whose soundness *depends* on the two
+    routes agreeing).
+    """
+    row = []
+    for pos, (_, value) in enumerate(items):
+        table = tables[pos]
+        sid = table.get(value)
+        if sid is None:
+            sid = len(table)
+            table[value] = sid
+            symbols[pos].append(value)
+        row.append(sid)
+    return tuple(row)
 
 
 class InstanceKernel:
@@ -69,20 +91,11 @@ class InstanceKernel:
                 table, syms = shared.setdefault(a, ({}, []))
                 tables.append(table)
                 symbols.append(syms)
-        rows: list[IdRow] = []
-        for t in relation.tuples:
-            row = []
-            # Tuple iterates its items sorted by attribute name, which is
-            # exactly the column order of ``attrs``.
-            for pos, (_, value) in enumerate(t):
-                table = tables[pos]
-                sid = table.get(value)
-                if sid is None:
-                    sid = len(table)
-                    table[value] = sid
-                    symbols[pos].append(value)
-                row.append(sid)
-            rows.append(tuple(row))
+        # Tuple iterates its items sorted by attribute name, which is
+        # exactly the column order of ``attrs``.
+        rows: list[IdRow] = [
+            intern_row(tables, symbols, t) for t in relation.tuples
+        ]
         self.rows = rows
         self.row_set: set[IdRow] = set(rows)
         self.n_rows = len(rows)
@@ -99,14 +112,42 @@ class InstanceKernel:
         """The interned instance of ``relation``, memoised.
 
         Relations are immutable, so entries never go stale; the table is
-        bounded and flushed wholesale when full.
+        bounded with least-recently-used eviction (a hot update loop
+        interleaving two relations must not thrash the whole memo the
+        way a wholesale flush would).
         """
         inst = _INSTANCE_MEMO.get(relation)
         if inst is None:
             if len(_INSTANCE_MEMO) >= _INSTANCE_MEMO_CAP:
-                _INSTANCE_MEMO.clear()
+                _INSTANCE_MEMO.popitem(last=False)
             inst = cls(relation)
             _INSTANCE_MEMO[relation] = inst
+        else:
+            _INSTANCE_MEMO.move_to_end(relation)
+        return inst
+
+    @classmethod
+    def _from_parts(cls, parent: "InstanceKernel",
+                    rows: list[IdRow]) -> "InstanceKernel":
+        """A sibling instance over ``rows``, sharing ``parent``'s columns.
+
+        The delta layer (:mod:`repro.kernel.delta`) derives a successor
+        state's instance by patching the predecessor's row list; the
+        attribute layout and the per-attribute symbol tables are shared
+        by reference, which is sound because tables are append-only —
+        ids already assigned never move.  Caches start empty; the caller
+        patches them from the parent's.
+        """
+        inst = object.__new__(cls)
+        inst.attrs = parent.attrs
+        inst.attr_index = parent.attr_index
+        inst.rows = rows
+        inst.row_set = set(rows)
+        inst.n_rows = len(rows)
+        inst.symbols = parent.symbols
+        inst.tables = parent.tables
+        inst._partitions = {}
+        inst._projections = {}
         return inst
 
     # ------------------------------------------------------------------
@@ -323,5 +364,5 @@ def join_interned(left: InstanceKernel, right: InstanceKernel):
                 )
 
 
-_INSTANCE_MEMO: dict = {}
+_INSTANCE_MEMO: OrderedDict = OrderedDict()
 _INSTANCE_MEMO_CAP = 256

@@ -18,6 +18,11 @@ from repro.topology.generation import (
     minimal_base,
     redundant_in_subbase,
     irredundant_subbases,
+    space_with_subbase_member,
+    space_without_subbase_member,
+    space_with_point,
+    space_without_point,
+    space_with_renamed_point,
 )
 from repro.topology.order import (
     specialisation_preorder,
@@ -43,6 +48,11 @@ __all__ = [
     "minimal_base",
     "redundant_in_subbase",
     "irredundant_subbases",
+    "space_with_subbase_member",
+    "space_without_subbase_member",
+    "space_with_point",
+    "space_without_point",
+    "space_with_renamed_point",
     "specialisation_preorder",
     "alexandrov_space",
     "is_preorder",

@@ -26,9 +26,14 @@ from typing import FrozenSet
 
 from repro.kernel import (
     Universe,
+    add_point_masks,
+    add_subbase_member_masks,
     close_under_intersection,
     close_under_union,
     minimal_open_masks,
+    minimal_opens_of_family,
+    remove_point_masks,
+    remove_subbase_member_masks,
     topology_masks_from_subbase,
 )
 from repro.topology.space import FiniteSpace
@@ -192,6 +197,150 @@ def minimal_base_naive(space: FiniteSpace) -> SetFamily:
                 best = u
         out.add(best)
     return frozenset(out)
+
+
+# ----------------------------------------------------------------------
+# incremental maintenance: derive an edited space from a generated one
+#
+# The paper's §4/§6 programme treats schema evolution as mappings between
+# successive topological spaces; these helpers maintain a generated
+# topology across subbase and carrier edits by patching the minimal-open
+# table and the open family (see repro.kernel.topology) instead of
+# regenerating from the subbase.  The full rebuild —
+# ``topology_from_subbase`` on the edited family — is the reference
+# oracle for every one of them, and the differential suite drives both
+# routes.
+# ----------------------------------------------------------------------
+
+def _space_state(space: FiniteSpace) -> tuple[Universe, set[int], dict[int, int], int]:
+    """The interned opens and minimal-open masks of a space.
+
+    A space produced by one of the patch routes below is already in mask
+    form (pre-filled kernel state and minimal masks), so a *chain* of
+    edits re-reads it without re-encoding anything; other spaces pay one
+    encode plus one minimal-opens sweep.
+    """
+    uni, open_masks, mask_set, full = space._masks()
+    if space._minimal_masks is not None:
+        return uni, set(mask_set), dict(space._minimal_masks), full
+    minimal = minimal_opens_of_family(full, open_masks)
+    return uni, set(mask_set), minimal, full
+
+
+def _patched_space(uni: Universe, points: frozenset[Point],
+                   minimal: dict[int, int], opens: set[int]) -> FiniteSpace:
+    """Wrap patched masks in a trusted, lazily-decoded :class:`FiniteSpace`."""
+    return FiniteSpace._from_masks(uni, points, opens, minimal)
+
+
+def space_with_subbase_member(space: FiniteSpace,
+                              member: Iterable[Point]) -> FiniteSpace:
+    """The topology generated by ``subbase(space) + [member]``, patched.
+
+    ``member`` is clipped to the carrier (the generation convention).
+    Oracle: :func:`topology_from_subbase` over the grown family.
+    """
+    uni, opens, minimal, full = _space_state(space)
+    member_mask = uni.encode_known(member)
+    new_minimal, new_opens = add_subbase_member_masks(
+        full, minimal, opens, member_mask)
+    new_opens.add(full)
+    return _patched_space(uni, space.points, new_minimal, new_opens)
+
+
+def space_without_subbase_member(space: FiniteSpace,
+                                 remaining: Iterable[Iterable[Point]],
+                                 member: Iterable[Point]) -> FiniteSpace:
+    """The topology generated by the subbase with ``member`` removed.
+
+    ``remaining`` is the family *after* the removal (the caller knows
+    which subbase generated ``space``; the space itself does not).
+    Oracle: :func:`topology_from_subbase` over ``remaining``.
+    """
+    uni, opens, minimal, full = _space_state(space)
+    remaining_masks = [uni.encode_known(m) for m in remaining]
+    new_minimal, new_opens = remove_subbase_member_masks(
+        full, remaining_masks, minimal, opens, uni.encode_known(member))
+    new_opens.add(full)
+    new_opens.add(0)
+    return _patched_space(uni, space.points, new_minimal, new_opens)
+
+
+def space_with_point(space: FiniteSpace, point: Point,
+                     covered_by: Iterable[Point],
+                     min_open: Iterable[Point]) -> FiniteSpace:
+    """The space grown by one carrier point, patched.
+
+    ``min_open`` is the new point's minimal open neighbourhood (the
+    point itself may be omitted; it is added), and ``covered_by`` the
+    existing points whose minimal open gains the new point.  Both must
+    come from one coherent specialisation preorder (attribute
+    containment, in the paper's spaces).  Oracle: regeneration from the
+    edited subbase.
+    """
+    uni, opens, minimal, _ = _space_state(space)
+    # The patched masks are relative to the space's interned bit order,
+    # so the grown universe must reproduce it exactly before appending.
+    grown = Universe(uni.points)
+    bit_index = grown.intern(point)
+    min_mask = grown.encode_strict(min_open) | (1 << bit_index)
+    cover_mask = grown.encode_strict(covered_by)
+    new_minimal, new_opens = add_point_masks(
+        minimal, opens, bit_index, min_mask, cover_mask)
+    # The new carrier needs no explicit add: the old carrier contains
+    # min_open's other points, so the patch emits carrier | bit itself.
+    return _patched_space(grown, space.points | {point}, new_minimal,
+                          new_opens)
+
+
+def space_without_point(space: FiniteSpace, point: Point) -> FiniteSpace:
+    """The subspace on the carrier minus ``point``, patched.
+
+    For the paper's attribute-containment spaces this is exactly the
+    topology the shrunken schema regenerates: the specialisation
+    preorder restricts pointwise, so the subbase of the remaining types
+    generates the subspace topology.  Oracle: regeneration.
+    """
+    uni, opens, minimal, _ = _space_state(space)
+    new_minimal, new_opens = remove_point_masks(
+        minimal, opens, uni.index_of(point))
+    return _patched_space(uni, space.points - {point}, new_minimal, new_opens)
+
+
+def space_with_renamed_point(space: FiniteSpace, old: Point,
+                             new: Point) -> FiniteSpace:
+    """The space with one carrier point relabeled (structure unchanged).
+
+    A pure rename is mask-identity: the open and minimal masks carry
+    over untouched under a universe that reproduces the old bit order
+    with the point relabeled, so a rename in the middle of an edit
+    chain stays in mask form.  The decoded route remains as fallback
+    for the corner where ``new`` collides with a point the universe
+    interned earlier (possible only via a previously removed point's
+    hole — live duplicates are excluded by the carrier).
+    """
+    uni, open_masks, mask_set, full = space._masks()
+    if new not in uni:
+        renamed = Universe(new if p == old else p for p in uni.points)
+        if space._minimal_masks is not None:
+            minimal = dict(space._minimal_masks)
+        else:
+            minimal = minimal_opens_of_family(full, open_masks)
+        return FiniteSpace._from_masks(
+            renamed, (space.points - {old}) | {new}, mask_set, minimal)
+
+    def relabel(s: frozenset[Point]) -> frozenset[Point]:
+        return frozenset(new if p == old else p for p in s)
+
+    minimal_sets = {
+        (new if p == old else p): relabel(space.minimal_open(p))
+        for p in space.points
+    }
+    return FiniteSpace._trusted(
+        relabel(space.points),
+        frozenset(relabel(u) for u in space.opens),
+        minimal_sets,
+    )
 
 
 def _opens_masks(uni: Universe, subbase_masks: list[int]) -> frozenset[int]:

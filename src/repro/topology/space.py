@@ -51,13 +51,15 @@ class FiniteSpace:
     ['a', 'b']
     """
 
-    __slots__ = ("_points", "_opens", "_min_open_cache", "_kernel_state")
+    __slots__ = ("_points", "_opens", "_min_open_cache", "_kernel_state",
+                 "_minimal_masks")
 
     def __init__(self, points: Iterable[Point], opens: Iterable[Iterable[Point]]):
         self._points: frozenset[Point] = frozenset(points)
-        self._opens: frozenset[OpenSet] = _freeze_family(opens)
+        self._opens: frozenset[OpenSet] | None = _freeze_family(opens)
         self._min_open_cache: dict[Point, OpenSet] = {}
         self._kernel_state: tuple | None = None
+        self._minimal_masks: dict[int, int] | None = None
         self._validate()
 
     @classmethod
@@ -79,6 +81,30 @@ class FiniteSpace:
         self._opens = opens
         self._min_open_cache = dict(minimal_opens) if minimal_opens else {}
         self._kernel_state = None
+        self._minimal_masks = None
+        return self
+
+    @classmethod
+    def _from_masks(cls, uni, points: frozenset[Point], open_masks,
+                    minimal_masks: dict[int, int]) -> "FiniteSpace":
+        """Construct from interned masks, deferring the decode.
+
+        The incremental maintenance routes (:mod:`repro.topology.generation`'s
+        ``space_with_*``/``space_without_*``) patch mask families; a
+        chain of edits can then stay in mask form end to end — each step
+        reads this state back via the pre-filled kernel state and
+        ``_minimal_masks`` — and the frozenset family is only decoded if
+        some consumer actually asks for :attr:`opens`.  Trust contract
+        as for :meth:`_trusted`.
+        """
+        self = object.__new__(cls)
+        self._points = points
+        self._opens = None
+        self._min_open_cache = {}
+        masks = list(open_masks)
+        self._kernel_state = (uni, masks, set(masks),
+                              uni.encode_strict(points))
+        self._minimal_masks = dict(minimal_masks)
         return self
 
     def _masks(self) -> tuple[Universe, list[int], set[int], int]:
@@ -142,20 +168,24 @@ class FiniteSpace:
 
     @property
     def opens(self) -> frozenset[OpenSet]:
-        """The family of open sets ``T``."""
+        """The family of open sets ``T`` (decoded on first access for
+        mask-form spaces)."""
+        if self._opens is None:
+            uni, open_masks, _, _ = self._kernel_state
+            self._opens = uni.decode_many(open_masks)
         return self._opens
 
     def is_open(self, subset: Iterable[Point]) -> bool:
         """Whether ``subset`` is an open set of this space."""
-        return frozenset(subset) in self._opens
+        return frozenset(subset) in self.opens
 
     def is_closed(self, subset: Iterable[Point]) -> bool:
         """Whether ``subset`` is closed, i.e. its complement is open."""
-        return (self._points - frozenset(subset)) in self._opens
+        return (self._points - frozenset(subset)) in self.opens
 
     def closed_sets(self) -> frozenset[OpenSet]:
         """The family of all closed sets."""
-        return frozenset(self._points - u for u in self._opens)
+        return frozenset(self._points - u for u in self.opens)
 
     def __contains__(self, point: Point) -> bool:
         return point in self._points
@@ -166,13 +196,15 @@ class FiniteSpace:
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, FiniteSpace):
             return NotImplemented
-        return self._points == other._points and self._opens == other._opens
+        return self._points == other._points and self.opens == other.opens
 
     def __hash__(self) -> int:
-        return hash((self._points, self._opens))
+        return hash((self._points, self.opens))
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"FiniteSpace({len(self._points)} points, {len(self._opens)} opens)"
+        n_opens = (len(self._opens) if self._opens is not None
+                   else len(self._kernel_state[2]))
+        return f"FiniteSpace({len(self._points)} points, {n_opens} opens)"
 
     # ------------------------------------------------------------------
     # point-set operators
@@ -232,6 +264,12 @@ class FiniteSpace:
         cached = self._min_open_cache.get(point)
         if cached is not None:
             return cached
+        if self._minimal_masks is not None:
+            # Mask-form space: decode just the one asked-for minimal open.
+            uni = self._kernel_state[0]
+            out = uni.decode(self._minimal_masks[uni.index_of(point)])
+            self._min_open_cache[point] = out
+            return out
         # Fill the whole cache in one kernel pass: the minimal open of x
         # is the intersection of the opens containing x, and one sweep
         # over the mask family computes it for every point at once.
@@ -245,7 +283,7 @@ class FiniteSpace:
         """All open sets containing ``point``."""
         if point not in self._points:
             raise TopologyError(f"{point!r} is not a point of the space")
-        return frozenset(u for u in self._opens if point in u)
+        return frozenset(u for u in self.opens if point in u)
 
     def is_open_cover(self, family: Iterable[Iterable[Point]]) -> bool:
         """Whether ``family`` consists of opens whose union is the carrier.
@@ -256,7 +294,7 @@ class FiniteSpace:
         union: set[Point] = set()
         for member in family:
             fs = frozenset(member)
-            if fs not in self._opens:
+            if fs not in self.opens:
                 return False
             union |= fs
         return union == set(self._points)
@@ -266,8 +304,8 @@ class FiniteSpace:
     # ------------------------------------------------------------------
     def is_connected(self) -> bool:
         """Whether the space cannot be split into two disjoint nonempty opens."""
-        for u in self._opens:
-            if u and u != self._points and (self._points - u) in self._opens:
+        for u in self.opens:
+            if u and u != self._points and (self._points - u) in self.opens:
                 return False
         return True
 

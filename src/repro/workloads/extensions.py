@@ -62,8 +62,13 @@ def enforce_extension_axiom(db: DatabaseExtension) -> DatabaseExtension:
 
     Each iteration's diagnosis runs on the state's shared-interned kernel
     (batched axiom reports, and containment victims found by one id-space
-    scan per violating pair instead of a per-tuple projection sweep); the
-    object-level loop is retained as :func:`enforce_extension_axiom_naive`.
+    scan per violating pair instead of a per-tuple projection sweep), and
+    each repair is a :meth:`~repro.core.extension.DatabaseExtension.remove_tuples`
+    patch delta — so every successor state's kernel derives from its
+    predecessor's and the re-diagnosis re-judges only the contexts the
+    repair dirtied, instead of re-interning and re-auditing the whole
+    state per iteration.  The object-level loop is retained as
+    :func:`enforce_extension_axiom_naive`.
     """
     current = db
     changed = True
@@ -76,12 +81,12 @@ def enforce_extension_axiom(db: DatabaseExtension) -> DatabaseExtension:
             for group in report["collisions"]:
                 doomed += sorted(group, key=repr)[1:]
             if doomed:
-                current = current.replace(e, current.R(e).without_tuples(doomed))
+                current = current.remove_tuples(e, doomed)
                 changed = True
         for s, e, stray in current.containment_violations():
             victims = _projecting_into(current, s, e.attributes, stray)
             if victims:
-                current = current.replace(s, current.R(s).without_tuples(victims))
+                current = current.remove_tuples(s, victims)
                 changed = True
     return current
 

@@ -139,6 +139,52 @@ def random_database_states(rng: random.Random,
     return states
 
 
+def random_update_sequence(rng: random.Random, db, n_ops: int = 8,
+                           audit_every: int | None = None,
+                           constraints: list | None = None) -> list:
+    """Drive ``db`` through a random ``insert``/``delete``/``replace``/
+    ``remove_tuples`` sequence, returning every intermediate state.
+
+    The substrate of the delta-equivalence suite: each step exercises
+    the patch-derived kernel path (new-symbol inserts, deletes of
+    existing and of absent rows, propagating and non-propagating
+    updates, bulk removals, wholesale replaces).  With ``audit_every``
+    the chain is additionally audited (``check_all``) at that cadence so
+    the dirty-context caches are warm mid-sequence, which is exactly the
+    update-serving workload.  Returns ``[db, state_1, ..., state_n]``.
+    """
+    from repro.core import check_all
+    from repro.workloads.extensions import random_tuple
+
+    schema = db.schema
+    types = sorted(schema, key=lambda t: t.name)
+    states = [db]
+    for step in range(n_ops):
+        op = rng.choice(("insert", "delete", "replace", "remove"))
+        e = rng.choice(types)
+        if op == "insert":
+            db = db.insert(e, random_tuple(rng, schema, e.attributes),
+                           propagate=rng.random() < 0.7)
+        elif op == "delete":
+            pool = sorted(db.R(e).tuples, key=repr)
+            if pool and rng.random() < 0.8:
+                t = rng.choice(pool)
+            else:
+                t = random_tuple(rng, schema, e.attributes)
+            db = db.delete(e, t, propagate=rng.random() < 0.7)
+        elif op == "remove":
+            pool = sorted(db.R(e).tuples, key=repr)
+            db = db.remove_tuples(
+                e, rng.sample(pool, min(len(pool), rng.randint(0, 3))))
+        else:
+            db = db.replace(e, [random_tuple(rng, schema, e.attributes)
+                                for _ in range(rng.randint(0, 3))])
+        states.append(db)
+        if audit_every and (step + 1) % audit_every == 0:
+            check_all(schema, db, constraints=constraints or ())
+    return states
+
+
 def lossy_case(rng: random.Random,
                n_rows: int = 3) -> tuple[Relation, list[frozenset[str]]]:
     """A relation/decomposition pair that is lossy by construction.
