@@ -23,19 +23,10 @@ Run with ``--bench-json`` to record the timings in ``BENCH_kernel.json``
 
 import pytest
 
-from repro.core import (
-    CardinalityConstraint,
-    DatabaseExtension,
-    EntityFD,
-    FunctionalConstraint,
-    ParticipationConstraint,
-    Schema,
-    SubsetConstraint,
-    check_all,
-    check_all_naive,
-)
+from repro.core import check_all, check_all_naive
 from repro.relational import FD, Relation
 from repro.relational.fd import violating_pairs, violating_pairs_naive
+from repro.workloads import serving_state
 
 SIZES = [100, 500, 1000]
 WITNESS_SIZES = [200, 1000]
@@ -44,54 +35,12 @@ WITNESS_SIZES = [200, 1000]
 def sweep_state(n: int):
     """A consistent five-type state with ~n rows per relation.
 
-    ``person`` and ``dept`` overlap on ``dname`` so the contributor join
-    of the compound ``worksfor`` stays linear; ``manager`` specialises
-    ``worksfor`` and ``office`` compounds ``dept``, giving the audit two
-    compound types, five ISA containment pairs, and constraints over
-    three different context relations.
+    The fixture now lives in :func:`repro.workloads.serving_state` (the
+    store benches, CLI ``serve``, and the concurrency stress tests drive
+    the same shape); this alias keeps the bench-local name the a8 bench
+    imports.
     """
-    schema = Schema.from_attribute_sets(
-        {
-            "person": {"pname", "dname"},
-            "dept": {"dname", "budget"},
-            "worksfor": {"pname", "dname", "budget", "role"},
-            "manager": {"pname", "dname", "budget", "role", "bonus"},
-            "office": {"dname", "budget", "floor"},
-        },
-        domains={
-            "pname": range(n), "dname": range(n), "budget": range(53),
-            "role": range(7), "bonus": range(11), "floor": range(11),
-        },
-    )
-    dept_of = [(i * 3 + 1) % n for i in range(n)]
-    depts = [{"dname": j, "budget": j % 53} for j in range(n)]
-    persons = [{"pname": i, "dname": dept_of[i]} for i in range(n)]
-    worksfor = [
-        {"pname": i, "dname": dept_of[i], "budget": dept_of[i] % 53,
-         "role": i % 7}
-        for i in range(n)
-    ]
-    managers = [dict(w, bonus=w["pname"] % 11) for w in worksfor
-                if w["pname"] % 3 == 0]
-    offices = [{"dname": j, "budget": j % 53, "floor": j % 11}
-               for j in range(n)]
-    db = DatabaseExtension(schema, {
-        "person": persons, "dept": depts, "worksfor": worksfor,
-        "manager": managers, "office": offices,
-    })
-    constraints = [
-        FunctionalConstraint(EntityFD(schema["person"], schema["dept"],
-                                      schema["worksfor"])),
-        CardinalityConstraint(schema["worksfor"], schema["person"],
-                              schema["dept"], "1:n"),
-        FunctionalConstraint(EntityFD(schema["person"], schema["worksfor"],
-                                      schema["manager"])),
-        SubsetConstraint(schema["manager"], schema["worksfor"]),
-        SubsetConstraint(schema["worksfor"], schema["person"]),
-        ParticipationConstraint(schema["worksfor"], schema["person"]),
-        ParticipationConstraint(schema["office"], schema["dept"]),
-    ]
-    return schema, db, constraints
+    return serving_state(n)
 
 
 _STATES: dict[int, tuple] = {}

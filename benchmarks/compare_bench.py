@@ -31,8 +31,9 @@ import sys
 # Bench modules whose timings ride on the repro.kernel fast paths:
 # topology generation (a2), attribute closure (a3), the chase (a4), the
 # interned instance checks (a6-instance), the batched axiom sweeps over
-# the shared-interned extension (a7), and the incremental update stream
-# / subbase-edit maintenance (a8).
+# the shared-interned extension (a7), the incremental update stream /
+# subbase-edit maintenance (a8), and the store's audited-commit
+# throughput + WAL replay (a9).
 KERNEL_BENCH_PREFIXES = (
     "benchmarks/bench_a2_topology_generation.py::",
     "benchmarks/bench_a3_closure_vs_relational.py::",
@@ -40,6 +41,7 @@ KERNEL_BENCH_PREFIXES = (
     "benchmarks/bench_a6_instance_checks.py::",
     "benchmarks/bench_a7_axiom_sweep.py::",
     "benchmarks/bench_a8_update_stream.py::",
+    "benchmarks/bench_a9_store_throughput.py::",
 )
 
 

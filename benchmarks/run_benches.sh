@@ -1,12 +1,14 @@
 #!/usr/bin/env bash
 # Refresh the committed perf trajectory, gated by the regression diff.
 #
-# Dumps a fresh --bench-json from the full benchmark suite, diffs it
-# against the committed BENCH_kernel.json with compare_bench.py (which
-# fails on >2x kernel regressions AND on kernel baselines missing from
-# the fresh dump), and only on a passing diff replaces the committed
-# baseline with the fresh numbers.  Extra arguments are forwarded to
-# pytest (e.g. --benchmark-min-rounds=3 for a quicker sweep).
+# Dumps a fresh --bench-json from the full benchmark suite (a1-a9,
+# including the bench_a9 store-throughput workloads, plus the paper
+# examples), diffs it against the committed BENCH_kernel.json with
+# compare_bench.py (which fails on >2x kernel regressions AND on kernel
+# baselines missing from the fresh dump), and only on a passing diff
+# replaces the committed baseline with the fresh numbers.  Extra
+# arguments are forwarded to pytest (e.g. --benchmark-min-rounds=3 for
+# a quicker sweep).
 #
 # Usage: benchmarks/run_benches.sh [pytest args...]
 set -euo pipefail

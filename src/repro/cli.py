@@ -1,19 +1,26 @@
-"""Command-line interface: inspect, audit, and render database documents.
+"""Command-line interface: inspect, audit, render, and serve databases.
 
 Usage (after installation)::
 
     python -m repro.cli inspect db.json            # tables + figures
-    python -m repro.cli check db.json              # axiom + constraint audit
+    python -m repro.cli check db.json [--json]     # axiom + constraint audit
     python -m repro.cli topology db.json           # S/G/CO and subbase report
     python -m repro.cli fd db.json --closure       # dependency closure
     python -m repro.cli example employee out.json  # write the paper's example
+    python -m repro.cli serve db.json --wal w.log  # run store traffic
+    python -m repro.cli log w.log                  # print the WAL history
+    python -m repro.cli replay w.log --verify      # rebuild + audit from WAL
 
-Documents use the JSON format of :mod:`repro.io`.
+Documents use the JSON format of :mod:`repro.io`; ``serve``/``log``/
+``replay`` drive the versioned store of :mod:`repro.store` and share the
+``check --json`` audit-report shape, so CI can consume every audit
+surface uniformly.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from repro import io
@@ -49,12 +56,16 @@ def _cmd_check(args: argparse.Namespace) -> int:
     db, constraints = io.load(args.document)
     report = check_all(db.schema, db, constraints=constraints.constraints,
                        contributors=db.contributors)
-    print(report.render())
     problems = constraints.report(db)
+    ok = report.ok() and not problems
+    if args.json:
+        print(json.dumps(io.report_to_dict(report, problems),
+                         indent=2, sort_keys=True))
+        return 0 if ok else 1
+    print(report.render())
     for name, messages in problems.items():
         for message in messages:
             print(f"[constraint {name}] {message}")
-    ok = report.ok() and not problems
     print("verdict:", "CONSISTENT" if ok else "VIOLATIONS FOUND")
     return 0 if ok else 1
 
@@ -112,6 +123,138 @@ def _cmd_example(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run generated session traffic against a store built from the
+    document — the smallest end-to-end serving exercise: N worker
+    threads, optimistic commits, optional WAL, and a final audit."""
+    import random
+    import threading
+    import time
+
+    from repro.errors import CommitRejected, TransactionConflict
+    from repro.store import SessionService, StoreEngine
+    from repro.workloads import random_txn_specs
+
+    db, constraints = io.load(args.document)
+    engine = StoreEngine(db, constraints, validation=args.mode,
+                         wal=args.wal)
+    service = SessionService(engine)
+    rng = random.Random(args.seed)
+    specs = random_txn_specs(rng, db, args.txns)
+    shards = [specs[i::args.threads] for i in range(args.threads)]
+    counts = {"rejected": 0, "conflicts": 0}
+    tally = threading.Lock()
+    errors: list[BaseException] = []
+
+    def worker(shard):
+        session = service.session()
+        rejected = conflicts = 0
+        for ops in shard:
+            try:
+                session.run(ops)
+            except CommitRejected:
+                rejected += 1
+            except TransactionConflict:
+                conflicts += 1  # retries exhausted under contention
+            except BaseException as exc:  # re-raised after join
+                errors.append(exc)
+                break
+        with tally:
+            counts["rejected"] += rejected
+            counts["conflicts"] += conflicts
+
+    threads = [threading.Thread(target=worker, args=(shard,))
+               for shard in shards]
+    start = time.perf_counter()
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    elapsed = time.perf_counter() - start
+    if errors:
+        raise errors[0]
+    # Committed count comes from graph growth (authoritative under
+    # concurrency — a no-op commit returns a head another writer may
+    # have just advanced, so per-thread attribution would race).
+    counts["committed"] = len(engine.graph) - 1
+    counts["noop"] = (args.txns - counts["committed"] - counts["rejected"]
+                      - counts["conflicts"])
+    report = engine.audit()
+    engine.close()
+    summary = {
+        "txns": args.txns,
+        "threads": args.threads,
+        "mode": engine.validation,
+        **counts,
+        "versions": len(engine.graph),
+        "head": engine.head_version().vid,
+        "seconds": round(elapsed, 4),
+        "commits_per_s": round(counts["committed"] / elapsed, 1)
+        if elapsed else None,
+        "audit": io.report_to_dict(report),
+    }
+    if args.json:
+        print(json.dumps(summary, indent=2, sort_keys=True))
+    else:
+        for key in ("txns", "threads", "mode", "committed", "rejected",
+                    "conflicts", "noop", "versions", "head", "seconds",
+                    "commits_per_s"):
+            print(f"{key}: {summary[key]}")
+        print("final audit:", "CONSISTENT" if report.ok()
+              else report.render())
+    return 0 if report.ok() else 1
+
+
+def _cmd_log(args: argparse.Namespace) -> int:
+    """Print a write-ahead log's history, one line per record."""
+    from repro.store import WriteAheadLog
+
+    for record in WriteAheadLog.records(args.wal):
+        if args.json:
+            print(json.dumps(record, sort_keys=True))
+            continue
+        kind = record["type"]
+        if kind == "snapshot":
+            doc = record["document"]
+            print(f"{record['version']}  snapshot  [{record['branch']}]  "
+                  f"{len(doc.get('entity_types', {}))} types, "
+                  f"{sum(map(len, doc.get('relations', {}).values()))} rows")
+        elif kind == "branch":
+            print(f"branch {record['name']!r} at {record['at']}")
+        else:
+            ops = ", ".join(
+                f"{op['op']} {op['relation']}" for op in record["ops"])
+            print(f"{record['version']}  <- {record['parent']}  "
+                  f"[{record['branch']}]  {ops}")
+    return 0
+
+
+def _cmd_replay(args: argparse.Namespace) -> int:
+    """Rebuild the version graph from a WAL, audit the head, and
+    optionally write it back out as a document."""
+    from repro.store import StoreEngine
+
+    engine = StoreEngine.replay(args.wal, verify=args.verify)
+    heads = engine.graph.branches()
+    report = engine.audit()
+    if args.out:
+        io.save(args.out, engine.state(), engine.constraint_set)
+    if args.json:
+        print(json.dumps({
+            "versions": len(engine.graph),
+            "branches": heads,
+            "verified": args.verify,
+            "audit": io.report_to_dict(report),
+        }, indent=2, sort_keys=True))
+    else:
+        print(f"replayed {len(engine.graph)} versions; branches: {heads}")
+        print("head audit:", "CONSISTENT" if report.ok()
+              else report.render())
+        if args.out:
+            print(f"wrote head state to {args.out}")
+    return 0 if report.ok() else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -125,6 +268,9 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_check = sub.add_parser("check", help="axiom and constraint audit")
     p_check.add_argument("document")
+    p_check.add_argument("--json", action="store_true",
+                         help="emit the audit report (verdicts + witnesses) "
+                              "as machine-readable JSON")
     p_check.set_defaults(func=_cmd_check)
 
     p_topology = sub.add_parser("topology", help="S/G/CO and subbase report")
@@ -141,6 +287,42 @@ def build_parser() -> argparse.ArgumentParser:
     p_example.add_argument("name")
     p_example.add_argument("output")
     p_example.set_defaults(func=_cmd_example)
+
+    p_serve = sub.add_parser(
+        "serve", help="run session traffic against a versioned store")
+    p_serve.add_argument("document")
+    p_serve.add_argument("--txns", type=int, default=100,
+                         help="transactions to generate (default 100)")
+    p_serve.add_argument("--threads", type=int, default=4,
+                         help="concurrent writer sessions (default 4)")
+    p_serve.add_argument("--mode", default="delta",
+                         choices=("delta", "audit", "serial"),
+                         help="commit validation mode (default delta)")
+    p_serve.add_argument("--wal", default=None,
+                         help="write-ahead log path (durable commits)")
+    p_serve.add_argument("--seed", type=int, default=0,
+                         help="traffic generator seed (default 0)")
+    p_serve.add_argument("--json", action="store_true",
+                         help="emit the serving summary + audit as JSON")
+    p_serve.set_defaults(func=_cmd_serve)
+
+    p_log = sub.add_parser("log", help="print a write-ahead log's history")
+    p_log.add_argument("wal")
+    p_log.add_argument("--json", action="store_true",
+                       help="emit raw records as JSON lines")
+    p_log.set_defaults(func=_cmd_log)
+
+    p_replay = sub.add_parser(
+        "replay", help="rebuild a store from its write-ahead log")
+    p_replay.add_argument("wal")
+    p_replay.add_argument("--verify", action="store_true",
+                          help="re-validate every logged commit through "
+                               "the axiom gate")
+    p_replay.add_argument("--out", default=None,
+                          help="write the replayed head state to a document")
+    p_replay.add_argument("--json", action="store_true",
+                          help="emit the replay summary + audit as JSON")
+    p_replay.set_defaults(func=_cmd_replay)
 
     return parser
 

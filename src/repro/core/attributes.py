@@ -52,7 +52,11 @@ class AtomicValueSet:
     def __init__(self, name: str, values: Iterable[Value]):
         if not isinstance(name, str) or not name:
             raise SchemaError("an atomic value set needs a nonempty string name")
-        values = frozenset(values)
+        # Atomicity is judged *before* hashing into the frozenset, so an
+        # unhashable composite (a list from a JSON document, say) is
+        # reported as the Attribute Axiom violation it is rather than as
+        # a bare TypeError.
+        values = tuple(values)
         for v in values:
             if not is_atomic_value(v):
                 raise AxiomViolationError(
@@ -60,6 +64,7 @@ class AtomicValueSet:
                     f"value {v!r} in set {name!r} is decomposable",
                     offenders=(name, v),
                 )
+        values = frozenset(values)
         if not values:
             raise SchemaError(f"atomic value set {name!r} is empty")
         self.name = name

@@ -18,6 +18,7 @@ Two conditions tie the extension to the intension:
 
 from __future__ import annotations
 
+import os
 from collections.abc import Iterable, Mapping
 
 from repro.core.contributors import ContributorAssignment
@@ -33,8 +34,26 @@ from repro.relational import Relation, Tuple, join_all, project
 # chain is severed.  Severing bounds the memory a long update stream pins
 # (every delta holds its parent alive) and, because a severed state
 # interns afresh on demand, also compacts the append-only shared symbol
-# tables that would otherwise accumulate every value ever seen.
-_CHAIN_CAP = 1024
+# tables that would otherwise accumulate every value ever seen.  The
+# default can be overridden per state (``DatabaseExtension(...,
+# chain_cap=...)``, inherited by every derived successor) or process-wide
+# through the ``REPRO_CHAIN_CAP`` environment variable.
+DEFAULT_CHAIN_CAP = 1024
+
+# Backwards-compatible alias for the pre-configurable name.
+_CHAIN_CAP = DEFAULT_CHAIN_CAP
+
+
+def _resolve_chain_cap(chain_cap: int | None) -> int:
+    """The severing cap to use: explicit argument, else ``REPRO_CHAIN_CAP``
+    from the environment, else the module default.  Must be >= 1 (a cap
+    of 1 makes every successor a fresh root)."""
+    if chain_cap is None:
+        env = os.environ.get("REPRO_CHAIN_CAP")
+        chain_cap = int(env) if env else DEFAULT_CHAIN_CAP
+    if chain_cap < 1:
+        raise ValueError(f"chain_cap must be >= 1, got {chain_cap}")
+    return chain_cap
 
 
 class StateDelta:
@@ -87,8 +106,10 @@ class DatabaseExtension:
     def __init__(self,
                  schema: Schema,
                  relations: Mapping[str, object] | None = None,
-                 contributors: ContributorAssignment | None = None):
+                 contributors: ContributorAssignment | None = None,
+                 chain_cap: int | None = None):
         self.schema = schema
+        self._chain_cap = _resolve_chain_cap(chain_cap)
         self.spec = SpecialisationStructure(schema)
         self.gen = GeneralisationStructure(schema)
         self.contributors = contributors or ContributorAssignment(schema)
@@ -145,8 +166,8 @@ class DatabaseExtension:
         other tuples were validated when their state was built).  The
         successor records the update as a :class:`StateDelta` so its
         kernel and audits derive incrementally — unless the delta chain
-        has grown past ``_CHAIN_CAP``, where it is severed to bound
-        memory and re-compact the shared symbol tables.
+        has grown past the state's chain cap, where it is severed to
+        bound memory and re-compact the shared symbol tables.
         """
         db = object.__new__(cls)
         db.schema = parent.schema
@@ -155,7 +176,8 @@ class DatabaseExtension:
         db.contributors = parent.contributors
         db._relations = relations
         db._kernel = None
-        if parent._depth + 1 >= _CHAIN_CAP:
+        db._chain_cap = parent._chain_cap
+        if parent._depth + 1 >= parent._chain_cap:
             db._init_delta_state(None, 0)
         else:
             db._init_delta_state(
@@ -693,6 +715,96 @@ class DatabaseExtension:
         new = dict(self._relations)
         new[e] = relation
         return DatabaseExtension._derived(self, new, replaced=(e.name,))
+
+    def apply_changes(self,
+                      added: Mapping[str, Iterable] | None = None,
+                      removed: Mapping[str, Iterable] | None = None,
+                      replaced: Mapping[str, object] | None = None,
+                      validate: bool = True) -> "DatabaseExtension":
+        """Apply one batched delta in a single derivation step.
+
+        The transactional store's commit hook: a whole transaction's net
+        effect — tuples added, tuples removed, relations replaced
+        wholesale — lands as *one* :class:`StateDelta`, so the successor
+        pays one relation copy per touched relation and one kernel patch
+        per commit instead of one per buffered operation.  No semantic
+        propagation happens here; the caller (a :class:`Transaction`)
+        has already expanded its operations into their net row effect.
+
+        ``added``/``removed`` map relation names to row iterables;
+        rows already present (for ``added``) or absent (for ``removed``)
+        are filtered out, so the recorded delta is the genuine set
+        difference.  A name may be patched or replaced, not both.  With
+        ``validate=False`` the schema/domain checks on introduced tuples
+        are skipped — only for rows the caller has itself validated
+        (e.g. a store replaying its own write-ahead log).  Returns
+        ``self`` when nothing changes.
+        """
+        replaced = dict(replaced or {})
+        new = dict(self._relations)
+        net_added: dict[str, list[Tuple]] = {}
+        net_removed: dict[str, list[Tuple]] = {}
+        for name, rel in replaced.items():
+            e = self._resolve(name)
+            if not isinstance(rel, Relation):
+                rel = Relation(e.attributes, rel)
+            if rel.schema != e.attributes:
+                raise ExtensionError(
+                    f"relation for {e.name!r} has schema {sorted(rel.schema)}, "
+                    f"expected {sorted(e.attributes)}"
+                )
+            if validate:
+                self._validate_domains(e, rel.tuples)
+            new[e] = rel
+        for name, rows in (removed or {}).items():
+            if name in replaced:
+                raise ExtensionError(
+                    f"{name!r} is both patched and replaced in one delta")
+            e = self._resolve(name)
+            doomed = []
+            present = new[e].tuples
+            for row in rows:
+                t = row if isinstance(row, Tuple) else Tuple(dict(row))
+                if t.schema != e.attributes:
+                    raise ExtensionError(
+                        f"tuple schema {sorted(t.schema)} does not match "
+                        f"{e.name!r}")
+                if t in present:
+                    doomed.append(t)
+            if doomed:
+                new[e] = Relation._trusted(e.attributes,
+                                           new[e].tuples - set(doomed))
+                net_removed[e.name] = doomed
+        for name, rows in (added or {}).items():
+            if name in replaced:
+                raise ExtensionError(
+                    f"{name!r} is both patched and replaced in one delta")
+            e = self._resolve(name)
+            fresh = []
+            present = new[e].tuples
+            seen: set[Tuple] = set()
+            for row in rows:
+                t = row if isinstance(row, Tuple) else Tuple(dict(row))
+                if t.schema != e.attributes:
+                    raise ExtensionError(
+                        f"tuple schema {sorted(t.schema)} does not match "
+                        f"{e.name!r}")
+                if t in present or t in seen:
+                    continue
+                if validate:
+                    self._validate_domains(e, [t])
+                seen.add(t)
+                fresh.append(t)
+            if fresh:
+                new[e] = Relation._trusted(e.attributes,
+                                           new[e].tuples | set(fresh))
+                net_added[e.name] = fresh
+        if not net_added and not net_removed and not replaced:
+            return self
+        return DatabaseExtension._derived(
+            self, new, added=net_added, removed=net_removed,
+            replaced=tuple(replaced),
+        )
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, DatabaseExtension):

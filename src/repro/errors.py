@@ -73,3 +73,40 @@ class EvolutionError(ReproError):
 
 class IncompleteInformationError(ReproError):
     """Misuse of boolean-algebra-structured (null-carrying) domains."""
+
+
+class StoreError(ReproError):
+    """Misuse of the versioned store (unknown version/branch, bad root)."""
+
+
+class CommitRejected(StoreError):
+    """A transaction's delta violates an axiom or integrity constraint.
+
+    Attributes
+    ----------
+    findings:
+        Tuple of structured diagnostics (dicts with ``check``,
+        ``message``, and ``witnesses`` keys) describing every violation
+        the commit-time validation found.
+    """
+
+    def __init__(self, message: str, findings: tuple = ()):
+        super().__init__(message)
+        self.findings = tuple(findings)
+
+
+class TransactionConflict(StoreError):
+    """Optimistic concurrency failure: the transaction's footprint
+    overlaps a commit that landed after its base version.
+
+    Attributes
+    ----------
+    keys:
+        Tuple of the overlapping ``(relation, attrs, projected-row)``
+        conflict keys (empty when a wholesale replace forced the
+        conflict).  Retrying against the new head usually succeeds.
+    """
+
+    def __init__(self, message: str, keys: tuple = ()):
+        super().__init__(message)
+        self.keys = tuple(keys)

@@ -128,31 +128,44 @@ def constraints_to_list(constraints: ConstraintSet) -> list[dict[str, Any]]:
 
 def constraints_from_list(schema: Schema,
                           items: list[dict[str, Any]]) -> ConstraintSet:
-    """Rebuild a constraint set against ``schema``."""
+    """Rebuild a constraint set against ``schema``.
+
+    Malformed records — unknown kinds, missing fields — raise
+    :class:`SchemaError` rather than leaking ``KeyError``."""
     constraints = ConstraintSet(schema)
     for item in items:
-        kind = item.get("kind")
-        if kind == "subset":
-            constraints.add(SubsetConstraint(
-                schema[item["special"]], schema[item["general"]],
-            ))
-        elif kind == "fd":
-            constraints.add(FunctionalConstraint(EntityFD(
-                schema[item["determinant"]], schema[item["dependent"]],
-                schema[item["context"]],
-            )))
-        elif kind == "cardinality":
-            constraints.add(CardinalityConstraint(
-                schema[item["relationship"]], schema[item["left"]],
-                schema[item["right"]], item["cardinality"],
-            ))
-        elif kind == "participation":
-            constraints.add(ParticipationConstraint(
-                schema[item["relationship"]], schema[item["member"]],
-            ))
-        else:
-            raise SchemaError(f"unknown constraint kind: {kind!r}")
+        try:
+            _constraint_from_item(schema, constraints, item)
+        except KeyError as exc:
+            raise SchemaError(
+                f"constraint record {item!r} is missing field {exc}"
+            ) from exc
     return constraints
+
+
+def _constraint_from_item(schema: Schema, constraints: ConstraintSet,
+                          item: dict[str, Any]) -> None:
+    kind = item.get("kind")
+    if kind == "subset":
+        constraints.add(SubsetConstraint(
+            schema[item["special"]], schema[item["general"]],
+        ))
+    elif kind == "fd":
+        constraints.add(FunctionalConstraint(EntityFD(
+            schema[item["determinant"]], schema[item["dependent"]],
+            schema[item["context"]],
+        )))
+    elif kind == "cardinality":
+        constraints.add(CardinalityConstraint(
+            schema[item["relationship"]], schema[item["left"]],
+            schema[item["right"]], item["cardinality"],
+        ))
+    elif kind == "participation":
+        constraints.add(ParticipationConstraint(
+            schema[item["relationship"]], schema[item["member"]],
+        ))
+    else:
+        raise SchemaError(f"unknown constraint kind: {kind!r}")
 
 
 def database_to_dict(db: DatabaseExtension,
@@ -169,6 +182,36 @@ def database_from_dict(data: dict[str, Any]) -> tuple[DatabaseExtension, Constra
     db = extension_from_dict(data)
     constraints = constraints_from_list(db.schema, data.get("constraints", []))
     return db, constraints
+
+
+def report_to_dict(report, constraint_problems: dict[str, list[str]] | None = None,
+                   ) -> dict[str, Any]:
+    """An audit outcome as machine-readable JSON data.
+
+    ``report`` is a :class:`~repro.core.axioms.AxiomReport`;
+    ``constraint_problems`` the per-constraint message lists of
+    :meth:`ConstraintSet.report`.  Offenders (the findings' witnesses)
+    are serialised by ``repr`` — they are heterogeneous objects (entity
+    types, tuples, constraints) whose JSON forms live elsewhere; the
+    report is for consumption by tooling (CI, ``repro serve``/``replay``)
+    that needs verdicts and witness identity, not reconstruction.
+    """
+    constraint_problems = constraint_problems or {}
+    return {
+        "ok": report.ok() and not constraint_problems,
+        "findings": [
+            {
+                "axiom": f.axiom,
+                "message": f.message,
+                "witnesses": [repr(o) for o in f.offenders],
+            }
+            for f in report.findings
+        ],
+        "constraints": {
+            name: list(messages)
+            for name, messages in sorted(constraint_problems.items())
+        },
+    }
 
 
 def save(path: str | Path, db: DatabaseExtension,

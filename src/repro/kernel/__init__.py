@@ -20,7 +20,12 @@ from repro.kernel.bitops import (
     iter_bits,
     popcount,
 )
-from repro.kernel.batch import BatchVerdict, CheckSet, ExtensionKernel
+from repro.kernel.batch import (
+    BatchVerdict,
+    CheckSet,
+    ExtensionKernel,
+    dirty_group_keys,
+)
 from repro.kernel.chase import UnionFind, chase_rows, is_lossless_indices
 from repro.kernel.delta import (
     InstanceDelta,
@@ -56,6 +61,7 @@ __all__ = [
     "KernelDelta",
     "derive_instance",
     "derive_extension_kernel",
+    "dirty_group_keys",
     "join_id_rows",
     "join_interned",
     "closure_mask",

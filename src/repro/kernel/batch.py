@@ -35,6 +35,24 @@ from collections.abc import Iterable, Mapping
 from repro.kernel.instance import AttrName, IdRow, InstanceKernel, join_id_rows
 
 
+def dirty_group_keys(idx_sets: Iterable[tuple[int, ...]],
+                     rows: Iterable[IdRow],
+                     ) -> dict[tuple[int, ...], set[IdRow]]:
+    """The group keys a row delta touches, per grouping column tuple.
+
+    This is the granularity of incremental constraint re-evaluation
+    (:meth:`CheckSet.recheck` re-sweeps exactly these lhs-groups) and of
+    the store's optimistic conflict detection: two updates can interact
+    with a grouped sweep only where their key sets for some grouping
+    overlap, so disjoint key footprints commute.
+    """
+    rows = list(rows)
+    return {
+        idxs: {tuple(row[i] for i in idxs) for row in rows}
+        for idxs in idx_sets
+    }
+
+
 class BatchVerdict:
     """One constraint's outcome: the verdict plus raw id-row witnesses.
 
@@ -114,6 +132,12 @@ class CheckSet:
             (key, tuple(inst.indices_of(c) for c in components))
         )
         return self
+
+    def lhs_index_sets(self) -> tuple[tuple[int, ...], ...]:
+        """The distinct grouping column tuples of the compiled FDs and
+        MVDs — the granularity :func:`dirty_group_keys` (and therefore
+        :meth:`recheck` and the store's conflict footprints) works at."""
+        return tuple(self._grouped_entries())
 
     def _grouped_entries(self) -> dict[tuple[int, ...], list[list]]:
         """FD/MVD entries grouped by lhs column tuple.
@@ -230,8 +254,10 @@ class CheckSet:
         changed = tuple(added_rows) + tuple(removed_rows)
         results: dict = {}
         rows = self.instance.rows
-        for lhs, entries in self._grouped_entries().items():
-            dirty = {tuple(row[i] for i in lhs) for row in changed}
+        by_lhs = self._grouped_entries()
+        dirty_keys = dirty_group_keys(by_lhs, changed)
+        for lhs, entries in by_lhs.items():
+            dirty = dirty_keys[lhs]
             part = self.instance.partition(lhs) if dirty else {}
             judged: dict[tuple, list | None] = {
                 key: part.get(key) for key in dirty

@@ -34,7 +34,7 @@ class Tuple:
     Tuple({'name': 'ann'})
     """
 
-    __slots__ = ("_items", "_hash")
+    __slots__ = ("_items", "_hash", "_proj")
 
     def __init__(self, items: Mapping[AttrName, Value]):
         for attr, value in items.items():
@@ -44,6 +44,7 @@ class Tuple:
                 raise RelationError(f"value for {attr!r} is unhashable: {value!r}")
         self._items: tuple[tuple[AttrName, Value], ...] = tuple(sorted(items.items()))
         self._hash = hash(self._items)
+        self._proj: dict | None = None
 
     @property
     def schema(self) -> frozenset[AttrName]:
@@ -67,12 +68,34 @@ class Tuple:
         return dict(self._items)
 
     def project(self, attrs: Iterable[AttrName]) -> "Tuple":
-        """The tuple restricted to ``attrs`` (the projection pi of section 4)."""
-        wanted = frozenset(attrs)
-        missing = wanted - self.schema
-        if missing:
-            raise RelationError(f"cannot project on absent attributes: {sorted(missing)}")
-        return Tuple({a: v for a, v in self._items if a in wanted})
+        """The tuple restricted to ``attrs`` (the projection pi of section 4).
+
+        Items are already sorted and validated, and filtering preserves
+        both, so the projection goes through the trusted constructor.
+        Projections are the store's per-commit hot path (probe keys,
+        conflict footprints, propagation) and the same tuple is asked
+        for the same few attribute sets again and again, so results are
+        memoised on the tuple (lazily — only tuples that are projected
+        allocate the cache, and the key space is bounded by the attr
+        sets the schema's checks use).
+        """
+        wanted = attrs if isinstance(attrs, frozenset) else frozenset(attrs)
+        cache = self._proj
+        if cache is None:
+            cache = {}
+            self._proj = cache
+        else:
+            hit = cache.get(wanted)
+            if hit is not None:
+                return hit
+        items = tuple(item for item in self._items if item[0] in wanted)
+        if len(items) != len(wanted):
+            missing = wanted - self.schema
+            raise RelationError(
+                f"cannot project on absent attributes: {sorted(missing)}")
+        out = Tuple._trusted(items)
+        cache[wanted] = out
+        return out
 
     def merge(self, other: "Tuple") -> "Tuple":
         """Combine two tuples that agree on shared attributes.
@@ -107,6 +130,7 @@ class Tuple:
         t = object.__new__(cls)
         t._items = items
         t._hash = hash(items)
+        t._proj = None
         return t
 
     def __eq__(self, other: object) -> bool:

@@ -1,0 +1,46 @@
+"""`repro.store` — a versioned, transactional, concurrent serving layer.
+
+The paper models a database as a family of extension states judged by
+the design axioms; this package *serves* such states: a branchable
+version graph of immutable ``DatabaseExtension`` values
+(:mod:`version_graph`), transactions whose commits are axiom-gated
+deltas with optimistic lhs-group conflict detection (:mod:`txn`), a
+durable JSON-lines write-ahead log (:mod:`wal`), a thread-safe session
+API with lock-free snapshot reads (:mod:`session`), and the engine
+tying them together (:mod:`engine`).  See the "Store layer" section of
+``src/repro/kernel/README.md`` for the commit/validate/sever lifecycle
+and the conflict-detection contract.
+"""
+
+from repro.errors import CommitRejected, StoreError, TransactionConflict
+from repro.store.engine import ProbeIndex, StoreEngine
+from repro.store.session import Session, SessionService
+from repro.store.txn import (
+    Changes,
+    Op,
+    Transaction,
+    ValidationPlan,
+    validate_changes,
+    write_footprint,
+)
+from repro.store.version_graph import Version, VersionGraph
+from repro.store.wal import WriteAheadLog
+
+__all__ = [
+    "Changes",
+    "CommitRejected",
+    "Op",
+    "ProbeIndex",
+    "Session",
+    "SessionService",
+    "StoreEngine",
+    "StoreError",
+    "Transaction",
+    "TransactionConflict",
+    "ValidationPlan",
+    "Version",
+    "VersionGraph",
+    "WriteAheadLog",
+    "validate_changes",
+    "write_footprint",
+]

@@ -1,0 +1,439 @@
+"""The store engine: axiom-gated commits over a branchable version graph.
+
+:class:`StoreEngine` ties the layers together: a
+:class:`~repro.store.version_graph.VersionGraph` of immutable states, a
+:class:`~repro.store.wal.WriteAheadLog` for durability, and the
+commit-time validation of :mod:`repro.store.txn`.  The store's core
+invariant is *clean by induction*: the root is fully audited at
+construction (``check_all`` plus every integrity constraint), and a
+commit only installs a successor its validation admitted — so every
+version ever served satisfies the design axioms.
+
+Three validation modes, forming the store's own naive-to-kernel ladder
+(benchmarked against each other in ``bench_a9_store_throughput``):
+
+* ``"delta"`` (default) — targeted O(|delta|) probes
+  (:func:`~repro.store.txn.validate_changes`) against the head plus a
+  mutable head probe index; optimistic concurrency at ``(relation,
+  lhs-group)`` granularity lets disjoint writers commit back to back
+  without re-auditing, and the critical section is O(|delta|).
+* ``"audit"`` — every commit derives the candidate state and runs the
+  full dirty-context ``check_all`` (PR 4's chained caches +
+  ``CheckSet.recheck``); general — custom constraint kinds, wholesale
+  replaces — but re-serialises the audit behind the lock.
+* ``"serial"`` — the global-lock baseline: the candidate is rebuilt
+  through the public constructor (full re-validation) and audited cold,
+  the pre-delta behaviour of the library.
+
+Commits that buffer a wholesale ``replace`` are routed through the
+audit path even in ``"delta"`` mode (their footprint is unbounded) and
+conflict with every concurrent commit.
+
+Concurrency contract: reads are lock-free (states are immutable and the
+graph is append-only); one engine lock serialises commit installation.
+A transaction whose write footprint overlaps a commit that landed after
+its base raises :class:`~repro.errors.TransactionConflict` (first
+committer wins); disjoint footprints are rebased onto the head
+automatically — sound because validation probes and conflict keys are
+drawn from the *same* probe family, so a disjoint commit cannot disturb
+the groups this one's validation judged.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections.abc import Iterable
+from pathlib import Path
+
+from repro.core import ConstraintSet, DatabaseExtension, check_all
+from repro.core.axioms import AxiomReport
+from repro.errors import (
+    CommitRejected,
+    DependencyError,
+    StoreError,
+    TransactionConflict,
+)
+from repro.store.txn import (
+    Transaction,
+    ValidationPlan,
+    findings_from_report,
+    validate_changes,
+    write_footprint,
+)
+from repro.store.version_graph import Version, VersionGraph
+from repro.store.wal import (
+    WriteAheadLog,
+    branch_record,
+    commit_record,
+    snapshot_record,
+)
+
+VALIDATION_MODES = ("delta", "audit", "serial")
+
+
+class ProbeIndex:
+    """Mutable projection groups of one branch head.
+
+    For every proper-subset attribute set in a relation's probe family,
+    the index keeps ``projected-row -> [rows]`` — the candidate groups
+    commit validation and delete cascades look up in O(1) instead of
+    scanning the relation.  The engine mutates it in O(|delta|) under
+    the commit lock as the head advances; immutable per-state kernel
+    caches cannot serve this role because the head is a moving target.
+    """
+
+    __slots__ = ("_by_name", "_groups")
+
+    def __init__(self, plan: ValidationPlan, state: DatabaseExtension):
+        self._by_name: dict[str, list[tuple[frozenset, dict]]] = {}
+        self._groups: dict[tuple[str, frozenset], dict] = {}
+        for name, family in plan.probe_family.items():
+            full = plan.schema[name].attributes
+            for attrs in family:
+                if attrs == full:
+                    continue
+                groups: dict = {}
+                for t in state.R(name).tuples:
+                    groups.setdefault(t.project(attrs), []).append(t)
+                self._groups[(name, attrs)] = groups
+                self._by_name.setdefault(name, []).append((attrs, groups))
+
+    def group(self, name: str, attrs: frozenset, key):
+        """The head rows of ``name`` projecting onto ``key``, or ``None``
+        when ``(name, attrs)`` is not an indexed probe."""
+        groups = self._groups.get((name, attrs))
+        if groups is None:
+            return None
+        return groups.get(key, ())
+
+    def apply(self, changes, state_after: DatabaseExtension) -> None:
+        """Advance the index past one committed delta (O(|delta|) per
+        probe; a replaced relation rebuilds its probes wholesale)."""
+        for name, rows in changes.removed.items():
+            for attrs, groups in self._by_name.get(name, ()):
+                for t in rows:
+                    key = t.project(attrs)
+                    bucket = groups.get(key)
+                    if bucket is None:
+                        continue
+                    bucket.remove(t)
+                    if not bucket:
+                        del groups[key]
+        for name, rows in changes.added.items():
+            for attrs, groups in self._by_name.get(name, ()):
+                for t in rows:
+                    groups.setdefault(t.project(attrs), []).append(t)
+        for name in changes.replaced:
+            for attrs, groups in self._by_name.get(name, ()):
+                groups.clear()
+                for t in state_after.R(name).tuples:
+                    groups.setdefault(t.project(attrs), []).append(t)
+
+
+class StoreEngine:
+    """A concurrent, durable, multi-version store of one database.
+
+    Parameters
+    ----------
+    root:
+        The initial :class:`DatabaseExtension`; must pass the full audit
+        (an inconsistent root cannot anchor the clean-by-induction
+        invariant).
+    constraints:
+        Integrity constraints (a :class:`ConstraintSet` or an iterable)
+        every committed state must satisfy.
+    wal:
+        Optional path or :class:`WriteAheadLog`; when given, the root
+        snapshot and every commit/branch are logged durably.
+    validation:
+        One of ``"delta"`` / ``"audit"`` / ``"serial"`` (see the module
+        docstring).  ``"delta"`` silently degrades to ``"audit"`` when
+        the constraint set contains kinds it cannot probe incrementally.
+    """
+
+    def __init__(self, root: DatabaseExtension,
+                 constraints: ConstraintSet | Iterable = (),
+                 branch: str = "main",
+                 validation: str = "delta",
+                 wal: WriteAheadLog | str | Path | None = None,
+                 sync: bool = False,
+                 audit_root: bool = True):
+        if validation not in VALIDATION_MODES:
+            raise StoreError(
+                f"unknown validation mode {validation!r}; "
+                f"expected one of {VALIDATION_MODES}")
+        self.schema = root.schema
+        if isinstance(constraints, ConstraintSet):
+            self._constraint_set = constraints
+        else:
+            self._constraint_set = ConstraintSet(self.schema, constraints)
+        self.constraints = tuple(self._constraint_set.constraints)
+        self._vet_constraints()
+        if audit_root:
+            report = self._audit(root)
+            if not report.ok():
+                raise StoreError(
+                    "root state is inconsistent; a store only serves "
+                    "axiom-valid states:\n" + report.render())
+        self.plan = ValidationPlan(root, self.constraints)
+        if validation == "delta" and not self.plan.incremental_ok:
+            validation = "audit"
+        self.validation = validation
+        self.graph = VersionGraph(root, branch)
+        self._lock = threading.Lock()
+        self._indexes: dict[str, ProbeIndex] = {}
+        if validation == "delta":
+            self._indexes[branch] = ProbeIndex(self.plan, root)
+        if isinstance(wal, (str, Path)):
+            path = Path(wal)
+            if path.exists() and path.stat().st_size > 0:
+                raise StoreError(
+                    f"WAL {path} already has records; a fresh engine "
+                    "would append a second snapshot and corrupt it — "
+                    "replay it (StoreEngine.replay) or pick a new path")
+            wal = WriteAheadLog(path, sync=sync)
+        self.wal = wal
+        if wal is not None:
+            wal.append(snapshot_record(root, self._constraint_set,
+                                       self.graph.root.vid, branch))
+
+    def _vet_constraints(self) -> None:
+        """Refuse ill-typed dependencies up front: the store judges them
+        on every commit, so a constraint that cannot be judged is a
+        configuration error, not a per-commit finding."""
+        from repro.core.integrity import (
+            CardinalityConstraint,
+            FunctionalConstraint,
+        )
+        for c in self.constraints:
+            fds = [c.fd] if isinstance(c, FunctionalConstraint) else \
+                c.as_fds() if isinstance(c, CardinalityConstraint) else ()
+            for fd in fds:
+                try:
+                    fd.validate(self.schema)
+                except DependencyError as exc:
+                    raise StoreError(
+                        f"constraint {c.name!r} is ill-typed: {exc}") from exc
+
+    def _audit(self, state: DatabaseExtension) -> AxiomReport:
+        return check_all(self.schema, state, constraints=self.constraints,
+                         contributors=state.contributors)
+
+    # ------------------------------------------------------------------
+    # reads (lock-free: immutable states, append-only graph)
+    # ------------------------------------------------------------------
+    @property
+    def constraint_set(self) -> ConstraintSet:
+        """The integrity constraints as a :class:`ConstraintSet` — the
+        form :mod:`repro.io` documents want (``constraints`` is the same
+        content as a plain tuple)."""
+        return self._constraint_set
+
+    def head_version(self, branch: str = "main") -> Version:
+        return self.graph.head(branch)
+
+    def version(self, vid: str) -> Version:
+        return self.graph.get(vid)
+
+    def state(self, vid: str | None = None,
+              branch: str = "main") -> DatabaseExtension:
+        """A pinned snapshot: the given version's state, or the branch
+        head's."""
+        if vid is not None:
+            return self.graph.get(vid).state
+        return self.graph.head(branch).state
+
+    def audit(self, vid: str | None = None,
+              branch: str = "main") -> AxiomReport:
+        """A full re-audit of one version (should always come back clean
+        — the independent check the store's gate is tested against)."""
+        return self._audit(self.state(vid, branch))
+
+    # ------------------------------------------------------------------
+    # writes
+    # ------------------------------------------------------------------
+    def begin(self, branch: str = "main") -> Transaction:
+        """A transaction pinned at the branch's current head."""
+        return Transaction(self.schema, self.graph.head(branch), branch)
+
+    def branch(self, name: str, at: str | None = None,
+               from_branch: str = "main") -> Version:
+        """Create branch ``name`` at version ``at`` (default: the head of
+        ``from_branch``)."""
+        with self._lock:
+            version = self.graph.get(at) if at is not None \
+                else self.graph.head(from_branch)
+            if name in self.graph.heads:
+                # Validate before the WAL append: a record for a branch
+                # that then fails to create would poison every replay.
+                raise StoreError(f"branch {name!r} already exists")
+            if self.wal is not None:
+                self.wal.append(branch_record(name, version.vid))
+            self.graph.create_branch(name, version)
+            if self.validation == "delta":
+                self._indexes[name] = ProbeIndex(self.plan, version.state)
+            return version
+
+    def commit(self, txn: Transaction) -> Version:
+        """Validate and install one transaction.
+
+        Raises :class:`CommitRejected` (with witness findings) when the
+        delta violates an axiom or constraint, and
+        :class:`TransactionConflict` when its footprint overlaps a
+        commit that landed after its base (retry from the new head; see
+        :meth:`Session.commit` for the retry loop).  A transaction whose
+        net effect *against the current head* is empty returns the head
+        unchanged — including when concurrent commits already did the
+        same work (re-deleting a deleted row, re-inserting a present
+        one): an intent the head already satisfies has nothing left to
+        conflict over.
+        """
+        if txn.committed:
+            raise StoreError("transaction was already committed")
+        if txn.schema is not self.schema:
+            raise StoreError("transaction belongs to a different store")
+        with self._lock:
+            head = self.graph.head(txn.branch)
+            index = self._indexes.get(txn.branch)
+            changes = txn.net_changes(head.state, index)
+            if not changes:
+                txn.committed = True
+                return head
+            writes = write_footprint(self.plan, changes)
+            if head is not txn.base:
+                self._check_conflicts(txn, head, writes)
+            candidate, findings = self._validate(head.state, changes, index)
+            if findings:
+                raise CommitRejected(
+                    f"commit of {changes!r} violates "
+                    f"{len(findings)} check(s)", tuple(findings))
+            if candidate is None:
+                candidate = head.state.apply_changes(
+                    changes.added, changes.removed, changes.replaced,
+                    validate=False)
+            if self.wal is not None:
+                self.wal.append(commit_record(
+                    self.graph.next_vid(), head.vid, txn.branch, txn.ops))
+            version = self.graph.add_commit(head, candidate, writes,
+                                            tuple(txn.ops), txn.branch)
+            if index is not None:
+                index.apply(changes, candidate)
+            txn.committed = True
+            return version
+
+    def _check_conflicts(self, txn: Transaction, head: Version,
+                         writes: frozenset | None) -> None:
+        span = self.graph.span(txn.base.vid, head)
+        if span is None:
+            raise StoreError(
+                f"base version {txn.base.vid} is not an ancestor of the "
+                f"{txn.branch!r} head {head.vid}")
+        for version in span:
+            if writes is None or version.writes is None:
+                raise TransactionConflict(
+                    f"unbounded footprint overlaps commit {version.vid}")
+            overlap = writes & version.writes
+            if overlap:
+                raise TransactionConflict(
+                    f"footprint overlaps commit {version.vid} on "
+                    f"{len(overlap)} group(s)",
+                    keys=tuple(sorted(overlap, key=repr)))
+
+    def _validate(self, head_state: DatabaseExtension, changes, index):
+        """(candidate, findings) for one delta under the engine's mode;
+        candidate is ``None`` when the targeted validator judged the
+        delta without deriving the successor state."""
+        if self.validation == "serial":
+            derived = head_state.apply_changes(
+                changes.added, changes.removed, changes.replaced,
+                validate=True)
+            candidate = DatabaseExtension(
+                self.schema, {e.name: derived.R(e) for e in self.schema},
+                head_state.contributors)
+            return candidate, findings_from_report(self._audit(candidate))
+        if self.validation == "audit" or changes.replaced:
+            candidate = head_state.apply_changes(
+                changes.added, changes.removed, changes.replaced,
+                validate=False)
+            return candidate, findings_from_report(self._audit(candidate))
+        return None, validate_changes(self.plan, head_state, changes, index)
+
+    # ------------------------------------------------------------------
+    # durability
+    # ------------------------------------------------------------------
+    @classmethod
+    def replay(cls, wal_path: str | Path,
+               validation: str = "delta",
+               verify: bool = False,
+               wal: WriteAheadLog | str | Path | None = None) -> "StoreEngine":
+        """Rebuild an engine (and its whole version graph) from a WAL.
+
+        With ``verify=True`` every logged commit is re-validated through
+        the normal gate (a clean log replays identically; a tampered one
+        raises); the default trusts the log and re-applies the
+        operations directly, which still re-derives every state and
+        checks that version ids line up.  Pass ``wal`` to start logging
+        the replayed store into a fresh file.
+        """
+        from repro import io
+
+        records = WriteAheadLog.records(wal_path)
+        try:
+            first = next(records)
+        except StopIteration:
+            raise StoreError(f"empty WAL: {wal_path}") from None
+        if first.get("type") != "snapshot":
+            raise StoreError("WAL must start with a snapshot record")
+        db, constraint_set = io.database_from_dict(first["document"])
+        engine = cls(db, constraint_set, branch=first["branch"],
+                     validation=validation, wal=wal, audit_root=verify)
+        for record in records:
+            kind = record.get("type")
+            if kind == "branch":
+                engine.branch(record["name"], at=record["at"])
+                continue
+            if kind != "commit":
+                raise StoreError(f"unknown WAL record type {kind!r}")
+            parent = engine.graph.get(record["parent"])
+            txn = Transaction.from_records(engine.schema, parent,
+                                           record["branch"], record["ops"])
+            if verify:
+                version = engine.commit(txn)
+            else:
+                version = engine._install_unverified(txn)
+            if version.vid != record["version"]:
+                raise StoreError(
+                    f"replay drift: WAL says {record['version']}, "
+                    f"graph produced {version.vid}")
+        return engine
+
+    def _install_unverified(self, txn: Transaction) -> Version:
+        """Re-apply a logged commit without re-judging it (replay trusts
+        its own log); states and footprints are still re-derived, so the
+        rebuilt graph is structurally identical."""
+        with self._lock:
+            head = self.graph.head(txn.branch)
+            index = self._indexes.get(txn.branch)
+            changes = txn.net_changes(head.state, index)
+            writes = write_footprint(self.plan, changes)
+            candidate = head.state.apply_changes(
+                changes.added, changes.removed, changes.replaced,
+                validate=False)
+            if self.wal is not None:
+                self.wal.append(commit_record(
+                    self.graph.next_vid(), head.vid, txn.branch, txn.ops))
+            version = self.graph.add_commit(head, candidate, writes,
+                                            tuple(txn.ops), txn.branch)
+            if index is not None:
+                index.apply(changes, candidate)
+            txn.committed = True
+            return version
+
+    def close(self) -> None:
+        if self.wal is not None:
+            self.wal.close()
+
+    def __repr__(self) -> str:
+        return (f"StoreEngine({len(self.graph)} versions, "
+                f"branches={self.graph.branches()}, "
+                f"validation={self.validation!r})")

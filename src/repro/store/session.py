@@ -1,0 +1,112 @@
+"""Concurrent sessions: the store's client-facing serving surface.
+
+A :class:`Session` is one client's handle onto a branch.  Reads never
+lock: a snapshot pins a :class:`~repro.store.version_graph.Version`
+whose state is an immutable value, so a reader holding ``v7`` keeps
+seeing ``v7`` however far the head advances — multi-version concurrency
+the cheap way, because the data structure is already persistent.
+
+Writes go through the engine's optimistic gate; :meth:`Session.commit`
+wraps the retry loop a conflict calls for (rebase onto the new head and
+try again — disjoint writers never loop, contended writers resolve in
+footprint order).  :class:`SessionService` is the thread-safe factory a
+server hands each connection.
+"""
+
+from __future__ import annotations
+
+from repro.errors import TransactionConflict
+from repro.relational import Relation
+from repro.store.engine import StoreEngine
+from repro.store.txn import Transaction
+from repro.store.version_graph import Version
+
+
+class Session:
+    """One client's view of one branch of the store."""
+
+    __slots__ = ("engine", "branch")
+
+    def __init__(self, engine: StoreEngine, branch: str = "main"):
+        self.engine = engine
+        self.branch = branch
+
+    # ------------------------------------------------------------------
+    # reads (lock-free)
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Version:
+        """Pin the branch's current head; the returned version (and its
+        state) never changes under the caller."""
+        return self.engine.head_version(self.branch)
+
+    def read(self, relation: str, at: Version | str | None = None) -> Relation:
+        """The instance set ``R_relation`` at a pinned version (default:
+        the current head)."""
+        if at is None:
+            state = self.engine.head_version(self.branch).state
+        elif isinstance(at, Version):
+            state = at.state
+        else:
+            state = self.engine.version(at).state
+        return state.R(relation)
+
+    # ------------------------------------------------------------------
+    # writes
+    # ------------------------------------------------------------------
+    def begin(self) -> Transaction:
+        """A transaction pinned at the branch's current head."""
+        return self.engine.begin(self.branch)
+
+    def commit(self, txn: Transaction, max_retries: int = 16) -> Version:
+        """Commit with automatic conflict retries.
+
+        A :class:`~repro.errors.TransactionConflict` means another
+        writer's footprint landed first; the transaction is rebased onto
+        the new head and retried (its buffered operations are data, so
+        rebasing is free).  :class:`~repro.errors.CommitRejected` is
+        *not* retried — a semantic violation does not heal by waiting.
+        """
+        attempt = txn
+        for _ in range(max_retries):
+            try:
+                return self.engine.commit(attempt)
+            except TransactionConflict:
+                attempt = attempt.rebased(
+                    self.engine.head_version(self.branch))
+        return self.engine.commit(attempt)
+
+    def run(self, ops, max_retries: int = 16) -> Version:
+        """Convenience: buffer ``(kind, relation, row_or_rows)`` op specs
+        into a fresh transaction and commit it with retries."""
+        txn = self.begin()
+        for spec in ops:
+            kind, relation, payload = spec[0], spec[1], spec[2]
+            propagate = spec[3] if len(spec) > 3 else True
+            if kind == "insert":
+                txn.insert(relation, payload, propagate)
+            elif kind == "delete":
+                txn.delete(relation, payload, propagate)
+            elif kind == "remove":
+                txn.remove(relation, payload)
+            elif kind == "replace":
+                txn.replace(relation, payload)
+            else:
+                raise ValueError(f"unknown op kind {kind!r}")
+        return self.commit(txn, max_retries=max_retries)
+
+
+class SessionService:
+    """Hands out sessions over one engine — a server's front door.
+
+    Sessions are cheap (two slots); the service exists so connection
+    handling code never touches the engine's internals.
+    """
+
+    __slots__ = ("engine",)
+
+    def __init__(self, engine: StoreEngine):
+        self.engine = engine
+
+    def session(self, branch: str = "main") -> Session:
+        self.engine.head_version(branch)  # fail fast on unknown branches
+        return Session(self.engine, branch)

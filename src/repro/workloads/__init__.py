@@ -15,8 +15,20 @@ from repro.workloads.extensions import (
     random_tuple,
 )
 from repro.workloads.fds import all_statements, random_fd, random_premises
+from repro.workloads.sessions import (
+    contended_commit_specs,
+    disjoint_commit_specs,
+    manager_stream,
+    random_txn_specs,
+    serving_state,
+)
 
 __all__ = [
+    "contended_commit_specs",
+    "disjoint_commit_specs",
+    "manager_stream",
+    "random_txn_specs",
+    "serving_state",
     "SHAPES",
     "random_schema",
     "schema_of_attribute_sets",

@@ -83,3 +83,92 @@ class TestExample:
 
     def test_unknown_example(self, tmp_path):
         assert cli.main(["example", "nothing", str(tmp_path / "x.json")]) == 2
+
+
+class TestCheckJson:
+    def test_clean_state_json(self, document, capsys):
+        import json
+
+        assert cli.main(["check", document, "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data == {"ok": True, "findings": [], "constraints": {}}
+
+    def test_violations_json_carry_witnesses(self, broken_document, capsys):
+        import json
+
+        assert cli.main(["check", broken_document, "--json"]) == 1
+        data = json.loads(capsys.readouterr().out)
+        assert data["ok"] is False
+        axioms = {f["axiom"] for f in data["findings"]}
+        assert "Containment Condition" in axioms
+        assert any(f["witnesses"] for f in data["findings"])
+
+
+class TestServeLogReplay:
+    def test_serve_emits_summary_and_wal(self, document, tmp_path, capsys):
+        import json
+
+        wal = tmp_path / "serve.wal"
+        assert cli.main(["serve", document, "--txns", "30", "--threads", "2",
+                         "--wal", str(wal), "--seed", "3", "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["audit"]["ok"] is True
+        assert data["committed"] + data["rejected"] + data["conflicts"] \
+            + data["noop"] == 30
+        assert data["versions"] == data["committed"] + 1
+        assert wal.exists()
+
+    def test_log_lists_history(self, document, tmp_path, capsys):
+        wal = tmp_path / "serve.wal"
+        assert cli.main(["serve", document, "--txns", "12", "--threads", "1",
+                         "--wal", str(wal), "--seed", "3"]) == 0
+        capsys.readouterr()
+        assert cli.main(["log", str(wal)]) == 0
+        out = capsys.readouterr().out.splitlines()
+        assert out[0].startswith("v0  snapshot")
+        assert any("<- v0" in line for line in out)
+
+    def test_log_json_records(self, document, tmp_path, capsys):
+        import json
+
+        wal = tmp_path / "serve.wal"
+        cli.main(["serve", document, "--txns", "6", "--threads", "1",
+                  "--wal", str(wal), "--seed", "3"])
+        capsys.readouterr()
+        assert cli.main(["log", str(wal), "--json"]) == 0
+        records = [json.loads(line)
+                   for line in capsys.readouterr().out.splitlines()]
+        assert records[0]["type"] == "snapshot"
+        assert all(r["type"] in ("snapshot", "commit", "branch")
+                   for r in records)
+
+    def test_replay_verifies_and_writes_head(self, document, tmp_path, capsys):
+        import json
+
+        from repro import io as _io
+
+        wal = tmp_path / "serve.wal"
+        out_doc = tmp_path / "head.json"
+        cli.main(["serve", document, "--txns", "20", "--threads", "2",
+                  "--wal", str(wal), "--seed", "3"])
+        capsys.readouterr()
+        assert cli.main(["replay", str(wal), "--verify",
+                         "--out", str(out_doc), "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["audit"]["ok"] is True
+        assert data["verified"] is True
+        db, constraints = _io.load(out_doc)
+        assert db.is_consistent()
+
+    def test_serve_modes_agree_on_traffic(self, document, tmp_path, capsys):
+        import json
+
+        outcomes = {}
+        for mode in ("delta", "audit"):
+            assert cli.main(["serve", document, "--txns", "25",
+                             "--threads", "1", "--mode", mode,
+                             "--seed", "5", "--json"]) == 0
+            data = json.loads(capsys.readouterr().out)
+            outcomes[mode] = (data["committed"], data["rejected"],
+                              data["noop"])
+        assert outcomes["delta"] == outcomes["audit"]

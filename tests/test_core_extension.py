@@ -139,3 +139,61 @@ class TestEquality:
     def test_insert_changes_equality(self, db):
         grown = db.insert("person", {"name": "fay", "age": 28})
         assert grown != db
+
+
+class TestChainCap:
+    """The delta-chain severing cap (DatabaseExtension keyword +
+    REPRO_CHAIN_CAP env var, default 1024)."""
+
+    def test_default_cap(self, db):
+        from repro.core.extension import DEFAULT_CHAIN_CAP
+
+        assert db._chain_cap == DEFAULT_CHAIN_CAP == 1024
+
+    def test_cap_of_two_severs_and_still_audits(self, schema):
+        from repro.core import check_all
+        from repro.core.employee import employee_extension
+
+        db = employee_extension(schema)
+        capped = DatabaseExtension(
+            schema, {e.name: db.R(e) for e in schema}, chain_cap=2)
+        assert capped._chain_cap == 2
+        current = capped
+        rows = [
+            {"name": "fay", "age": 28},
+            {"name": "eva", "age": 47},
+            {"name": "dee", "age": 42},
+            {"name": "cas", "age": 53},
+        ]
+        depths = []
+        for row in rows:
+            current = current.insert("person", row)
+            depths.append(current._depth)
+        # depth never reaches the cap: 1, then severed back to 0
+        assert depths == [1, 0, 1, 0]
+        assert current._delta is None or current._depth < 2
+        # severed states re-intern from scratch and audit identically
+        report = check_all(schema, current)
+        naive = current.kernel_naive()
+        assert report.ok()
+        assert {name: inst.n_rows for name, inst in
+                current.kernel.instances.items()} == \
+            {name: inst.n_rows for name, inst in naive.instances.items()}
+        uncapped = db
+        for row in rows:
+            uncapped = uncapped.insert("person", row)
+        assert current == uncapped
+
+    def test_cap_from_environment(self, schema, monkeypatch):
+        monkeypatch.setenv("REPRO_CHAIN_CAP", "3")
+        db = DatabaseExtension(schema)
+        assert db._chain_cap == 3
+        assert db.insert("person", {"name": "fay", "age": 28})._chain_cap == 3
+
+    def test_explicit_cap_beats_environment(self, schema, monkeypatch):
+        monkeypatch.setenv("REPRO_CHAIN_CAP", "3")
+        assert DatabaseExtension(schema, chain_cap=7)._chain_cap == 7
+
+    def test_invalid_cap_rejected(self, schema):
+        with pytest.raises(ValueError):
+            DatabaseExtension(schema, chain_cap=0)

@@ -110,3 +110,170 @@ class TestFileRoundtrip:
 
         with pytest.raises(AxiomViolationError):
             io.load(path)
+
+
+class TestEveryConstraintKindRoundtrips:
+    """Satellite coverage: each built-in kind survives dump -> load."""
+
+    def _roundtrip(self, schema, constraint):
+        from repro.core import ConstraintSet
+
+        items = io.constraints_to_list(ConstraintSet(schema, [constraint]))
+        rebuilt = io.constraints_from_list(schema, items)
+        assert io.constraints_to_list(rebuilt) == items
+        return items[0]
+
+    def test_subset(self, schema):
+        from repro.core import SubsetConstraint
+
+        item = self._roundtrip(
+            schema, SubsetConstraint(schema["manager"], schema["employee"]))
+        assert item == {"kind": "subset", "special": "manager",
+                        "general": "employee"}
+
+    def test_fd(self, schema):
+        from repro.core import EntityFD, FunctionalConstraint
+
+        item = self._roundtrip(schema, FunctionalConstraint(EntityFD(
+            schema["employee"], schema["department"], schema["worksfor"])))
+        assert item == {"kind": "fd", "determinant": "employee",
+                        "dependent": "department", "context": "worksfor"}
+
+    def test_cardinality(self, schema):
+        from repro.core import CardinalityConstraint
+
+        item = self._roundtrip(schema, CardinalityConstraint(
+            schema["worksfor"], schema["employee"], schema["department"],
+            "1:n"))
+        assert item["kind"] == "cardinality"
+        assert item["cardinality"] == "1:n"
+
+    def test_participation(self, schema):
+        from repro.core import ParticipationConstraint
+
+        item = self._roundtrip(schema, ParticipationConstraint(
+            schema["worksfor"], schema["employee"]))
+        assert item == {"kind": "participation", "relationship": "worksfor",
+                        "member": "employee"}
+
+    def test_mixed_set_survives_save_load(self, tmp_path, schema, db):
+        from repro.core import (
+            CardinalityConstraint,
+            ConstraintSet,
+            EntityFD,
+            FunctionalConstraint,
+            ParticipationConstraint,
+            SubsetConstraint,
+        )
+
+        full = ConstraintSet(schema, [
+            SubsetConstraint(schema["manager"], schema["employee"]),
+            FunctionalConstraint(EntityFD(schema["employee"],
+                                          schema["department"],
+                                          schema["worksfor"])),
+            CardinalityConstraint(schema["worksfor"], schema["employee"],
+                                  schema["department"], "1:n"),
+            ParticipationConstraint(schema["worksfor"], schema["employee"]),
+        ])
+        path = tmp_path / "full.json"
+        io.save(path, db, full)
+        _, loaded = io.load(path)
+        assert io.constraints_to_list(loaded) == io.constraints_to_list(full)
+        assert {type(c).__name__ for c in loaded.constraints} == \
+            {type(c).__name__ for c in full.constraints}
+
+
+class TestMalformedDocuments:
+    """Satellite coverage: error paths of io.load / the from_dict codecs."""
+
+    def test_partial_domains_rejected(self):
+        # domains present but missing a used property
+        with pytest.raises(SchemaError):
+            io.schema_from_dict({
+                "domains": {"a": [1, 2]},
+                "entity_types": {"xy": ["a", "b"]},
+            })
+
+    def test_omitted_domains_get_defaults_but_validate_rows(self):
+        # no domains at all: the documented small-integer defaults apply,
+        # so out-of-range relation values still fail domain validation
+        from repro.errors import ExtensionError
+
+        db = io.extension_from_dict({
+            "entity_types": {"x": ["a"]},
+            "relations": {"x": [{"a": 1}]},
+        })
+        assert len(db.R("x")) == 1
+        with pytest.raises(ExtensionError):
+            io.extension_from_dict({
+                "entity_types": {"x": ["a"]},
+                "relations": {"x": [{"a": 99}]},
+            })
+
+    def test_non_scalar_domain_value_is_attribute_axiom(self):
+        from repro.errors import AxiomViolationError
+
+        for bad in ([1, 2], {"nested": True}):
+            with pytest.raises(AxiomViolationError) as exc:
+                io.schema_from_dict({
+                    "domains": {"a": [bad]},
+                    "entity_types": {"x": ["a"]},
+                })
+            assert exc.value.axiom == "Attribute Axiom"
+
+    def test_non_scalar_relation_value_rejected(self):
+        from repro.errors import ExtensionError
+
+        with pytest.raises(ExtensionError):
+            io.extension_from_dict({
+                "domains": {"a": [1, 2]},
+                "entity_types": {"x": ["a"]},
+                "relations": {"x": [{"a": [1, 2]}]},
+            })
+
+    def test_constraint_missing_fields_rejected(self, schema):
+        with pytest.raises(SchemaError) as exc:
+            io.constraints_from_list(schema, [{"kind": "fd"}])
+        assert "missing field" in str(exc.value)
+
+    def test_constraint_over_unknown_entity_rejected(self, schema):
+        with pytest.raises(SchemaError):
+            io.constraints_from_list(schema, [
+                {"kind": "subset", "special": "manager", "general": "nope"},
+            ])
+
+    def test_relation_for_unknown_entity_rejected(self):
+        with pytest.raises(SchemaError):
+            io.extension_from_dict({
+                "domains": {"a": [1]},
+                "entity_types": {"x": ["a"]},
+                "relations": {"ghost": [{"a": 1}]},
+            })
+
+
+class TestReportToDict:
+    def test_clean_report(self, schema, db, constraints):
+        from repro.core import check_all
+
+        report = check_all(schema, db, constraints=constraints.constraints)
+        data = io.report_to_dict(report, constraints.report(db))
+        assert data == {"ok": True, "findings": [], "constraints": {}}
+        import json as _json
+
+        assert _json.loads(_json.dumps(data)) == data
+
+    def test_violations_serialise_with_witnesses(self, schema, db, constraints):
+        from repro.core import check_all
+
+        broken = db.insert("manager", {
+            "name": "eva", "age": 47, "depname": "admin", "budget": 100,
+        }, propagate=False)
+        report = check_all(schema, broken, constraints=constraints.constraints)
+        data = io.report_to_dict(report, constraints.report(broken))
+        assert data["ok"] is False
+        assert data["findings"]
+        assert all(isinstance(w, str)
+                   for f in data["findings"] for w in f["witnesses"])
+        import json as _json
+
+        _json.dumps(data)  # JSON-clean end to end

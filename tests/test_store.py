@@ -1,0 +1,521 @@
+"""Unit and differential tests for the versioned store (repro.store).
+
+The load-bearing suites are differential:
+
+* delta-mode commit validation must agree, accept/reject and state for
+  state, with audit-mode validation (full dirty-context ``check_all``)
+  over seeded random transaction streams, and
+
+* WAL replay must rebuild a version graph whose every state equals the
+  original (~200 seeded version comparisons, trusted and verified
+  replay).
+"""
+
+import random
+
+import pytest
+
+from repro import io
+from repro.core import DatabaseExtension, check_all
+from repro.core.employee import employee_constraints, employee_extension
+from repro.errors import (
+    CommitRejected,
+    ExtensionError,
+    StoreError,
+    TransactionConflict,
+)
+from repro.store import (
+    SessionService,
+    StoreEngine,
+    Transaction,
+    ValidationPlan,
+    VersionGraph,
+    WriteAheadLog,
+    write_footprint,
+)
+from repro.workloads import (
+    manager_stream,
+    random_txn_specs,
+    serving_state,
+)
+
+
+@pytest.fixture
+def employee_engine():
+    db = employee_extension()
+    return StoreEngine(db, employee_constraints(db.schema))
+
+
+def _mk_engine(n=60, **kwargs):
+    schema, db, constraints = serving_state(n)
+    return StoreEngine(db, constraints, **kwargs)
+
+
+class TestVersionGraph:
+    def test_root_and_heads(self, employee_engine):
+        g = employee_engine.graph
+        assert g.root.vid == "v0"
+        assert g.head().vid == "v0"
+        assert g.branches() == {"main": "v0"}
+
+    def test_unknown_version_and_branch(self, employee_engine):
+        g = employee_engine.graph
+        with pytest.raises(StoreError):
+            g.get("v99")
+        with pytest.raises(StoreError):
+            g.head("nope")
+
+    def test_span_and_lineage(self):
+        engine = _mk_engine()
+        session = SessionService(engine).session()
+        rows = manager_stream(60, 3)
+        vids = [session.commit(
+            session.begin().insert("manager", r)).vid for r in rows]
+        assert vids == ["v1", "v2", "v3"]
+        head = engine.head_version()
+        assert [v.vid for v in engine.graph.span("v1", head)] == ["v3", "v2"]
+        assert engine.graph.span("v3", head) == []
+        assert [v.vid for v in engine.graph.lineage("v3")] == \
+            ["v0", "v1", "v2", "v3"]
+
+    def test_branching_isolates_heads(self):
+        engine = _mk_engine()
+        engine.branch("dev")
+        dev = SessionService(engine).session("dev")
+        main = SessionService(engine).session("main")
+        row = manager_stream(60, 1)[0]
+        v_dev = dev.commit(dev.begin().insert("manager", row))
+        assert engine.head_version("dev") is v_dev
+        assert engine.head_version("main").vid == "v0"
+        assert row["pname"] not in {
+            t["pname"] for t in main.read("manager")}
+        with pytest.raises(StoreError):
+            engine.branch("dev")  # duplicate name
+
+
+class TestTransactionBuffering:
+    def test_rejects_bad_schema_and_domain(self, employee_engine):
+        txn = employee_engine.begin()
+        with pytest.raises(ExtensionError):
+            txn.insert("manager", {"name": "ann"})
+        with pytest.raises(ExtensionError):
+            txn.insert("employee",
+                       {"name": "nobody", "age": 31, "depname": "sales"})
+
+    def test_single_use(self, employee_engine):
+        txn = employee_engine.begin().insert(
+            "manager", {"name": "cas", "age": 28, "depname": "sales",
+                        "budget": 250})
+        employee_engine.commit(txn)
+        with pytest.raises(StoreError):
+            employee_engine.commit(txn)
+
+    def test_empty_transaction_is_a_noop(self, employee_engine):
+        head = employee_engine.head_version()
+        assert employee_engine.commit(employee_engine.begin()) is head
+
+    def test_net_changes_match_object_level_updates(self):
+        """A transaction's net effect equals chaining the public
+        DatabaseExtension update methods op for op."""
+        rng = random.Random(11)
+        from tests.generators import random_database_states
+
+        for seed in range(12):
+            rng = random.Random(seed)
+            (schema, db), *_ = random_database_states(rng)
+            specs = random_txn_specs(rng, db, 6)
+            for ops in specs:
+                txn = Transaction(schema, None, "main")
+                oracle = db
+                for spec in ops:
+                    kind, rel, payload = spec[0], spec[1], spec[2]
+                    propagate = spec[3] if len(spec) > 3 else True
+                    if kind == "insert":
+                        txn.insert(rel, payload, propagate)
+                        oracle = oracle.insert(rel, payload, propagate)
+                    else:
+                        txn.delete(rel, payload, propagate)
+                        oracle = oracle.delete(rel, payload, propagate)
+                changes = txn.net_changes(db)
+                derived = db.apply_changes(changes.added, changes.removed,
+                                           changes.replaced)
+                assert derived == oracle
+
+
+class TestCommitGate:
+    def test_clean_commit_accepted_and_audited(self):
+        engine = _mk_engine()
+        session = SessionService(engine).session()
+        version = session.commit(
+            session.begin().insert("manager", manager_stream(60, 1)[0]))
+        assert version.vid == "v1"
+        assert engine.audit().ok()
+
+    def test_containment_violation_rejected_with_witnesses(self):
+        engine = _mk_engine()
+        row = manager_stream(60, 1)[0]
+        bad = dict(row, budget=(row["budget"] + 1) % 53)  # no worksfor support
+        txn = engine.begin().insert("manager", bad, propagate=False)
+        with pytest.raises(CommitRejected) as exc:
+            engine.commit(txn)
+        checks = {f["check"] for f in exc.value.findings}
+        assert "containment" in checks
+        assert all(f["witnesses"] for f in exc.value.findings
+                   if f["check"] == "containment")
+
+    def test_fd_violation_rejected(self):
+        engine = _mk_engine()
+        # worksfor: person (pname,dname) -> dept (dname,budget); a second
+        # row in the same (pname,dname) lhs-group with a different budget
+        # breaks the dependency (propagation keeps containment clean, so
+        # the FD is the *only* thing wrong).
+        state = engine.state()
+        t = sorted(state.R("worksfor").tuples, key=repr)[0].as_dict()
+        bad = dict(t, budget=(t["budget"] + 1) % 53)
+        txn = engine.begin().insert("worksfor", bad)
+        with pytest.raises(CommitRejected) as exc:
+            engine.commit(txn)
+        assert any(f["check"] == "fd" for f in exc.value.findings)
+
+    def test_injectivity_violation_rejected(self):
+        engine = _mk_engine()
+        state = engine.state()
+        victim = sorted(state.R("manager").tuples, key=repr)[0].as_dict()
+        twin = dict(victim, bonus=(victim["bonus"] + 1) % 11)
+        txn = engine.begin().insert("manager", twin, propagate=False)
+        with pytest.raises(CommitRejected) as exc:
+            engine.commit(txn)
+        assert any(f["check"] == "extension-axiom"
+                   for f in exc.value.findings)
+
+    def test_support_stripping_delete_rejected(self):
+        engine = _mk_engine()
+        state = engine.state()
+        # a dept row supporting office (compound of dept): removing it
+        # without cascading offices strips contributor support
+        office = sorted(state.R("office").tuples, key=repr)[0]
+        dept = office.project(state.schema["dept"].attributes)
+        txn = engine.begin().remove("dept", [dept])
+        with pytest.raises(CommitRejected) as exc:
+            engine.commit(txn)
+        checks = {f["check"] for f in exc.value.findings}
+        assert checks & {"extension-axiom", "containment", "participation"}
+
+    def test_rejection_leaves_store_untouched(self):
+        engine = _mk_engine()
+        head = engine.head_version()
+        bad = dict(manager_stream(60, 1)[0], budget=52)
+        with pytest.raises(CommitRejected):
+            engine.commit(engine.begin().insert("manager", bad,
+                                                propagate=False))
+        assert engine.head_version() is head
+        assert len(engine.graph) == 1
+        assert engine.audit().ok()
+
+    def test_inconsistent_root_refused(self):
+        schema, db, constraints = serving_state(30)
+        broken = db.insert("manager", dict(manager_stream(30, 1)[0],
+                                           budget=52), propagate=False)
+        with pytest.raises(StoreError):
+            StoreEngine(broken, constraints)
+
+    def test_replace_routes_through_full_audit(self):
+        engine = _mk_engine()
+        state = engine.state()
+        keep = sorted(state.R("manager").tuples, key=repr)[:3]
+        version = engine.commit(
+            engine.begin().replace("manager", [t.as_dict() for t in keep]))
+        assert version.writes is None
+        assert len(engine.state().R("manager")) == 3
+        assert engine.audit().ok()
+
+
+class TestDeltaVsAuditEquivalence:
+    """Delta-mode validation is judged against the full dirty-context
+    audit: same accepts, same rejects, same states, seed for seed."""
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_random_traffic_agreement(self, seed):
+        rng = random.Random(seed)
+        n = 40
+        delta = _mk_engine(n, validation="delta")
+        audit = _mk_engine(n, validation="audit")
+        assert delta.validation == "delta"
+        specs = random_txn_specs(rng, delta.state(), 12)
+        outcomes = []
+        for ops in specs:
+            results = []
+            for engine in (delta, audit):
+                session = SessionService(engine).session()
+                try:
+                    session.run(ops)
+                    results.append("ok")
+                except CommitRejected:
+                    results.append("rejected")
+            assert results[0] == results[1], (seed, ops)
+            outcomes.append(results[0])
+            assert delta.state() == audit.state()
+        assert delta.head_version().vid == audit.head_version().vid
+        # every committed head must also pass an independent full audit
+        report = check_all(delta.schema, delta.state(),
+                           constraints=delta.constraints)
+        assert report.ok()
+
+    def test_committed_versions_always_audit_clean(self):
+        rng = random.Random(99)
+        engine = _mk_engine(40)
+        session = SessionService(engine).session()
+        for ops in random_txn_specs(rng, engine.state(), 20):
+            try:
+                session.run(ops)
+            except CommitRejected:
+                pass
+        for version in engine.graph.log():
+            assert engine._audit(version.state).ok(), version.vid
+
+
+class TestOptimisticConcurrency:
+    def test_disjoint_writers_rebase_onto_each_other(self):
+        engine = _mk_engine()
+        rows = manager_stream(60, 2)
+        a = engine.begin().insert("manager", rows[0])
+        b = engine.begin().insert("manager", rows[1])  # same base as a
+        va = engine.commit(a)
+        vb = engine.commit(b)  # stale base, disjoint footprint
+        assert (va.vid, vb.vid) == ("v1", "v2")
+        assert vb.parent is va
+        managers = engine.state().R("manager")
+        assert all(any(t["pname"] == r["pname"] for t in managers)
+                   for r in rows)
+        assert engine.audit().ok()
+
+    def test_overlapping_footprints_conflict(self):
+        engine = _mk_engine()
+        row = manager_stream(60, 1)[0]
+        a = engine.begin().insert("manager", row)
+        b = engine.begin().delete("manager", row)
+        engine.commit(a)
+        with pytest.raises(TransactionConflict) as exc:
+            engine.commit(b)
+        assert exc.value.keys
+
+    def test_replace_conflicts_with_everything(self):
+        engine = _mk_engine()
+        state = engine.state()
+        keep = [t.as_dict() for t in
+                sorted(state.R("manager").tuples, key=repr)]
+        a = engine.begin().insert("manager", manager_stream(60, 1)[0])
+        b = engine.begin().replace("manager", keep)
+        engine.commit(a)
+        with pytest.raises(TransactionConflict):
+            engine.commit(b)
+
+    def test_session_retry_resolves_conflicts(self):
+        engine = _mk_engine()
+        session = SessionService(engine).session()
+        row = manager_stream(60, 1)[0]
+        engine.commit(engine.begin().insert("manager", row))
+        txn = session.begin().delete("manager", row)
+        # make the base stale AND footprint-overlapping via a same-group
+        # second commit
+        stale = engine.begin().delete("manager", row)
+        stale.base = engine.graph.root
+        version = session.commit(stale)  # rebases through the conflict
+        assert version.vid == "v2"
+        assert txn  # unused txn does not disturb the store
+
+    def test_footprint_granularity_is_lhs_groups(self):
+        engine = _mk_engine()
+        plan = engine.plan
+        rows = manager_stream(60, 2)
+        t1 = engine.begin().insert("manager", rows[0])
+        t2 = engine.begin().insert("manager", rows[1])
+        c1 = t1.net_changes(engine.state())
+        c2 = t2.net_changes(engine.state())
+        f1, f2 = write_footprint(plan, c1), write_footprint(plan, c2)
+        assert f1 and f2 and not (f1 & f2)
+        same = engine.begin().insert("manager", rows[0])
+        f3 = write_footprint(plan, same.net_changes(engine.state()))
+        assert f1 & f3
+
+
+class TestSessions:
+    def test_snapshot_reads_are_pinned(self):
+        engine = _mk_engine()
+        session = SessionService(engine).session()
+        pinned = session.snapshot()
+        before = session.read("manager", at=pinned)
+        session.commit(
+            session.begin().insert("manager", manager_stream(60, 1)[0]))
+        assert session.read("manager", at=pinned) == before
+        assert len(session.read("manager")) == len(before) + 1
+
+    def test_unknown_branch_fails_fast(self):
+        engine = _mk_engine()
+        with pytest.raises(StoreError):
+            SessionService(engine).session("nope")
+
+
+class TestValidationPlan:
+    def test_probe_family_covers_all_checks(self):
+        schema, db, constraints = serving_state(30)
+        plan = ValidationPlan(db, constraints)
+        fam = plan.probe_family
+        manager = schema["manager"]
+        assert schema["worksfor"].attributes in fam["manager"]
+        assert schema["person"].attributes in fam["worksfor"]
+        assert manager.attributes in fam["manager"]
+        assert plan.incremental_ok
+
+    def test_unknown_constraint_kind_degrades_to_audit(self):
+        from repro.core import DomainConstraint
+
+        schema, db, constraints = serving_state(30)
+        custom = DomainConstraint("custom", schema["person"], lambda r: True)
+        engine = StoreEngine(db, constraints + [custom])
+        assert engine.validation == "audit"
+
+    def test_matches_checkset_granularity(self):
+        """The plan's FD probe sets agree with the lhs grouping the
+        kernel CheckSet compiles for the same constraints."""
+        from repro.kernel import CheckSet
+
+        schema, db, constraints = serving_state(30)
+        plan = ValidationPlan(db, constraints)
+        by_context: dict[str, list] = {}
+        for _label, context, lhs, rhs in plan.fds:
+            by_context.setdefault(context, []).append((lhs, rhs))
+        for context, fds in by_context.items():
+            inst = db.kernel.instance(context)
+            checkset = CheckSet(inst)
+            for i, (lhs, rhs) in enumerate(fds):
+                checkset.add_fd(i, lhs, rhs)
+            assert {inst.indices_of(lhs) for lhs, _ in fds} == \
+                set(checkset.lhs_index_sets())
+
+
+class TestWalReplay:
+    def test_wal_is_durable_and_ordered(self, tmp_path):
+        path = tmp_path / "store.wal"
+        engine = _mk_engine(30, wal=path)
+        session = SessionService(engine).session()
+        for row in manager_stream(30, 3):
+            session.commit(session.begin().insert("manager", row))
+        engine.close()
+        records = list(WriteAheadLog.records(path))
+        assert [r["type"] for r in records] == \
+            ["snapshot", "commit", "commit", "commit"]
+        assert [r.get("version") for r in records] == \
+            ["v0", "v1", "v2", "v3"]
+
+    def test_failed_branch_does_not_poison_wal(self, tmp_path):
+        path = tmp_path / "store.wal"
+        engine = _mk_engine(30, wal=path)
+        engine.branch("dev")
+        with pytest.raises(StoreError):
+            engine.branch("dev")  # duplicate: refused BEFORE the append
+        engine.close()
+        replayed = StoreEngine.replay(path)  # log stays replayable
+        assert replayed.graph.branches() == engine.graph.branches()
+
+    def test_fresh_engine_refuses_populated_wal(self, tmp_path):
+        path = tmp_path / "store.wal"
+        engine = _mk_engine(30, wal=path)
+        engine.commit(
+            engine.begin().insert("manager", manager_stream(30, 1)[0]))
+        engine.close()
+        with pytest.raises(StoreError):
+            _mk_engine(30, wal=path)  # would append a second snapshot
+
+    def test_corrupt_wal_reported(self, tmp_path):
+        path = tmp_path / "bad.wal"
+        path.write_text('{"type": "snapshot"\nnot json\n')
+        with pytest.raises(StoreError):
+            list(WriteAheadLog.records(path))
+        empty = tmp_path / "empty.wal"
+        empty.write_text("")
+        with pytest.raises(StoreError):
+            StoreEngine.replay(empty)
+
+    def test_tampered_wal_fails_verify(self, tmp_path):
+        path = tmp_path / "store.wal"
+        engine = _mk_engine(30, wal=path)
+        row = manager_stream(30, 1)[0]
+        engine.commit(engine.begin().insert("manager", row))
+        engine.close()
+        # tamper: break the logged row's worksfor support
+        lines = path.read_text().splitlines()
+        lines[1] = lines[1].replace(f'"budget": {row["budget"]}',
+                                    f'"budget": {(row["budget"] + 1) % 53}')
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(CommitRejected):
+            StoreEngine.replay(path, verify=True)
+
+    @pytest.mark.parametrize("seed", range(25))
+    def test_replay_rebuilds_identical_graph(self, seed, tmp_path):
+        """The acceptance differential: every replayed version equals
+        the original, for trusted and for verified replay, across
+        seeded random traffic (25 seeds x ~8+ versions each ~ 200+
+        state comparisons)."""
+        rng = random.Random(seed)
+        from tests.generators import random_database_states
+
+        (schema, db), *_ = random_database_states(rng, rows_per_leaf=2)
+        path = tmp_path / "store.wal"
+        engine = StoreEngine(db, (), wal=path)
+        service = SessionService(engine)
+        session = service.session()
+        for ops in random_txn_specs(rng, db, 14):
+            try:
+                session.run(ops)
+            except CommitRejected:
+                pass
+        if len(engine.graph) > 3 and rng.random() < 0.5:
+            engine.branch("side", at="v1")
+            side = service.session("side")
+            try:
+                side.run(random_txn_specs(rng, db, 1)[0])
+            except CommitRejected:
+                pass
+        engine.close()
+        assert len(engine.graph) >= 2, "seed produced no committed traffic"
+        for verify in (False, True):
+            replayed = StoreEngine.replay(path, verify=verify)
+            originals = list(engine.graph.log())
+            copies = list(replayed.graph.log())
+            assert [v.vid for v in originals] == [v.vid for v in copies]
+            for orig, copy in zip(originals, copies):
+                assert orig.state == copy.state, (seed, orig.vid)
+                assert orig.parent is None or \
+                    orig.parent.vid == copy.parent.vid
+            assert engine.graph.branches() == replayed.graph.branches()
+
+    def test_replay_into_fresh_wal_is_equivalent(self, tmp_path):
+        first = tmp_path / "a.wal"
+        second = tmp_path / "b.wal"
+        engine = _mk_engine(30, wal=first)
+        session = SessionService(engine).session()
+        for row in manager_stream(30, 2):
+            session.commit(session.begin().insert("manager", row))
+        engine.close()
+        replayed = StoreEngine.replay(first, wal=second)
+        replayed.close()
+        again = StoreEngine.replay(second)
+        assert [v.vid for v in again.graph.log()] == \
+            [v.vid for v in engine.graph.log()]
+        assert again.state() == engine.state()
+
+
+class TestStoreWithChainCap:
+    def test_tiny_chain_cap_store_still_serves(self):
+        """A cap-2 root severs the delta chain constantly; commits,
+        audits, and replayed equality must be unaffected."""
+        schema, db, constraints = serving_state(30)
+        capped = DatabaseExtension(
+            schema, {e.name: db.R(e) for e in schema}, chain_cap=2)
+        engine = StoreEngine(capped, constraints)
+        session = SessionService(engine).session()
+        for row in manager_stream(30, 4):
+            session.commit(session.begin().insert("manager", row))
+        assert engine.audit().ok()
+        assert len(engine.graph) == 5
