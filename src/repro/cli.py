@@ -10,11 +10,15 @@ Usage (after installation)::
     python -m repro.cli serve db.json --wal w.log  # run store traffic
     python -m repro.cli log w.log                  # print the WAL history
     python -m repro.cli replay w.log --verify      # rebuild + audit from WAL
+    python -m repro.cli checkpoint w.log           # append a checkpoint
+    python -m repro.cli gc w.log                   # prune checkpointed segments
 
 Documents use the JSON format of :mod:`repro.io`; ``serve``/``log``/
-``replay`` drive the versioned store of :mod:`repro.store` and share the
-``check --json`` audit-report shape, so CI can consume every audit
-surface uniformly.
+``replay``/``checkpoint``/``gc`` drive the versioned store of
+:mod:`repro.store` and share the ``check --json`` audit-report shape, so
+CI can consume every audit surface uniformly.  A WAL path may be a
+single file or a segment directory (``wal.000001.jsonl``, …); replay
+starts from the newest checkpoint unless ``--full`` asks for v0.
 """
 
 from __future__ import annotations
@@ -132,12 +136,15 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     import time
 
     from repro.errors import CommitRejected, TransactionConflict
-    from repro.store import SessionService, StoreEngine
+    from repro.store import SessionService, StoreEngine, WriteAheadLog
     from repro.workloads import random_txn_specs
 
     db, constraints = io.load(args.document)
+    wal = args.wal
+    if wal is not None and args.segment_records is not None:
+        wal = WriteAheadLog(wal, segment_records=args.segment_records)
     engine = StoreEngine(db, constraints, validation=args.mode,
-                         wal=args.wal)
+                         wal=wal, checkpoint_every=args.checkpoint_every)
     service = SessionService(engine)
     rng = random.Random(args.seed)
     specs = random_txn_specs(rng, db, args.txns)
@@ -221,6 +228,11 @@ def _cmd_log(args: argparse.Namespace) -> int:
                   f"{sum(map(len, doc.get('relations', {}).values()))} rows")
         elif kind == "branch":
             print(f"branch {record['name']!r} at {record['at']}")
+        elif kind == "checkpoint":
+            heads = ", ".join(
+                f"{name}@{info['version']}"
+                for name, info in sorted(record["branches"].items()))
+            print(f"checkpoint  seq {record['seq']}  heads: {heads}")
         else:
             ops = ", ".join(
                 f"{op['op']} {op['relation']}" for op in record["ops"])
@@ -234,7 +246,8 @@ def _cmd_replay(args: argparse.Namespace) -> int:
     optionally write it back out as a document."""
     from repro.store import StoreEngine
 
-    engine = StoreEngine.replay(args.wal, verify=args.verify)
+    engine = StoreEngine.replay(args.wal, verify=args.verify,
+                                from_checkpoint=not args.full)
     heads = engine.graph.branches()
     report = engine.audit()
     if args.out:
@@ -253,6 +266,78 @@ def _cmd_replay(args: argparse.Namespace) -> int:
         if args.out:
             print(f"wrote head state to {args.out}")
     return 0 if report.ok() else 1
+
+
+def _cmd_checkpoint(args: argparse.Namespace) -> int:
+    """Append a checkpoint record to a WAL: replay it (trusting the
+    log), then write every branch head back as a full document — after
+    which ``replay`` starts here and ``gc`` can drop older segments."""
+    from repro.store import StoreEngine, WriteAheadLog, checkpoint_record
+
+    engine = StoreEngine.replay(args.wal)
+    record = checkpoint_record(engine.graph, engine.constraint_set)
+    with WriteAheadLog(args.wal) as wal:
+        wal.rotate()
+        wal.append(record)
+        segment = wal.current_segment
+    summary = {
+        "seq": record["seq"],
+        "branches": {name: info["version"]
+                     for name, info in sorted(record["branches"].items())},
+        "segment": str(segment),
+    }
+    if args.json:
+        print(json.dumps(summary, indent=2, sort_keys=True))
+    else:
+        heads = ", ".join(f"{name}@{vid}"
+                          for name, vid in summary["branches"].items())
+        print(f"checkpointed seq {record['seq']} ({heads}) to {segment}")
+    return 0
+
+
+def _cmd_gc(args: argparse.Namespace) -> int:
+    """Prune WAL segments older than the newest checkpointed one.
+
+    The replay-from-checkpoint comes first: segments are only dropped
+    once the checkpoint has proven it can restore the store without
+    them."""
+    from pathlib import Path
+
+    from repro.store import StoreEngine, WriteAheadLog
+
+    engine = StoreEngine.replay(args.wal)  # proves the checkpoint restores
+    victims: list[Path] = []
+    if Path(args.wal).is_dir():
+        segments = WriteAheadLog.segment_paths(args.wal)
+        for i in range(len(segments) - 1, 0, -1):
+            head = WriteAheadLog.first_record(segments[i])
+            if head is not None and head.get("type") == "checkpoint":
+                victims = segments[:i]
+                break
+    if victims and not args.dry_run:
+        WriteAheadLog.prune(args.wal, archive=args.archive)
+    remaining = [str(p) for p in WriteAheadLog.segment_paths(args.wal)]
+    summary = {
+        "versions": len(engine.graph),
+        "branches": engine.graph.branches(),
+        "pruned": [str(p) for p in victims],
+        "remaining": remaining,
+        "dry_run": args.dry_run,
+    }
+    if args.json:
+        print(json.dumps(summary, indent=2, sort_keys=True))
+    else:
+        print(f"replayed {len(engine.graph)} versions; "
+              f"branches: {summary['branches']}")
+        verb = "would prune" if args.dry_run else \
+            "archived" if args.archive else "pruned"
+        if victims:
+            for p in summary["pruned"]:
+                print(f"{verb}: {p}")
+        else:
+            print("nothing to prune (no checkpointed segment boundary)")
+        print(f"{len(remaining)} segment(s) remain")
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -302,6 +387,15 @@ def build_parser() -> argparse.ArgumentParser:
                          help="write-ahead log path (durable commits)")
     p_serve.add_argument("--seed", type=int, default=0,
                          help="traffic generator seed (default 0)")
+    p_serve.add_argument("--checkpoint-every", type=int, default=None,
+                         metavar="N",
+                         help="write a WAL checkpoint record after every "
+                              "N commits (keeps replay O(recent))")
+    p_serve.add_argument("--segment-records", type=int, default=None,
+                         metavar="N",
+                         help="rotate the WAL into numbered segments of "
+                              "at most N records (path becomes a "
+                              "directory)")
     p_serve.add_argument("--json", action="store_true",
                          help="emit the serving summary + audit as JSON")
     p_serve.set_defaults(func=_cmd_serve)
@@ -320,9 +414,32 @@ def build_parser() -> argparse.ArgumentParser:
                                "the axiom gate")
     p_replay.add_argument("--out", default=None,
                           help="write the replayed head state to a document")
+    p_replay.add_argument("--full", action="store_true",
+                          help="replay the whole log from v0 instead of "
+                               "the newest checkpoint")
     p_replay.add_argument("--json", action="store_true",
                           help="emit the replay summary + audit as JSON")
     p_replay.set_defaults(func=_cmd_replay)
+
+    p_checkpoint = sub.add_parser(
+        "checkpoint", help="append a checkpoint record to a WAL")
+    p_checkpoint.add_argument("wal")
+    p_checkpoint.add_argument("--json", action="store_true",
+                              help="emit the checkpoint summary as JSON")
+    p_checkpoint.set_defaults(func=_cmd_checkpoint)
+
+    p_gc = sub.add_parser(
+        "gc", help="prune WAL segments behind the newest checkpoint")
+    p_gc.add_argument("wal")
+    p_gc.add_argument("--archive", default=None, metavar="DIR",
+                      help="move pruned segments here instead of "
+                           "deleting them")
+    p_gc.add_argument("--dry-run", action="store_true",
+                      help="report what would be pruned without touching "
+                           "the log")
+    p_gc.add_argument("--json", action="store_true",
+                      help="emit the gc summary as JSON")
+    p_gc.set_defaults(func=_cmd_gc)
 
     return parser
 

@@ -303,6 +303,32 @@ class DatabaseExtension:
             {e.name: rel for e, rel in self._relations.items()}
         )
 
+    def sever_history(self) -> None:
+        """Cut this state loose from every predecessor it references.
+
+        Drops the :class:`StateDelta` chain, the kernel-derivation base,
+        and this state's own chained audit caches; an already-derived
+        kernel is kept (it is complete data, not a reference into the
+        past).  The store's version-graph GC calls this on each new
+        history-floor state so collected predecessors actually become
+        unreachable.  Safe under concurrent readers: a reader that saw
+        the old chain computes the same results, one that sees the
+        severed state falls back to its full (non-incremental) route —
+        the same behaviour as a chain-cap sever at derivation time.
+        """
+        if self._delta is None and self._kernel_base is None:
+            return
+        self._init_delta_state(None, 0)
+
+    def drop_kernel_base(self) -> None:
+        """Forget the ancestor this state's kernel was patched from
+        (the kernel itself stays).  GC applies this to retained states
+        whose kernel base was collected: the next audit loses its
+        dirty-group shortcut once, instead of the base state living on
+        unreachably."""
+        self._kernel_base = None
+        self._kernel_delta = None
+
     def _dirty_since(self, has_cache) -> tuple["DatabaseExtension | None", frozenset[str] | None]:
         """The nearest ancestor satisfying ``has_cache`` plus the union
         of relation names changed between it and this state.

@@ -79,6 +79,23 @@ class StoreError(ReproError):
     """Misuse of the versioned store (unknown version/branch, bad root)."""
 
 
+class StoreWarning(UserWarning):
+    """Non-fatal store conditions surfaced through :mod:`warnings`
+    (recoverable durability events, not API misuse — so they do not
+    derive from :class:`ReproError`)."""
+
+
+class TornTailWarning(StoreWarning):
+    """A write-ahead log's final record was torn by a crash mid-append.
+
+    The replayable prefix is complete and was kept;
+    :meth:`repro.store.WriteAheadLog.repair` (run by
+    :meth:`StoreEngine.replay`) truncates the torn bytes off the file.
+    Corruption anywhere *before* the final record is not recoverable
+    and raises :class:`StoreError` instead.
+    """
+
+
 class CommitRejected(StoreError):
     """A transaction's delta violates an axiom or integrity constraint.
 

@@ -12,7 +12,13 @@ tying them together (:mod:`engine`).  See the "Store layer" section of
 and the conflict-detection contract.
 """
 
-from repro.errors import CommitRejected, StoreError, TransactionConflict
+from repro.errors import (
+    CommitRejected,
+    StoreError,
+    StoreWarning,
+    TornTailWarning,
+    TransactionConflict,
+)
 from repro.store.engine import ProbeIndex, StoreEngine
 from repro.store.session import Session, SessionService
 from repro.store.txn import (
@@ -24,7 +30,7 @@ from repro.store.txn import (
     write_footprint,
 )
 from repro.store.version_graph import Version, VersionGraph
-from repro.store.wal import WriteAheadLog
+from repro.store.wal import WriteAheadLog, checkpoint_record
 
 __all__ = [
     "Changes",
@@ -35,12 +41,15 @@ __all__ = [
     "SessionService",
     "StoreEngine",
     "StoreError",
+    "StoreWarning",
+    "TornTailWarning",
     "Transaction",
     "TransactionConflict",
     "ValidationPlan",
     "Version",
     "VersionGraph",
     "WriteAheadLog",
+    "checkpoint_record",
     "validate_changes",
     "write_footprint",
 ]

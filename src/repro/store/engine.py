@@ -42,6 +42,7 @@ the groups this one's validation judged.
 from __future__ import annotations
 
 import threading
+import warnings
 from collections.abc import Iterable
 from pathlib import Path
 
@@ -51,6 +52,7 @@ from repro.errors import (
     CommitRejected,
     DependencyError,
     StoreError,
+    TornTailWarning,
     TransactionConflict,
 )
 from repro.store.txn import (
@@ -64,6 +66,7 @@ from repro.store.version_graph import Version, VersionGraph
 from repro.store.wal import (
     WriteAheadLog,
     branch_record,
+    checkpoint_record,
     commit_record,
     snapshot_record,
 )
@@ -144,11 +147,18 @@ class StoreEngine:
         every committed state must satisfy.
     wal:
         Optional path or :class:`WriteAheadLog`; when given, the root
-        snapshot and every commit/branch are logged durably.
+        snapshot and every commit/branch/checkpoint are logged durably.
+        A segmented :class:`WriteAheadLog` instance (rotation bounds or
+        a directory path) gives the log bounded segments that
+        :meth:`checkpoint` heads and :meth:`WriteAheadLog.prune` drops.
     validation:
         One of ``"delta"`` / ``"audit"`` / ``"serial"`` (see the module
         docstring).  ``"delta"`` silently degrades to ``"audit"`` when
         the constraint set contains kinds it cannot probe incrementally.
+    checkpoint_every:
+        When set, a checkpoint record is written automatically after
+        every N commits (WAL-backed engines only) — the knob that keeps
+        replay O(recent) instead of O(history) for a long-running store.
     """
 
     def __init__(self, root: DatabaseExtension,
@@ -157,11 +167,16 @@ class StoreEngine:
                  validation: str = "delta",
                  wal: WriteAheadLog | str | Path | None = None,
                  sync: bool = False,
-                 audit_root: bool = True):
+                 audit_root: bool = True,
+                 checkpoint_every: int | None = None,
+                 _floor: tuple | None = None):
         if validation not in VALIDATION_MODES:
             raise StoreError(
                 f"unknown validation mode {validation!r}; "
                 f"expected one of {VALIDATION_MODES}")
+        if checkpoint_every is not None and checkpoint_every < 1:
+            raise StoreError(
+                f"checkpoint_every must be >= 1, got {checkpoint_every}")
         self.schema = root.schema
         if isinstance(constraints, ConstraintSet):
             self._constraint_set = constraints
@@ -179,23 +194,45 @@ class StoreEngine:
         if validation == "delta" and not self.plan.incremental_ok:
             validation = "audit"
         self.validation = validation
-        self.graph = VersionGraph(root, branch)
         self._lock = threading.Lock()
         self._indexes: dict[str, ProbeIndex] = {}
+        self._pins: dict[str, int] = {}
+        self.checkpoint_every = checkpoint_every
+        self._commits_since_checkpoint = 0
+        if _floor is None:
+            self.graph = VersionGraph(root, branch)
+        else:
+            # Checkpoint restore (StoreEngine.replay): the graph starts
+            # at the checkpoint's floor — every branch head a parentless
+            # version, the id sequence resumed — instead of at v0.
+            seq, entries = _floor
+            self.graph = VersionGraph(root, branch,
+                                      root_vid=entries[0][0], seq=seq)
+            for vid, floor_branch, state in entries[1:]:
+                self.graph.add_floor(vid, floor_branch, state)
         if validation == "delta":
-            self._indexes[branch] = ProbeIndex(self.plan, root)
-        if isinstance(wal, (str, Path)):
-            path = Path(wal)
-            if path.exists() and path.stat().st_size > 0:
+            for name, head in self.graph.heads.items():
+                self._indexes[name] = ProbeIndex(self.plan, head.state)
+        if wal is not None:
+            target = wal.path if isinstance(wal, WriteAheadLog) else Path(wal)
+            if not WriteAheadLog.is_empty(target):
                 raise StoreError(
-                    f"WAL {path} already has records; a fresh engine "
+                    f"WAL {target} already has records; a fresh engine "
                     "would append a second snapshot and corrupt it — "
                     "replay it (StoreEngine.replay) or pick a new path")
-            wal = WriteAheadLog(path, sync=sync)
+            if not isinstance(wal, WriteAheadLog):
+                wal = WriteAheadLog(target, sync=sync)
         self.wal = wal
         if wal is not None:
-            wal.append(snapshot_record(root, self._constraint_set,
-                                       self.graph.root.vid, branch))
+            if _floor is None:
+                wal.append(snapshot_record(root, self._constraint_set,
+                                           self.graph.root.vid, branch))
+            else:
+                # A restored engine logging into a fresh WAL starts it
+                # with a checkpoint — the restored graph has no single
+                # self-contained root snapshot to offer.
+                wal.append(checkpoint_record(self.graph,
+                                             self._constraint_set))
 
     def _vet_constraints(self) -> None:
         """Refuse ill-typed dependencies up front: the store judges them
@@ -319,7 +356,17 @@ class StoreEngine:
             if index is not None:
                 index.apply(changes, candidate)
             txn.committed = True
+            self._after_commit_locked()
             return version
+
+    def _after_commit_locked(self) -> None:
+        """Periodic checkpointing, driven by the commit counter (called
+        with the engine lock held, right after a commit installed)."""
+        if self.wal is None or self.checkpoint_every is None:
+            return
+        self._commits_since_checkpoint += 1
+        if self._commits_since_checkpoint >= self.checkpoint_every:
+            self._checkpoint_locked()
 
     def _check_conflicts(self, txn: Transaction, head: Version,
                          writes: frozenset | None) -> None:
@@ -359,38 +406,235 @@ class StoreEngine:
         return None, validate_changes(self.plan, head_state, changes, index)
 
     # ------------------------------------------------------------------
+    # checkpointing
+    # ------------------------------------------------------------------
+    def checkpoint(self) -> dict:
+        """Write a checkpoint record: every branch head as a full
+        database document plus the id-sequence counter.
+
+        Replay resumes from the newest checkpoint instead of v0, which
+        is what keeps recovery time proportional to *recent* history.
+        On a segmented WAL the log rotates first, so the checkpoint is
+        its segment's first record and every older segment becomes
+        prunable (:meth:`prune_wal`); on a single-file WAL the record
+        is appended inline.  Returns the record written.
+        """
+        with self._lock:
+            return self._checkpoint_locked()
+
+    def _checkpoint_locked(self) -> dict:
+        if self.wal is None:
+            raise StoreError(
+                "checkpointing requires a WAL-backed engine (there is "
+                "nothing to replay without one)")
+        record = checkpoint_record(self.graph, self._constraint_set)
+        self.wal.rotate()
+        self.wal.append(record)
+        self._commits_since_checkpoint = 0
+        return record
+
+    def prune_wal(self, archive: str | Path | None = None) -> list[Path]:
+        """Drop (or archive) WAL segments older than the newest
+        checkpointed one — safe at any time: replay never reads them.
+        A no-op for single-file or never-checkpointed logs."""
+        if self.wal is None:
+            raise StoreError("this engine has no WAL to prune")
+        with self._lock:
+            return WriteAheadLog.prune(self.wal.path, archive=archive)
+
+    # ------------------------------------------------------------------
+    # pins and garbage collection
+    # ------------------------------------------------------------------
+    def pin(self, version: Version | str) -> Version:
+        """Refcount-pin a version against :meth:`gc`.
+
+        A pinned version (and therefore its state) stays resident
+        through collections until every pin is released; pinning is how
+        a long-lived reader holds an old snapshot while GC keeps the
+        rest of history bounded.  :meth:`Session.pin` wraps this with
+        per-session bookkeeping.
+        """
+        with self._lock:
+            v = version if isinstance(version, Version) \
+                else self.graph.get(version)
+            if self.graph.versions.get(v.vid) is not v:
+                raise StoreError(
+                    f"version {v.vid} is not resident in this store "
+                    "(already collected, or from another engine)")
+            self._pins[v.vid] = self._pins.get(v.vid, 0) + 1
+            return v
+
+    def unpin(self, version: Version | str) -> None:
+        """Release one pin (the version becomes collectable when its
+        count reaches zero and it falls outside the keep window)."""
+        vid = version.vid if isinstance(version, Version) else version
+        with self._lock:
+            count = self._pins.get(vid, 0)
+            if count <= 0:
+                raise StoreError(f"version {vid} is not pinned")
+            if count == 1:
+                del self._pins[vid]
+            else:
+                self._pins[vid] = count - 1
+
+    def pinned(self) -> dict[str, int]:
+        """Pin counts by version id (a snapshot; for diagnostics)."""
+        with self._lock:
+            return dict(self._pins)
+
+    def gc(self, keep: int = 1) -> dict:
+        """Collect versions unreachable from branch heads and pins.
+
+        The live set is, per branch, the head and its ``keep - 1``
+        nearest ancestors, plus every pinned version.  Everything else
+        leaves the graph; parent links crossing the new floor are cut
+        and each floor state's delta chain is severed
+        (:meth:`DatabaseExtension.sever_history`), so the collected
+        states genuinely become garbage — resident versions stay
+        bounded by ``keep * branches + pins`` under sustained write
+        traffic.
+
+        The WAL is untouched (prune it separately after a checkpoint);
+        version ids stay monotone, so WAL replay is unaffected.  A
+        transaction begun before a collection whose base version was
+        collected can no longer be conflict-checked and fails with
+        :class:`StoreError` — size ``keep`` to cover the transactions
+        you allow in flight, and pin snapshots readers hold long-term.
+        Returns ``{"before", "after", "collected", "pinned",
+        "floors"}`` statistics.
+        """
+        if keep < 1:
+            raise StoreError(f"gc keep must be >= 1, got {keep}")
+        with self._lock:
+            live: dict[str, Version] = {}
+            for head in self.graph.heads.values():
+                node: Version | None = head
+                for _ in range(keep):
+                    if node is None:
+                        break
+                    live[node.vid] = node
+                    node = node.parent
+            for vid in self._pins:
+                live[vid] = self.graph.get(vid)
+            before = len(self.graph)
+            collected = self.graph.collect(live)
+            retained = {id(v.state) for v in self.graph.versions.values()}
+            floors = []
+            for v in self.graph.versions.values():
+                state = v.state
+                if v.parent is None:
+                    state.sever_history()
+                    floors.append(v.vid)
+                elif state._kernel_base is not None \
+                        and id(state._kernel_base) not in retained:
+                    state.drop_kernel_base()
+            return {
+                "before": before,
+                "after": len(self.graph),
+                "collected": len(collected),
+                "pinned": sorted(self._pins),
+                "floors": sorted(floors, key=lambda vid: int(vid[1:])),
+            }
+
+    # ------------------------------------------------------------------
     # durability
     # ------------------------------------------------------------------
     @classmethod
     def replay(cls, wal_path: str | Path,
                validation: str = "delta",
                verify: bool = False,
-               wal: WriteAheadLog | str | Path | None = None) -> "StoreEngine":
-        """Rebuild an engine (and its whole version graph) from a WAL.
+               wal: WriteAheadLog | str | Path | None = None,
+               from_checkpoint: bool = True,
+               checkpoint_every: int | None = None) -> "StoreEngine":
+        """Rebuild an engine (and its version graph) from a WAL.
 
-        With ``verify=True`` every logged commit is re-validated through
-        the normal gate (a clean log replays identically; a tampered one
-        raises); the default trusts the log and re-applies the
-        operations directly, which still re-derives every state and
-        checks that version ids line up.  Pass ``wal`` to start logging
-        the replayed store into a fresh file.
+        Recovery is crash-safe: a torn *final* line (crash mid-append)
+        is truncated off with a :class:`TornTailWarning` and the intact
+        prefix replays; corruption before the final record still raises
+        :class:`StoreError`.
+
+        With ``from_checkpoint=True`` (the default) replay starts at
+        the newest checkpoint — for a segmented log, old segments are
+        never even read — restoring each checkpointed branch head as a
+        parentless *floor* version and re-applying only the commits
+        after it; the pre-checkpoint versions are simply absent from
+        the rebuilt graph (the in-memory mirror of segment pruning).
+        ``from_checkpoint=False`` replays the full history from v0.
+        Note that a ``branch`` record anchored at a pre-checkpoint
+        version can only be replayed from the full log.
+
+        With ``verify=True`` every logged commit is re-validated
+        through the normal gate and every checkpoint's documents are
+        compared against the rebuilt states (a clean log replays
+        identically; a tampered one raises); the default trusts the log
+        and re-applies the operations directly, which still re-derives
+        every state and checks that version ids line up.  Pass ``wal``
+        to start logging the replayed store into a fresh log.
         """
         from repro import io
 
-        records = WriteAheadLog.records(wal_path)
+        try:
+            dropped = WriteAheadLog.repair(wal_path)
+        except OSError:
+            dropped = 0  # read-only media: records() below still copes
+        if dropped:
+            warnings.warn(
+                f"truncated {dropped} torn byte(s) off {wal_path} "
+                "(crash mid-append); replaying the intact prefix",
+                TornTailWarning, stacklevel=2)
+        segments = WriteAheadLog.segment_paths(wal_path)
+        start = 0
+        if from_checkpoint:
+            for i in range(len(segments) - 1, 0, -1):
+                head = WriteAheadLog.first_record(segments[i])
+                if head is not None and head.get("type") == "checkpoint":
+                    start = i
+                    break
+        records = WriteAheadLog._records_from(segments[start:])
+        if from_checkpoint and start == 0:
+            # Single-file logs (and single-segment ones) keep their
+            # checkpoints inline; skip ahead to the newest.
+            buffered = list(records)
+            for i in range(len(buffered) - 1, -1, -1):
+                if buffered[i].get("type") == "checkpoint":
+                    buffered = buffered[i:]
+                    break
+            records = iter(buffered)
         try:
             first = next(records)
         except StopIteration:
             raise StoreError(f"empty WAL: {wal_path}") from None
-        if first.get("type") != "snapshot":
-            raise StoreError("WAL must start with a snapshot record")
-        db, constraint_set = io.database_from_dict(first["document"])
-        engine = cls(db, constraint_set, branch=first["branch"],
-                     validation=validation, wal=wal, audit_root=verify)
+        kind = first.get("type")
+        if kind == "snapshot":
+            db, constraint_set = io.database_from_dict(first["document"])
+            engine = cls(db, constraint_set, branch=first["branch"],
+                         validation=validation, wal=wal, audit_root=verify,
+                         checkpoint_every=checkpoint_every)
+        elif kind == "checkpoint":
+            engine = cls._restore_checkpoint(
+                first, validation=validation, verify=verify, wal=wal,
+                checkpoint_every=checkpoint_every)
+        else:
+            raise StoreError(
+                "WAL must start with a snapshot or checkpoint record, "
+                f"got {kind!r}")
         for record in records:
             kind = record.get("type")
             if kind == "branch":
-                engine.branch(record["name"], at=record["at"])
+                try:
+                    engine.branch(record["name"], at=record["at"])
+                except StoreError as exc:
+                    if from_checkpoint and \
+                            record["at"] not in engine.graph.versions:
+                        raise StoreError(
+                            f"branch {record['name']!r} is anchored at "
+                            f"{record['at']}, below the checkpoint "
+                            "floor; replay the full log "
+                            "(from_checkpoint=False)") from exc
+                    raise
+                continue
+            if kind == "checkpoint":
+                engine._verify_checkpoint(record, deep=verify)
                 continue
             if kind != "commit":
                 raise StoreError(f"unknown WAL record type {kind!r}")
@@ -406,6 +650,66 @@ class StoreEngine:
                     f"replay drift: WAL says {record['version']}, "
                     f"graph produced {version.vid}")
         return engine
+
+    @classmethod
+    def _restore_checkpoint(cls, record: dict, validation: str,
+                            verify: bool, wal,
+                            checkpoint_every: int | None) -> "StoreEngine":
+        """An engine whose graph starts at the checkpoint's floor: each
+        branch head decoded from its document, the id sequence resumed
+        from the recorded counter."""
+        from repro import io
+
+        states: dict[str, DatabaseExtension] = {}
+        constraint_set = None
+        entries: list[tuple] = []
+        for name in sorted(record["branches"]):
+            info = record["branches"][name]
+            vid = info["version"]
+            if vid not in states:
+                states[vid], constraint_set = \
+                    io.database_from_dict(info["document"])
+            entries.append((vid, name, states[vid]))
+        entries.sort(key=lambda e: (int(e[0][1:]), e[1]))
+        root_vid, root_branch, root_state = entries[0]
+        engine = cls(root_state, constraint_set, branch=root_branch,
+                     validation=validation, wal=wal, audit_root=verify,
+                     checkpoint_every=checkpoint_every,
+                     _floor=(record["seq"], entries))
+        if verify:
+            for vid, state in states.items():
+                if state is root_state:
+                    continue  # audited by the constructor
+                report = engine._audit(state)
+                if not report.ok():
+                    raise StoreError(
+                        f"checkpointed state {vid} is inconsistent:\n"
+                        + report.render())
+        return engine
+
+    def _verify_checkpoint(self, record: dict, deep: bool = False) -> None:
+        """A mid-log checkpoint must agree with the graph replay has
+        rebuilt so far: same sequence counter, same branch heads, and —
+        under ``deep`` (verified replay) — equal states."""
+        from repro import io
+
+        if record.get("seq") != self.graph.seq:
+            raise StoreError(
+                f"checkpoint drift: WAL says seq {record.get('seq')}, "
+                f"replayed graph is at {self.graph.seq}")
+        for name, info in sorted(record.get("branches", {}).items()):
+            head = self.graph.head(name)
+            if head.vid != info["version"]:
+                raise StoreError(
+                    f"checkpoint drift: branch {name!r} head is "
+                    f"{head.vid}, WAL checkpoint says {info['version']}")
+            if deep:
+                state, _ = io.database_from_dict(info["document"])
+                if state != head.state:
+                    raise StoreError(
+                        f"checkpoint drift: branch {name!r} state at "
+                        f"{head.vid} does not match its checkpoint "
+                        "document")
 
     def _install_unverified(self, txn: Transaction) -> Version:
         """Re-apply a logged commit without re-judging it (replay trusts
@@ -427,6 +731,7 @@ class StoreEngine:
             if index is not None:
                 index.apply(changes, candidate)
             txn.committed = True
+            self._after_commit_locked()
             return version
 
     def close(self) -> None:

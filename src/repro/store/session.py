@@ -15,7 +15,7 @@ server hands each connection.
 
 from __future__ import annotations
 
-from repro.errors import TransactionConflict
+from repro.errors import StoreError, TransactionConflict
 from repro.relational import Relation
 from repro.store.engine import StoreEngine
 from repro.store.txn import Transaction
@@ -23,13 +23,22 @@ from repro.store.version_graph import Version
 
 
 class Session:
-    """One client's view of one branch of the store."""
+    """One client's view of one branch of the store.
 
-    __slots__ = ("engine", "branch")
+    A session can *pin* snapshots: :meth:`pin` refcounts a version with
+    the engine so :meth:`StoreEngine.gc` keeps it resident however far
+    history is collected; :meth:`release` (or :meth:`close`, or leaving
+    the session's ``with`` block) gives the pins back.  A plain
+    :meth:`snapshot` is immutable under the caller but only
+    GC-protected while inside the engine's keep window.
+    """
+
+    __slots__ = ("engine", "branch", "_pins")
 
     def __init__(self, engine: StoreEngine, branch: str = "main"):
         self.engine = engine
         self.branch = branch
+        self._pins: list[Version] = []
 
     # ------------------------------------------------------------------
     # reads (lock-free)
@@ -38,6 +47,47 @@ class Session:
         """Pin the branch's current head; the returned version (and its
         state) never changes under the caller."""
         return self.engine.head_version(self.branch)
+
+    # ------------------------------------------------------------------
+    # pins (GC protection)
+    # ------------------------------------------------------------------
+    def pin(self, at: Version | str | None = None) -> Version:
+        """Refcount-pin a snapshot (default: the current head) against
+        the engine's GC; the session remembers the pin and releases it
+        on :meth:`release`/:meth:`close`."""
+        version = self.engine.pin(
+            self.snapshot() if at is None else at)
+        self._pins.append(version)
+        return version
+
+    def release(self, version: Version | str | None = None) -> None:
+        """Release one pinned snapshot, or every pin this session holds
+        (the default)."""
+        if version is None:
+            while self._pins:
+                self.engine.unpin(self._pins.pop())
+            return
+        vid = version.vid if isinstance(version, Version) else version
+        for i, pinned in enumerate(self._pins):
+            if pinned.vid == vid:
+                del self._pins[i]
+                self.engine.unpin(vid)
+                return
+        raise StoreError(f"this session holds no pin on {vid!r}")
+
+    def pins(self) -> tuple[Version, ...]:
+        """The versions this session currently pins."""
+        return tuple(self._pins)
+
+    def close(self) -> None:
+        """Release every pin (idempotent; the session stays usable)."""
+        self.release()
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     def read(self, relation: str, at: Version | str | None = None) -> Relation:
         """The instance set ``R_relation`` at a pinned version (default:

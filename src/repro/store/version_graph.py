@@ -50,14 +50,37 @@ class Version:
         return f"Version({self.vid}, parent={parent}, branch={self.branch!r})"
 
 
-class VersionGraph:
-    """The rooted DAG of committed states plus named branch heads."""
+def _vid_seq(vid: str) -> int:
+    """The sequence number a version id encodes (``"v7"`` -> 7)."""
+    if not vid.startswith("v") or not vid[1:].isdigit():
+        raise StoreError(f"malformed version id {vid!r}")
+    return int(vid[1:])
 
-    def __init__(self, root_state, branch: str = "main"):
-        self._seq = 0
-        self.root = Version("v0", None, branch, 0, root_state,
+
+class VersionGraph:
+    """The rooted DAG of committed states plus named branch heads.
+
+    A graph normally starts at ``v0``; a graph rebuilt from a WAL
+    checkpoint instead starts at the checkpoint's *floor* — each branch
+    head restored as a parentless version (``root_vid``/``seq`` resume
+    the id sequence), the compacted pre-checkpoint history simply
+    absent.  :meth:`collect` is the same compaction applied in memory:
+    the store's GC restricts the graph to the live set and cuts parent
+    links at the new floor.
+    """
+
+    def __init__(self, root_state, branch: str = "main",
+                 root_vid: str = "v0", seq: int | None = None):
+        root_seq = _vid_seq(root_vid)
+        if seq is None:
+            seq = root_seq
+        if seq < root_seq:
+            raise StoreError(
+                f"sequence counter {seq} behind root id {root_vid!r}")
+        self._seq = seq
+        self.root = Version(root_vid, None, branch, root_seq, root_state,
                             frozenset(), ())
-        self.versions: dict[str, Version] = {"v0": self.root}
+        self.versions: dict[str, Version] = {root_vid: self.root}
         self.heads: dict[str, Version] = {branch: self.root}
 
     # ------------------------------------------------------------------
@@ -78,6 +101,12 @@ class VersionGraph:
     def branches(self) -> dict[str, str]:
         """Branch name -> head version id."""
         return {name: v.vid for name, v in sorted(self.heads.items())}
+
+    @property
+    def seq(self) -> int:
+        """The monotone sequence counter (the highest id ever issued —
+        what a checkpoint must record for replay to resume the ids)."""
+        return self._seq
 
     def __len__(self) -> int:
         return len(self.versions)
@@ -146,3 +175,48 @@ class VersionGraph:
             raise StoreError(f"version {at.vid!r} is not in this graph")
         self.heads[name] = at
         return at
+
+    def add_floor(self, vid: str, branch: str, state) -> Version:
+        """Register a parentless version as the head of ``branch`` —
+        the checkpoint-restore path, where the version's pre-floor
+        history was compacted away.  Branches whose heads coincided at
+        checkpoint time share one floor version."""
+        version = self.versions.get(vid)
+        if version is None:
+            seq = _vid_seq(vid)
+            if seq > self._seq:
+                raise StoreError(
+                    f"floor version {vid!r} is ahead of the sequence "
+                    f"counter {self._seq} (drifted checkpoint)")
+            version = Version(vid, None, branch, seq, state,
+                              frozenset(), ())
+            self.versions[vid] = version
+        self.heads[branch] = version
+        return version
+
+    def collect(self, live: dict[str, Version]) -> list[Version]:
+        """Restrict the graph to the ``live`` versions (which must
+        include every branch head); parent links crossing the new floor
+        are cut, so collected versions become garbage the moment no
+        session pins them.  Returns the collected versions.
+
+        The sequence counter never rewinds — ids stay monotone across
+        GC, so a WAL written before and after a collection still
+        replays with identical ids.
+        """
+        for name, head in self.heads.items():
+            if live.get(head.vid) is not head:
+                raise StoreError(
+                    f"cannot collect the head {head.vid} of branch "
+                    f"{name!r}")
+        collected = [v for vid, v in self.versions.items()
+                     if vid not in live]
+        if not collected:
+            return []
+        self.versions = {vid: v for vid, v in self.versions.items()
+                         if vid in live}
+        for v in self.versions.values():
+            if v.parent is not None and v.parent.vid not in self.versions:
+                v.parent = None
+        self.root = min(self.versions.values(), key=lambda v: v.seq)
+        return collected

@@ -2,59 +2,205 @@
 
 One record per line, in the :mod:`repro.io` value convention (attribute
 names to JSON scalars — the Attribute Axiom's atomicity is what makes
-the rows losslessly JSON-codable).  Three record types:
+the rows losslessly JSON-codable).  Four record types:
 
 * ``snapshot`` — the root version as a self-contained database document
   (schema, relations, constraints), written once when a WAL-backed
   engine starts;
 * ``commit`` — one committed transaction: version id, parent id,
   branch, and the buffered operations in order;
-* ``branch`` — a branch creation point.
+* ``branch`` — a branch creation point;
+* ``checkpoint`` — every branch head as a full database document plus
+  the graph's sequence counter, so replay can start *here* instead of
+  at the root snapshot (:meth:`StoreEngine.replay` picks the newest
+  one; see :func:`checkpoint_record`).
 
 Replaying the records in order through :meth:`StoreEngine.replay`
 reconstructs an identical version graph: version ids come from one
 monotone sequence and every state is re-derived by re-applying the
 logged operations, so the replayed states are equal — relation for
 relation — to the originals.
+
+A log is either a **single file** (the original form) or a **segment
+directory** holding ``wal.000001.jsonl``, ``wal.000002.jsonl``, … in
+append order.  Segmented logs rotate on size/record-count bounds and on
+every checkpoint (so a checkpoint always heads its segment); segments
+before the newest checkpointed one carry no information the checkpoint
+does not, and :meth:`WriteAheadLog.prune` archives or drops them.
+
+Crash-safety contract: a crash mid-append leaves a torn *final* line.
+:meth:`records` drops it with a :class:`~repro.errors.TornTailWarning`
+(and :meth:`repair` truncates it off the file), because the prefix is a
+complete, valid history; a corrupt line anywhere *before* the final
+record is tampering or media failure and raises
+:class:`~repro.errors.StoreError`.  New log files (and fresh segments)
+fsync their parent directory so the file itself — not just its
+contents — survives power loss.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import re
+import shutil
+import warnings
 from pathlib import Path
 from typing import Any, Iterator
 
 from repro import io
-from repro.errors import SchemaError, StoreError
+from repro.errors import SchemaError, StoreError, TornTailWarning
+
+SEGMENT_PATTERN = "wal.%06d.jsonl"
+_SEGMENT_RE = re.compile(r"^wal\.(\d{6})\.jsonl$")
+
+
+def _fsync_dir(path: Path) -> None:
+    """fsync a directory so a just-created (or renamed/unlinked) entry
+    survives power loss.  A no-op on platforms where directories cannot
+    be opened or synced (the file-content fsync still happened)."""
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+def _parse_line(line: bytes | str):
+    """``(record, ok)`` for one stripped WAL line: ``ok`` is False when
+    the line is not a complete record object.  A torn line can never
+    masquerade as one — a proper prefix of a one-line JSON object has
+    unbalanced braces or an unterminated literal, so it fails to parse."""
+    try:
+        record = json.loads(line)
+    except (ValueError, UnicodeDecodeError):
+        return None, False
+    if not isinstance(record, dict) or "type" not in record:
+        return record, False
+    return record, True
 
 
 class WriteAheadLog:
-    """An append-only JSON-lines log.
+    """An append-only JSON-lines log, single-file or segmented.
 
     Every :meth:`append` flushes to the OS; with ``sync=True`` it also
     ``fsync``\\ s, trading commit latency for power-loss durability.
     Appends are serialised by the engine's commit lock, which is what
     makes the log a total order of the graph's growth.
+
+    ``path`` naming a directory (or either rotation bound being set)
+    selects segmented mode: records append to the highest-numbered
+    ``wal.NNNNNN.jsonl`` segment, and a new segment starts whenever the
+    current one holds ``segment_records`` records or ``segment_bytes``
+    bytes — or whenever the engine writes a checkpoint
+    (:meth:`rotate`).  Single-file logs never rotate; checkpoints are
+    appended inline.
     """
 
-    def __init__(self, path: str | Path, sync: bool = False):
-        self.path = Path(path)
+    def __init__(self, path: str | Path, sync: bool = False,
+                 segment_records: int | None = None,
+                 segment_bytes: int | None = None):
+        path = Path(path)
+        for bound, name in ((segment_records, "segment_records"),
+                            (segment_bytes, "segment_bytes")):
+            if bound is not None and bound < 1:
+                raise StoreError(f"{name} must be >= 1, got {bound}")
         self.sync = sync
-        self._fh = open(self.path, "a", encoding="utf-8")
+        self.segment_records = segment_records
+        self.segment_bytes = segment_bytes
+        self.segmented = (path.is_dir() or segment_records is not None
+                          or segment_bytes is not None)
+        self.path = path
+        if self.segmented:
+            path.mkdir(parents=True, exist_ok=True)
+            segments = self.segment_paths(path)
+            if segments:
+                index = int(_SEGMENT_RE.match(segments[-1].name).group(1))
+            else:
+                index = 1
+            self._segment_index = index
+            self._open_segment(path / (SEGMENT_PATTERN % index))
+        else:
+            self._open_segment(path)
+
+    def _open_segment(self, file_path: Path) -> None:
+        """Open ``file_path`` for appending, priming the rotation
+        counters from whatever it already holds; a newly created file
+        fsyncs its parent directory (creation durability)."""
+        created = not file_path.exists()
+        self._file = file_path
+        self._fh = open(file_path, "a", encoding="utf-8")
+        if created:
+            _fsync_dir(file_path.parent)
+            self._count = 0
+            self._bytes = 0
+        else:
+            with open(file_path, "rb") as fh:
+                data = fh.read()
+            self._count = sum(1 for raw in data.splitlines() if raw.strip())
+            self._bytes = len(data)
+
+    @property
+    def current_segment(self) -> Path:
+        """The file appends currently land in (``path`` itself for a
+        single-file log)."""
+        return self._file
 
     def append(self, record: dict) -> None:
+        if self._fh.closed:
+            raise StoreError(
+                f"WAL {self.path} is closed; cannot append "
+                f"{record.get('type', 'a')!r} record")
         try:
             line = json.dumps(record, sort_keys=True)
         except (TypeError, ValueError) as exc:
             raise StoreError(f"WAL record is not JSON-codable: {exc}") from exc
-        self._fh.write(line + "\n")
+        data = line + "\n"
+        if self.segmented and self._count > 0 and (
+                (self.segment_records is not None
+                 and self._count >= self.segment_records)
+                or (self.segment_bytes is not None
+                    and self._bytes + len(data) > self.segment_bytes)):
+            self.rotate()
+        try:
+            self._fh.write(data)
+            self._fh.flush()
+        except ValueError as exc:  # racing close(): a closed handle
+            raise StoreError(
+                f"WAL {self.path} is closed; cannot append: {exc}") from exc
+        if self.sync:
+            os.fsync(self._fh.fileno())
+        self._count += 1
+        self._bytes += len(data)
+
+    def rotate(self) -> Path:
+        """Start the next segment (the checkpoint and size-bound path).
+
+        The outgoing segment is flushed (and, under ``sync``, fsynced)
+        before the new file is created, and the directory is fsynced so
+        the new segment survives power loss.  A no-op on single-file
+        logs and on a still-empty current segment.
+        """
+        if self._fh.closed:
+            raise StoreError(f"WAL {self.path} is closed; cannot rotate")
+        if not self.segmented or self._count == 0:
+            return self._file
         self._fh.flush()
         if self.sync:
             os.fsync(self._fh.fileno())
+        self._fh.close()
+        self._segment_index += 1
+        self._open_segment(self.path / (SEGMENT_PATTERN % self._segment_index))
+        return self._file
 
     def close(self) -> None:
-        self._fh.close()
+        if not self._fh.closed:
+            self._fh.close()
 
     def __enter__(self) -> "WriteAheadLog":
         return self
@@ -62,23 +208,184 @@ class WriteAheadLog:
     def __exit__(self, *exc) -> None:
         self.close()
 
+    # ------------------------------------------------------------------
+    # reading (static: replay and tooling work on paths, not handles)
+    # ------------------------------------------------------------------
     @staticmethod
-    def records(path: str | Path) -> Iterator[dict]:
-        """The log's records in append order (blank lines skipped)."""
-        with open(path, encoding="utf-8") as fh:
-            for n, line in enumerate(fh, start=1):
-                line = line.strip()
-                if not line:
+    def segment_paths(path: str | Path) -> list[Path]:
+        """The log's files in append order: its numbered segments for a
+        directory, ``[path]`` for a single-file log."""
+        path = Path(path)
+        if path.is_dir():
+            return sorted(p for p in path.iterdir()
+                          if _SEGMENT_RE.match(p.name))
+        return [path]
+
+    @staticmethod
+    def is_empty(path: str | Path) -> bool:
+        """True when the log holds no records yet (missing file, empty
+        file, or a segment directory of empty segments)."""
+        path = Path(path)
+        if not path.exists():
+            return True
+        if path.is_dir():
+            return all(p.stat().st_size == 0
+                       for p in WriteAheadLog.segment_paths(path))
+        return path.stat().st_size == 0
+
+    @staticmethod
+    def first_record(path: str | Path) -> dict | None:
+        """The first record of one log *file*, or ``None`` when the file
+        is missing/empty/unreadable — the cheap peek replay uses to find
+        the newest checkpoint-headed segment without parsing old ones."""
+        try:
+            with open(path, "rb") as fh:
+                for raw in fh:
+                    line = raw.strip()
+                    if not line:
+                        continue
+                    record, ok = _parse_line(line)
+                    return record if ok else None
+        except OSError:
+            return None
+        return None
+
+    @staticmethod
+    def records(path: str | Path, torn_tail: str = "warn") -> Iterator[dict]:
+        """The log's records in append order (blank lines skipped),
+        across every segment for a directory path.
+
+        ``torn_tail`` governs the *final* line of the *final* segment
+        when it is not a complete record — the signature a crash
+        mid-append leaves: ``"warn"`` (default) drops it with a
+        :class:`TornTailWarning`, ``"ignore"`` drops it silently, and
+        ``"error"`` raises.  A corrupt line anywhere else always raises
+        :class:`StoreError` — a mid-log hole means the history after it
+        cannot be trusted.
+        """
+        if torn_tail not in ("warn", "ignore", "error"):
+            raise ValueError(f"unknown torn_tail policy {torn_tail!r}")
+        segments = WriteAheadLog.segment_paths(path)
+        yield from WriteAheadLog._records_from(segments, torn_tail)
+
+    @staticmethod
+    def _records_from(segments: list[Path],
+                      torn_tail: str = "warn") -> Iterator[dict]:
+        """``records`` over an explicit (ordered) segment list — replay
+        uses this to start at the newest checkpointed segment."""
+        for si, segment in enumerate(segments):
+            with open(segment, "rb") as fh:
+                lines = [(n, raw.strip())
+                         for n, raw in enumerate(fh, start=1)]
+            nonblank = [i for i, (_, line) in enumerate(lines) if line]
+            for i in nonblank:
+                n, line = lines[i]
+                record, ok = _parse_line(line)
+                if ok:
+                    yield record
                     continue
-                try:
-                    record = json.loads(line)
-                except json.JSONDecodeError as exc:
+                final = si == len(segments) - 1 and i == nonblank[-1]
+                if final and torn_tail != "error":
+                    if torn_tail == "warn":
+                        warnings.warn(
+                            f"dropping torn final WAL line {n} in "
+                            f"{segment} (crash mid-append); the prefix "
+                            f"is intact", TornTailWarning, stacklevel=3)
+                    return
+                raise StoreError(
+                    f"corrupt WAL line {n} in {segment}: not a record "
+                    "object" if record is not None else
+                    f"corrupt WAL line {n} in {segment}: invalid JSON")
+
+    @staticmethod
+    def repair(path: str | Path) -> int:
+        """Truncate a torn final line off the log's last file.
+
+        Returns the bytes dropped (0 when the tail is clean).  Only the
+        *final* line may be malformed — that is what a crash mid-append
+        produces; a malformed line with complete records after it raises
+        :class:`StoreError` instead of truncating away good history.
+        The truncation is fsynced, so a repaired log stays repaired.
+        """
+        segments = WriteAheadLog.segment_paths(path)
+        if not segments or not segments[-1].exists():
+            return 0
+        last = segments[-1]
+        data = last.read_bytes()
+        good_end = 0
+        bad_line: int | None = None
+        pos = 0
+        n = 0
+        while pos < len(data):
+            nl = data.find(b"\n", pos)
+            end = len(data) if nl == -1 else nl + 1
+            chunk = data[pos:end].strip()
+            n += 1
+            if chunk:
+                _, ok = _parse_line(chunk)
+                if ok:
+                    if bad_line is not None:
+                        raise StoreError(
+                            f"corrupt WAL line {bad_line} in {last}: "
+                            "followed by intact records (not a torn tail)")
+                    good_end = end
+                elif bad_line is None:
+                    bad_line = n
+                else:
                     raise StoreError(
-                        f"corrupt WAL line {n} in {path}: {exc}") from exc
-                if not isinstance(record, dict) or "type" not in record:
-                    raise StoreError(
-                        f"corrupt WAL line {n} in {path}: not a record object")
-                yield record
+                        f"corrupt WAL lines {bad_line} and {n} in {last}: "
+                        "not a torn tail")
+            pos = end
+        if bad_line is None:
+            # A clean log may still end without its final newline (the
+            # crash hit between the record and the separator); that
+            # record is complete, keep everything.
+            return 0
+        dropped = len(data) - good_end
+        with open(last, "r+b") as fh:
+            fh.truncate(good_end)
+            fh.flush()
+            os.fsync(fh.fileno())
+        return dropped
+
+    @staticmethod
+    def prune(path: str | Path, archive: str | Path | None = None,
+              ) -> list[Path]:
+        """Drop (or move into ``archive``) every segment before the
+        newest checkpoint-headed one.
+
+        Those segments describe only history the checkpoint already
+        carries in full, so replay never reads them; pruning is how a
+        long-running store's disk stays bounded.  Single-file logs and
+        segmented logs without a checkpoint are left untouched (their
+        whole history is still load-bearing).  Returns the pruned
+        segment paths (their *original* locations).
+        """
+        path = Path(path)
+        if not path.is_dir():
+            return []
+        segments = WriteAheadLog.segment_paths(path)
+        floor = None
+        for i in range(len(segments) - 1, 0, -1):
+            first = WriteAheadLog.first_record(segments[i])
+            if first is not None and first.get("type") == "checkpoint":
+                floor = i
+                break
+        if floor is None:
+            return []
+        victims = segments[:floor]
+        if archive is not None:
+            archive = Path(archive)
+            archive.mkdir(parents=True, exist_ok=True)
+        for p in victims:
+            if archive is not None:
+                shutil.move(str(p), str(archive / p.name))
+            else:
+                p.unlink()
+        _fsync_dir(path)
+        if archive is not None:
+            _fsync_dir(archive)
+        return victims
 
 
 # ----------------------------------------------------------------------
@@ -109,3 +416,26 @@ def commit_record(version_id: str, parent_id: str, branch: str,
 def branch_record(name: str, at_version_id: str) -> dict[str, Any]:
     """A branch creation as a ``branch`` record."""
     return {"type": "branch", "name": name, "at": at_version_id}
+
+
+def checkpoint_record(graph, constraints) -> dict[str, Any]:
+    """Every branch head as a full database document, plus the graph's
+    sequence counter — everything replay needs to resume *here*: the
+    heads become parentless floor versions, the counter keeps later
+    version ids identical to a full replay's.  Branches sharing a head
+    share one document object (serialised once per head in the JSON
+    line only when heads coincide)."""
+    documents: dict[str, dict] = {}
+    branches: dict[str, dict] = {}
+    for name, head in sorted(graph.heads.items()):
+        if head.vid not in documents:
+            try:
+                documents[head.vid] = io.database_to_dict(
+                    head.state, constraints)
+            except SchemaError as exc:
+                raise StoreError(
+                    f"a checkpointed store needs serialisable "
+                    f"constraints: {exc}") from exc
+        branches[name] = {"version": head.vid,
+                          "document": documents[head.vid]}
+    return {"type": "checkpoint", "seq": graph.seq, "branches": branches}

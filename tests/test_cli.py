@@ -172,3 +172,111 @@ class TestServeLogReplay:
             outcomes[mode] = (data["committed"], data["rejected"],
                               data["noop"])
         assert outcomes["delta"] == outcomes["audit"]
+
+
+class TestCheckpointGc:
+    """The checkpoint / gc / replay-from-checkpoint surface of the CLI."""
+
+    @pytest.fixture
+    def segmented_wal(self, document, tmp_path, capsys):
+        wal = tmp_path / "wal"
+        assert cli.main(["serve", document, "--txns", "40", "--threads", "1",
+                         "--wal", str(wal), "--seed", "3",
+                         "--segment-records", "8",
+                         "--checkpoint-every", "10"]) == 0
+        capsys.readouterr()
+        return wal
+
+    def test_serve_rotates_and_checkpoints(self, segmented_wal, capsys):
+        import json
+
+        from repro.store import WriteAheadLog
+
+        segments = WriteAheadLog.segment_paths(segmented_wal)
+        assert len(segments) > 1
+        assert cli.main(["log", str(segmented_wal), "--json"]) == 0
+        records = [json.loads(line)
+                   for line in capsys.readouterr().out.splitlines()]
+        kinds = {r["type"] for r in records}
+        assert "checkpoint" in kinds
+
+    def test_log_renders_checkpoints(self, segmented_wal, capsys):
+        assert cli.main(["log", str(segmented_wal)]) == 0
+        out = capsys.readouterr().out
+        assert "checkpoint  seq" in out
+        assert "heads: main@v" in out
+
+    def test_replay_from_checkpoint_matches_full(self, segmented_wal,
+                                                 capsys):
+        import json
+
+        assert cli.main(["replay", str(segmented_wal), "--json"]) == 0
+        partial = json.loads(capsys.readouterr().out)
+        assert cli.main(["replay", str(segmented_wal), "--full",
+                         "--json"]) == 0
+        full = json.loads(capsys.readouterr().out)
+        assert partial["branches"] == full["branches"]
+        assert partial["versions"] < full["versions"]
+        assert partial["audit"]["ok"] and full["audit"]["ok"]
+
+    def test_checkpoint_command_appends_record(self, document, tmp_path,
+                                               capsys):
+        import json
+
+        wal = tmp_path / "single.wal"
+        cli.main(["serve", document, "--txns", "12", "--threads", "1",
+                  "--wal", str(wal), "--seed", "3"])
+        capsys.readouterr()
+        assert cli.main(["checkpoint", str(wal), "--json"]) == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["branches"]["main"].startswith("v")
+        assert cli.main(["log", str(wal), "--json"]) == 0
+        records = [json.loads(line)
+                   for line in capsys.readouterr().out.splitlines()]
+        assert records[-1]["type"] == "checkpoint"
+        assert records[-1]["seq"] == summary["seq"]
+        # And replay now starts from it.
+        assert cli.main(["replay", str(wal), "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["versions"] == 1
+        assert data["audit"]["ok"] is True
+
+    def test_gc_prunes_checkpointed_segments(self, segmented_wal, capsys):
+        import json
+
+        from repro.store import WriteAheadLog
+
+        before = WriteAheadLog.segment_paths(segmented_wal)
+        assert cli.main(["gc", str(segmented_wal), "--dry-run",
+                         "--json"]) == 0
+        dry = json.loads(capsys.readouterr().out)
+        assert dry["dry_run"] is True
+        assert dry["pruned"]
+        assert WriteAheadLog.segment_paths(segmented_wal) == before
+
+        archive = segmented_wal.parent / "archive"
+        assert cli.main(["gc", str(segmented_wal),
+                         "--archive", str(archive), "--json"]) == 0
+        done = json.loads(capsys.readouterr().out)
+        assert done["pruned"] == dry["pruned"]
+        remaining = WriteAheadLog.segment_paths(segmented_wal)
+        assert [str(p) for p in remaining] == done["remaining"]
+        assert len(remaining) < len(before)
+        archived = sorted(p.name for p in archive.iterdir())
+        assert archived == sorted(
+            p.rsplit("/", 1)[-1] for p in done["pruned"])
+        # The pruned log still replays to the same head.
+        assert cli.main(["replay", str(segmented_wal), "--verify",
+                         "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["branches"] == done["branches"]
+        assert data["audit"]["ok"] is True
+
+    def test_gc_without_checkpoint_is_noop(self, document, tmp_path,
+                                           capsys):
+        wal = tmp_path / "plain.wal"
+        cli.main(["serve", document, "--txns", "8", "--threads", "1",
+                  "--wal", str(wal), "--seed", "3"])
+        capsys.readouterr()
+        assert cli.main(["gc", str(wal)]) == 0
+        assert "nothing to prune" in capsys.readouterr().out
