@@ -43,6 +43,7 @@ KERNEL_BENCH_PREFIXES = (
     "benchmarks/bench_a8_update_stream.py::",
     "benchmarks/bench_a9_store_throughput.py::",
     "benchmarks/bench_a10_durability.py::",
+    "benchmarks/bench_a11_server.py::",
 )
 
 

@@ -1,9 +1,10 @@
 #!/usr/bin/env bash
 # Refresh the committed perf trajectory, gated by the regression diff.
 #
-# Dumps a fresh --bench-json from the full benchmark suite (a1-a10,
-# including the bench_a9 store-throughput and bench_a10 durability
-# workloads, plus the paper examples), diffs it against the committed
+# Dumps a fresh --bench-json from the full benchmark suite (a1-a11,
+# including the bench_a9 store-throughput, bench_a10 durability and
+# bench_a11 server/replica workloads, plus the paper examples), diffs
+# it against the committed
 # BENCH_kernel.json with
 # compare_bench.py (which fails on >2x kernel regressions AND on kernel
 # baselines missing from the fresh dump), and only on a passing diff

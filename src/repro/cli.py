@@ -8,6 +8,11 @@ Usage (after installation)::
     python -m repro.cli fd db.json --closure       # dependency closure
     python -m repro.cli example employee out.json  # write the paper's example
     python -m repro.cli serve db.json --wal w.log  # run store traffic
+    python -m repro.cli serve db.json --wal w.log --listen :7071
+                                                   # network store server
+    python -m repro.cli replica w.log --listen :7072
+                                                   # WAL-tailing read replica
+    python -m repro.cli replica w.log --once       # one sync + lag report
     python -m repro.cli log w.log                  # print the WAL history
     python -m repro.cli replay w.log --verify      # rebuild + audit from WAL
     python -m repro.cli checkpoint w.log           # append a checkpoint
@@ -16,7 +21,9 @@ Usage (after installation)::
 Documents use the JSON format of :mod:`repro.io`; ``serve``/``log``/
 ``replay``/``checkpoint``/``gc`` drive the versioned store of
 :mod:`repro.store` and share the ``check --json`` audit-report shape, so
-CI can consume every audit surface uniformly.  A WAL path may be a
+CI can consume every audit surface uniformly.  ``serve --listen`` and
+``replica`` expose a store over the wire protocol of
+:mod:`repro.server` (see ``src/repro/server/README.md``).  A WAL path may be a
 single file or a segment directory (``wal.000001.jsonl``, …); replay
 starts from the newest checkpoint unless ``--full`` asks for v0.
 """
@@ -127,10 +134,35 @@ def _cmd_example(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_listen(listen: str) -> tuple[str, int]:
+    """``HOST:PORT`` (``:PORT`` binds localhost; port 0 picks one)."""
+    host, _, port = listen.rpartition(":")
+    try:
+        return host or "127.0.0.1", int(port)
+    except ValueError:
+        raise SystemExit(f"--listen wants HOST:PORT, got {listen!r}")
+
+
+def _serve_until_interrupt(server, banner: str) -> int:
+    import time
+
+    host, port = server.start_background()
+    print(f"{banner} on {host}:{port} (ctrl-C to stop)")
+    try:
+        while True:
+            time.sleep(1)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.stop()
+    return 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     """Run generated session traffic against a store built from the
     document — the smallest end-to-end serving exercise: N worker
-    threads, optimistic commits, optional WAL, and a final audit."""
+    threads, optimistic commits, optional WAL, and a final audit.  With
+    ``--listen``, serve the store over the wire protocol instead."""
     import random
     import threading
     import time
@@ -145,6 +177,17 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         wal = WriteAheadLog(wal, segment_records=args.segment_records)
     engine = StoreEngine(db, constraints, validation=args.mode,
                          wal=wal, checkpoint_every=args.checkpoint_every)
+    if args.listen is not None:
+        from repro.server import StoreServer
+
+        host, port = _parse_listen(args.listen)
+        try:
+            return _serve_until_interrupt(
+                StoreServer(engine, host, port,
+                            max_connections=args.max_connections),
+                f"serving {args.document} ({engine.validation} mode)")
+        finally:
+            engine.close()
     service = SessionService(engine)
     rng = random.Random(args.seed)
     specs = random_txn_specs(rng, db, args.txns)
@@ -210,6 +253,35 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         print("final audit:", "CONSISTENT" if report.ok()
               else report.render())
     return 0 if report.ok() else 1
+
+
+def _cmd_replica(args: argparse.Namespace) -> int:
+    """Tail a primary's WAL as a read replica.
+
+    ``--once`` syncs to the current end of the log and prints the
+    staleness/lag report; otherwise the replica serves read-only wire
+    traffic on ``--listen`` while a background task keeps following the
+    log."""
+    from repro.server import ReplicaEngine, StoreServer
+
+    replica = ReplicaEngine(args.wal, from_checkpoint=not args.full,
+                            verify=args.verify)
+    replica.catch_up(timeout=args.timeout)
+    if args.once:
+        status = replica.status()
+        if args.json:
+            print(json.dumps(status, indent=2, sort_keys=True))
+        else:
+            for key in ("role", "ready", "wal", "behind_bytes",
+                        "applied_records", "seq", "versions", "branches"):
+                if key in status:
+                    print(f"{key}: {status[key]}")
+        return 0 if replica.ready else 1
+    host, port = _parse_listen(args.listen)
+    return _serve_until_interrupt(
+        StoreServer(replica, host, port, sync_interval=args.interval,
+                    max_connections=args.max_connections),
+        f"replica of {args.wal}")
 
 
 def _cmd_log(args: argparse.Namespace) -> int:
@@ -398,7 +470,44 @@ def build_parser() -> argparse.ArgumentParser:
                               "directory)")
     p_serve.add_argument("--json", action="store_true",
                          help="emit the serving summary + audit as JSON")
+    p_serve.add_argument("--listen", default=None, metavar="HOST:PORT",
+                         help="serve the store over the wire protocol "
+                              "instead of running generated traffic "
+                              "(':0' picks a free port)")
+    p_serve.add_argument("--max-connections", type=int, default=64,
+                         help="bound on simultaneous connections under "
+                              "--listen (default 64)")
     p_serve.set_defaults(func=_cmd_serve)
+
+    p_replica = sub.add_parser(
+        "replica", help="tail a primary's WAL as a read replica")
+    p_replica.add_argument("wal")
+    p_replica.add_argument("--listen", default="127.0.0.1:0",
+                           metavar="HOST:PORT",
+                           help="serve read-only wire traffic here "
+                                "(default: localhost, free port)")
+    p_replica.add_argument("--once", action="store_true",
+                           help="sync to the end of the log, print the "
+                                "staleness report, and exit")
+    p_replica.add_argument("--interval", type=float, default=0.05,
+                           metavar="SECONDS",
+                           help="background sync cadence while serving "
+                                "(default 0.05s)")
+    p_replica.add_argument("--timeout", type=float, default=5.0,
+                           help="initial catch-up budget in seconds "
+                                "(default 5)")
+    p_replica.add_argument("--full", action="store_true",
+                           help="bootstrap from v0 instead of the newest "
+                                "checkpoint")
+    p_replica.add_argument("--verify", action="store_true",
+                           help="re-gate every followed commit through "
+                                "this replica's own axiom validation")
+    p_replica.add_argument("--max-connections", type=int, default=64,
+                           help="bound on simultaneous connections "
+                                "(default 64)")
+    p_replica.add_argument("--json", action="store_true",
+                           help="emit the --once staleness report as JSON")
+    p_replica.set_defaults(func=_cmd_replica)
 
     p_log = sub.add_parser("log", help="print a write-ahead log's history")
     p_log.add_argument("wal")

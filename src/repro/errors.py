@@ -79,6 +79,17 @@ class StoreError(ReproError):
     """Misuse of the versioned store (unknown version/branch, bad root)."""
 
 
+class ProtocolError(ReproError):
+    """A malformed wire-protocol frame or message.
+
+    Covers both framing failures (oversized or truncated length-prefixed
+    frames, payloads that are not JSON objects) and message-level ones
+    (unknown ops, missing fields).  Server connections answer these with
+    structured error frames; only failures that desynchronise the byte
+    stream itself close the connection.
+    """
+
+
 class StoreWarning(UserWarning):
     """Non-fatal store conditions surfaced through :mod:`warnings`
     (recoverable durability events, not API misuse — so they do not

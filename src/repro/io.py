@@ -23,11 +23,20 @@ module fixes a plain-JSON interchange format:
 
 Values must be JSON scalars (strings, numbers, booleans, null) — which is
 exactly the Attribute Axiom's atomicity in JSON clothing.
+
+The module also fixes the store's *wire* encoding: length-prefixed JSON
+frames (:func:`encode_frame` / :class:`FrameDecoder`), the byte-level
+layer of the :mod:`repro.server` protocol.  A frame is a big-endian
+``uint32`` payload length followed by that many bytes of UTF-8 JSON
+encoding one object; the prefix makes the stream self-delimiting, so a
+frame whose payload fails to parse costs one error response, not the
+connection.
 """
 
 from __future__ import annotations
 
 import json
+import struct
 from pathlib import Path
 from typing import Any
 
@@ -42,7 +51,97 @@ from repro.core import (
     Schema,
     SubsetConstraint,
 )
-from repro.errors import SchemaError
+from repro.errors import ProtocolError, SchemaError
+
+# ----------------------------------------------------------------------
+# wire frames (the byte layer of repro.server's protocol)
+# ----------------------------------------------------------------------
+FRAME_HEADER = struct.Struct(">I")
+
+#: Default ceiling on one frame's payload.  Large enough for any audit
+#: report or relation read the test states produce, small enough that a
+#: hostile length prefix cannot make a connection buffer gigabytes.
+MAX_FRAME_BYTES = 8 * 1024 * 1024
+
+
+def encode_frame(message: dict[str, Any],
+                 max_bytes: int = MAX_FRAME_BYTES) -> bytes:
+    """One protocol message as a length-prefixed JSON frame."""
+    if not isinstance(message, dict):
+        raise ProtocolError(
+            f"a frame payload must be a JSON object, got "
+            f"{type(message).__name__}")
+    try:
+        payload = json.dumps(message, sort_keys=True,
+                             separators=(",", ":")).encode("utf-8")
+    except (TypeError, ValueError) as exc:
+        raise ProtocolError(f"message is not JSON-codable: {exc}") from exc
+    if len(payload) > max_bytes:
+        raise ProtocolError(
+            f"frame payload of {len(payload)} bytes exceeds the "
+            f"{max_bytes}-byte frame limit")
+    return FRAME_HEADER.pack(len(payload)) + payload
+
+
+class FrameDecoder:
+    """Incremental frame parser: feed bytes, collect decoded messages.
+
+    The decoder is transport-agnostic (sans-IO): both the asyncio server
+    and the blocking client push whatever bytes arrived and receive every
+    *complete* message, buffering partial frames internally.  A declared
+    length beyond ``max_bytes`` raises :class:`ProtocolError` and poisons
+    the decoder — past that point the stream offset can no longer be
+    trusted, so the connection must close; a payload that is complete but
+    not a JSON object also raises, but leaves the decoder usable (the
+    prefix still delimited the frame correctly) — messages decoded
+    before the bad frame are delivered by the next :meth:`feed` call.
+    """
+
+    __slots__ = ("max_bytes", "_buffer", "_ready", "_poisoned")
+
+    def __init__(self, max_bytes: int = MAX_FRAME_BYTES):
+        self.max_bytes = max_bytes
+        self._buffer = bytearray()
+        self._ready: list[dict[str, Any]] = []
+        self._poisoned = False
+
+    def feed(self, data: bytes = b"") -> list[dict[str, Any]]:
+        """Buffer ``data`` and return every message completed so far."""
+        if self._poisoned:
+            raise ProtocolError(
+                "frame stream is desynchronised (oversized frame); "
+                "close the connection")
+        self._buffer.extend(data)
+        while len(self._buffer) >= FRAME_HEADER.size:
+            (length,) = FRAME_HEADER.unpack_from(self._buffer)
+            if length > self.max_bytes:
+                self._poisoned = True
+                raise ProtocolError(
+                    f"declared frame length {length} exceeds the "
+                    f"{self.max_bytes}-byte frame limit")
+            end = FRAME_HEADER.size + length
+            if len(self._buffer) < end:
+                break
+            payload = bytes(self._buffer[FRAME_HEADER.size:end])
+            del self._buffer[:end]
+            try:
+                message = json.loads(payload)
+            except (ValueError, UnicodeDecodeError) as exc:
+                raise ProtocolError(
+                    f"frame payload is not valid JSON: {exc}") from exc
+            if not isinstance(message, dict):
+                raise ProtocolError(
+                    f"frame payload must be a JSON object, got "
+                    f"{type(message).__name__}")
+            self._ready.append(message)
+        out = self._ready
+        self._ready = []
+        return out
+
+    @property
+    def pending_bytes(self) -> int:
+        """Bytes buffered toward an incomplete frame (diagnostics)."""
+        return len(self._buffer)
 
 
 def schema_to_dict(schema: Schema) -> dict[str, Any]:

@@ -1,0 +1,44 @@
+"""`repro.server` — the store over the wire, plus WAL-tailing replicas.
+
+An asyncio front end (:mod:`server`) speaks a length-prefixed JSON
+frame protocol (:mod:`protocol`; byte layer in :mod:`repro.io`) over a
+:class:`~repro.store.StoreEngine`, mirroring the embedded session API —
+begin/stage/commit with the same typed errors, witness findings
+included.  :mod:`replica` adds read scale-out: a
+:class:`ReplicaEngine` tails the primary's write-ahead log and applies
+every record through the replay code path, so its version graph is
+identical to the primary's at the prefix it has consumed.  See
+``README.md`` in this directory for the wire-protocol specification and
+the replica consistency semantics.
+"""
+
+from repro.server.client import RemoteTxn, StoreClient
+from repro.server.pool import ClientPool
+from repro.server.protocol import (
+    OPS,
+    PROTOCOL_VERSION,
+    WRITE_OPS,
+    error_payload,
+    error_response,
+    ok_response,
+    raise_for_error,
+    validate_request,
+)
+from repro.server.replica import ReplicaEngine
+from repro.server.server import StoreServer
+
+__all__ = [
+    "ClientPool",
+    "OPS",
+    "PROTOCOL_VERSION",
+    "RemoteTxn",
+    "ReplicaEngine",
+    "StoreClient",
+    "StoreServer",
+    "WRITE_OPS",
+    "error_payload",
+    "error_response",
+    "ok_response",
+    "raise_for_error",
+    "validate_request",
+]

@@ -1,0 +1,154 @@
+"""The store's wire protocol: message shapes over length-prefixed frames.
+
+The byte layer lives in :mod:`repro.io` (``encode_frame`` /
+``FrameDecoder``); this module fixes what the frames *say*.  Every
+message is one JSON object.  Requests carry a client-chosen ``id``
+(echoed verbatim in the response, so a client may pipeline) and an
+``op``:
+
+``hello``
+    Bind the connection to a branch (``branch``, default ``"main"``)
+    and learn the store's shape.  Response: ``protocol``, ``role``
+    (``"primary"`` or ``"replica"``), ``branches``, ``relations``,
+    ``validation``.
+``ping``
+    Liveness probe.  Response: ``{"pong": true}``.
+``begin``
+    Open a transaction pinned at the session branch's head.  Response:
+    ``txn`` (a server-assigned handle) and ``base`` (the head's vid).
+``stage``
+    Buffer operations into an open transaction: ``txn`` plus ``ops``,
+    a list of WAL-form op records (``{"op": "insert", "relation": ...,
+    "row": {...}, "propagate": ...}`` and friends).  Rows are validated
+    on arrival; a malformed row fails the *stage*, with the transaction
+    left as it was before the call.  Response: ``staged`` (total ops
+    buffered).
+``commit``
+    Validate and install an open transaction (``txn``); the handle is
+    consumed either way.  Response: ``version``, ``parent``, ``branch``.
+    Rejections answer with code ``commit-rejected`` carrying the witness
+    ``findings``; optimistic-concurrency losses (after the server-side
+    retry loop) answer ``conflict`` with the overlapping ``keys``.
+``read``
+    One relation's instance set at a pinned version: ``relation``,
+    optional ``at`` (vid) / ``branch``.  Response: ``rows`` (list of
+    attribute->scalar objects), ``version`` (the vid served).
+``branch``
+    Create a branch: ``name``, optional ``at`` / ``from_branch``.
+    Replica connections refuse with ``read-only``.  Response:
+    ``branch``, ``at``.
+``status``
+    Server-side statistics: connection and commit-queue gauges on a
+    primary, the staleness/lag report on a replica.
+
+Responses are ``{"id": ..., "ok": true, ...payload}`` on success and
+``{"id": ..., "ok": false, "error": {"code", "message", ...}}`` on
+failure.  Error codes map 1:1 onto the store's exception types
+(:func:`error_payload`, :func:`raise_for_error`), so a remote caller
+sees the same :class:`~repro.errors.CommitRejected` — witness findings
+included — that a local :class:`~repro.store.Session` user does.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.errors import (
+    CommitRejected,
+    ExtensionError,
+    ProtocolError,
+    StoreError,
+    TransactionConflict,
+)
+
+PROTOCOL_VERSION = 1
+
+#: Every operation a client may request, and which of them mutate.
+OPS = frozenset(
+    {"hello", "ping", "begin", "stage", "commit", "read", "branch",
+     "status"})
+WRITE_OPS = frozenset({"begin", "stage", "commit", "branch"})
+
+#: Error codes, most specific first.  ``bad-frame`` answers payloads the
+#: frame layer could delimit but not parse; ``fatal`` marks errors after
+#: which the server closes the connection (stream desync, oversize).
+ERROR_CODES = (
+    "commit-rejected", "conflict", "read-only", "overloaded",
+    "extension-error", "store-error", "protocol-error", "bad-frame",
+)
+
+
+def ok_response(rid: Any, **payload: Any) -> dict:
+    return {"id": rid, "ok": True, **payload}
+
+
+def error_response(rid: Any, code: str, message: str,
+                   **extra: Any) -> dict:
+    return {"id": rid, "ok": False,
+            "error": {"code": code, "message": message, **extra}}
+
+
+def error_payload(exc: BaseException) -> dict:
+    """One exception as the ``error`` object of a response — the
+    server-side half of the exception bridge."""
+    if isinstance(exc, CommitRejected):
+        return {"code": "commit-rejected", "message": str(exc),
+                "findings": [dict(f) for f in exc.findings]}
+    if isinstance(exc, TransactionConflict):
+        return {"code": "conflict", "message": str(exc),
+                "keys": [_jsonable_key(k) for k in exc.keys]}
+    if isinstance(exc, StoreError):
+        return {"code": "store-error", "message": str(exc)}
+    if isinstance(exc, ExtensionError):
+        return {"code": "extension-error", "message": str(exc)}
+    if isinstance(exc, ProtocolError):
+        return {"code": "protocol-error", "message": str(exc)}
+    return {"code": "store-error",
+            "message": f"{type(exc).__name__}: {exc}"}
+
+
+def _jsonable_key(key: Any) -> Any:
+    """Conflict keys are ``(relation, attrs-frozenset, projected-row)``
+    triples; flatten the non-JSON members to sorted/readable forms."""
+    try:
+        relation, attrs, row = key
+        return [relation, sorted(attrs), repr(row)]
+    except (TypeError, ValueError):
+        return repr(key)
+
+
+def raise_for_error(error: dict) -> None:
+    """Re-raise a response's ``error`` object as the exception it
+    encodes — the client-side half of the bridge.  Findings and conflict
+    keys survive the round trip (keys as their JSON-flattened form)."""
+    code = error.get("code", "store-error")
+    message = error.get("message", "remote error")
+    if code == "commit-rejected":
+        raise CommitRejected(message,
+                             tuple(error.get("findings", ())))
+    if code == "conflict":
+        raise TransactionConflict(
+            message, keys=tuple(tuple(k) if isinstance(k, list) else k
+                                for k in error.get("keys", ())))
+    if code in ("protocol-error", "bad-frame"):
+        raise ProtocolError(message)
+    if code == "extension-error":
+        raise ExtensionError(message)
+    if code == "read-only":
+        raise StoreError(f"read-only replica: {message}")
+    raise StoreError(message)
+
+
+def validate_request(message: dict) -> tuple[Any, str]:
+    """``(id, op)`` of a request, or :class:`ProtocolError` when the
+    object is not a well-formed request.  The id may be any JSON scalar;
+    it is only echoed."""
+    if "op" not in message:
+        raise ProtocolError("request has no 'op' field")
+    op = message["op"]
+    if not isinstance(op, str) or op not in OPS:
+        raise ProtocolError(f"unknown op {op!r}")
+    rid = message.get("id")
+    if isinstance(rid, (dict, list)):
+        raise ProtocolError("request 'id' must be a JSON scalar")
+    return rid, op

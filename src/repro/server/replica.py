@@ -1,0 +1,242 @@
+"""WAL-tailing read replicas: horizontal scale-out for snapshot reads.
+
+A :class:`ReplicaEngine` owns a :class:`~repro.store.WalCursor` over the
+primary's write-ahead log and an inner :class:`~repro.store.StoreEngine`
+it never writes to directly: every record the cursor yields is applied
+through :meth:`StoreEngine.apply_wal_record`, the exact code path
+``StoreEngine.replay`` drains a log through.  A replica's version graph
+is therefore *identical* — version ids, branch heads, states — to what
+a full replay of the same WAL prefix produces; the differential suite
+in ``tests/test_replica.py`` holds it to that.
+
+The topology reading (PAPERS.md's Alexandrov-topologies framing):
+replica lag is one more dimension of the version graph.  A replica's
+head is always some *ancestor* of the primary's head — an
+older-but-valid version, never an invalid state — because the primary
+only logs commits its axiom gate admitted, and the replica applies
+whole records or nothing.  Reads served from a replica are exactly the
+lock-free snapshot reads the store already gives local readers, just
+pinned a few commits behind.
+
+Crash tolerance is inherited from the PR-6 recovery contract via the
+cursor: an in-progress (or torn) final line is waited out, the
+primary's repair truncation is absorbed by offset clamping, and a
+pruned-under-cursor segment triggers :meth:`resync` from the newest
+checkpoint.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from pathlib import Path
+
+from repro.errors import StoreError
+from repro.store.engine import StoreEngine
+from repro.store.wal import WalCursor, WriteAheadLog
+
+
+class ReplicaEngine:
+    """A read-only store that follows a primary's WAL.
+
+    Parameters
+    ----------
+    wal_path:
+        The primary's log — a single file or a segment directory.  The
+        replica only ever reads it.
+    from_checkpoint:
+        When ``True`` (default), bootstrap skips to the newest
+        checkpoint-headed segment (and, within the first batch, to the
+        newest inline checkpoint), mirroring
+        ``StoreEngine.replay(from_checkpoint=True)`` — pre-checkpoint
+        versions are simply absent, restored as floor versions.  With
+        ``False`` the replica applies the full history from v0.
+    verify:
+        Re-gate every followed commit through the replica's own axiom
+        validation (the distrusting mode); the default trusts the
+        primary's gate and installs records directly, which still
+        re-derives every state and checks version-id agreement.
+    validation:
+        Validation mode for the inner engine (only consulted under
+        ``verify``).
+
+    Concurrency: :meth:`sync` is serialised by an internal lock (one
+    tailer); reads are lock-free against the immutable graph, exactly
+    as on a primary.
+    """
+
+    def __init__(self, wal_path: str | Path, validation: str = "delta",
+                 from_checkpoint: bool = True, verify: bool = False):
+        self.wal_path = Path(wal_path)
+        self.validation = validation
+        self.from_checkpoint = from_checkpoint
+        self.verify = verify
+        self._engine: StoreEngine | None = None
+        self._cursor = WalCursor(self.wal_path)
+        if from_checkpoint:
+            self._cursor.seek_newest_checkpoint_segment()
+        self._skip_to_checkpoint = from_checkpoint
+        self._lock = threading.Lock()
+        self._applied_records = 0
+        self._last_sync: float | None = None
+
+    # ------------------------------------------------------------------
+    # tailing
+    # ------------------------------------------------------------------
+    def sync(self, max_records: int | None = None) -> int:
+        """Apply the records the primary appended since the last sync.
+
+        Returns the number applied (0 when caught up, or while the
+        primary is mid-append).  Raises :class:`StoreError` on genuine
+        log corruption, and on a pruned-under-cursor segment — call
+        :meth:`resync` for the latter.
+        """
+        with self._lock:
+            records = self._cursor.poll(max_records)
+            if self._skip_to_checkpoint and self._engine is None:
+                # A single-segment (or single-file) log keeps its
+                # checkpoints inline; resume at the newest one visible
+                # in the bootstrap batch, exactly like replay.
+                for i in range(len(records) - 1, -1, -1):
+                    if records[i].get("type") == "checkpoint":
+                        records = records[i:]
+                        break
+            applied = 0
+            for record in records:
+                self._apply(record)
+                applied += 1
+            if applied or self._engine is not None:
+                self._skip_to_checkpoint = False
+            self._applied_records += applied
+            self._last_sync = time.monotonic()
+            return applied
+
+    def _apply(self, record: dict) -> None:
+        if self._engine is None:
+            self._engine = StoreEngine.from_wal_record(
+                record, validation=self.validation, verify=self.verify)
+            return
+        self._engine.apply_wal_record(record, verify=self.verify)
+
+    def catch_up(self, timeout: float = 5.0,
+                 poll_interval: float = 0.01) -> int:
+        """Sync until the cursor reports nothing left behind (or the
+        timeout lapses — a live primary can outrun a poll, so callers
+        needing a hard guarantee stop the writers first).  Returns the
+        records applied."""
+        deadline = time.monotonic() + timeout
+        applied = self.sync()
+        while self.behind_bytes() > 0 and time.monotonic() < deadline:
+            got = self.sync()
+            applied += got
+            if not got:
+                time.sleep(poll_interval)
+        return applied
+
+    def resync(self) -> int:
+        """Re-bootstrap from the newest checkpoint after the tail was
+        pruned out from under the cursor; the graph is rebuilt from
+        scratch (version ids stay identical — the sequence counter is
+        part of the checkpoint)."""
+        with self._lock:
+            self._engine = None
+            self._cursor = WalCursor(self.wal_path)
+            self._cursor.seek_newest_checkpoint_segment()
+            self._skip_to_checkpoint = True
+        return self.sync()
+
+    # ------------------------------------------------------------------
+    # reads (lock-free once bootstrapped)
+    # ------------------------------------------------------------------
+    @property
+    def ready(self) -> bool:
+        """True once the bootstrap record (snapshot or checkpoint) has
+        been applied and reads can be served."""
+        return self._engine is not None
+
+    @property
+    def engine(self) -> StoreEngine:
+        engine = self._engine
+        if engine is None:
+            raise StoreError(
+                "replica has not bootstrapped yet (no snapshot or "
+                "checkpoint record visible in the WAL); sync() first")
+        return engine
+
+    @property
+    def graph(self):
+        return self.engine.graph
+
+    @property
+    def schema(self):
+        return self.engine.schema
+
+    def state(self, vid: str | None = None, branch: str = "main"):
+        return self.engine.state(vid, branch)
+
+    def read(self, relation: str, branch: str = "main",
+             at: str | None = None):
+        return self.engine.read(relation, branch, at)
+
+    def head_version(self, branch: str = "main"):
+        return self.engine.head_version(branch)
+
+    def describe(self) -> dict:
+        summary = self.engine.describe()
+        summary["role"] = "replica"
+        return summary
+
+    # ------------------------------------------------------------------
+    # staleness / lag
+    # ------------------------------------------------------------------
+    def behind_bytes(self) -> int:
+        """Unconsumed log bytes — 0 means every durably written record
+        has been applied."""
+        return self._cursor.behind_bytes()
+
+    def status(self) -> dict:
+        """The staleness/lag report: where the replica is, how far
+        behind the durable log it is, and what it serves."""
+        engine = self._engine
+        status = {
+            "role": "replica",
+            "ready": engine is not None,
+            "wal": str(self.wal_path),
+            "position": self._cursor.position(),
+            "behind_bytes": self.behind_bytes(),
+            "applied_records": self._applied_records,
+            "verify": self.verify,
+            "seconds_since_sync": (
+                round(time.monotonic() - self._last_sync, 6)
+                if self._last_sync is not None else None),
+        }
+        if engine is not None:
+            status["branches"] = engine.graph.branches()
+            status["seq"] = engine.graph.seq
+            status["versions"] = len(engine.graph)
+        return status
+
+    def lag(self) -> dict:
+        """The short form of :meth:`status` for monitoring loops."""
+        return {
+            "behind_bytes": self.behind_bytes(),
+            "current": self.behind_bytes() == 0,
+            "applied_records": self._applied_records,
+        }
+
+    def close(self) -> None:
+        """Replicas hold no file handles between polls; closing only
+        drops the engine reference."""
+        with self._lock:
+            self._engine = None
+
+    def __repr__(self) -> str:
+        head = self._engine.graph.branches() if self._engine else None
+        return (f"ReplicaEngine({self.wal_path}, ready={self.ready}, "
+                f"heads={head})")
+
+
+def segments_snapshot(wal_path: str | Path) -> list[str]:
+    """The log's current segment names (diagnostics for lag reports)."""
+    return [p.name for p in WriteAheadLog.segment_paths(wal_path)
+            if p.exists()]

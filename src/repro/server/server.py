@@ -1,0 +1,452 @@
+"""The asyncio network front end over a store engine (or a replica).
+
+One :class:`StoreServer` owns one listening socket and one engine.  A
+connection is a sequence of length-prefixed JSON frames (see
+:mod:`repro.io` for the bytes and :mod:`repro.server.protocol` for the
+messages); each connection gets its own :class:`~repro.store.Session`
+and its own transaction-handle namespace, so the wire API mirrors the
+embedded one — begin, stage, commit, read — with the same exceptions
+coming back as typed error payloads.
+
+Robustness posture:
+
+* A frame that *delimits* but does not *parse* (bad JSON, non-object
+  payload, unknown op) costs exactly one ``bad-frame``/
+  ``protocol-error`` response; the connection — and the accept loop —
+  live on.  The fuzz sweep in ``tests/test_server_protocol.py`` holds
+  the server to that.
+* A frame whose declared length exceeds the cap is *fatal* for that
+  connection (the stream offset can no longer be trusted) but for that
+  connection only.
+* The connection pool is bounded: over-capacity connections receive one
+  ``overloaded`` error frame and are closed before any session state is
+  allocated.
+* Commits run on executor threads behind a bounded semaphore — when the
+  commit queue is at depth, further writers *wait* (backpressure)
+  rather than stacking unbounded blocking work.
+* A disconnect mid-commit closes the session, which flips the closed
+  flag the :meth:`Session.commit` retry loop observes — in-flight
+  conflicts surface instead of retrying into a dead connection.
+
+A server constructed over a :class:`~repro.server.replica.ReplicaEngine`
+is read-only: write ops answer ``read-only``, reads are served from the
+replica's graph, and a background task keeps :meth:`ReplicaEngine.sync`
+ticking so staleness stays bounded while the primary writes.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+from typing import Any
+
+from repro.errors import ProtocolError, StoreError
+from repro.io import FRAME_HEADER, MAX_FRAME_BYTES, encode_frame
+from repro.server import protocol
+from repro.server.replica import ReplicaEngine
+from repro.store.engine import StoreEngine
+from repro.store.session import Session, SessionService
+
+
+class _Connection:
+    """Per-connection state: one session, one txn-handle namespace."""
+
+    __slots__ = ("branch", "session", "txns", "_next_txn")
+
+    def __init__(self) -> None:
+        self.branch = "main"
+        self.session: Session | None = None
+        self.txns: dict[str, Any] = {}
+        self._next_txn = 0
+
+    def new_handle(self) -> str:
+        self._next_txn += 1
+        return f"t{self._next_txn}"
+
+
+class StoreServer:
+    """Serve one engine over a listening socket.
+
+    Parameters
+    ----------
+    engine:
+        A :class:`StoreEngine` (primary — read/write) or a
+        :class:`ReplicaEngine` (read-only; a background task keeps it
+        synced every ``sync_interval`` seconds).
+    host, port:
+        Bind address; ``port=0`` picks a free port, readable from
+        :attr:`address` after start.
+    max_connections:
+        Bound on simultaneously served connections; excess connections
+        get one ``overloaded`` error frame and are closed.
+    max_inflight_commits:
+        Bound on commits running on executor threads at once — the
+        write-backpressure knob.  Further commit requests queue on the
+        semaphore (their connections simply wait; nothing is dropped).
+    """
+
+    def __init__(self, engine: StoreEngine | ReplicaEngine,
+                 host: str = "127.0.0.1", port: int = 0,
+                 max_connections: int = 64,
+                 max_inflight_commits: int = 8,
+                 sync_interval: float = 0.02,
+                 max_frame_bytes: int = MAX_FRAME_BYTES):
+        self.engine = engine
+        self.read_only = isinstance(engine, ReplicaEngine)
+        self.service = None if self.read_only else SessionService(engine)
+        self.host = host
+        self.port = port
+        self.max_connections = max_connections
+        self.max_inflight_commits = max_inflight_commits
+        self.sync_interval = sync_interval
+        self.max_frame_bytes = max_frame_bytes
+        self.address: tuple[str, int] | None = None
+        self._server: asyncio.base_events.Server | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._thread: threading.Thread | None = None
+        self._started = threading.Event()
+        self._startup_error: BaseException | None = None
+        self._commit_slots: asyncio.Semaphore | None = None
+        self._sync_task: asyncio.Task | None = None
+        self._connections = 0
+        self._commits = 0
+        self._inflight_commits = 0
+        self._rejected_overloaded = 0
+        self._frames_served = 0
+        self._bad_frames = 0
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    async def _start(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._commit_slots = asyncio.Semaphore(self.max_inflight_commits)
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port)
+        sock = self._server.sockets[0]
+        self.address = sock.getsockname()[:2]
+        if self.read_only and self.sync_interval:
+            self._sync_task = self._loop.create_task(self._sync_forever())
+
+    async def _stop(self) -> None:
+        if self._sync_task is not None:
+            self._sync_task.cancel()
+            try:
+                await self._sync_task
+            except asyncio.CancelledError:
+                pass
+            self._sync_task = None
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        handlers = [t for t in asyncio.all_tasks()
+                    if t is not asyncio.current_task()]
+        for task in handlers:
+            task.cancel()
+        await asyncio.gather(*handlers, return_exceptions=True)
+        if self.service is not None:
+            self.service.close_all()
+
+    async def serve_forever(self) -> None:
+        """Run in the caller's event loop until cancelled (CLI mode)."""
+        await self._start()
+        try:
+            await self._server.serve_forever()
+        finally:
+            await self._stop()
+
+    def start_background(self) -> tuple[str, int]:
+        """Run the server on a dedicated daemon thread; returns the
+        bound ``(host, port)`` once accepting."""
+        if self._thread is not None:
+            raise StoreError("server already started")
+
+        def runner() -> None:
+            loop = asyncio.new_event_loop()
+            asyncio.set_event_loop(loop)
+            try:
+                try:
+                    loop.run_until_complete(self._start())
+                except BaseException as exc:  # bind failures etc.
+                    self._startup_error = exc
+                    return
+                finally:
+                    self._started.set()
+                loop.run_forever()
+                loop.run_until_complete(self._stop())
+            finally:
+                asyncio.set_event_loop(None)
+                loop.close()
+
+        self._thread = threading.Thread(
+            target=runner, name="repro-store-server", daemon=True)
+        self._thread.start()
+        self._started.wait(10.0)
+        if self._startup_error is not None:
+            self._thread.join(1.0)
+            self._thread = None
+            raise self._startup_error
+        if self.address is None:
+            raise StoreError("server failed to start within 10s")
+        return self.address
+
+    def stop(self) -> None:
+        """Stop a background server: close the listener, cancel the
+        sync task, close every session, join the thread."""
+        if self._thread is None:
+            return
+        loop = self._loop
+        if loop is not None and loop.is_running():
+            loop.call_soon_threadsafe(loop.stop)
+        self._thread.join(10.0)
+        self._thread = None
+        self._started.clear()
+        self.address = None
+
+    def __enter__(self) -> "StoreServer":
+        self.start_background()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------
+    # replica upkeep
+    # ------------------------------------------------------------------
+    async def _sync_forever(self) -> None:
+        assert isinstance(self.engine, ReplicaEngine)
+        while True:
+            try:
+                await self._loop.run_in_executor(None, self.engine.sync)
+            except StoreError:
+                # Tail pruned out from under the cursor — re-bootstrap
+                # from the newest checkpoint and keep following.
+                try:
+                    await self._loop.run_in_executor(
+                        None, self.engine.resync)
+                except StoreError:
+                    pass  # primary mid-rotation; next tick retries
+            await asyncio.sleep(self.sync_interval)
+
+    # ------------------------------------------------------------------
+    # connection handling
+    # ------------------------------------------------------------------
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        if self._connections >= self.max_connections:
+            self._rejected_overloaded += 1
+            await self._send(writer, protocol.error_response(
+                None, "overloaded",
+                f"server at capacity ({self.max_connections} connections)",
+                fatal=True))
+            writer.close()
+            return
+        self._connections += 1
+        conn = _Connection()
+        try:
+            while True:
+                try:
+                    message = await self._read_frame(reader)
+                except asyncio.IncompleteReadError:
+                    break  # client went away (possibly mid-frame)
+                except ProtocolError as exc:
+                    fatal = getattr(exc, "fatal", False)
+                    self._bad_frames += 1
+                    await self._send(writer, protocol.error_response(
+                        None, "bad-frame", str(exc), fatal=fatal))
+                    if fatal:
+                        break
+                    continue
+                response = await self._dispatch(conn, message)
+                self._frames_served += 1
+                await self._send(writer, response)
+        except (ConnectionError, asyncio.CancelledError):
+            pass
+        finally:
+            self._connections -= 1
+            if conn.session is not None:
+                try:
+                    conn.session.close()
+                except StoreError:
+                    pass
+            writer.close()
+
+    async def _read_frame(self, reader: asyncio.StreamReader) -> dict:
+        header = await reader.readexactly(FRAME_HEADER.size)
+        (length,) = FRAME_HEADER.unpack(header)
+        if length > self.max_frame_bytes:
+            exc = ProtocolError(
+                f"declared frame length {length} exceeds the "
+                f"{self.max_frame_bytes}-byte cap")
+            exc.fatal = True  # stream offset no longer trustworthy
+            raise exc
+        payload = await reader.readexactly(length)
+        try:
+            message = json.loads(payload.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as bad:
+            raise ProtocolError(f"frame payload is not JSON: {bad}") \
+                from bad
+        if not isinstance(message, dict):
+            raise ProtocolError(
+                f"frame payload must be a JSON object, got "
+                f"{type(message).__name__}")
+        return message
+
+    async def _send(self, writer: asyncio.StreamWriter,
+                    message: dict) -> None:
+        writer.write(encode_frame(message))
+        await writer.drain()
+
+    # ------------------------------------------------------------------
+    # dispatch
+    # ------------------------------------------------------------------
+    async def _dispatch(self, conn: _Connection, message: dict) -> dict:
+        try:
+            rid, op = protocol.validate_request(message)
+        except ProtocolError as exc:
+            self._bad_frames += 1
+            return {"id": message.get("id") if not isinstance(
+                        message.get("id"), (dict, list)) else None,
+                    "ok": False, "error": protocol.error_payload(exc)}
+        try:
+            handler = getattr(self, f"_op_{op}")
+            return await handler(conn, rid, message)
+        except Exception as exc:  # typed errors -> typed payloads
+            return {"id": rid, "ok": False,
+                    "error": protocol.error_payload(exc)}
+
+    @property
+    def _store(self) -> StoreEngine:
+        """The graph-bearing engine (the replica's inner one when
+        read-only)."""
+        if self.read_only:
+            return self.engine.engine  # raises StoreError until ready
+        return self.engine
+
+    def _require_writable(self, op: str) -> None:
+        if self.read_only:
+            raise StoreError(f"'{op}' is not served by a read-only "
+                             "replica; connect to the primary")
+
+    async def _op_hello(self, conn, rid, message) -> dict:
+        branch = message.get("branch", "main")
+        if not isinstance(branch, str):
+            raise ProtocolError("'branch' must be a string")
+        store = self._store
+        store.head_version(branch)  # fail fast on unknown branches
+        conn.branch = branch
+        if conn.session is not None:
+            conn.session.close()
+            conn.session = None
+        summary = store.describe()
+        return protocol.ok_response(
+            rid, protocol=protocol.PROTOCOL_VERSION,
+            role="replica" if self.read_only else "primary",
+            branch=branch, branches=summary["branches"],
+            relations=summary["relations"],
+            validation=summary["validation"])
+
+    async def _op_ping(self, conn, rid, message) -> dict:
+        return protocol.ok_response(rid, pong=True)
+
+    async def _op_status(self, conn, rid, message) -> dict:
+        if self.read_only:
+            return protocol.ok_response(rid, **self.engine.status())
+        summary = self.engine.describe()
+        return protocol.ok_response(
+            rid, role="primary",
+            connections=self._connections,
+            max_connections=self.max_connections,
+            inflight_commits=self._inflight_commits,
+            max_inflight_commits=self.max_inflight_commits,
+            commits=self._commits,
+            frames_served=self._frames_served,
+            bad_frames=self._bad_frames,
+            rejected_overloaded=self._rejected_overloaded,
+            live_sessions=len(self.service.live_sessions()),
+            seq=summary["seq"], versions=summary["versions"],
+            branches=summary["branches"])
+
+    def _session(self, conn: _Connection) -> Session:
+        if conn.session is None:
+            conn.session = self.service.session(conn.branch)
+        return conn.session
+
+    async def _op_begin(self, conn, rid, message) -> dict:
+        self._require_writable("begin")
+        txn = self._session(conn).begin()
+        handle = conn.new_handle()
+        conn.txns[handle] = txn
+        return protocol.ok_response(rid, txn=handle, base=txn.base.vid)
+
+    def _txn_for(self, conn: _Connection, message: dict):
+        handle = message.get("txn")
+        if not isinstance(handle, str):
+            raise ProtocolError("'txn' must be a transaction handle "
+                                "string from 'begin'")
+        try:
+            return handle, conn.txns[handle]
+        except KeyError:
+            raise StoreError(
+                f"unknown transaction handle {handle!r} (already "
+                "committed, or from another connection?)") from None
+
+    async def _op_stage(self, conn, rid, message) -> dict:
+        self._require_writable("stage")
+        handle, txn = self._txn_for(conn, message)
+        ops = message.get("ops")
+        if not isinstance(ops, list):
+            raise ProtocolError("'ops' must be a list of op records")
+        before = len(txn.ops)
+        try:
+            txn.apply_records(ops)
+        except Exception:
+            del txn.ops[before:]  # a failed stage leaves the txn as-was
+            raise
+        return protocol.ok_response(rid, txn=handle,
+                                    staged=len(txn.ops))
+
+    async def _op_commit(self, conn, rid, message) -> dict:
+        self._require_writable("commit")
+        handle, txn = self._txn_for(conn, message)
+        del conn.txns[handle]  # the handle is consumed either way
+        session = self._session(conn)
+        async with self._commit_slots:  # write backpressure
+            self._inflight_commits += 1
+            try:
+                version = await self._loop.run_in_executor(
+                    None, session.commit, txn)
+            finally:
+                self._inflight_commits -= 1
+        self._commits += 1
+        parent = version.parent.vid if version.parent is not None else None
+        return protocol.ok_response(rid, version=version.vid,
+                                    parent=parent, branch=version.branch)
+
+    async def _op_read(self, conn, rid, message) -> dict:
+        relation = message.get("relation")
+        if not isinstance(relation, str):
+            raise ProtocolError("'relation' must be a string")
+        branch = message.get("branch", conn.branch)
+        at = message.get("at")
+        if at is not None and not isinstance(at, str):
+            raise ProtocolError("'at' must be a version id string")
+        store = self._store
+        version = store.graph.get(at) if at is not None \
+            else store.head_version(branch)
+        rows = [t.as_dict() for t in version.state.R(relation)]
+        return protocol.ok_response(rid, relation=relation, rows=rows,
+                                    version=version.vid)
+
+    async def _op_branch(self, conn, rid, message) -> dict:
+        self._require_writable("branch")
+        name = message.get("name")
+        if not isinstance(name, str):
+            raise ProtocolError("'name' must be a branch name string")
+        at = message.get("at")
+        from_branch = message.get("from_branch", conn.branch)
+        version = await self._loop.run_in_executor(
+            None, self.engine.branch, name, at, from_branch)
+        return protocol.ok_response(rid, branch=name, at=version.vid)

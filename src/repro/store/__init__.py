@@ -30,7 +30,7 @@ from repro.store.txn import (
     write_footprint,
 )
 from repro.store.version_graph import Version, VersionGraph
-from repro.store.wal import WriteAheadLog, checkpoint_record
+from repro.store.wal import WalCursor, WriteAheadLog, checkpoint_record
 
 __all__ = [
     "Changes",
@@ -48,6 +48,7 @@ __all__ = [
     "ValidationPlan",
     "Version",
     "VersionGraph",
+    "WalCursor",
     "WriteAheadLog",
     "checkpoint_record",
     "validate_changes",

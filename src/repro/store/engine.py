@@ -280,6 +280,26 @@ class StoreEngine:
             return self.graph.get(vid).state
         return self.graph.head(branch).state
 
+    def read(self, relation: str, branch: str = "main",
+             at: str | None = None):
+        """The instance set ``R_relation`` at one pinned version
+        (default: the branch head) — the lock-free read the network
+        front end serves, shaped for callers that hold neither a
+        :class:`Session` nor a :class:`Version`."""
+        return self.state(at, branch).R(relation)
+
+    def describe(self) -> dict:
+        """A summary of the store for protocol handshakes and status
+        probes: branches with their head version ids, the sequence
+        counter, the relation names served, and the validation mode."""
+        return {
+            "branches": self.graph.branches(),
+            "seq": self.graph.seq,
+            "versions": len(self.graph),
+            "relations": sorted(e.name for e in self.schema),
+            "validation": self.validation,
+        }
+
     def audit(self, vid: str | None = None,
               branch: str = "main") -> AxiomReport:
         """A full re-audit of one version (should always come back clean
@@ -571,8 +591,6 @@ class StoreEngine:
         every state and checks that version ids line up.  Pass ``wal``
         to start logging the replayed store into a fresh log.
         """
-        from repro import io
-
         try:
             dropped = WriteAheadLog.repair(wal_path)
         except OSError:
@@ -604,52 +622,85 @@ class StoreEngine:
             first = next(records)
         except StopIteration:
             raise StoreError(f"empty WAL: {wal_path}") from None
-        kind = first.get("type")
-        if kind == "snapshot":
-            db, constraint_set = io.database_from_dict(first["document"])
-            engine = cls(db, constraint_set, branch=first["branch"],
-                         validation=validation, wal=wal, audit_root=verify,
-                         checkpoint_every=checkpoint_every)
-        elif kind == "checkpoint":
-            engine = cls._restore_checkpoint(
-                first, validation=validation, verify=verify, wal=wal,
-                checkpoint_every=checkpoint_every)
-        else:
-            raise StoreError(
-                "WAL must start with a snapshot or checkpoint record, "
-                f"got {kind!r}")
+        engine = cls.from_wal_record(first, validation=validation,
+                                     verify=verify, wal=wal,
+                                     checkpoint_every=checkpoint_every)
         for record in records:
-            kind = record.get("type")
-            if kind == "branch":
-                try:
-                    engine.branch(record["name"], at=record["at"])
-                except StoreError as exc:
-                    if from_checkpoint and \
-                            record["at"] not in engine.graph.versions:
-                        raise StoreError(
-                            f"branch {record['name']!r} is anchored at "
-                            f"{record['at']}, below the checkpoint "
-                            "floor; replay the full log "
-                            "(from_checkpoint=False)") from exc
-                    raise
-                continue
-            if kind == "checkpoint":
-                engine._verify_checkpoint(record, deep=verify)
-                continue
-            if kind != "commit":
-                raise StoreError(f"unknown WAL record type {kind!r}")
-            parent = engine.graph.get(record["parent"])
-            txn = Transaction.from_records(engine.schema, parent,
-                                           record["branch"], record["ops"])
-            if verify:
-                version = engine.commit(txn)
-            else:
-                version = engine._install_unverified(txn)
-            if version.vid != record["version"]:
-                raise StoreError(
-                    f"replay drift: WAL says {record['version']}, "
-                    f"graph produced {version.vid}")
+            engine.apply_wal_record(record, verify=verify)
         return engine
+
+    @classmethod
+    def from_wal_record(cls, record: dict, validation: str = "delta",
+                        verify: bool = False,
+                        wal: WriteAheadLog | str | Path | None = None,
+                        checkpoint_every: int | None = None,
+                        ) -> "StoreEngine":
+        """An engine bootstrapped from one self-contained WAL record —
+        a ``snapshot`` (the root state) or a ``checkpoint`` (every
+        branch head restored as a floor version).  The entry point
+        :meth:`replay` and a tailing :class:`~repro.server.ReplicaEngine`
+        share; any other record type raises (it cannot anchor a graph).
+        """
+        from repro import io
+
+        kind = record.get("type")
+        if kind == "snapshot":
+            db, constraint_set = io.database_from_dict(record["document"])
+            return cls(db, constraint_set, branch=record["branch"],
+                       validation=validation, wal=wal, audit_root=verify,
+                       checkpoint_every=checkpoint_every)
+        if kind == "checkpoint":
+            return cls._restore_checkpoint(
+                record, validation=validation, verify=verify, wal=wal,
+                checkpoint_every=checkpoint_every)
+        raise StoreError(
+            "WAL must start with a snapshot or checkpoint record, "
+            f"got {kind!r}")
+
+    def apply_wal_record(self, record: dict,
+                         verify: bool = False) -> Version | None:
+        """Apply one logged record to this engine's graph.
+
+        The shared follow hook: :meth:`replay` drains a whole log
+        through it and a :class:`~repro.server.ReplicaEngine` feeds it
+        records as its WAL cursor yields them.  ``commit`` records
+        return the installed :class:`Version` (re-gated through the
+        normal validation when ``verify`` is set, trusted otherwise) and
+        raise on version-id drift; ``branch`` records create the branch;
+        ``checkpoint`` records are consistency-checked against the graph
+        built so far and return ``None``.
+        """
+        kind = record.get("type")
+        if kind == "branch":
+            try:
+                self.branch(record["name"], at=record["at"])
+            except StoreError as exc:
+                if record["at"] not in self.graph.versions and \
+                        self.graph.root.vid != "v0":
+                    raise StoreError(
+                        f"branch {record['name']!r} is anchored at "
+                        f"{record['at']}, below the checkpoint "
+                        "floor; replay the full log "
+                        "(from_checkpoint=False)") from exc
+                raise
+            return None
+        if kind == "checkpoint":
+            self._verify_checkpoint(record, deep=verify)
+            return None
+        if kind != "commit":
+            raise StoreError(f"unknown WAL record type {kind!r}")
+        parent = self.graph.get(record["parent"])
+        txn = Transaction.from_records(self.schema, parent,
+                                       record["branch"], record["ops"])
+        if verify:
+            version = self.commit(txn)
+        else:
+            version = self._install_unverified(txn)
+        if version.vid != record["version"]:
+            raise StoreError(
+                f"replay drift: WAL says {record['version']}, "
+                f"graph produced {version.vid}")
+        return version
 
     @classmethod
     def _restore_checkpoint(cls, record: dict, validation: str,

@@ -15,6 +15,8 @@ server hands each connection.
 
 from __future__ import annotations
 
+import threading
+
 from repro.errors import StoreError, TransactionConflict
 from repro.relational import Relation
 from repro.store.engine import StoreEngine
@@ -33,12 +35,17 @@ class Session:
     GC-protected while inside the engine's keep window.
     """
 
-    __slots__ = ("engine", "branch", "_pins")
+    __slots__ = ("engine", "branch", "_pins", "_closed")
 
     def __init__(self, engine: StoreEngine, branch: str = "main"):
         self.engine = engine
         self.branch = branch
         self._pins: list[Version] = []
+        self._closed = False
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
 
     # ------------------------------------------------------------------
     # reads (lock-free)
@@ -80,8 +87,24 @@ class Session:
         return tuple(self._pins)
 
     def close(self) -> None:
-        """Release every pin (idempotent; the session stays usable)."""
-        self.release()
+        """Close the session: release every pin and mark it closed.
+
+        Idempotent, and safe to call from a *different* thread than one
+        blocked inside :meth:`commit` — that is exactly the disconnect
+        path a server takes.  A commit retry loop in flight observes the
+        flag at its next conflict and surfaces the pending
+        :class:`~repro.errors.TransactionConflict` instead of retrying
+        against an engine whose connection is gone.  Pin release is
+        best-effort when the engine itself was torn down (its version
+        table may already be collected), but the pin list is always
+        cleared.
+        """
+        self._closed = True
+        try:
+            self.release()
+        except StoreError:
+            self._pins.clear()
+            raise
 
     def __enter__(self) -> "Session":
         return self
@@ -105,6 +128,8 @@ class Session:
     # ------------------------------------------------------------------
     def begin(self) -> Transaction:
         """A transaction pinned at the branch's current head."""
+        if self._closed:
+            raise StoreError("session is closed")
         return self.engine.begin(self.branch)
 
     def commit(self, txn: Transaction, max_retries: int = 16) -> Version:
@@ -115,14 +140,30 @@ class Session:
         the new head and retried (its buffered operations are data, so
         rebasing is free).  :class:`~repro.errors.CommitRejected` is
         *not* retried — a semantic violation does not heal by waiting.
+
+        Two teardown races surface the conflict instead of swallowing
+        it: a session closed mid-retry (server disconnect) stops
+        retrying immediately, and an engine torn down between the
+        conflict and the rebase (its branch heads gone) re-raises the
+        conflict with the teardown error chained — the caller learns
+        *why* the commit did not land, not merely that a lookup failed.
         """
+        if self._closed:
+            raise StoreError("session is closed")
         attempt = txn
+        conflict: TransactionConflict | None = None
         for _ in range(max_retries):
             try:
                 return self.engine.commit(attempt)
-            except TransactionConflict:
-                attempt = attempt.rebased(
-                    self.engine.head_version(self.branch))
+            except TransactionConflict as exc:
+                conflict = exc
+                if self._closed:
+                    raise
+                try:
+                    head = self.engine.head_version(self.branch)
+                except StoreError as gone:
+                    raise conflict from gone
+                attempt = attempt.rebased(head)
         return self.engine.commit(attempt)
 
     def run(self, ops, max_retries: int = 16) -> Version:
@@ -148,15 +189,45 @@ class Session:
 class SessionService:
     """Hands out sessions over one engine — a server's front door.
 
-    Sessions are cheap (two slots); the service exists so connection
-    handling code never touches the engine's internals.
+    Sessions are cheap; the service exists so connection handling code
+    never touches the engine's internals.  It remembers every live
+    session it handed out, so a server shutting down can
+    :meth:`close_all` — releasing pins and flipping each session's
+    closed flag, which makes commit retry loops still in flight on
+    executor threads surface their pending conflicts instead of
+    retrying into a torn-down engine.
     """
 
-    __slots__ = ("engine",)
+    __slots__ = ("engine", "_sessions", "_lock")
 
     def __init__(self, engine: StoreEngine):
         self.engine = engine
+        self._sessions: list[Session] = []
+        self._lock = threading.Lock()
 
     def session(self, branch: str = "main") -> Session:
         self.engine.head_version(branch)  # fail fast on unknown branches
-        return Session(self.engine, branch)
+        session = Session(self.engine, branch)
+        with self._lock:
+            self._sessions = [s for s in self._sessions if not s.closed]
+            self._sessions.append(session)
+        return session
+
+    def live_sessions(self) -> tuple[Session, ...]:
+        """The sessions handed out and not yet closed (diagnostics and
+        the server's connection accounting)."""
+        with self._lock:
+            self._sessions = [s for s in self._sessions if not s.closed]
+            return tuple(self._sessions)
+
+    def close_all(self) -> None:
+        """Close every live session (the server-shutdown sweep); pin
+        release is best-effort per session, but every session ends up
+        marked closed."""
+        with self._lock:
+            sessions, self._sessions = self._sessions, []
+        for session in sessions:
+            try:
+                session.close()
+            except StoreError:
+                pass  # engine already torn down; flag is set regardless

@@ -148,28 +148,49 @@ class Transaction:
         twin.ops = list(self.ops)
         return twin
 
+    def apply_records(self, records: Iterable[Mapping]) -> "Transaction":
+        """Buffer operations given in WAL-record form.
+
+        Rows are re-validated through the public buffer methods, so
+        neither a corrupted log nor a remote client can smuggle
+        malformed tuples into the store — this is the single entry
+        point WAL replay and the network ``stage`` op share.  Raises
+        :class:`StoreError` on unknown op kinds and ``KeyError``-free
+        :class:`StoreError` on structurally broken records.
+        """
+        for record in records:
+            if not isinstance(record, Mapping):
+                raise StoreError(
+                    f"op record must be an object, got "
+                    f"{type(record).__name__}")
+            kind = record.get("op")
+            try:
+                if kind == "insert":
+                    self.insert(record["relation"], record["row"],
+                                record.get("propagate", True))
+                elif kind == "delete":
+                    self.delete(record["relation"], record["row"],
+                                record.get("propagate", True))
+                elif kind == "remove":
+                    self.remove(record["relation"], record["rows"])
+                elif kind == "replace":
+                    self.replace(record["relation"], record["rows"])
+                else:
+                    raise StoreError(f"unknown WAL op kind: {kind!r}")
+            except KeyError as exc:
+                raise StoreError(
+                    f"op record {record!r} is missing field {exc}") from exc
+            except TypeError as exc:
+                raise StoreError(
+                    f"op record {record!r} is malformed: {exc}") from exc
+        return self
+
     @classmethod
     def from_records(cls, schema, base: Version, branch: str,
                      records: Iterable[Mapping]) -> "Transaction":
-        """Rebuild a transaction from WAL op records (rows re-validated
-        through the public buffer methods, so a corrupted log cannot
-        smuggle malformed tuples into the store)."""
-        txn = cls(schema, base, branch)
-        for record in records:
-            kind = record.get("op")
-            if kind == "insert":
-                txn.insert(record["relation"], record["row"],
-                           record.get("propagate", True))
-            elif kind == "delete":
-                txn.delete(record["relation"], record["row"],
-                           record.get("propagate", True))
-            elif kind == "remove":
-                txn.remove(record["relation"], record["rows"])
-            elif kind == "replace":
-                txn.replace(record["relation"], record["rows"])
-            else:
-                raise StoreError(f"unknown WAL op kind: {kind!r}")
-        return txn
+        """Rebuild a transaction from WAL op records (see
+        :meth:`apply_records`)."""
+        return cls(schema, base, branch).apply_records(records)
 
     # ------------------------------------------------------------------
     # net effect

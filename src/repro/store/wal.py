@@ -388,9 +388,153 @@ class WriteAheadLog:
         return victims
 
 
-# ----------------------------------------------------------------------
-# record codecs
-# ----------------------------------------------------------------------
+class WalCursor:
+    """A stateful tail reader: every complete record exactly once.
+
+    The follow hook replicas are built on.  A cursor remembers a
+    ``(segment, byte offset)`` position in a live WAL and each
+    :meth:`poll` returns the complete records appended since, across
+    segment rotations.  The read side of the PR-6 crash contract:
+
+    * an *incomplete* final line (no trailing newline — the only shape a
+      torn in-progress append can have, because the newline is the last
+      byte written) is never consumed; the cursor simply waits for the
+      primary to finish the append or to truncate it on crash recovery
+      (:meth:`WriteAheadLog.repair` — the cursor notices the file
+      shrinking back to the intact prefix and clamps);
+    * a newline-*terminated* line that fails to parse, or a dangling
+      partial line in a rotated-away (frozen) segment, is corruption and
+      raises :class:`StoreError` — rotation only happens after the
+      previous append completed, so a frozen segment can never end
+      mid-record legitimately;
+    * a segment pruned out from under the cursor raises
+      :class:`StoreError`; the caller re-bootstraps from the newest
+      checkpoint (:meth:`repro.server.ReplicaEngine.resync`).
+
+    Positions are plain dicts (:meth:`position`), so a replica can
+    persist and resume its own progress.
+    """
+
+    __slots__ = ("path", "_segment", "_offset")
+
+    def __init__(self, path: str | Path, position: dict | None = None):
+        self.path = Path(path)
+        self._segment: Path | None = None
+        self._offset = 0
+        if position is not None:
+            if position.get("segment") is not None:
+                self._segment = self.path / position["segment"] \
+                    if self.path.is_dir() else self.path
+            self._offset = int(position.get("offset", 0))
+
+    def position(self) -> dict:
+        """The resumable read position: ``{"segment", "offset"}``."""
+        return {
+            "segment": self._segment.name if self._segment is not None
+            else None,
+            "offset": self._offset,
+        }
+
+    def behind_bytes(self) -> int:
+        """Bytes of log the cursor has not consumed yet — the cheap
+        staleness measure a replica's lag report leads with (0 means the
+        replica has read everything durably written so far)."""
+        segments = [p for p in WriteAheadLog.segment_paths(self.path)
+                    if p.exists()]
+        if not segments:
+            return 0
+        if self._segment is None:
+            return sum(p.stat().st_size for p in segments)
+        behind = 0
+        seen = False
+        for p in segments:
+            if p == self._segment:
+                seen = True
+                behind += max(0, p.stat().st_size - self._offset)
+            elif seen:
+                behind += p.stat().st_size
+        if not seen:  # cursor segment pruned; poll() will raise
+            return sum(p.stat().st_size for p in segments)
+        return behind
+
+    def seek_newest_checkpoint_segment(self) -> None:
+        """Position the cursor at the newest checkpoint-headed segment
+        (a no-op when none exists, or for single-file logs) — the
+        bootstrap that lets a fresh replica skip pruned-or-prunable
+        history entirely, mirroring ``replay(from_checkpoint=True)``."""
+        segments = WriteAheadLog.segment_paths(self.path)
+        for i in range(len(segments) - 1, 0, -1):
+            head = WriteAheadLog.first_record(segments[i])
+            if head is not None and head.get("type") == "checkpoint":
+                self._segment = segments[i]
+                self._offset = 0
+                return
+
+    def poll(self, max_records: int | None = None) -> list[dict]:
+        """The complete records appended since the last poll.
+
+        Returns an empty list when nothing new is durably visible —
+        including while the final line is still being appended (or was
+        torn by a crash the primary has not repaired yet).  Never blocks.
+        """
+        out: list[dict] = []
+        while True:
+            if max_records is not None and len(out) >= max_records:
+                return out
+            segments = [p for p in WriteAheadLog.segment_paths(self.path)
+                        if p.exists()]
+            if not segments:
+                return out
+            if self._segment is None:
+                self._segment = segments[0]
+                self._offset = 0
+            try:
+                index = segments.index(self._segment)
+                data = self._segment.read_bytes()
+            except (ValueError, FileNotFoundError):
+                raise StoreError(
+                    f"WAL segment {self._segment.name} was pruned out "
+                    "from under the cursor; resynchronise from the "
+                    "newest checkpoint") from None
+            final = index == len(segments) - 1
+            if len(data) < self._offset:
+                # The primary repaired a torn tail.  Only bytes past the
+                # last complete record are ever truncated, and the
+                # cursor never consumed those, so clamping is safe.
+                self._offset = len(data)
+            pos = self._offset
+            while pos < len(data) and (max_records is None
+                                       or len(out) < max_records):
+                nl = data.find(b"\n", pos)
+                if nl == -1:
+                    break  # in-progress (or torn) append: wait
+                line = data[pos:nl].strip()
+                pos = nl + 1
+                self._offset = pos
+                if not line:
+                    continue
+                record, ok = _parse_line(line)
+                if not ok:
+                    raise StoreError(
+                        f"corrupt WAL record at byte {pos} of "
+                        f"{self._segment.name}: a newline-terminated "
+                        "line failed to parse")
+                out.append(record)
+            if max_records is not None and len(out) >= max_records:
+                return out
+            if pos < len(data):
+                # A trailing line without its newline yet.
+                if final:
+                    return out  # the append (or its repair) is pending
+                raise StoreError(
+                    f"WAL segment {self._segment.name} was rotated away "
+                    "with a dangling partial record — torn inside the "
+                    "log, not at its tail")
+            if final:
+                return out
+            # Frozen segment fully consumed: advance to the next one.
+            self._segment = segments[index + 1]
+            self._offset = 0
 def snapshot_record(db, constraints, version_id: str,
                     branch: str) -> dict[str, Any]:
     """The root state as a ``snapshot`` record (a full database

@@ -195,3 +195,46 @@ def lossy_case(rng: random.Random,
     n_rows = max(2, n_rows)
     rows = [{"a": i, "b": rng.randint(0, 1) * n_rows + i} for i in range(n_rows)]
     return Relation(["a", "b"], rows), [frozenset("a"), frozenset("b")]
+
+
+# ----------------------------------------------------------------------
+# wire-protocol messages (PR 7 frame codec and fuzz suites)
+# ----------------------------------------------------------------------
+
+def random_json_value(rng: random.Random, depth: int = 0):
+    """An arbitrary JSON value; nesting thins out with ``depth`` so
+    generated messages stay small but exercise every shape."""
+    choices = ["null", "bool", "int", "float", "string"]
+    if depth < 3:
+        choices += ["list", "dict"]
+    kind = rng.choice(choices)
+    if kind == "null":
+        return None
+    if kind == "bool":
+        return rng.random() < 0.5
+    if kind == "int":
+        return rng.randint(-10**9, 10**9)
+    if kind == "float":
+        # repr-exact floats survive a JSON round trip bit-for-bit
+        return rng.randint(-10**6, 10**6) / 64
+    if kind == "string":
+        alphabet = "abcXYZ 0123é世界\\\"{}[]\n\t"
+        return "".join(rng.choice(alphabet)
+                       for _ in range(rng.randint(0, 12)))
+    if kind == "list":
+        return [random_json_value(rng, depth + 1)
+                for _ in range(rng.randint(0, 4))]
+    return {f"k{i}": random_json_value(rng, depth + 1)
+            for i in range(rng.randint(0, 4))}
+
+
+def random_frame_message(rng: random.Random) -> dict:
+    """A random JSON-object message (the only payload shape frames
+    carry); sometimes request-shaped, sometimes arbitrary."""
+    message = {f"f{i}": random_json_value(rng)
+               for i in range(rng.randint(0, 5))}
+    if rng.random() < 0.5:
+        message["id"] = rng.choice([rng.randint(0, 999), "rid", None])
+    if rng.random() < 0.5:
+        message["op"] = rng.choice(["ping", "hello", "read", "nosuch"])
+    return message

@@ -355,6 +355,69 @@ class TestSessions:
         with pytest.raises(StoreError):
             SessionService(engine).session("nope")
 
+    def test_close_releases_pins_and_refuses_new_work(self):
+        engine = _mk_engine()
+        session = SessionService(engine).session()
+        pinned = session.pin()
+        assert pinned.vid in engine.pinned()
+        session.close()
+        assert session.closed
+        assert not session.pins()
+        assert pinned.vid not in engine.pinned()
+        session.close()  # idempotent
+        with pytest.raises(StoreError, match="closed"):
+            session.begin()
+        with pytest.raises(StoreError, match="closed"):
+            session.commit(Transaction(engine.schema,
+                                       engine.head_version(), "main"))
+
+    def test_close_surfaces_inflight_conflict_not_swallowed(self):
+        """The disconnect race: a session closed while its commit is
+        mid-retry raises the pending TransactionConflict at the next
+        conflict instead of retrying on — staged by having the commit
+        attempt itself flip the flag, exactly where a cross-thread
+        close() lands."""
+        engine = _mk_engine()
+        session = SessionService(engine).session()
+        txn = session.begin().insert("manager", manager_stream(60, 1)[0])
+
+        def close_then_conflict(attempt):
+            session._closed = True  # the concurrent close() lands here
+            raise TransactionConflict("footprint overlap", keys=())
+
+        engine.commit = close_then_conflict  # instance shadow, test-only
+        with pytest.raises(TransactionConflict, match="footprint overlap"):
+            session.commit(txn, max_retries=10**9)
+
+    def test_close_all_sweeps_every_live_session(self):
+        engine = _mk_engine()
+        service = SessionService(engine)
+        sessions = [service.session() for _ in range(3)]
+        sessions[0].pin()
+        assert len(service.live_sessions()) == 3
+        service.close_all()
+        assert service.live_sessions() == ()
+        assert all(s.closed for s in sessions)
+        assert all(not s.pins() for s in sessions)
+
+    def test_conflict_chains_engine_teardown_cause(self):
+        """When the engine's branch head is gone mid-retry (service
+        torn down), the conflict is re-raised with the lookup failure
+        chained as its cause — the caller learns both facts."""
+        engine = _mk_engine()
+        session = SessionService(engine).session()
+        txn = session.begin().insert("manager", manager_stream(60, 1)[0])
+
+        def conflicted(attempt):
+            raise TransactionConflict("lost the race", keys=())
+
+        engine.commit = conflicted
+        engine.graph.heads.pop("main")  # simulate torn-down engine
+        with pytest.raises(TransactionConflict,
+                           match="lost the race") as caught:
+            session.commit(txn)
+        assert isinstance(caught.value.__cause__, StoreError)
+
 
 class TestValidationPlan:
     def test_probe_family_covers_all_checks(self):
