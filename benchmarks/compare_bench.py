@@ -44,6 +44,7 @@ KERNEL_BENCH_PREFIXES = (
     "benchmarks/bench_a9_store_throughput.py::",
     "benchmarks/bench_a10_durability.py::",
     "benchmarks/bench_a11_server.py::",
+    "benchmarks/bench_a12_failover.py::",
 )
 
 

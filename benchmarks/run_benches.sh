@@ -1,9 +1,9 @@
 #!/usr/bin/env bash
 # Refresh the committed perf trajectory, gated by the regression diff.
 #
-# Dumps a fresh --bench-json from the full benchmark suite (a1-a11,
-# including the bench_a9 store-throughput, bench_a10 durability and
-# bench_a11 server/replica workloads, plus the paper examples), diffs
+# Dumps a fresh --bench-json from the full benchmark suite (a1-a12,
+# including the bench_a9 store-throughput, bench_a10 durability,
+# bench_a11 server/replica and bench_a12 failover workloads, plus the paper examples), diffs
 # it against the committed
 # BENCH_kernel.json with
 # compare_bench.py (which fails on >2x kernel regressions AND on kernel

@@ -13,6 +13,8 @@ Usage (after installation)::
     python -m repro.cli replica w.log --listen :7072
                                                    # WAL-tailing read replica
     python -m repro.cli replica w.log --once       # one sync + lag report
+    python -m repro.cli promote w.log --listen :7073
+                                                   # failover: next epoch
     python -m repro.cli log w.log                  # print the WAL history
     python -m repro.cli replay w.log --verify      # rebuild + audit from WAL
     python -m repro.cli checkpoint w.log           # append a checkpoint
@@ -184,7 +186,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         try:
             return _serve_until_interrupt(
                 StoreServer(engine, host, port,
-                            max_connections=args.max_connections),
+                            max_connections=args.max_connections,
+                            idle_timeout=args.idle_timeout),
                 f"serving {args.document} ({engine.validation} mode)")
         finally:
             engine.close()
@@ -280,8 +283,45 @@ def _cmd_replica(args: argparse.Namespace) -> int:
     host, port = _parse_listen(args.listen)
     return _serve_until_interrupt(
         StoreServer(replica, host, port, sync_interval=args.interval,
-                    max_connections=args.max_connections),
+                    max_connections=args.max_connections,
+                    idle_timeout=args.idle_timeout),
         f"replica of {args.wal}")
+
+
+def _cmd_promote(args: argparse.Namespace) -> int:
+    """Promote a WAL's tail into the next epoch — the failover step.
+
+    Tails the log to its durable end (applying the torn-tail repair a
+    crashed primary leaves behind), stamps the next epoch record, and
+    either prints the takeover summary or, with ``--listen``, serves
+    the promoted primary over the wire.  Any old-epoch primary still
+    holding the log is fenced from the stamp onward."""
+    from repro.server import ReplicaEngine, StoreServer, promote
+
+    replica = ReplicaEngine(args.wal, from_checkpoint=not args.full,
+                            verify=args.verify)
+    engine = promote(replica, timeout=args.timeout, sync=args.sync,
+                     segment_records=args.segment_records)
+    summary = {"wal": str(args.wal), "epoch": engine.epoch,
+               "seq": engine.graph.seq,
+               "branches": engine.graph.branches()}
+    if args.json:
+        print(json.dumps(summary, indent=2, sort_keys=True))
+    else:
+        print(f"promoted {args.wal} to epoch {engine.epoch} "
+              f"(seq {summary['seq']}, heads {summary['branches']})")
+    if args.listen is None:
+        engine.close()
+        return 0
+    host, port = _parse_listen(args.listen)
+    try:
+        return _serve_until_interrupt(
+            StoreServer(engine, host, port,
+                        max_connections=args.max_connections,
+                        idle_timeout=args.idle_timeout),
+            f"primary (epoch {engine.epoch}) over {args.wal}")
+    finally:
+        engine.close()
 
 
 def _cmd_log(args: argparse.Namespace) -> int:
@@ -305,6 +345,13 @@ def _cmd_log(args: argparse.Namespace) -> int:
                 f"{name}@{info['version']}"
                 for name, info in sorted(record["branches"].items()))
             print(f"checkpoint  seq {record['seq']}  heads: {heads}")
+        elif kind == "epoch":
+            heads = ", ".join(
+                f"{name}@{vid}"
+                for name, vid in sorted(record.get("heads", {}).items()))
+            print(f"epoch {record['epoch']}  (promotion)"
+                  + (f"  seq {record['seq']}" if "seq" in record else "")
+                  + (f"  heads: {heads}" if heads else ""))
         else:
             ops = ", ".join(
                 f"{op['op']} {op['relation']}" for op in record["ops"])
@@ -477,6 +524,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--max-connections", type=int, default=64,
                          help="bound on simultaneous connections under "
                               "--listen (default 64)")
+    p_serve.add_argument("--idle-timeout", type=float, default=None,
+                         metavar="SECONDS",
+                         help="close connections idle for this long "
+                              "(default: never) so abandoned clients "
+                              "stop pinning the connection cap")
     p_serve.set_defaults(func=_cmd_serve)
 
     p_replica = sub.add_parser(
@@ -505,9 +557,46 @@ def build_parser() -> argparse.ArgumentParser:
     p_replica.add_argument("--max-connections", type=int, default=64,
                            help="bound on simultaneous connections "
                                 "(default 64)")
+    p_replica.add_argument("--idle-timeout", type=float, default=None,
+                           metavar="SECONDS",
+                           help="close connections idle for this long "
+                                "(default: never)")
     p_replica.add_argument("--json", action="store_true",
                            help="emit the --once staleness report as JSON")
     p_replica.set_defaults(func=_cmd_replica)
+
+    p_promote = sub.add_parser(
+        "promote", help="promote a WAL's tail to the next epoch "
+                        "(failover)")
+    p_promote.add_argument("wal")
+    p_promote.add_argument("--listen", default=None, metavar="HOST:PORT",
+                           help="serve the promoted primary here "
+                                "(default: print the summary and exit)")
+    p_promote.add_argument("--timeout", type=float, default=5.0,
+                           help="catch-up budget in seconds (default 5)")
+    p_promote.add_argument("--full", action="store_true",
+                           help="bootstrap from v0 instead of the newest "
+                                "checkpoint")
+    p_promote.add_argument("--verify", action="store_true",
+                           help="re-gate every followed commit through "
+                                "the axiom validation while catching up")
+    p_promote.add_argument("--sync", action="store_true",
+                           help="fsync every commit on the promoted "
+                                "primary")
+    p_promote.add_argument("--segment-records", type=int, default=None,
+                           metavar="N",
+                           help="segment rotation bound for the promoted "
+                                "primary's appends")
+    p_promote.add_argument("--max-connections", type=int, default=64,
+                           help="bound on simultaneous connections under "
+                                "--listen (default 64)")
+    p_promote.add_argument("--idle-timeout", type=float, default=None,
+                           metavar="SECONDS",
+                           help="close connections idle for this long "
+                                "(default: never)")
+    p_promote.add_argument("--json", action="store_true",
+                           help="emit the takeover summary as JSON")
+    p_promote.set_defaults(func=_cmd_promote)
 
     p_log = sub.add_parser("log", help="print a write-ahead log's history")
     p_log.add_argument("wal")

@@ -123,6 +123,49 @@ class CommitRejected(StoreError):
         self.findings = tuple(findings)
 
 
+class EpochFenced(StoreError):
+    """A write (or tail) raced a replica promotion and lost.
+
+    Promotion stamps a new *epoch* into the write-ahead log; a demoted
+    primary appending under the old epoch, or a replica pinned to it,
+    is *fenced* — it fails with this error instead of silently diverging
+    from the promoted history.
+
+    Attributes
+    ----------
+    held:
+        The epoch the fenced party believed was current.
+    current:
+        The epoch actually stamped in the log (``held < current``).
+    """
+
+    def __init__(self, message: str, held: int = 0, current: int = 0):
+        super().__init__(message)
+        self.held = held
+        self.current = current
+
+
+class ServerOverloaded(StoreError):
+    """The server refused a connection or request at capacity.
+
+    Transient by construction (capacity frees up as other connections
+    finish), so retry policies classify it retryable — unlike most
+    :class:`StoreError`\\ s, which are semantic and do not heal by
+    waiting.
+    """
+
+
+class DeadlineExceeded(StoreError):
+    """A retried operation ran out of deadline before it succeeded.
+
+    Raised by :class:`repro.server.failover.RetryPolicy` (and the
+    queue-flush loop of :class:`~repro.server.failover.FailoverClient`)
+    with the last underlying failure chained as ``__cause__``, so the
+    caller learns both *that* time ran out and *why* each attempt
+    failed.
+    """
+
+
 class TransactionConflict(StoreError):
     """Optimistic concurrency failure: the transaction's footprint
     overlaps a commit that landed after its base version.

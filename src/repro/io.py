@@ -83,6 +83,29 @@ def encode_frame(message: dict[str, Any],
     return FRAME_HEADER.pack(len(payload)) + payload
 
 
+def split_frames(data: bytes) -> tuple[list[bytes], bytes]:
+    """Split ``data`` at frame boundaries without decoding payloads.
+
+    Returns ``(frames, remainder)`` where each element of ``frames`` is
+    one complete length-prefixed frame (header included, bytes passed
+    through untouched) and ``remainder`` is the trailing partial frame,
+    if any.  This is the byte-level sibling of :class:`FrameDecoder` for
+    tooling that relays or corrupts traffic *at* frame boundaries — the
+    fault-injection proxy in :mod:`repro.faults` — and therefore must
+    not pay for (or be confused by) JSON decoding.
+    """
+    frames: list[bytes] = []
+    offset = 0
+    while len(data) - offset >= FRAME_HEADER.size:
+        (length,) = FRAME_HEADER.unpack_from(data, offset)
+        end = offset + FRAME_HEADER.size + length
+        if len(data) < end:
+            break
+        frames.append(bytes(data[offset:end]))
+        offset = end
+    return frames, bytes(data[offset:])
+
+
 class FrameDecoder:
     """Incremental frame parser: feed bytes, collect decoded messages.
 

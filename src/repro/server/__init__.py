@@ -7,12 +7,18 @@ begin/stage/commit with the same typed errors, witness findings
 included.  :mod:`replica` adds read scale-out: a
 :class:`ReplicaEngine` tails the primary's write-ahead log and applies
 every record through the replay code path, so its version graph is
-identical to the primary's at the prefix it has consumed.  See
-``README.md`` in this directory for the wire-protocol specification and
-the replica consistency semantics.
+identical to the primary's at the prefix it has consumed.
+:mod:`failover` closes the availability loop: :func:`promote` turns a
+caught-up replica into the next-epoch primary (fencing the old one via
+the WAL's epoch stamp), :class:`RetryPolicy` and
+:class:`FailoverClient` give clients backoff, heartbeats, client-side
+epoch fencing, and bounded-staleness replica reads.  See ``README.md``
+in this directory for the wire-protocol specification, the replica
+consistency semantics, and the epoch/fencing state machine.
 """
 
 from repro.server.client import RemoteTxn, StoreClient
+from repro.server.failover import FailoverClient, RetryPolicy, promote
 from repro.server.pool import ClientPool
 from repro.server.protocol import (
     OPS,
@@ -29,16 +35,19 @@ from repro.server.server import StoreServer
 
 __all__ = [
     "ClientPool",
+    "FailoverClient",
     "OPS",
     "PROTOCOL_VERSION",
     "RemoteTxn",
     "ReplicaEngine",
+    "RetryPolicy",
     "StoreClient",
     "StoreServer",
     "WRITE_OPS",
     "error_payload",
     "error_response",
     "ok_response",
+    "promote",
     "raise_for_error",
     "validate_request",
 ]

@@ -64,6 +64,7 @@ class StoreClient:
 
     def __init__(self, host: str, port: int, branch: str = "main",
                  timeout: float = 30.0, hello: bool = True):
+        self.timeout = timeout
         self.sock = socket.create_connection((host, port),
                                              timeout=timeout)
         self._decoder = FrameDecoder()
@@ -111,6 +112,30 @@ class StoreClient:
         if not response.get("ok"):
             raise_for_error(response.get("error", {}))
         return response
+
+    def is_stale(self) -> bool:
+        """True when the connection is unusable without a round trip.
+
+        A non-blocking one-byte ``MSG_PEEK``: a clean EOF or an error
+        means the peer is gone; *readable data* outside a request also
+        means stale (responses must only ever arrive inside
+        :meth:`request`, so stray bytes are a desynchronised stream);
+        ``BlockingIOError`` — nothing to read — is the healthy case.
+        The pool consults this before handing out an idle client.
+        """
+        if self.sock.fileno() < 0:
+            return True
+        try:
+            self.sock.setblocking(False)
+            try:
+                self.sock.recv(1, socket.MSG_PEEK)
+            finally:
+                self.sock.settimeout(self.timeout)
+            return True  # EOF (b"") or unsolicited bytes: both stale
+        except (BlockingIOError, InterruptedError):
+            return False
+        except OSError:
+            return True
 
     def close(self) -> None:
         try:

@@ -34,6 +34,12 @@ class ClientPool:
         self._lock = threading.Lock()
         self._open: list[StoreClient] = []
         self._closed = False
+        self._evicted = 0
+
+    @property
+    def evicted(self) -> int:
+        """Stale idle connections quietly replaced so far (gauge)."""
+        return self._evicted
 
     def _dial(self) -> StoreClient:
         client = StoreClient(self.host, self.port, branch=self.branch,
@@ -46,10 +52,21 @@ class ClientPool:
     def acquire(self):
         """Borrow a client; returns it to the pool on clean exit,
         discards it (freeing the slot for a fresh dial) when the block
-        raised a transport error."""
+        raised a transport error.
+
+        A pooled client is validated before it is handed out
+        (:meth:`StoreClient.is_stale` — one non-blocking peek, no
+        round trip): a connection whose socket died while idle (server
+        restart, idle-timeout close, network partition) is silently
+        evicted and replaced by a fresh dial instead of surfacing a
+        stale-socket error to the borrower."""
         if self._closed:
             raise StoreError("pool is closed")
         slot = self._slots.get()
+        if slot is not None and slot.is_stale():
+            self._discard(slot)
+            self._evicted += 1
+            slot = None
         client = slot if slot is not None else self._dial()
         try:
             yield client

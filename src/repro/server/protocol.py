@@ -9,8 +9,10 @@ message is one JSON object.  Requests carry a client-chosen ``id``
 ``hello``
     Bind the connection to a branch (``branch``, default ``"main"``)
     and learn the store's shape.  Response: ``protocol``, ``role``
-    (``"primary"`` or ``"replica"``), ``branches``, ``relations``,
-    ``validation``.
+    (``"primary"`` or ``"replica"``), ``epoch`` (the promotion epoch
+    the served graph is at — failover clients refuse primaries whose
+    epoch regressed below one they have seen), ``branches``,
+    ``relations``, ``validation``.
 ``ping``
     Liveness probe.  Response: ``{"pong": true}``.
 ``begin``
@@ -55,8 +57,10 @@ from typing import Any
 
 from repro.errors import (
     CommitRejected,
+    EpochFenced,
     ExtensionError,
     ProtocolError,
+    ServerOverloaded,
     StoreError,
     TransactionConflict,
 )
@@ -73,8 +77,9 @@ WRITE_OPS = frozenset({"begin", "stage", "commit", "branch"})
 #: frame layer could delimit but not parse; ``fatal`` marks errors after
 #: which the server closes the connection (stream desync, oversize).
 ERROR_CODES = (
-    "commit-rejected", "conflict", "read-only", "overloaded",
-    "extension-error", "store-error", "protocol-error", "bad-frame",
+    "commit-rejected", "conflict", "epoch-fenced", "read-only",
+    "overloaded", "extension-error", "store-error", "protocol-error",
+    "bad-frame",
 )
 
 
@@ -97,6 +102,11 @@ def error_payload(exc: BaseException) -> dict:
     if isinstance(exc, TransactionConflict):
         return {"code": "conflict", "message": str(exc),
                 "keys": [_jsonable_key(k) for k in exc.keys]}
+    if isinstance(exc, EpochFenced):
+        return {"code": "epoch-fenced", "message": str(exc),
+                "held": exc.held, "current": exc.current}
+    if isinstance(exc, ServerOverloaded):
+        return {"code": "overloaded", "message": str(exc)}
     if isinstance(exc, StoreError):
         return {"code": "store-error", "message": str(exc)}
     if isinstance(exc, ExtensionError):
@@ -130,6 +140,11 @@ def raise_for_error(error: dict) -> None:
         raise TransactionConflict(
             message, keys=tuple(tuple(k) if isinstance(k, list) else k
                                 for k in error.get("keys", ())))
+    if code == "epoch-fenced":
+        raise EpochFenced(message, held=int(error.get("held", 0)),
+                          current=int(error.get("current", 0)))
+    if code == "overloaded":
+        raise ServerOverloaded(message)
     if code in ("protocol-error", "bad-frame"):
         raise ProtocolError(message)
     if code == "extension-error":

@@ -31,7 +31,7 @@ import threading
 import time
 from pathlib import Path
 
-from repro.errors import StoreError
+from repro.errors import EpochFenced, StoreError
 from repro.store.engine import StoreEngine
 from repro.store.wal import WalCursor, WriteAheadLog
 
@@ -59,18 +59,32 @@ class ReplicaEngine:
     validation:
         Validation mode for the inner engine (only consulted under
         ``verify``).
+    follow_epochs:
+        When ``True`` (default) the replica follows promotion ``epoch``
+        records — its graph tracks whichever primary currently owns
+        the log.  With ``False`` the replica is *pinned* to the epoch
+        it first applied records under: an epoch record appearing in
+        the tail raises :class:`~repro.errors.EpochFenced`, the loud
+        "your primary was demoted" signal a strict follower wants.
 
     Concurrency: :meth:`sync` is serialised by an internal lock (one
     tailer); reads are lock-free against the immutable graph, exactly
-    as on a primary.
+    as on a primary.  After :func:`repro.server.failover.promote` the
+    replica is *promoted*: further :meth:`sync`/:meth:`resync` calls
+    raise :class:`~repro.errors.EpochFenced` — the graph now belongs
+    to the promoted :class:`StoreEngine`, which writes the log the
+    cursor used to follow.
     """
 
     def __init__(self, wal_path: str | Path, validation: str = "delta",
-                 from_checkpoint: bool = True, verify: bool = False):
+                 from_checkpoint: bool = True, verify: bool = False,
+                 follow_epochs: bool = True):
         self.wal_path = Path(wal_path)
         self.validation = validation
         self.from_checkpoint = from_checkpoint
         self.verify = verify
+        self.follow_epochs = follow_epochs
+        self.promoted = False
         self._engine: StoreEngine | None = None
         self._cursor = WalCursor(self.wal_path)
         if from_checkpoint:
@@ -92,6 +106,7 @@ class ReplicaEngine:
         :meth:`resync` for the latter.
         """
         with self._lock:
+            self._check_promoted()
             records = self._cursor.poll(max_records)
             if self._skip_to_checkpoint and self._engine is None:
                 # A single-segment (or single-file) log keeps its
@@ -111,7 +126,24 @@ class ReplicaEngine:
             self._last_sync = time.monotonic()
             return applied
 
+    def _check_promoted(self) -> None:
+        if self.promoted:
+            epoch = (self._engine.epoch
+                     if self._engine is not None else 0)
+            raise EpochFenced(
+                "replica was promoted; it writes this log now and no "
+                "longer tails it", held=epoch, current=epoch)
+
     def _apply(self, record: dict) -> None:
+        if (record.get("type") == "epoch" and not self.follow_epochs
+                and self._engine is not None):
+            raise EpochFenced(
+                f"replica is pinned to epoch {self._engine.epoch} but "
+                f"the log advanced to epoch {record.get('epoch')} (a "
+                "promotion happened); resubscribe with "
+                "follow_epochs=True to track the new primary",
+                held=self._engine.epoch,
+                current=int(record.get("epoch", 0)))
         if self._engine is None:
             self._engine = StoreEngine.from_wal_record(
                 record, validation=self.validation, verify=self.verify)
@@ -119,18 +151,32 @@ class ReplicaEngine:
         self._engine.apply_wal_record(record, verify=self.verify)
 
     def catch_up(self, timeout: float = 5.0,
-                 poll_interval: float = 0.01) -> int:
+                 poll_interval: float = 0.01,
+                 min_interval: float = 0.0005,
+                 backoff: float = 2.0) -> int:
         """Sync until the cursor reports nothing left behind (or the
         timeout lapses — a live primary can outrun a poll, so callers
         needing a hard guarantee stop the writers first).  Returns the
-        records applied."""
+        records applied.
+
+        Polling backs off: an empty poll doubles (``backoff``) the
+        sleep from ``min_interval`` up to ``poll_interval``, and any
+        progress resets it — so a busy tail is drained at full speed
+        while a quiet primary costs a handful of stats per
+        ``poll_interval``, not a busy loop.
+        """
         deadline = time.monotonic() + timeout
+        interval = max(0.0, min(min_interval, poll_interval))
         applied = self.sync()
         while self.behind_bytes() > 0 and time.monotonic() < deadline:
             got = self.sync()
             applied += got
-            if not got:
-                time.sleep(poll_interval)
+            if got:
+                interval = max(0.0, min(min_interval, poll_interval))
+            else:
+                time.sleep(interval)
+                interval = min(poll_interval,
+                               max(interval, min_interval) * backoff)
         return applied
 
     def resync(self) -> int:
@@ -139,11 +185,27 @@ class ReplicaEngine:
         scratch (version ids stay identical — the sequence counter is
         part of the checkpoint)."""
         with self._lock:
+            self._check_promoted()
             self._engine = None
             self._cursor = WalCursor(self.wal_path)
             self._cursor.seek_newest_checkpoint_segment()
             self._skip_to_checkpoint = True
         return self.sync()
+
+    def mark_promoted(self) -> None:
+        """Fence this replica's own tailing (called by
+        :func:`repro.server.failover.promote` before the epoch stamp
+        lands, so a racing background sync can never re-apply the
+        promotion record to the very engine that now owns it)."""
+        with self._lock:
+            self.promoted = True
+
+    def unmark_promoted(self) -> None:
+        """Roll back :meth:`mark_promoted` after a promotion that
+        failed to stamp (someone else won the race) — the replica goes
+        back to tailing whoever did win."""
+        with self._lock:
+            self.promoted = False
 
     # ------------------------------------------------------------------
     # reads (lock-free once bootstrapped)
@@ -201,6 +263,8 @@ class ReplicaEngine:
         status = {
             "role": "replica",
             "ready": engine is not None,
+            "promoted": self.promoted,
+            "epoch": engine.epoch if engine is not None else 0,
             "wal": str(self.wal_path),
             "position": self._cursor.position(),
             "behind_bytes": self.behind_bytes(),

@@ -41,7 +41,7 @@ import json
 import threading
 from typing import Any
 
-from repro.errors import ProtocolError, StoreError
+from repro.errors import EpochFenced, ProtocolError, StoreError
 from repro.io import FRAME_HEADER, MAX_FRAME_BYTES, encode_frame
 from repro.server import protocol
 from repro.server.replica import ReplicaEngine
@@ -84,6 +84,10 @@ class StoreServer:
         Bound on commits running on executor threads at once — the
         write-backpressure knob.  Further commit requests queue on the
         semaphore (their connections simply wait; nothing is dropped).
+    idle_timeout:
+        Seconds a connection may sit between frames before the server
+        closes it (``None``, the default, never does) — abandoned
+        connections otherwise pin the bounded connection cap forever.
     """
 
     def __init__(self, engine: StoreEngine | ReplicaEngine,
@@ -91,7 +95,8 @@ class StoreServer:
                  max_connections: int = 64,
                  max_inflight_commits: int = 8,
                  sync_interval: float = 0.02,
-                 max_frame_bytes: int = MAX_FRAME_BYTES):
+                 max_frame_bytes: int = MAX_FRAME_BYTES,
+                 idle_timeout: float | None = None):
         self.engine = engine
         self.read_only = isinstance(engine, ReplicaEngine)
         self.service = None if self.read_only else SessionService(engine)
@@ -101,6 +106,11 @@ class StoreServer:
         self.max_inflight_commits = max_inflight_commits
         self.sync_interval = sync_interval
         self.max_frame_bytes = max_frame_bytes
+        if idle_timeout is not None and idle_timeout <= 0:
+            raise StoreError(
+                f"idle_timeout must be positive (or None), "
+                f"got {idle_timeout}")
+        self.idle_timeout = idle_timeout
         self.address: tuple[str, int] | None = None
         self._server: asyncio.base_events.Server | None = None
         self._loop: asyncio.AbstractEventLoop | None = None
@@ -115,6 +125,7 @@ class StoreServer:
         self._rejected_overloaded = 0
         self._frames_served = 0
         self._bad_frames = 0
+        self._idle_closed = 0
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -220,6 +231,11 @@ class StoreServer:
         while True:
             try:
                 await self._loop.run_in_executor(None, self.engine.sync)
+            except EpochFenced:
+                # Promoted out from under the server (or pinned to a
+                # demoted epoch): the replica will never tail again —
+                # keep serving its graph, stop burning the poll.
+                return
             except StoreError:
                 # Tail pruned out from under the cursor — re-bootstrap
                 # from the newest checkpoint and keep following.
@@ -248,9 +264,16 @@ class StoreServer:
         try:
             while True:
                 try:
-                    message = await self._read_frame(reader)
+                    if self.idle_timeout is not None:
+                        message = await asyncio.wait_for(
+                            self._read_frame(reader), self.idle_timeout)
+                    else:
+                        message = await self._read_frame(reader)
                 except asyncio.IncompleteReadError:
                     break  # client went away (possibly mid-frame)
+                except asyncio.TimeoutError:
+                    self._idle_closed += 1
+                    break  # idle past the bound: free the slot
                 except ProtocolError as exc:
                     fatal = getattr(exc, "fatal", False)
                     self._bad_frames += 1
@@ -344,6 +367,7 @@ class StoreServer:
         return protocol.ok_response(
             rid, protocol=protocol.PROTOCOL_VERSION,
             role="replica" if self.read_only else "primary",
+            epoch=summary.get("epoch", 0),
             branch=branch, branches=summary["branches"],
             relations=summary["relations"],
             validation=summary["validation"])
@@ -357,6 +381,7 @@ class StoreServer:
         summary = self.engine.describe()
         return protocol.ok_response(
             rid, role="primary",
+            epoch=summary.get("epoch", 0),
             connections=self._connections,
             max_connections=self.max_connections,
             inflight_commits=self._inflight_commits,
@@ -365,6 +390,7 @@ class StoreServer:
             frames_served=self._frames_served,
             bad_frames=self._bad_frames,
             rejected_overloaded=self._rejected_overloaded,
+            idle_closed=self._idle_closed,
             live_sessions=len(self.service.live_sessions()),
             seq=summary["seq"], versions=summary["versions"],
             branches=summary["branches"])

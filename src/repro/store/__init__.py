@@ -14,6 +14,9 @@ and the conflict-detection contract.
 
 from repro.errors import (
     CommitRejected,
+    DeadlineExceeded,
+    EpochFenced,
+    ServerOverloaded,
     StoreError,
     StoreWarning,
     TornTailWarning,
@@ -30,13 +33,21 @@ from repro.store.txn import (
     write_footprint,
 )
 from repro.store.version_graph import Version, VersionGraph
-from repro.store.wal import WalCursor, WriteAheadLog, checkpoint_record
+from repro.store.wal import (
+    WalCursor,
+    WriteAheadLog,
+    checkpoint_record,
+    epoch_record,
+)
 
 __all__ = [
     "Changes",
     "CommitRejected",
+    "DeadlineExceeded",
+    "EpochFenced",
     "Op",
     "ProbeIndex",
+    "ServerOverloaded",
     "Session",
     "SessionService",
     "StoreEngine",
@@ -51,6 +62,7 @@ __all__ = [
     "WalCursor",
     "WriteAheadLog",
     "checkpoint_record",
+    "epoch_record",
     "validate_changes",
     "write_footprint",
 ]

@@ -199,13 +199,14 @@ class StoreEngine:
         self._pins: dict[str, int] = {}
         self.checkpoint_every = checkpoint_every
         self._commits_since_checkpoint = 0
+        self._epoch = 0
         if _floor is None:
             self.graph = VersionGraph(root, branch)
         else:
             # Checkpoint restore (StoreEngine.replay): the graph starts
             # at the checkpoint's floor — every branch head a parentless
             # version, the id sequence resumed — instead of at v0.
-            seq, entries = _floor
+            seq, entries, self._epoch = _floor
             self.graph = VersionGraph(root, branch,
                                       root_vid=entries[0][0], seq=seq)
             for vid, floor_branch, state in entries[1:]:
@@ -232,7 +233,8 @@ class StoreEngine:
                 # with a checkpoint — the restored graph has no single
                 # self-contained root snapshot to offer.
                 wal.append(checkpoint_record(self.graph,
-                                             self._constraint_set))
+                                             self._constraint_set,
+                                             epoch=self._epoch))
 
     def _vet_constraints(self) -> None:
         """Refuse ill-typed dependencies up front: the store judges them
@@ -288,13 +290,22 @@ class StoreEngine:
         :class:`Session` nor a :class:`Version`."""
         return self.state(at, branch).R(relation)
 
+    @property
+    def epoch(self) -> int:
+        """The promotion epoch this engine serves under (0 until a
+        failover ever happens; see :func:`repro.server.failover.promote`
+        and :class:`~repro.errors.EpochFenced`)."""
+        return self._epoch
+
     def describe(self) -> dict:
         """A summary of the store for protocol handshakes and status
         probes: branches with their head version ids, the sequence
-        counter, the relation names served, and the validation mode."""
+        counter, the promotion epoch, the relation names served, and
+        the validation mode."""
         return {
             "branches": self.graph.branches(),
             "seq": self.graph.seq,
+            "epoch": self._epoch,
             "versions": len(self.graph),
             "relations": sorted(e.name for e in self.schema),
             "validation": self.validation,
@@ -447,7 +458,8 @@ class StoreEngine:
             raise StoreError(
                 "checkpointing requires a WAL-backed engine (there is "
                 "nothing to replay without one)")
-        record = checkpoint_record(self.graph, self._constraint_set)
+        record = checkpoint_record(self.graph, self._constraint_set,
+                                   epoch=self._epoch)
         self.wal.rotate()
         self.wal.append(record)
         self._commits_since_checkpoint = 0
@@ -687,6 +699,9 @@ class StoreEngine:
         if kind == "checkpoint":
             self._verify_checkpoint(record, deep=verify)
             return None
+        if kind == "epoch":
+            self._apply_epoch_record(record)
+            return None
         if kind != "commit":
             raise StoreError(f"unknown WAL record type {kind!r}")
         parent = self.graph.get(record["parent"])
@@ -701,6 +716,47 @@ class StoreEngine:
                 f"replay drift: WAL says {record['version']}, "
                 f"graph produced {version.vid}")
         return version
+
+    def _apply_epoch_record(self, record: dict) -> None:
+        """Follow a logged promotion: cross-check the takeover point
+        (the promoted primary stamped the seq/heads it caught up to)
+        and advance this engine's epoch.  A replay target logging into
+        a fresh WAL re-stamps the epoch there, so the fence history
+        survives re-logging."""
+        epoch = int(record.get("epoch", 0))
+        if epoch <= self._epoch:
+            raise StoreError(
+                f"epoch record does not advance: log says {epoch}, "
+                f"engine is already at {self._epoch}")
+        if "seq" in record and record["seq"] != self.graph.seq:
+            raise StoreError(
+                f"epoch drift: promotion stamped seq {record['seq']}, "
+                f"replayed graph is at {self.graph.seq}")
+        if "heads" in record and record["heads"] != self.graph.branches():
+            raise StoreError(
+                f"epoch drift: promotion stamped heads "
+                f"{record['heads']}, replayed graph has "
+                f"{self.graph.branches()}")
+        if self.wal is not None and self.wal.epoch < epoch:
+            self.wal.stamp_epoch(epoch, seq=record.get("seq"),
+                                 heads=record.get("heads"))
+        self._epoch = epoch
+
+    def adopt_wal(self, wal: WriteAheadLog) -> WriteAheadLog:
+        """Attach an already-written log to an engine that was rebuilt
+        *from* it — the promotion path: a replica's inner engine has no
+        WAL of its own, and the promoted primary must append to the log
+        it caught up on, not start a fresh one (which would re-snapshot
+        and orphan the history).  The caller vouches that ``wal``'s
+        records are exactly this engine's graph."""
+        if self.wal is not None:
+            raise StoreError(
+                "engine already has a WAL; adopt_wal is only for "
+                "engines rebuilt from the log they are adopting")
+        with self._lock:
+            self.wal = wal
+            self._epoch = max(self._epoch, wal.epoch)
+        return wal
 
     @classmethod
     def _restore_checkpoint(cls, record: dict, validation: str,
@@ -726,7 +782,8 @@ class StoreEngine:
         engine = cls(root_state, constraint_set, branch=root_branch,
                      validation=validation, wal=wal, audit_root=verify,
                      checkpoint_every=checkpoint_every,
-                     _floor=(record["seq"], entries))
+                     _floor=(record["seq"], entries,
+                             int(record.get("epoch", 0))))
         if verify:
             for vid, state in states.items():
                 if state is root_state:
@@ -748,6 +805,11 @@ class StoreEngine:
             raise StoreError(
                 f"checkpoint drift: WAL says seq {record.get('seq')}, "
                 f"replayed graph is at {self.graph.seq}")
+        if "epoch" in record and record["epoch"] != self._epoch:
+            raise StoreError(
+                f"checkpoint drift: WAL checkpoint was taken under "
+                f"epoch {record['epoch']}, replayed engine is at "
+                f"{self._epoch}")
         for name, info in sorted(record.get("branches", {}).items()):
             head = self.graph.head(name)
             if head.vid != info["version"]:

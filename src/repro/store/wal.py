@@ -13,7 +13,13 @@ the rows losslessly JSON-codable).  Four record types:
 * ``checkpoint`` — every branch head as a full database document plus
   the graph's sequence counter, so replay can start *here* instead of
   at the root snapshot (:meth:`StoreEngine.replay` picks the newest
-  one; see :func:`checkpoint_record`).
+  one; see :func:`checkpoint_record`);
+* ``epoch`` — a promotion marker: a replica that took over as primary
+  stamps the next epoch number (plus the sequence counter and branch
+  heads it took over at) into a fresh segment, after which appends by
+  any handle still holding the old epoch are *fenced* — they raise
+  :class:`~repro.errors.EpochFenced` instead of silently diverging
+  (see :meth:`WriteAheadLog.stamp_epoch`).
 
 Replaying the records in order through :meth:`StoreEngine.replay`
 reconstructs an identical version graph: version ids come from one
@@ -49,7 +55,7 @@ from pathlib import Path
 from typing import Any, Iterator
 
 from repro import io
-from repro.errors import SchemaError, StoreError, TornTailWarning
+from repro.errors import EpochFenced, SchemaError, StoreError, TornTailWarning
 
 SEGMENT_PATTERN = "wal.%06d.jsonl"
 _SEGMENT_RE = re.compile(r"^wal\.(\d{6})\.jsonl$")
@@ -127,6 +133,7 @@ class WriteAheadLog:
             self._open_segment(path / (SEGMENT_PATTERN % index))
         else:
             self._open_segment(path)
+        self.epoch = self.current_epoch(path)
 
     def _open_segment(self, file_path: Path) -> None:
         """Open ``file_path`` for appending, priming the rotation
@@ -156,6 +163,7 @@ class WriteAheadLog:
             raise StoreError(
                 f"WAL {self.path} is closed; cannot append "
                 f"{record.get('type', 'a')!r} record")
+        self._check_fence()
         try:
             line = json.dumps(record, sort_keys=True)
         except (TypeError, ValueError) as exc:
@@ -190,6 +198,7 @@ class WriteAheadLog:
             raise StoreError(f"WAL {self.path} is closed; cannot rotate")
         if not self.segmented or self._count == 0:
             return self._file
+        self._check_fence()
         self._fh.flush()
         if self.sync:
             os.fsync(self._fh.fileno())
@@ -197,6 +206,113 @@ class WriteAheadLog:
         self._segment_index += 1
         self._open_segment(self.path / (SEGMENT_PATTERN % self._segment_index))
         return self._file
+
+    # ------------------------------------------------------------------
+    # epochs and fencing (the failover write-exclusion mechanism)
+    # ------------------------------------------------------------------
+    def _check_fence(self) -> None:
+        """Refuse to write under a stale epoch.
+
+        Promotion rotates the log to a fresh segment (or, for a
+        single-file log, bumps the ``<path>.epoch`` sidecar), so a
+        demoted handle detects the takeover with one ``stat``: a
+        segment it did not create appearing after its own, or a sidecar
+        epoch beyond the one it holds.  The check runs on every append
+        and rotation — appends are per-commit, so the extra stat rides
+        a path that already pays for validation and an fsync-able
+        write.
+        """
+        if self.segmented:
+            nxt = self.path / (SEGMENT_PATTERN % (self._segment_index + 1))
+            if not nxt.exists():
+                return
+            current = self.current_epoch(self.path)
+            raise EpochFenced(
+                f"WAL {self.path} was taken over (epoch "
+                f"{max(current, self.epoch + 1)} stamped past segment "
+                f"{self._file.name}); this handle holds epoch "
+                f"{self.epoch} and may no longer append",
+                held=self.epoch, current=max(current, self.epoch + 1))
+        marker = self.epoch_marker(self.path)
+        try:
+            current = int(marker.read_text().split()[0])
+        except (OSError, ValueError):
+            return  # no sidecar: no promotion ever happened here
+        if current > self.epoch:
+            raise EpochFenced(
+                f"WAL {self.path} was taken over at epoch {current}; "
+                f"this handle holds epoch {self.epoch} and may no "
+                "longer append", held=self.epoch, current=current)
+
+    def stamp_epoch(self, epoch: int | None = None,
+                    seq: int | None = None,
+                    heads: dict[str, str] | None = None) -> dict:
+        """Open the next epoch: rotate to a fresh segment and append an
+        ``epoch`` record (fsynced — a promotion that is not durable is
+        no promotion), fencing every handle still on the old epoch.
+
+        ``epoch`` defaults to the successor of the newest epoch visible
+        in the log; ``seq``/``heads`` record where the graph stood at
+        takeover, so replay can cross-check.  Single-file logs cannot
+        rotate, so the fence is a ``<path>.epoch`` sidecar bumped
+        atomically alongside the inline record.  Returns the record.
+        """
+        self._check_fence()  # two racing promotions: first stamp wins
+        current = self.current_epoch(self.path)
+        if epoch is None:
+            epoch = current + 1
+        if epoch <= current:
+            raise StoreError(
+                f"epoch must advance: log is at {current}, "
+                f"stamp asked for {epoch}")
+        record = epoch_record(epoch, seq=seq, heads=heads)
+        self.rotate()
+        line = json.dumps(record, sort_keys=True)
+        self._fh.write(line + "\n")
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+        self._count += 1
+        self._bytes += len(line) + 1
+        if not self.segmented:
+            marker = self.epoch_marker(self.path)
+            with open(marker, "w", encoding="utf-8") as fh:
+                fh.write(f"{epoch}\n")
+                fh.flush()
+                os.fsync(fh.fileno())
+            _fsync_dir(marker.parent)
+        self.epoch = epoch
+        return record
+
+    @staticmethod
+    def epoch_marker(path: str | Path) -> Path:
+        """The sidecar file fencing a *single-file* log (segmented logs
+        fence through segment appearance instead)."""
+        path = Path(path)
+        return path.parent / (path.name + ".epoch")
+
+    @staticmethod
+    def current_epoch(path: str | Path) -> int:
+        """The newest epoch stamped into the log (0 before any
+        promotion).  Segmented logs answer from segment heads — epoch
+        records always head their segment, and checkpoints carry the
+        epoch they were taken under — single-file logs from the
+        sidecar."""
+        path = Path(path)
+        if path.is_dir():
+            for segment in reversed(WriteAheadLog.segment_paths(path)):
+                head = WriteAheadLog.first_record(segment)
+                if head is None:
+                    continue
+                if head.get("type") == "epoch":
+                    return int(head.get("epoch", 0))
+                if head.get("type") == "checkpoint" and "epoch" in head:
+                    return int(head["epoch"])
+            return 0
+        marker = WriteAheadLog.epoch_marker(path)
+        try:
+            return int(marker.read_text().split()[0])
+        except (OSError, ValueError):
+            return 0
 
     def close(self) -> None:
         if not self._fh.closed:
@@ -306,6 +422,13 @@ class WriteAheadLog:
         produces; a malformed line with complete records after it raises
         :class:`StoreError` instead of truncating away good history.
         The truncation is fsynced, so a repaired log stays repaired.
+
+        A final line that parses but lost its newline (the crash hit
+        between the record and the separator) is *complete*: repair
+        writes the missing newline so tail readers — which rightly
+        treat an unterminated line as in-progress — can consume the
+        record, keeping recovery, replication, and promotion agreed on
+        where the durable prefix ends.
         """
         segments = WriteAheadLog.segment_paths(path)
         if not segments or not segments[-1].exists():
@@ -337,9 +460,14 @@ class WriteAheadLog:
                         "not a torn tail")
             pos = end
         if bad_line is None:
-            # A clean log may still end without its final newline (the
-            # crash hit between the record and the separator); that
-            # record is complete, keep everything.
+            if data and not data.endswith(b"\n"):
+                # The final record is complete but unterminated: finish
+                # it so cursors (which never consume a line that might
+                # still be mid-append) see what replay sees.
+                with open(last, "ab") as fh:
+                    fh.write(b"\n")
+                    fh.flush()
+                    os.fsync(fh.fileno())
             return 0
         dropped = len(data) - good_end
         with open(last, "r+b") as fh:
@@ -562,13 +690,15 @@ def branch_record(name: str, at_version_id: str) -> dict[str, Any]:
     return {"type": "branch", "name": name, "at": at_version_id}
 
 
-def checkpoint_record(graph, constraints) -> dict[str, Any]:
+def checkpoint_record(graph, constraints, epoch: int = 0) -> dict[str, Any]:
     """Every branch head as a full database document, plus the graph's
     sequence counter — everything replay needs to resume *here*: the
     heads become parentless floor versions, the counter keeps later
     version ids identical to a full replay's.  Branches sharing a head
     share one document object (serialised once per head in the JSON
-    line only when heads coincide)."""
+    line only when heads coincide).  ``epoch`` records which promotion
+    epoch the checkpoint was taken under, so a replay resuming here
+    still knows the current fence."""
     documents: dict[str, dict] = {}
     branches: dict[str, dict] = {}
     for name, head in sorted(graph.heads.items()):
@@ -582,4 +712,19 @@ def checkpoint_record(graph, constraints) -> dict[str, Any]:
                     f"constraints: {exc}") from exc
         branches[name] = {"version": head.vid,
                           "document": documents[head.vid]}
-    return {"type": "checkpoint", "seq": graph.seq, "branches": branches}
+    return {"type": "checkpoint", "seq": graph.seq, "branches": branches,
+            "epoch": epoch}
+
+
+def epoch_record(epoch: int, seq: int | None = None,
+                 heads: dict[str, str] | None = None) -> dict[str, Any]:
+    """A promotion as an ``epoch`` record: the new epoch number plus —
+    when known — the sequence counter and branch heads the promoted
+    primary took over at, which replay cross-checks exactly like a
+    checkpoint's."""
+    record: dict[str, Any] = {"type": "epoch", "epoch": epoch}
+    if seq is not None:
+        record["seq"] = seq
+    if heads is not None:
+        record["heads"] = dict(sorted(heads.items()))
+    return record
