@@ -45,6 +45,7 @@ KERNEL_BENCH_PREFIXES = (
     "benchmarks/bench_a10_durability.py::",
     "benchmarks/bench_a11_server.py::",
     "benchmarks/bench_a12_failover.py::",
+    "benchmarks/bench_a13_cluster.py::",
 )
 
 

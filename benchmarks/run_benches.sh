@@ -1,10 +1,10 @@
 #!/usr/bin/env bash
 # Refresh the committed perf trajectory, gated by the regression diff.
 #
-# Dumps a fresh --bench-json from the full benchmark suite (a1-a12,
+# Dumps a fresh --bench-json from the full benchmark suite (a1-a13,
 # including the bench_a9 store-throughput, bench_a10 durability,
-# bench_a11 server/replica and bench_a12 failover workloads, plus the paper examples), diffs
-# it against the committed
+# bench_a11 server/replica, bench_a12 failover and bench_a13 cluster
+# workloads, plus the paper examples), diffs it against the committed
 # BENCH_kernel.json with
 # compare_bench.py (which fails on >2x kernel regressions AND on kernel
 # baselines missing from the fresh dump), and only on a passing diff

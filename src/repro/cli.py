@@ -15,6 +15,8 @@ Usage (after installation)::
     python -m repro.cli replica w.log --once       # one sync + lag report
     python -m repro.cli promote w.log --listen :7073
                                                    # failover: next epoch
+    python -m repro.cli supervise w.log --id r1 --primary :7071
+                                                   # self-healing failover loop
     python -m repro.cli log w.log                  # print the WAL history
     python -m repro.cli replay w.log --verify      # rebuild + audit from WAL
     python -m repro.cli checkpoint w.log           # append a checkpoint
@@ -262,9 +264,12 @@ def _cmd_replica(args: argparse.Namespace) -> int:
     """Tail a primary's WAL as a read replica.
 
     ``--once`` syncs to the current end of the log and prints the
-    staleness/lag report; otherwise the replica serves read-only wire
-    traffic on ``--listen`` while a background task keeps following the
-    log."""
+    staleness/lag report — with ``--max-lag-bytes N`` the exit status
+    doubles as a staleness alarm (non-zero when the replica is more
+    than N log bytes behind), so external monitors can alert on stale
+    replicas with one invocation.  Otherwise the replica serves
+    read-only wire traffic on ``--listen`` while a background task
+    keeps following the log."""
     from repro.server import ReplicaEngine, StoreServer
 
     replica = ReplicaEngine(args.wal, from_checkpoint=not args.full,
@@ -272,14 +277,20 @@ def _cmd_replica(args: argparse.Namespace) -> int:
     replica.catch_up(timeout=args.timeout)
     if args.once:
         status = replica.status()
+        bound = args.max_lag_bytes
+        lag_ok = (bound is None
+                  or int(status.get("behind_bytes", 0)) <= bound)
+        status["max_lag_bytes"] = bound
+        status["lag_ok"] = lag_ok
         if args.json:
             print(json.dumps(status, indent=2, sort_keys=True))
         else:
             for key in ("role", "ready", "wal", "behind_bytes",
-                        "applied_records", "seq", "versions", "branches"):
-                if key in status:
+                        "max_lag_bytes", "lag_ok", "applied_records",
+                        "seq", "versions", "branches"):
+                if key in status and status[key] is not None:
                     print(f"{key}: {status[key]}")
-        return 0 if replica.ready else 1
+        return 0 if replica.ready and lag_ok else 1
     host, port = _parse_listen(args.listen)
     return _serve_until_interrupt(
         StoreServer(replica, host, port, sync_interval=args.interval,
@@ -322,6 +333,89 @@ def _cmd_promote(args: argparse.Namespace) -> int:
             f"primary (epoch {engine.epoch}) over {args.wal}")
     finally:
         engine.close()
+
+
+def _cmd_supervise(args: argparse.Namespace) -> int:
+    """Run one replica's seat in the self-healing loop.
+
+    A :class:`~repro.server.HealthMonitor` probes the primary (and any
+    ``--peer`` replicas) over the wire ``status`` op; when the primary
+    is declared dead the :class:`~repro.server.Coordinator` runs the
+    deterministic election — most-caught-up WAL position wins, replica
+    id breaks ties — and, if this replica wins, promotes it and (with
+    ``--listen``) serves the new primary.  Losers keep tailing and
+    re-pin to the winner's epoch.  ``--once`` runs a single supervision
+    step and prints the state; ``--max-ticks`` bounds the loop (useful
+    for scripted failover drills)."""
+    import time
+
+    from repro.server import (
+        Coordinator,
+        HealthMonitor,
+        ReplicaEngine,
+        StoreServer,
+        wire_probe,
+    )
+
+    monitor = HealthMonitor(probe_interval=args.interval,
+                            suspect_after=args.suspect_after,
+                            dead_after=args.dead_after, seed=args.seed)
+    monitor.add_peer(args.primary_id,
+                     wire_probe(_parse_listen(args.primary),
+                                timeout=args.probe_timeout))
+    for spec in args.peer or ():
+        peer_id, _, addr = spec.partition("=")
+        if not peer_id or not addr:
+            raise SystemExit(f"--peer wants ID=HOST:PORT, got {spec!r}")
+        monitor.add_peer(peer_id, wire_probe(_parse_listen(addr),
+                                             timeout=args.probe_timeout))
+    replica = ReplicaEngine(args.wal, from_checkpoint=not args.full,
+                            verify=args.verify)
+    replica.catch_up(timeout=args.timeout)
+    coordinator = Coordinator(args.id, replica, monitor,
+                              primary_id=args.primary_id,
+                              promote_timeout=args.timeout,
+                              segment_records=args.segment_records)
+    ticks = 0
+    try:
+        while True:
+            event = coordinator.step()
+            ticks += 1
+            if event is not None and not args.json:
+                detail = {k: v for k, v in event.items()
+                          if k not in ("action", "replica_id")}
+                print(f"[tick {ticks}] {event['action']} {detail}")
+            if coordinator.role == "primary" or args.once:
+                break
+            if args.max_ticks is not None and ticks >= args.max_ticks:
+                break
+            time.sleep(args.interval)
+    except KeyboardInterrupt:
+        pass
+    summary = coordinator.describe()
+    summary["ticks"] = ticks
+    summary["primary_state"] = (
+        monitor.state(coordinator.primary_id)
+        if coordinator.primary_id in monitor.peer_ids() else None)
+    if args.json:
+        print(json.dumps({**summary,
+                          "events": coordinator.events},
+                         indent=2, sort_keys=True))
+    else:
+        for key in ("replica_id", "role", "primary_id", "primary_state",
+                    "epoch", "elections", "ticks"):
+            print(f"{key}: {summary[key]}")
+    if coordinator.role == "primary" and args.listen is not None:
+        engine = coordinator.engine
+        host, port = _parse_listen(args.listen)
+        try:
+            return _serve_until_interrupt(
+                StoreServer(engine, host, port, cluster=monitor),
+                f"promoted primary (epoch {engine.epoch}) over "
+                f"{args.wal}")
+        finally:
+            engine.close()
+    return 0
 
 
 def _cmd_log(args: argparse.Namespace) -> int:
@@ -561,6 +655,12 @@ def build_parser() -> argparse.ArgumentParser:
                            metavar="SECONDS",
                            help="close connections idle for this long "
                                 "(default: never)")
+    p_replica.add_argument("--max-lag-bytes", type=int, default=None,
+                           metavar="N",
+                           help="with --once: exit non-zero when the "
+                                "replica is more than N log bytes "
+                                "behind (a staleness alarm for "
+                                "external monitors)")
     p_replica.add_argument("--json", action="store_true",
                            help="emit the --once staleness report as JSON")
     p_replica.set_defaults(func=_cmd_replica)
@@ -597,6 +697,76 @@ def build_parser() -> argparse.ArgumentParser:
     p_promote.add_argument("--json", action="store_true",
                            help="emit the takeover summary as JSON")
     p_promote.set_defaults(func=_cmd_promote)
+
+    p_supervise = sub.add_parser(
+        "supervise", help="run a replica's seat in the self-healing "
+                          "failover loop")
+    p_supervise.add_argument("wal")
+    p_supervise.add_argument("--id", required=True, metavar="REPLICA_ID",
+                             help="this replica's election id (ties on "
+                                  "WAL position break toward the "
+                                  "highest id)")
+    p_supervise.add_argument("--primary", required=True,
+                             metavar="HOST:PORT",
+                             help="the current primary's address to "
+                                  "probe")
+    p_supervise.add_argument("--primary-id", default="primary",
+                             help="the primary's peer id in the health "
+                                  "view (default 'primary')")
+    p_supervise.add_argument("--peer", action="append", default=[],
+                             metavar="ID=HOST:PORT",
+                             help="a fellow replica to probe and rank "
+                                  "against (repeatable)")
+    p_supervise.add_argument("--listen", default=None,
+                             metavar="HOST:PORT",
+                             help="serve the promoted primary here "
+                                  "after winning an election")
+    p_supervise.add_argument("--interval", type=float, default=0.5,
+                             metavar="SECONDS",
+                             help="probe/supervision cadence "
+                                  "(default 0.5s)")
+    p_supervise.add_argument("--suspect-after", type=int, default=2,
+                             metavar="MISSES",
+                             help="consecutive probe misses before a "
+                                  "peer is suspect (default 2; one "
+                                  "dropped frame never elects)")
+    p_supervise.add_argument("--dead-after", type=int, default=4,
+                             metavar="MISSES",
+                             help="consecutive probe misses before a "
+                                  "peer is dead and an election runs "
+                                  "(default 4)")
+    p_supervise.add_argument("--probe-timeout", type=float, default=1.0,
+                             metavar="SECONDS",
+                             help="per-probe dial/roundtrip budget "
+                                  "(default 1)")
+    p_supervise.add_argument("--timeout", type=float, default=5.0,
+                             help="catch-up/promotion budget in "
+                                  "seconds (default 5)")
+    p_supervise.add_argument("--seed", type=int, default=0,
+                             help="seeds the monitor's probe jitter "
+                                  "(default 0)")
+    p_supervise.add_argument("--max-ticks", type=int, default=None,
+                             metavar="N",
+                             help="stop after N supervision steps "
+                                  "(default: run until promoted or "
+                                  "interrupted)")
+    p_supervise.add_argument("--once", action="store_true",
+                             help="run one supervision step, print the "
+                                  "state, and exit")
+    p_supervise.add_argument("--full", action="store_true",
+                             help="bootstrap from v0 instead of the "
+                                  "newest checkpoint")
+    p_supervise.add_argument("--verify", action="store_true",
+                             help="re-gate every followed commit "
+                                  "through the axiom validation")
+    p_supervise.add_argument("--segment-records", type=int, default=None,
+                             metavar="N",
+                             help="segment rotation bound after "
+                                  "promotion")
+    p_supervise.add_argument("--json", action="store_true",
+                             help="emit the final state (and event "
+                                  "log) as JSON")
+    p_supervise.set_defaults(func=_cmd_supervise)
 
     p_log = sub.add_parser("log", help="print a write-ahead log's history")
     p_log.add_argument("wal")

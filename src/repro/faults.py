@@ -300,6 +300,25 @@ class ChaosProxy:
         request, forward it and *then* close — the server applies the
         commit, the client never learns.  The ambiguous failure every
         retry design must survive.
+    ``net.duplicate``
+        Forward the frame **twice** — the retransmit-after-lost-ack
+        shape; request ids make the duplicate detectable, idempotent
+        replay makes it survivable.
+    ``net.reorder``
+        Hold the frame back and deliver it *after* the next frame in
+        the same direction (held frames are flushed, in order, when
+        the stream ends — reordering never silently drops).
+    ``net.partition``
+        Start a partition: frames in **both** directions are swallowed
+        (the peer sees silence, exactly what a heartbeat prober sees)
+        for ``payload`` seconds — or until :meth:`heal` when the
+        payload is ``None``.  Also triggerable by hand via
+        :meth:`partition`.
+    ``net.pause``
+        Freeze the relay (a SIGSTOP'd peer): frames queue behind the
+        pause and flow again, in order, after ``payload`` seconds or
+        :meth:`resume`.  Unlike a partition nothing is lost — only
+        late.
 
     ``start()`` binds and returns the proxy's own ``(host, port)`` for
     clients to dial; ``stop()`` closes the listener and every live
@@ -322,6 +341,53 @@ class ChaosProxy:
         self._pairs: list[tuple[socket.socket, socket.socket]] = []
         self._lock = threading.Lock()
         self._stopping = False
+        self._partition_until: float | None = None
+        self._pause_until: float | None = None
+
+    # -- manual partition / pause --------------------------------------
+    def partition(self, duration: float | None = None) -> None:
+        """Black-hole both directions for ``duration`` seconds (or
+        until :meth:`heal`): frames are swallowed, connections stay
+        up — the probe-timeout shape, as opposed to a clean close."""
+        self._partition_until = (float("inf") if duration is None
+                                 else time.monotonic() + duration)
+
+    def heal(self) -> None:
+        """End a partition (frames flow again; what was swallowed
+        while partitioned stays lost)."""
+        self._partition_until = None
+
+    def pause(self, duration: float | None = None) -> None:
+        """Freeze the relay for ``duration`` seconds (or until
+        :meth:`resume`): frames queue behind the pause and are
+        delivered, in order, once it lifts."""
+        self._pause_until = (float("inf") if duration is None
+                             else time.monotonic() + duration)
+
+    def resume(self) -> None:
+        self._pause_until = None
+
+    def _partitioned(self) -> bool:
+        until = self._partition_until
+        if until is None:
+            return False
+        if time.monotonic() >= until:
+            self._partition_until = None
+            return False
+        return True
+
+    def _hold_while_paused(self) -> None:
+        while not self._stopping:
+            until = self._pause_until
+            if until is None:
+                return
+            now = time.monotonic()
+            if now >= until:
+                self._pause_until = None
+                return
+            # Sleep in small slices so resume()/stop() take effect
+            # promptly even under an open-ended pause.
+            time.sleep(min(0.005, max(0.0, until - now)))
 
     # -- lifecycle -----------------------------------------------------
     def start(self) -> tuple[str, int]:
@@ -414,6 +480,7 @@ class ChaosProxy:
               direction: str) -> None:
         plan = self.plan
         buffer = b""
+        held: list[bytes] = []  # frames net.reorder is holding back
         try:
             while True:
                 data = src.recv(65536)
@@ -429,11 +496,26 @@ class ChaosProxy:
                     continue
                 frames, buffer = split_frames(buffer)
                 for frame in frames:
+                    if plan.fire("net.reorder"):
+                        held.append(frame)
+                        continue
                     if not self._relay_frame(frame, dst, direction):
                         self._close_pair(src, dst)
                         return
+                    while held:  # held frames ride behind the next one
+                        late = held.pop(0)
+                        if not self._relay_frame(late, dst, direction):
+                            self._close_pair(src, dst)
+                            return
         except OSError:
             pass
+        # Reordering must never silently drop: flush what is still held
+        # before the close the peer is about to see.
+        for late in held:
+            try:
+                dst.sendall(late)
+            except OSError:
+                break
         self._close_pair(src, dst)
 
     def _relay_frame(self, frame: bytes, dst: socket.socket,
@@ -442,6 +524,18 @@ class ChaosProxy:
         must close (truncation/disconnect fired, or the peer is
         gone)."""
         plan = self.plan
+        event = plan.fire("net.partition")
+        if event:
+            duration = event["payload"]
+            self.partition(None if duration is None
+                           else float(duration))
+        event = plan.fire("net.pause")
+        if event:
+            duration = event["payload"]
+            self.pause(None if duration is None else float(duration))
+        if self._partitioned():
+            return True  # the link eats the frame; connections live on
+        self._hold_while_paused()
         event = plan.fire("net.delay")
         if event:
             delay = event["payload"]
@@ -463,12 +557,15 @@ class ChaosProxy:
             return False
         if plan.fire("net.disconnect"):
             return False
+        duplicate = bool(plan.fire("net.duplicate"))
         commit_cut = (direction == "c2s"
                       and plan.configured("net.commit_disconnect")
                       and self._frame_op(frame) == "commit"
                       and plan.fire("net.commit_disconnect"))
         try:
             dst.sendall(frame)
+            if duplicate:
+                dst.sendall(frame)
         except OSError:
             return False
         return not commit_cut

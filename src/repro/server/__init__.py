@@ -12,17 +12,32 @@ identical to the primary's at the prefix it has consumed.
 caught-up replica into the next-epoch primary (fencing the old one via
 the WAL's epoch stamp), :class:`RetryPolicy` and
 :class:`FailoverClient` give clients backoff, heartbeats, client-side
-epoch fencing, and bounded-staleness replica reads.  See ``README.md``
+epoch fencing, and bounded-staleness replica reads.  :mod:`cluster`
+makes the loop autonomous: a :class:`HealthMonitor` failure detector
+(alive → suspect → dead suspicion levels over ``status`` probes), a
+:class:`Coordinator` per replica running deterministic leader election
+(rank by durable WAL position, the epoch stamp as final arbiter), and
+a :class:`ReadBalancer` fanning reads out across replicas with
+staleness budgets and a graceful degradation ladder.  See ``README.md``
 in this directory for the wire-protocol specification, the replica
 consistency semantics, and the epoch/fencing state machine.
 """
 
 from repro.server.client import RemoteTxn, StoreClient
+from repro.server.cluster import (
+    Coordinator,
+    HealthMonitor,
+    ReadBalancer,
+    election_rank,
+    engine_probe,
+    wire_probe,
+)
 from repro.server.failover import FailoverClient, RetryPolicy, promote
 from repro.server.pool import ClientPool
 from repro.server.protocol import (
     OPS,
     PROTOCOL_VERSION,
+    SUSPICION_STATES,
     WRITE_OPS,
     error_payload,
     error_response,
@@ -35,19 +50,26 @@ from repro.server.server import StoreServer
 
 __all__ = [
     "ClientPool",
+    "Coordinator",
     "FailoverClient",
+    "HealthMonitor",
     "OPS",
     "PROTOCOL_VERSION",
+    "ReadBalancer",
     "RemoteTxn",
     "ReplicaEngine",
     "RetryPolicy",
     "StoreClient",
     "StoreServer",
+    "SUSPICION_STATES",
     "WRITE_OPS",
+    "election_rank",
+    "engine_probe",
     "error_payload",
     "error_response",
     "ok_response",
     "promote",
     "raise_for_error",
     "validate_request",
+    "wire_probe",
 ]

@@ -113,6 +113,18 @@ class StoreClient:
             raise_for_error(response.get("error", {}))
         return response
 
+    @property
+    def role(self) -> str | None:
+        """The server's self-reported role from the ``hello`` handshake
+        (``"primary"`` / ``"replica"``; ``None`` without a hello)."""
+        return (self.server_info or {}).get("role")
+
+    @property
+    def server_epoch(self) -> int:
+        """The promotion epoch the server reported at ``hello`` (0
+        without a hello — epoch 0 is also the pre-failover epoch)."""
+        return int((self.server_info or {}).get("epoch", 0))
+
     def is_stale(self) -> bool:
         """True when the connection is unusable without a round trip.
 

@@ -1,0 +1,718 @@
+"""Self-healing cluster: failure detection, deterministic leader
+election, and replica fan-out reads.
+
+PR 8 made promotion *safe* — epoch fencing, the race-guarded
+:func:`~repro.server.failover.promote`, zero acked-commit loss — but an
+operator still had to notice the primary died and run it.  This module
+closes the loop with three cooperating pieces:
+
+* :class:`HealthMonitor` — a seeded, clock-injected failure detector.
+  Heartbeat probes ride the existing ``hello``/``status`` ops (or call
+  a local engine directly); consecutive misses walk a peer through
+  *alive → suspect → dead* suspicion levels, so one dropped frame never
+  triggers an election.  The clock is injected, which makes detection
+  timing a pure function of ticks — the chaos suite drives it with a
+  fake clock and counts them.
+* :class:`Coordinator` — one per replica, runs deterministic leader
+  election when the monitor declares the primary dead.  Candidates
+  rank by ``(durable WAL position, replica id)``: the most-caught-up
+  replica wins, ties break on the highest id, and no external
+  consensus service is needed because every candidate ranks against
+  the same durable log.  The winner calls ``promote()``; the epoch
+  stamp's race guard remains the final arbiter, so even coordinators
+  with disjoint membership views cannot split-brain — at most one
+  stamp lands, losers get :class:`~repro.errors.EpochFenced` and
+  re-pin to the new epoch by simply continuing to tail the log.
+* :class:`ReadBalancer` — fan-out reads across N replicas with
+  per-replica staleness budgets.  Replicas the monitor marks suspect
+  are ejected from the rotation; when no healthy in-budget replica
+  remains the balancer degrades down a ladder — primary first, then
+  any reachable replica within ``max_staleness`` — instead of failing.
+
+The election rule leans on a property the store already guarantees:
+replicas of one log apply identical prefixes, so the cursor position
+``(segment, offset)`` is totally ordered across candidates and "most
+caught up" is well defined without any vote exchange.
+"""
+
+from __future__ import annotations
+
+import time
+from random import Random
+from typing import Any, Callable, Mapping, Sequence
+
+from repro.errors import (
+    CommitRejected,
+    EpochFenced,
+    ProtocolError,
+    ServerOverloaded,
+    StoreError,
+    TransactionConflict,
+)
+from repro.server.client import StoreClient
+from repro.server.failover import promote
+from repro.server.protocol import SUSPICION_STATES
+from repro.server.replica import ReplicaEngine
+
+ALIVE, SUSPECT, DEAD = SUSPICION_STATES
+
+
+# ----------------------------------------------------------------------
+# probes
+# ----------------------------------------------------------------------
+def wire_probe(address: Sequence, timeout: float = 1.0
+               ) -> Callable[[], dict]:
+    """A probe that dials ``address`` and asks ``status`` over the wire
+    (one ``hello`` + one ``status`` round trip per call, so a probe
+    failure is indistinguishable from the process being gone — which is
+    the point)."""
+    host, port = str(address[0]), int(address[1])
+
+    def probe() -> dict:
+        with StoreClient(host, port, timeout=timeout) as client:
+            return client.status()
+
+    probe.address = (host, port)  # type: ignore[attr-defined]
+    return probe
+
+
+def engine_probe(target: Any) -> Callable[[], dict]:
+    """A probe over a local object — a :class:`ReplicaEngine` (its
+    :meth:`~ReplicaEngine.status` report) or a primary
+    :class:`~repro.store.StoreEngine` (its ``describe`` summary, tagged
+    with the primary role)."""
+
+    def probe() -> dict:
+        if hasattr(target, "status"):
+            return target.status()
+        summary = target.describe()
+        summary.setdefault("role", "primary")
+        return summary
+
+    return probe
+
+
+class _Peer:
+    __slots__ = ("peer_id", "probe", "state", "misses", "probes",
+                 "last_status", "last_error", "last_ok_at", "next_due")
+
+    def __init__(self, peer_id: str, probe: Callable[[], dict],
+                 due: float):
+        self.peer_id = peer_id
+        self.probe = probe
+        self.state = ALIVE
+        self.misses = 0
+        self.probes = 0
+        self.last_status: dict | None = None
+        self.last_error: str | None = None
+        self.last_ok_at: float | None = None
+        self.next_due = due
+
+
+# ----------------------------------------------------------------------
+# the failure detector
+# ----------------------------------------------------------------------
+class HealthMonitor:
+    """A timeout-with-suspicion failure detector.
+
+    Parameters
+    ----------
+    clock:
+        The time source (``time.monotonic`` by default).  Tests inject
+        a fake clock, making every transition a pure function of ticks.
+    probe_interval:
+        Seconds between probes of one peer.
+    suspect_after, dead_after:
+        Consecutive misses before a peer is marked ``suspect`` /
+        ``dead``.  ``suspect_after`` must be at least 2 — one dropped
+        frame never even raises suspicion, let alone an election — and
+        ``dead_after`` must be strictly larger.
+    seed, jitter:
+        With ``jitter > 0`` each probe's next due time is stretched by
+        a seeded uniform draw in ``[0, jitter]`` of the interval, so a
+        fleet of monitors does not synchronise its probe bursts.  The
+        draw comes from a private ``Random(seed)`` — deterministic.
+
+    :meth:`tick` runs every due probe once and returns the state
+    *transitions* it caused; the full event history accumulates in
+    :attr:`events`.  A probe is any callable returning a status
+    mapping (see :func:`wire_probe` / :func:`engine_probe`); raising
+    counts as a miss.
+    """
+
+    def __init__(self, clock: Callable[[], float] = time.monotonic,
+                 probe_interval: float = 0.05, suspect_after: int = 2,
+                 dead_after: int = 4, seed: int = 0,
+                 jitter: float = 0.0):
+        if suspect_after < 2:
+            raise StoreError(
+                f"suspect_after must be >= 2 so a single dropped probe "
+                f"never raises suspicion, got {suspect_after}")
+        if dead_after <= suspect_after:
+            raise StoreError(
+                f"dead_after ({dead_after}) must exceed suspect_after "
+                f"({suspect_after}): a peer is suspected before it is "
+                "declared dead, never the other way around")
+        self.clock = clock
+        self.probe_interval = probe_interval
+        self.suspect_after = suspect_after
+        self.dead_after = dead_after
+        self.jitter = jitter
+        self._rng = Random(seed)
+        self._peers: dict[str, _Peer] = {}
+        self.events: list[dict] = []
+
+    # -- membership ----------------------------------------------------
+    def add_peer(self, peer_id: str, probe: Callable[[], dict]) -> None:
+        """Register ``peer_id``; its first probe is due immediately.
+        Re-adding replaces the probe and resets suspicion."""
+        self._peers[str(peer_id)] = _Peer(str(peer_id), probe,
+                                          self.clock())
+
+    def remove_peer(self, peer_id: str) -> None:
+        self._peers.pop(str(peer_id), None)
+
+    def peer_ids(self) -> list[str]:
+        return sorted(self._peers)
+
+    # -- probing -------------------------------------------------------
+    def tick(self) -> list[dict]:
+        """Probe every peer whose next probe is due; returns the state
+        transitions this tick caused (empty when nothing changed)."""
+        now = self.clock()
+        transitions: list[dict] = []
+        for peer in self._peers.values():
+            if peer.next_due > now:
+                continue
+            self._probe(peer, now, transitions)
+        return transitions
+
+    def _probe(self, peer: _Peer, now: float,
+               transitions: list[dict]) -> None:
+        peer.probes += 1
+        previous = peer.state
+        try:
+            status = peer.probe()
+            if not isinstance(status, Mapping):
+                raise StoreError(
+                    f"probe for {peer.peer_id!r} returned "
+                    f"{type(status).__name__}, not a status mapping")
+        except Exception as exc:
+            peer.misses += 1
+            peer.last_error = repr(exc)
+            if peer.misses >= self.dead_after:
+                peer.state = DEAD
+            elif peer.misses >= self.suspect_after:
+                peer.state = SUSPECT
+        else:
+            peer.misses = 0
+            peer.state = ALIVE
+            peer.last_status = dict(status)
+            peer.last_error = None
+            peer.last_ok_at = now
+        stretch = 1.0
+        if self.jitter > 0.0:
+            stretch += self._rng.uniform(0.0, self.jitter)
+        peer.next_due = now + self.probe_interval * stretch
+        if peer.state != previous:
+            event = {"peer": peer.peer_id, "from": previous,
+                     "to": peer.state, "misses": peer.misses, "at": now}
+            self.events.append(event)
+            transitions.append(event)
+
+    # -- state ---------------------------------------------------------
+    def _peer(self, peer_id: str) -> _Peer:
+        try:
+            return self._peers[str(peer_id)]
+        except KeyError:
+            raise StoreError(
+                f"unknown peer {peer_id!r}; known: "
+                f"{self.peer_ids()}") from None
+
+    def state(self, peer_id: str) -> str:
+        return self._peer(peer_id).state
+
+    def status(self, peer_id: str) -> dict | None:
+        """The peer's last *successful* probe payload (``None`` before
+        the first success) — stale by at most the suspicion window,
+        which is exactly why election ranks re-read live positions
+        where they can."""
+        return self._peer(peer_id).last_status
+
+    def healthy(self, peer_id: str) -> bool:
+        return self._peer(peer_id).state == ALIVE
+
+    def gossip(self) -> dict:
+        """The suspicion table in wire form — merged into the ``status``
+        op's response (see :class:`~repro.server.StoreServer`) so any
+        client can ask one node what it believes about the others."""
+        suspicion = {}
+        for peer in self._peers.values():
+            status = peer.last_status or {}
+            suspicion[peer.peer_id] = {
+                "state": peer.state,
+                "misses": peer.misses,
+                "probes": peer.probes,
+                "role": status.get("role"),
+                "epoch": status.get("epoch"),
+                "behind_bytes": status.get("behind_bytes"),
+            }
+        return {"probe_interval": self.probe_interval,
+                "suspect_after": self.suspect_after,
+                "dead_after": self.dead_after,
+                "suspicion": suspicion}
+
+    def __repr__(self) -> str:
+        states = {p.peer_id: p.state for p in self._peers.values()}
+        return f"HealthMonitor({states})"
+
+
+# ----------------------------------------------------------------------
+# leader election
+# ----------------------------------------------------------------------
+def election_rank(status: Mapping, candidate_id: str
+                  ) -> tuple[str, int, str]:
+    """The deterministic election key: ``(segment, offset, id)``.
+
+    Replicas of one log consume identical prefixes, so the cursor
+    position orders candidates by how caught up they are (segment
+    names sort lexicographically by design; the offset orders within
+    a segment).  The id is the total tie-break — every coordinator
+    computes the same winner from the same statuses."""
+    position = status.get("position") or {}
+    return (str(position.get("segment") or ""),
+            int(position.get("offset") or 0),
+            str(candidate_id))
+
+
+class Coordinator:
+    """One replica's seat in the autonomous failover loop.
+
+    Each :meth:`step`:
+
+    1. ticks the shared :class:`HealthMonitor` (probes fire on the
+       injected clock's schedule);
+    2. keeps the local replica tailing (transient sync failures are
+       swallowed — they only make this candidate's rank staler);
+    3. if the log's epoch advanced past the last one this coordinator
+       observed, some election already resolved: re-pin to the new
+       primary (``repinned``) and re-target the monitor's view of who
+       the primary is;
+    4. if the monitor says the primary is ``dead``, run the election:
+       rank every non-dead, non-promoted candidate (self via a live
+       status; peers via their monitored statuses) by
+       :func:`election_rank` — the winner promotes, everyone else
+       defers (``deferred``) and waits for the stamp to show up in
+       the tail.
+
+    Losing the promote race (:class:`EpochFenced`) is a normal
+    outcome, not an error: the stamp that beat ours is the truth, the
+    replica already rolled its promoted mark back, and the next step
+    re-pins.  A deferred-to winner that dies before stamping is
+    declared dead by the monitor after ``dead_after`` more misses and
+    drops out of the next round's candidate set — detection, election
+    and promotion all complete within a bounded number of ticks.
+    """
+
+    def __init__(self, replica_id: str, replica: ReplicaEngine,
+                 monitor: HealthMonitor, primary_id: str = "primary",
+                 promote_timeout: float = 5.0, sync: bool = False,
+                 segment_records: int | None = None,
+                 segment_bytes: int | None = None,
+                 sync_on_step: bool = True,
+                 on_promoted: Callable[[Any], None] | None = None):
+        self.replica_id = str(replica_id)
+        self.replica = replica
+        self.monitor = monitor
+        self.primary_id = str(primary_id)
+        self.promote_timeout = promote_timeout
+        self.sync = sync
+        self.segment_records = segment_records
+        self.segment_bytes = segment_bytes
+        self.sync_on_step = sync_on_step
+        self.on_promoted = on_promoted
+        self.role = "follower"
+        self.engine = None  # the promoted StoreEngine once primary
+        self.elections = 0
+        self.events: list[dict] = []
+        self._baseline_epoch = (replica.engine.epoch
+                                if replica.ready else 0)
+
+    # -- the loop ------------------------------------------------------
+    def step(self) -> dict | None:
+        """One supervision round; returns the event it caused (or
+        ``None`` for an uneventful round)."""
+        self.monitor.tick()
+        if self.role == "primary":
+            return None
+        if self.sync_on_step:
+            self._sync_quietly()
+        event = self._maybe_repin()
+        if event is not None:
+            return event
+        primary_state = self.monitor.state(self.primary_id)
+        if primary_state == ALIVE:
+            status = self.monitor.status(self.primary_id) or {}
+            self._baseline_epoch = max(self._baseline_epoch,
+                                       int(status.get("epoch") or 0))
+            return None
+        if primary_state == SUSPECT:
+            return None  # suspicion alone never elects
+        return self._elect()
+
+    def _sync_quietly(self) -> None:
+        try:
+            self.replica.sync()
+        except (StoreError, OSError):
+            # EpochFenced is a StoreError: a pinned follower crossing a
+            # stamp, or transient tail trouble — either way the rank
+            # just goes stale; the election logic reads epochs itself.
+            pass
+
+    def _event(self, action: str, **fields: Any) -> dict:
+        event = {"action": action, "replica_id": self.replica_id,
+                 **fields}
+        self.events.append(event)
+        return event
+
+    # -- epoch re-pinning ----------------------------------------------
+    def _maybe_repin(self) -> dict | None:
+        """When the log's epoch advanced past the last one we observed,
+        an election already resolved — adopt its outcome."""
+        if not self.replica.ready:
+            return None
+        epoch = self.replica.engine.epoch
+        if epoch <= self._baseline_epoch:
+            return None
+        self._baseline_epoch = epoch
+        winner = self._find_promoted_peer()
+        if winner is not None:
+            self.primary_id = winner
+        return self._event("repinned", epoch=epoch,
+                           primary=self.primary_id)
+
+    def _find_promoted_peer(self) -> str | None:
+        best: tuple[int, str] | None = None
+        for peer_id in self.monitor.peer_ids():
+            if self.monitor.state(peer_id) == DEAD:
+                continue
+            status = self.monitor.status(peer_id) or {}
+            if status.get("promoted") or status.get("role") == "primary":
+                key = (int(status.get("epoch") or 0), peer_id)
+                if best is None or key > best:
+                    best = key
+        return best[1] if best is not None else None
+
+    # -- the election --------------------------------------------------
+    def _elect(self) -> dict:
+        self.elections += 1
+        candidates: dict[str, tuple[str, int, str]] = {}
+        if self.replica.ready and not self.replica.promoted:
+            candidates[self.replica_id] = election_rank(
+                self.replica.status(), self.replica_id)
+        for peer_id in self.monitor.peer_ids():
+            if peer_id == self.primary_id or peer_id == self.replica_id:
+                continue
+            if self.monitor.state(peer_id) == DEAD:
+                continue
+            status = self.monitor.status(peer_id)
+            if status is None or not status.get("ready", True):
+                continue
+            if status.get("promoted") or status.get("role") == "primary":
+                # Already the new primary; the repin path adopts it.
+                continue
+            if status.get("role") != "replica":
+                continue
+            candidates[peer_id] = election_rank(status, peer_id)
+        if not candidates:
+            return self._event("no-candidates",
+                               primary=self.primary_id)
+        winner = max(candidates.values())[2]
+        if winner != self.replica_id:
+            return self._event("deferred", winner=winner,
+                               rank=candidates[self.replica_id]
+                               if self.replica_id in candidates
+                               else None)
+        return self._promote_self(candidates)
+
+    def _promote_self(self, candidates: Mapping) -> dict:
+        # Last look before stamping: the tail may already carry a
+        # winner's stamp (promote()'s own race guard still backstops
+        # the narrower window after this check).
+        self._sync_quietly()
+        repin = self._maybe_repin()
+        if repin is not None:
+            return repin
+        try:
+            engine = promote(self.replica, timeout=self.promote_timeout,
+                             sync=self.sync,
+                             segment_records=self.segment_records,
+                             segment_bytes=self.segment_bytes)
+        except EpochFenced as exc:
+            # Raced and lost: the stamp that beat ours is the truth;
+            # the replica resumed following, the next step re-pins.
+            return self._event("election-lost", held=exc.held,
+                               current=exc.current)
+        except StoreError as exc:
+            # A live tail (the "dead" primary is writing) or a replica
+            # that cannot serve yet: refuse, keep following.
+            return self._event("aborted", reason=str(exc))
+        self.role = "primary"
+        self.engine = engine
+        self._baseline_epoch = engine.epoch
+        if self.on_promoted is not None:
+            self.on_promoted(engine)
+        return self._event("promoted", epoch=engine.epoch,
+                           candidates={cid: list(rank) for cid, rank
+                                       in candidates.items()})
+
+    def describe(self) -> dict:
+        return {"replica_id": self.replica_id, "role": self.role,
+                "primary_id": self.primary_id,
+                "epoch": (self.replica.engine.epoch
+                          if self.replica.ready else 0),
+                "elections": self.elections,
+                "events": len(self.events)}
+
+    def __repr__(self) -> str:
+        return (f"Coordinator({self.replica_id}, role={self.role}, "
+                f"primary={self.primary_id})")
+
+
+# ----------------------------------------------------------------------
+# fan-out reads
+# ----------------------------------------------------------------------
+class ReadBalancer:
+    """Spread ``read``/``read_at`` across N replicas, within budgets.
+
+    Parameters
+    ----------
+    replicas:
+        ``{replica_id: (host, port)}`` — ids must match the monitor's
+        peer ids when a monitor is supplied.
+    primary:
+        The primary's address — the first fallback rung (and
+        re-targetable after a failover via :meth:`set_primary`).
+    staleness_budget:
+        Per-replica freshness bound in WAL bytes: an int applies to
+        every replica, a mapping sets per-replica budgets (missing ids
+        are unbounded), ``None`` accepts any lag.  A replica over its
+        budget leaves the rotation until it catches back up.
+    max_staleness:
+        The *hard* bound used by the last degradation rung; ``None``
+        means any reachable replica may serve it.
+    monitor:
+        Anything with ``state(peer_id) -> str`` (a
+        :class:`HealthMonitor`); replicas not reported ``alive`` are
+        ejected from the rotation.
+    seed:
+        Seeds the rotation's starting point, keeping fan-out spread
+        deterministic for tests.
+    refresh_every:
+        How many reads a cached ``behind_bytes`` measurement may
+        serve before the next read re-asks ``status`` (1 = every
+        read).
+
+    The degradation ladder, in order: healthy in-budget replicas
+    (rotation) → the primary → any reachable replica within
+    ``max_staleness``.  Only when every rung fails does the last
+    error surface.  Counters (:attr:`reads`, :attr:`fallbacks`,
+    :attr:`ejections`) expose where traffic actually went.
+    """
+
+    def __init__(self, replicas: Mapping[str, Sequence],
+                 primary: Sequence | None = None, branch: str = "main",
+                 staleness_budget: int | Mapping[str, int] | None = None,
+                 max_staleness: int | None = None,
+                 monitor: Any = None, seed: int = 0,
+                 timeout: float = 5.0, refresh_every: int = 8):
+        self._replicas = {
+            str(rid): (str(addr[0]), int(addr[1]))
+            for rid, addr in dict(replicas).items()}
+        if not self._replicas:
+            raise StoreError("read balancer needs at least one replica")
+        self._primary = (None if primary is None
+                         else (str(primary[0]), int(primary[1])))
+        self.branch = branch
+        self.staleness_budget = staleness_budget
+        self.max_staleness = max_staleness
+        self.monitor = monitor
+        self.timeout = timeout
+        self.refresh_every = max(1, int(refresh_every))
+        self._clients: dict[str, StoreClient] = {}
+        self._behind: dict[str, int | None] = {}
+        self._reads_since_refresh: dict[str, int] = {}
+        self._cursor = Random(seed).randrange(len(self._replicas))
+        self.reads: dict[str, int] = {rid: 0 for rid in self._replicas}
+        self.fallbacks = {"primary": 0, "stale": 0}
+        self.ejections = 0
+
+    # -- membership ----------------------------------------------------
+    def add_replica(self, replica_id: str, address: Sequence) -> None:
+        rid = str(replica_id)
+        self._replicas[rid] = (str(address[0]), int(address[1]))
+        self.reads.setdefault(rid, 0)
+
+    def set_primary(self, address: Sequence) -> None:
+        self._primary = (str(address[0]), int(address[1]))
+
+    # -- plumbing ------------------------------------------------------
+    def _budget(self, replica_id: str) -> int | None:
+        budget = self.staleness_budget
+        if budget is None:
+            return None
+        if isinstance(budget, Mapping):
+            value = budget.get(replica_id)
+            return None if value is None else int(value)
+        return int(budget)
+
+    def _rotation(self) -> list[str]:
+        ids = sorted(self._replicas)
+        start = self._cursor % len(ids)
+        self._cursor += 1
+        return ids[start:] + ids[:start]
+
+    def _drop(self, replica_id: str) -> None:
+        client = self._clients.pop(replica_id, None)
+        if client is not None:
+            client.close()
+            self.ejections += 1
+        self._behind.pop(replica_id, None)
+        self._reads_since_refresh.pop(replica_id, None)
+
+    def _client_for(self, replica_id: str) -> StoreClient:
+        client = self._clients.get(replica_id)
+        if client is not None and client.is_stale():
+            self._drop(replica_id)
+            client = None
+        if client is None:
+            host, port = self._replicas[replica_id]
+            client = StoreClient(host, port, branch=self.branch,
+                                 timeout=self.timeout)
+            self._clients[replica_id] = client
+            self._reads_since_refresh[replica_id] = self.refresh_every
+        return client
+
+    def _behind_bytes(self, replica_id: str,
+                      client: StoreClient) -> int | None:
+        """The replica's lag, re-measured every ``refresh_every``
+        reads (a fresh dial always measures)."""
+        served = self._reads_since_refresh.get(replica_id,
+                                               self.refresh_every)
+        if served >= self.refresh_every:
+            status = client.status()
+            self._behind[replica_id] = status.get("behind_bytes")
+            self._reads_since_refresh[replica_id] = 0
+        return self._behind.get(replica_id)
+
+    def _suspect(self, replica_id: str) -> bool:
+        if self.monitor is None:
+            return False
+        try:
+            return self.monitor.state(replica_id) != ALIVE
+        except StoreError:
+            return False  # not a monitored peer: trust it
+
+    # -- reads ---------------------------------------------------------
+    def read(self, relation: str, branch: str | None = None,
+             at: str | None = None) -> list[dict]:
+        rows, _ = self.read_at(relation, branch=branch, at=at)
+        return rows
+
+    def read_at(self, relation: str, branch: str | None = None,
+                at: str | None = None) -> tuple[list[dict], str]:
+        """Rows plus the version id that served them, from the first
+        rung of the degradation ladder that answers."""
+        last: BaseException | None = None
+        rotation = self._rotation()
+        # Rung 1: healthy replicas within their budgets.
+        for rid in rotation:
+            if self._suspect(rid):
+                continue
+            try:
+                client = self._client_for(rid)
+                behind = self._behind_bytes(rid, client)
+                budget = self._budget(rid)
+                if budget is not None and (behind is None
+                                           or behind > budget):
+                    continue
+                result = client.read_at(relation, at=at, branch=branch)
+            except Exception as exc:
+                if not _read_retryable(exc):
+                    raise
+                self._drop(rid)
+                last = exc
+                continue
+            self.reads[rid] += 1
+            self._reads_since_refresh[rid] = (
+                self._reads_since_refresh.get(rid, 0) + 1)
+            return result
+        # Rung 2: the primary.
+        if self._primary is not None:
+            try:
+                with StoreClient(*self._primary, branch=self.branch,
+                                 timeout=self.timeout) as client:
+                    result = client.read_at(relation, at=at,
+                                            branch=branch)
+                self.fallbacks["primary"] += 1
+                return result
+            except Exception as exc:
+                if not _read_retryable(exc):
+                    raise
+                last = exc
+        # Rung 3: any reachable replica within the hard bound,
+        # suspicion notwithstanding — stale-within-budget beats down.
+        for rid in rotation:
+            try:
+                client = self._client_for(rid)
+                status = client.status()
+                behind = status.get("behind_bytes")
+                if (self.max_staleness is not None
+                        and (behind is None
+                             or behind > self.max_staleness)):
+                    continue
+                result = client.read_at(relation, at=at, branch=branch)
+            except Exception as exc:
+                if not _read_retryable(exc):
+                    raise
+                self._drop(rid)
+                last = exc
+                continue
+            self.reads[rid] += 1
+            self.fallbacks["stale"] += 1
+            return result
+        raise last if last is not None else StoreError(
+            f"no replica within budget could serve {relation!r} and "
+            "no primary is reachable")
+
+    # -- lifecycle -----------------------------------------------------
+    def close(self) -> None:
+        for rid in list(self._clients):
+            client = self._clients.pop(rid)
+            client.close()
+
+    def __enter__(self) -> "ReadBalancer":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (f"ReadBalancer({sorted(self._replicas)}, "
+                f"reads={self.reads}, fallbacks={self.fallbacks})")
+
+
+def _read_retryable(exc: BaseException) -> bool:
+    """Whether another peer might answer a read that failed with
+    ``exc`` — transport trouble yes, semantic errors (a rejected
+    commit crossing the bridge, a malformed request) no.  A plain
+    ``StoreError`` stays retryable: a lagging replica reports exactly
+    that for a version it has not applied yet, and a fresher peer can
+    genuinely answer it."""
+    if isinstance(exc, EpochFenced):
+        return True  # a demoted peer: another rung will answer
+    if isinstance(exc, (CommitRejected, TransactionConflict)):
+        return False
+    return isinstance(exc,
+                      (OSError, ProtocolError, ServerOverloaded,
+                       StoreError))

@@ -299,12 +299,11 @@ class FailoverClient:
             except Exception as exc:
                 last = exc
                 continue
-            info = client.server_info or {}
-            if info.get("role") != "primary":
+            if client.role != "primary":
                 client.close()
                 last = StoreError(f"{addr} is a replica, not a primary")
                 continue
-            epoch = int(info.get("epoch", 0))
+            epoch = client.server_epoch
             if epoch < self.epoch:
                 client.close()
                 last = EpochFenced(
@@ -442,8 +441,7 @@ class FailoverClient:
             try:
                 client = StoreClient(*addr, branch=self.branch,
                                      timeout=self.timeout)
-                info = client.server_info or {}
-                if info.get("role") != "replica":
+                if client.role != "replica":
                     continue
                 status = client.status()
                 behind = status.get("behind_bytes")

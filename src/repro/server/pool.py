@@ -67,7 +67,16 @@ class ClientPool:
             self._discard(slot)
             self._evicted += 1
             slot = None
-        client = slot if slot is not None else self._dial()
+        if slot is None:
+            try:
+                slot = self._dial()
+            except BaseException:
+                # A failed dial must not consume the slot, or a down
+                # server would permanently shrink the pool and
+                # eventually deadlock every borrower.
+                self._slots.put(None)
+                raise
+        client = slot
         try:
             yield client
         except (ProtocolError, OSError):

@@ -41,7 +41,12 @@ message is one JSON object.  Requests carry a client-chosen ``id``
     ``branch``, ``at``.
 ``status``
     Server-side statistics: connection and commit-queue gauges on a
-    primary, the staleness/lag report on a replica.
+    primary, the staleness/lag report on a replica.  A server wired
+    into a cluster (``StoreServer(cluster=...)``) additionally gossips
+    its health view: a ``cluster`` object whose ``suspicion`` table
+    maps peer ids to ``{state, misses, probes, role, epoch,
+    behind_bytes}``, with ``state`` one of :data:`SUSPICION_STATES` —
+    so any client can ask one node what it believes about the others.
 
 Responses are ``{"id": ..., "ok": true, ...payload}`` on success and
 ``{"id": ..., "ok": false, "error": {"code", "message", ...}}`` on
@@ -66,6 +71,11 @@ from repro.errors import (
 )
 
 PROTOCOL_VERSION = 1
+
+#: The failure-detector suspicion ladder, least to most suspicious;
+#: the ``cluster`` gossip in ``status`` responses uses exactly these
+#: (see :class:`repro.server.cluster.HealthMonitor`).
+SUSPICION_STATES = ("alive", "suspect", "dead")
 
 #: Every operation a client may request, and which of them mutate.
 OPS = frozenset(

@@ -31,7 +31,7 @@ import threading
 import time
 from pathlib import Path
 
-from repro.errors import EpochFenced, StoreError
+from repro.errors import DeadlineExceeded, EpochFenced, StoreError
 from repro.store.engine import StoreEngine
 from repro.store.wal import WalCursor, WriteAheadLog
 
@@ -153,7 +153,8 @@ class ReplicaEngine:
     def catch_up(self, timeout: float = 5.0,
                  poll_interval: float = 0.01,
                  min_interval: float = 0.0005,
-                 backoff: float = 2.0) -> int:
+                 backoff: float = 2.0,
+                 deadline: float | None = None) -> int:
         """Sync until the cursor reports nothing left behind (or the
         timeout lapses — a live primary can outrun a poll, so callers
         needing a hard guarantee stop the writers first).  Returns the
@@ -164,20 +165,52 @@ class ReplicaEngine:
         progress resets it — so a busy tail is drained at full speed
         while a quiet primary costs a handful of stats per
         ``poll_interval``, not a busy loop.
+
+        ``deadline`` is the *hard* form of ``timeout`` (and overrides
+        it): every backoff sleep is capped against the remaining
+        budget, transient ``OSError``\\ s from the poll (a flaky disk,
+        an injected fault) are retried inside the budget instead of
+        aborting the catch-up, and when the budget lapses while still
+        behind, :class:`~repro.errors.DeadlineExceeded` is raised with
+        the last transient failure chained as ``__cause__`` — exactly
+        the :meth:`RetryPolicy.call <repro.server.failover.RetryPolicy
+        .call>` contract, so supervision loops polling a dead or torn
+        primary fail loudly and boundedly instead of backing off past
+        any bound and returning as if nothing were wrong.
         """
-        deadline = time.monotonic() + timeout
+        bound = timeout if deadline is None else deadline
+        deadline_at = time.monotonic() + bound
         interval = max(0.0, min(min_interval, poll_interval))
-        applied = self.sync()
-        while self.behind_bytes() > 0 and time.monotonic() < deadline:
-            got = self.sync()
-            applied += got
+        applied = 0
+        last_failure: OSError | None = None
+        while True:
+            got = 0
+            try:
+                got = self.sync()
+                applied += got
+                last_failure = None
+            except OSError as exc:
+                if deadline is None:
+                    raise  # soft mode keeps the historical contract
+                last_failure = exc
+            if last_failure is None and self.behind_bytes() == 0:
+                return applied
+            now = time.monotonic()
+            if now >= deadline_at:
+                if deadline is not None:
+                    raise DeadlineExceeded(
+                        f"replica still {self.behind_bytes()} bytes "
+                        f"behind when the {bound}s catch-up deadline "
+                        "lapsed (dead or torn primary?)"
+                    ) from last_failure
+                return applied
             if got:
                 interval = max(0.0, min(min_interval, poll_interval))
             else:
-                time.sleep(interval)
+                time.sleep(min(interval,
+                               max(0.0, deadline_at - now)))
                 interval = min(poll_interval,
                                max(interval, min_interval) * backoff)
-        return applied
 
     def resync(self) -> int:
         """Re-bootstrap from the newest checkpoint after the tail was

@@ -88,6 +88,11 @@ class StoreServer:
         Seconds a connection may sit between frames before the server
         closes it (``None``, the default, never does) — abandoned
         connections otherwise pin the bounded connection cap forever.
+    cluster:
+        An optional health view — anything with a ``gossip() -> dict``
+        (a :class:`~repro.server.cluster.HealthMonitor`); when set,
+        ``status`` responses carry it as their ``cluster`` field, so
+        any client can ask one node what it believes about the others.
     """
 
     def __init__(self, engine: StoreEngine | ReplicaEngine,
@@ -96,8 +101,10 @@ class StoreServer:
                  max_inflight_commits: int = 8,
                  sync_interval: float = 0.02,
                  max_frame_bytes: int = MAX_FRAME_BYTES,
-                 idle_timeout: float | None = None):
+                 idle_timeout: float | None = None,
+                 cluster: Any = None):
         self.engine = engine
+        self.cluster = cluster
         self.read_only = isinstance(engine, ReplicaEngine)
         self.service = None if self.read_only else SessionService(engine)
         self.host = host
@@ -376,11 +383,14 @@ class StoreServer:
         return protocol.ok_response(rid, pong=True)
 
     async def _op_status(self, conn, rid, message) -> dict:
+        gossip = ({} if self.cluster is None
+                  else {"cluster": self.cluster.gossip()})
         if self.read_only:
-            return protocol.ok_response(rid, **self.engine.status())
+            return protocol.ok_response(rid, **self.engine.status(),
+                                        **gossip)
         summary = self.engine.describe()
         return protocol.ok_response(
-            rid, role="primary",
+            rid, **gossip, role="primary",
             epoch=summary.get("epoch", 0),
             connections=self._connections,
             max_connections=self.max_connections,

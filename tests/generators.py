@@ -11,10 +11,25 @@ reproducible from its seed.
 
 from __future__ import annotations
 
+import os
 import random
 
 from repro.relational import FD, MVD, JoinDependency, Relation
 from repro.relational.algebra import join_all_naive, project_naive
+
+
+def chaos_seeds(count: int, base: int | None = None) -> list[int]:
+    """Seeds for a chaos sweep: ``base + i`` for ``i < count``.
+
+    ``base`` defaults to the ``REPRO_CHAOS_SEED`` environment variable
+    (0 when unset), which the CI chaos lane forwards from the workflow
+    env and prints in its step name — so a failing nightly seed is
+    replayed locally verbatim by exporting the same value.  Assertion
+    messages in the sweeps carry the individual seed, so either way
+    the failing case is one env var away."""
+    if base is None:
+        base = int(os.environ.get("REPRO_CHAOS_SEED", "0") or "0")
+    return [base + i for i in range(count)]
 
 
 def random_family(rng: random.Random, points: list[str]) -> list[frozenset[str]]:

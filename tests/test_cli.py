@@ -280,3 +280,83 @@ class TestCheckpointGc:
         capsys.readouterr()
         assert cli.main(["gc", str(wal)]) == 0
         assert "nothing to prune" in capsys.readouterr().out
+
+
+@pytest.fixture
+def committed_wal(tmp_path):
+    """A closed primary WAL with one committed write."""
+    from repro.store import SessionService, StoreEngine
+    from repro.workloads import manager_stream, serving_state
+
+    schema, db, constraints = serving_state(8)
+    wal = tmp_path / "primary.jsonl"
+    engine = StoreEngine(db, constraints, wal=wal)
+    session = SessionService(engine).session()
+    session.run([("insert", "manager", manager_stream(8, 1)[0])])
+    engine.close()
+    return wal
+
+
+class TestReplicaLagBound:
+    def test_within_bound_exits_zero(self, committed_wal, capsys):
+        assert cli.main(["replica", str(committed_wal), "--once",
+                         "--max-lag-bytes", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "lag_ok: True" in out
+        assert "max_lag_bytes: 0" in out
+
+    def test_over_bound_exits_nonzero(self, committed_wal, capsys):
+        with open(committed_wal, "ab") as f:
+            f.write(b'{"type": "commit", "ver')  # a torn, growing tail
+        assert cli.main(["replica", str(committed_wal), "--once",
+                         "--timeout", "0.3",
+                         "--max-lag-bytes", "0"]) == 1
+        out = capsys.readouterr().out
+        assert "lag_ok: False" in out
+
+    def test_no_bound_keeps_the_old_contract(self, committed_wal,
+                                             capsys):
+        with open(committed_wal, "ab") as f:
+            f.write(b'{"type": "commit", "ver')
+        assert cli.main(["replica", str(committed_wal), "--once",
+                         "--timeout", "0.3"]) == 0
+        assert "max_lag_bytes" not in capsys.readouterr().out
+
+
+class TestSupervise:
+    def test_once_against_a_live_primary(self, committed_wal, capsys):
+        import json as _json
+
+        from repro.server import ReplicaEngine, StoreServer
+
+        replica_like = ReplicaEngine(committed_wal)
+        replica_like.sync()
+        with StoreServer(replica_like, sync_interval=0) as server:
+            host, port = server.address
+            assert cli.main(["supervise", str(committed_wal),
+                             "--id", "r1",
+                             "--primary", f"{host}:{port}",
+                             "--once", "--json"]) == 0
+        summary = _json.loads(capsys.readouterr().out)
+        assert summary["role"] == "follower"
+        assert summary["replica_id"] == "r1"
+        assert summary["primary_state"] == "alive"
+        assert summary["ticks"] == 1
+
+    def test_max_ticks_bounds_a_dead_primary_loop(self, committed_wal,
+                                                  capsys):
+        assert cli.main(["supervise", str(committed_wal),
+                         "--id", "r1",
+                         "--primary", "127.0.0.1:1",
+                         "--interval", "0.01",
+                         "--max-ticks", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "role: follower" in out
+        assert "primary_state: suspect" in out
+        assert "ticks: 2" in out
+
+    def test_malformed_peer_spec_is_rejected(self, committed_wal):
+        with pytest.raises(SystemExit, match="ID=HOST:PORT"):
+            cli.main(["supervise", str(committed_wal), "--id", "r1",
+                      "--primary", "127.0.0.1:1",
+                      "--peer", "oops", "--once"])

@@ -25,6 +25,8 @@ from repro.server import StoreClient, StoreServer
 from repro.store import SessionService, StoreEngine, WriteAheadLog
 from repro.workloads import manager_stream, serving_state
 
+from generators import chaos_seeds
+
 
 def _mk_engine(n=30, **kwargs):
     schema, db, constraints = serving_state(n)
@@ -300,6 +302,72 @@ class TestChaosProxy:
                 assert client.ping()  # op inspection spares non-commits
                 assert client.status()["role"] == "primary"
 
+    def test_duplicated_frame_desyncs_the_stream_detectably(
+            self, server):
+        """A duplicated request produces a duplicate response the
+        client never asked for — the next request sees the stale id
+        and fails typed, never silently."""
+        plan = FaultPlan(seed=0, trips={"net.duplicate": [0]})
+        with ChaosProxy(server.address, plan) as proxy:
+            with StoreClient(*proxy.address, timeout=1.0,
+                             hello=False) as client:
+                assert client.ping()  # first response matches
+                with pytest.raises(ProtocolError):
+                    client.ping()  # the duplicate's stale id surfaces
+        assert plan.describe()["fired"][0]["site"] == "net.duplicate"
+
+    def test_reordered_frames_swap_but_none_are_lost(self, server):
+        """The held frame rides behind the next one: two pipelined
+        pings come back answered in swapped order, both answered."""
+        plan = FaultPlan(seed=0, trips={"net.reorder": [0]})
+        with ChaosProxy(server.address, plan) as proxy:
+            with StoreClient(*proxy.address, timeout=2.0,
+                             hello=False) as client:
+                client.send_message({"id": 1, "op": "ping"})
+                client.send_message({"id": 2, "op": "ping"})
+                first = client.recv_message()
+                second = client.recv_message()
+        assert [first["id"], second["id"]] == [2, 1], plan.describe()
+        assert first["pong"] and second["pong"]
+
+    def test_partition_starves_probes_then_heals(self, server):
+        """A partitioned link eats frames without closing — exactly
+        what a heartbeat prober sees — and traffic flows again after
+        heal()."""
+        with ChaosProxy(server.address, FaultPlan(seed=0)) as proxy:
+            with StoreClient(*proxy.address, timeout=0.3,
+                             hello=False) as client:
+                proxy.partition()
+                with pytest.raises((ProtocolError, OSError)):
+                    client.ping()
+                proxy.heal()
+                assert client.ping()
+
+    def test_partition_trip_fires_from_the_plan(self, server):
+        plan = FaultPlan(seed=0, trips={"net.partition": {0: 0.2}})
+        with ChaosProxy(server.address, plan) as proxy:
+            with StoreClient(*proxy.address, timeout=0.4,
+                             hello=False) as client:
+                start = time.monotonic()
+                with pytest.raises((ProtocolError, OSError)):
+                    client.ping()  # this frame starts (and feeds) it
+                while time.monotonic() - start < 0.25:
+                    time.sleep(0.01)  # wait out the timed partition
+                assert client.ping()
+        fired = plan.describe()["fired"]
+        assert any(e["site"] == "net.partition" for e in fired)
+
+    def test_pause_delays_frames_without_losing_any(self, server):
+        """A paused relay is a SIGSTOP'd peer: the frame arrives late,
+        not never."""
+        with ChaosProxy(server.address, FaultPlan(seed=0)) as proxy:
+            with StoreClient(*proxy.address, timeout=2.0,
+                             hello=False) as client:
+                proxy.pause(0.3)
+                start = time.monotonic()
+                assert client.ping()
+                assert time.monotonic() - start >= 0.25
+
 
 @pytest.mark.slow
 class TestChaosSweep:
@@ -314,7 +382,7 @@ class TestChaosSweep:
         rows = manager_stream(60, 30)
         with StoreServer(engine) as server:
             acked = []
-            for seed in range(25):
+            for i, seed in enumerate(chaos_seeds(25)):
                 plan = FaultPlan(seed=seed, rates={
                     "net.drop": 0.08, "net.disconnect": 0.05,
                     "net.commit_disconnect": 0.10})
@@ -324,8 +392,8 @@ class TestChaosSweep:
                         client = StoreClient(*proxy.address, timeout=0.5)
                         result = client.run(
                             [{"op": "insert", "relation": "manager",
-                              "row": rows[seed]}])
-                        acked.append((seed, rows[seed],
+                              "row": rows[i]}])
+                        acked.append((seed, rows[i],
                                       result["version"]))
                     except (ProtocolError, OSError):
                         pass  # typed transport failure: fine

@@ -317,3 +317,78 @@ class TestStalenessReport:
         replica = ReplicaEngine(tmp_path / "wal")
         with pytest.raises(StoreError, match="not bootstrapped"):
             replica.read("dept")
+
+
+class TestCatchUpDeadline:
+    """The hard form of catch_up: a supervision loop polling a dead or
+    torn primary must fail loudly and boundedly (DeadlineExceeded with
+    the transient failure chained), never back off past any bound."""
+
+    def _torn_log(self, tmp_path, n=8):
+        schema, db, constraints = serving_state(n)
+        wal = tmp_path / "torn.jsonl"
+        engine = StoreEngine(db, constraints, wal=wal)
+        session = SessionService(engine).session()
+        session.run([("insert", "manager", manager_stream(n, 1)[0])])
+        engine.close()
+        with open(wal, "ab") as f:
+            f.write(b'{"type": "commit", "ver')  # forever half-written
+        return wal
+
+    def test_deadline_lapses_boundedly_on_a_torn_tail(self, tmp_path):
+        import time as _time
+
+        from repro.errors import DeadlineExceeded
+
+        replica = ReplicaEngine(self._torn_log(tmp_path))
+        start = _time.monotonic()
+        with pytest.raises(DeadlineExceeded, match="bytes behind"):
+            replica.catch_up(deadline=0.3)
+        elapsed = _time.monotonic() - start
+        assert elapsed < 2.0  # bounded, not unbounded backoff
+        assert replica.behind_bytes() > 0
+        assert replica.ready  # the durable prefix still applied
+
+    def test_deadline_overrides_timeout_and_sleeps_are_capped(
+            self, tmp_path):
+        import time as _time
+
+        from repro.errors import DeadlineExceeded
+
+        replica = ReplicaEngine(self._torn_log(tmp_path))
+        start = _time.monotonic()
+        with pytest.raises(DeadlineExceeded):
+            # timeout says 30s; the hard deadline must win, and the
+            # backoff sleeps must be clipped against what remains.
+            replica.catch_up(timeout=30.0, poll_interval=5.0,
+                             deadline=0.2)
+        assert _time.monotonic() - start < 1.5
+
+    def test_transient_oserror_is_retried_then_chained(self, tmp_path):
+        from repro.errors import DeadlineExceeded
+
+        schema, db, constraints = serving_state(8)
+        wal = tmp_path / "w.jsonl"
+        engine = StoreEngine(db, constraints, wal=wal)
+        engine.close()
+        replica = ReplicaEngine(wal)
+        replica.sync = lambda max_records=None: (_ for _ in ()).throw(
+            OSError("flaky disk"))
+        with pytest.raises(DeadlineExceeded) as caught:
+            replica.catch_up(deadline=0.2)
+        assert isinstance(caught.value.__cause__, OSError)
+        assert "flaky disk" in str(caught.value.__cause__)
+        del replica.sync  # the class method again
+        assert replica.catch_up(deadline=1.0) >= 0  # recovers cleanly
+
+    def test_soft_mode_keeps_the_historical_contract(self, tmp_path):
+        replica = ReplicaEngine(self._torn_log(tmp_path))
+        # No deadline: lapse quietly with the prefix applied ...
+        applied = replica.catch_up(timeout=0.2)
+        assert applied >= 2 and replica.behind_bytes() > 0
+        # ... and transient OSErrors propagate as before.
+        replica.sync = lambda max_records=None: (_ for _ in ()).throw(
+            OSError("flaky disk"))
+        with pytest.raises(OSError, match="flaky disk"):
+            replica.catch_up(timeout=0.2)
+        del replica.sync
