@@ -32,8 +32,9 @@ import sys
 # topology generation (a2), attribute closure (a3), the chase (a4), the
 # interned instance checks (a6-instance), the batched axiom sweeps over
 # the shared-interned extension (a7), the incremental update stream /
-# subbase-edit maintenance (a8), and the store's audited-commit
-# throughput + WAL replay (a9).
+# subbase-edit maintenance (a8), the store's audited-commit
+# throughput + WAL replay (a9), and the serving stack riding on them
+# (a10-a13) plus the instrumented commit path (a14).
 KERNEL_BENCH_PREFIXES = (
     "benchmarks/bench_a2_topology_generation.py::",
     "benchmarks/bench_a3_closure_vs_relational.py::",
@@ -46,6 +47,7 @@ KERNEL_BENCH_PREFIXES = (
     "benchmarks/bench_a11_server.py::",
     "benchmarks/bench_a12_failover.py::",
     "benchmarks/bench_a13_cluster.py::",
+    "benchmarks/bench_a14_obs.py::",
 )
 
 

@@ -21,6 +21,8 @@ Usage (after installation)::
     python -m repro.cli replay w.log --verify      # rebuild + audit from WAL
     python -m repro.cli checkpoint w.log           # append a checkpoint
     python -m repro.cli gc w.log                   # prune checkpointed segments
+    python -m repro.cli metrics :7071 --watch 2    # live telemetry snapshot
+    python -m repro.cli trace :7071 -n 5           # slowest recent traces
 
 Documents use the JSON format of :mod:`repro.io`; ``serve``/``log``/
 ``replay``/``checkpoint``/``gc`` drive the versioned store of
@@ -553,6 +555,124 @@ def _cmd_gc(args: argparse.Namespace) -> int:
     return 0
 
 
+def _fmt_seconds(value) -> str:
+    """A duration for humans: seconds, milliseconds, or microseconds,
+    whichever reads best."""
+    if value is None:
+        return "-"
+    value = float(value)
+    if value >= 1.0:
+        return f"{value:.2f}s"
+    if value >= 1e-3:
+        return f"{value * 1e3:.2f}ms"
+    return f"{value * 1e6:.0f}us"
+
+
+def _render_metrics(payload: dict) -> str:
+    """A ``metrics`` response as an aligned human-readable report."""
+    snapshot = payload.get("metrics", {})
+    lines: list[str] = []
+    for section in ("counters", "gauges"):
+        table = snapshot.get(section) or {}
+        if not table:
+            continue
+        lines.append(f"{section}:")
+        width = max(len(name) for name in table)
+        for name, value in sorted(table.items()):
+            shown = int(value) if float(value) == int(value) else value
+            lines.append(f"  {name:<{width}}  {shown}")
+    hists = snapshot.get("histograms") or {}
+    if hists:
+        lines.append("histograms:")
+        width = max(len(name) for name in hists)
+        lines.append(f"  {'':<{width}}  {'count':>7}  {'p50':>9}  "
+                     f"{'p95':>9}  {'p99':>9}  {'max':>9}")
+        for name, s in sorted(hists.items()):
+            lines.append(
+                f"  {name:<{width}}  {s.get('count', 0):>7}  "
+                f"{_fmt_seconds(s.get('p50')):>9}  "
+                f"{_fmt_seconds(s.get('p95')):>9}  "
+                f"{_fmt_seconds(s.get('p99')):>9}  "
+                f"{_fmt_seconds(s.get('max')):>9}")
+    slow = payload.get("slow_commits") or []
+    if slow:
+        lines.append(f"slow commits ({len(slow)}, newest last):")
+        for rec in slow[-5:]:
+            phases = ", ".join(
+                f"{name}={_fmt_seconds(value)}"
+                for name, value in sorted(rec.get("phases", {}).items()))
+            lines.append(f"  {rec.get('version')}  "
+                         f"total={_fmt_seconds(rec.get('total'))}  "
+                         f"groups={rec.get('group_count')}  [{phases}]")
+    return "\n".join(lines) if lines else "no metrics recorded yet"
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    """Fetch and render a server's observability snapshot; ``--watch``
+    polls forever (ctrl-C to stop)."""
+    import time
+
+    from repro.server import StoreClient
+
+    host, port = _parse_listen(args.address)
+    try:
+        while True:
+            with StoreClient(host, port) as client:
+                payload = client.metrics()
+            if args.json:
+                print(json.dumps(payload, indent=2, sort_keys=True))
+            else:
+                print(_render_metrics(payload))
+            if not args.watch:
+                return 0
+            time.sleep(args.watch)
+            print()
+    except (KeyboardInterrupt, BrokenPipeError):
+        return 0
+    except OSError as exc:
+        print(f"error: cannot reach {host}:{port}: {exc}", file=sys.stderr)
+        return 1
+
+
+def _print_span(span: dict, depth: int) -> None:
+    pad = "  " * depth
+    tags = span.get("tags") or {}
+    suffix = ""
+    if tags:
+        suffix = "  [" + " ".join(f"{k}={v}"
+                                  for k, v in sorted(tags.items())) + "]"
+    print(f"{pad}{span.get('name')}  "
+          f"{_fmt_seconds(span.get('duration'))}{suffix}")
+    for child in span.get("spans") or ():
+        _print_span(child, depth + 1)
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    """Fetch the server's slowest recent traces and render them as
+    indented span trees (``--json`` for the raw dicts)."""
+    from repro.server import StoreClient
+
+    host, port = _parse_listen(args.address)
+    try:
+        with StoreClient(host, port) as client:
+            payload = client.metrics(traces=args.n)
+    except BrokenPipeError:
+        return 0
+    except OSError as exc:
+        print(f"error: cannot reach {host}:{port}: {exc}", file=sys.stderr)
+        return 1
+    traces = payload.get("traces") or []
+    if args.json:
+        print(json.dumps(traces, indent=2, sort_keys=True))
+        return 0
+    if not traces:
+        print("no traces recorded yet")
+        return 0
+    for trace in traces:
+        _print_span(trace, 0)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -808,6 +928,30 @@ def build_parser() -> argparse.ArgumentParser:
     p_gc.add_argument("--json", action="store_true",
                       help="emit the gc summary as JSON")
     p_gc.set_defaults(func=_cmd_gc)
+
+    p_metrics = sub.add_parser(
+        "metrics",
+        help="a live server's observability snapshot (counters, "
+             "commit-phase histograms, slow commits)")
+    p_metrics.add_argument("address", metavar="HOST:PORT",
+                           help="a serving store (serve --listen or a "
+                                "replica)")
+    p_metrics.add_argument("--json", action="store_true",
+                           help="emit the raw snapshot as JSON")
+    p_metrics.add_argument("--watch", type=float, default=0.0,
+                           metavar="SECONDS",
+                           help="re-poll every SECONDS (ctrl-C to stop)")
+    p_metrics.set_defaults(func=_cmd_metrics)
+
+    p_trace = sub.add_parser(
+        "trace",
+        help="a live server's slowest recent traces as span trees")
+    p_trace.add_argument("address", metavar="HOST:PORT")
+    p_trace.add_argument("-n", type=int, default=5,
+                         help="how many traces to fetch (default 5)")
+    p_trace.add_argument("--json", action="store_true",
+                         help="emit the raw trace dicts as JSON")
+    p_trace.set_defaults(func=_cmd_trace)
 
     return parser
 

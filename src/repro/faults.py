@@ -42,6 +42,7 @@ from random import Random
 from typing import Any, Iterable, Mapping
 
 from repro.io import FRAME_HEADER, MAX_FRAME_BYTES, split_frames
+from repro.obs.trace import NULL_TRACER, Tracer
 from repro.store.wal import WriteAheadLog
 
 
@@ -88,11 +89,18 @@ class FaultPlan:
     index, payload), so a test can assert which faults actually
     happened and print the plan on failure.  :meth:`fire` is
     thread-safe — the proxy's pump threads share one plan.
+
+    Attach a :class:`~repro.obs.trace.Tracer` (constructor argument or
+    :attr:`tracer` assignment) and every firing is also stamped into
+    its timeline as a ``fault.<site>`` event — injected faults then
+    interleave, in wall-clock order, with the commit/election spans of
+    the system under test.
     """
 
     def __init__(self, seed: int = 0,
                  rates: Mapping[str, float] | None = None,
-                 trips: Mapping[str, Any] | None = None):
+                 trips: Mapping[str, Any] | None = None,
+                 tracer: Tracer | None = None):
         self.seed = seed
         self.rates = {site: float(rate)
                       for site, rate in (rates or {}).items()}
@@ -103,6 +111,7 @@ class FaultPlan:
         self._counts: dict[str, int] = defaultdict(int)
         self._lock = threading.Lock()
         self.events: list[dict] = []
+        self.tracer = tracer if tracer is not None else NULL_TRACER
 
     @staticmethod
     def _normalise(spec: Any) -> dict[int, Any]:
@@ -133,7 +142,10 @@ class FaultPlan:
                 payload = None
             event = {"site": site, "index": index, "payload": payload}
             self.events.append(event)
-            return event
+        self.tracer.event(f"fault.{site}",
+                          {"index": event["index"],
+                           "payload": event["payload"]})
+        return event
 
     def randrange(self, n: int) -> int:
         """A deterministic draw in ``[0, n)`` from the plan's RNG (cut

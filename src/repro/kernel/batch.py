@@ -30,9 +30,39 @@ decode.
 
 from __future__ import annotations
 
+import threading
 from collections.abc import Iterable, Mapping
 
 from repro.kernel.instance import AttrName, IdRow, InstanceKernel, join_id_rows
+
+# Module-level sweep counters.  The kernel never imports the serving
+# layers, so it cannot hold a reference to a metrics registry; instead
+# the counts accumulate here and the server samples them into its
+# registry snapshot (``kernel.sweep.*`` metrics).  One short lock per
+# CheckSet call, not per row — negligible against the sweep itself.
+_SWEEP_LOCK = threading.Lock()
+_SWEEP_COUNTS = {"runs": 0, "rechecks": 0, "groups_swept": 0,
+                 "dirty_groups": 0}
+
+
+def _count_sweep(key: str, n: int = 1) -> None:
+    with _SWEEP_LOCK:
+        _SWEEP_COUNTS[key] += n
+
+
+def sweep_counts() -> dict[str, int]:
+    """A snapshot of the process-wide :class:`CheckSet` sweep counters:
+    full ``run`` sweeps, incremental ``recheck`` passes, lhs-groups
+    walked by full sweeps, and dirty lhs-groups re-judged by rechecks."""
+    with _SWEEP_LOCK:
+        return dict(_SWEEP_COUNTS)
+
+
+def reset_sweep_counts() -> None:
+    """Zero the sweep counters (test isolation)."""
+    with _SWEEP_LOCK:
+        for key in _SWEEP_COUNTS:
+            _SWEEP_COUNTS[key] = 0
 
 
 def dirty_group_keys(idx_sets: Iterable[tuple[int, ...]],
@@ -162,6 +192,9 @@ class CheckSet:
         results: dict = {}
         recorded: dict = {} if record else None
         by_lhs = self._grouped_entries()
+        _count_sweep("runs")
+        if by_lhs:
+            _count_sweep("groups_swept", len(by_lhs))
         for lhs, entries in by_lhs.items():
             self._sweep_lhs_group(lhs, entries, witnesses, record)
             for key, _, _, ok, wit, vkeys in entries:
@@ -256,6 +289,10 @@ class CheckSet:
         rows = self.instance.rows
         by_lhs = self._grouped_entries()
         dirty_keys = dirty_group_keys(by_lhs, changed)
+        _count_sweep("rechecks")
+        dirty_total = sum(len(keys) for keys in dirty_keys.values())
+        if dirty_total:
+            _count_sweep("dirty_groups", dirty_total)
         for lhs, entries in by_lhs.items():
             dirty = dirty_keys[lhs]
             part = self.instance.partition(lhs) if dirty else {}

@@ -1,0 +1,35 @@
+"""repro.obs — dependency-free observability for the serving stack.
+
+:mod:`repro.obs.metrics` holds the thread-safe instrument registry
+(counters, gauges, fixed-bucket latency histograms with p50/p95/p99
+summaries); :mod:`repro.obs.trace` the span tracer with its ring buffer
+of recent traces and the zero-cost :data:`NULL_TRACER`.
+
+The store engine, WAL, server, replica and cluster layers all accept an
+optional registry/tracer pair (``attach_observability``); nothing here
+imports those layers back, so the kernel and store stay importable
+without any serving machinery.
+"""
+
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    WalProbe,
+)
+from repro.obs.trace import NULL_TRACER, NullTracer, Span, Tracer
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_TRACER",
+    "NullTracer",
+    "Span",
+    "Tracer",
+    "WalProbe",
+]

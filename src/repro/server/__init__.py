@@ -37,13 +37,16 @@ from repro.server.pool import ClientPool
 from repro.server.protocol import (
     OPS,
     PROTOCOL_VERSION,
+    STATUS_CORE_KEYS,
     SUSPICION_STATES,
     WRITE_OPS,
     error_payload,
     error_response,
     ok_response,
     raise_for_error,
+    status_payload,
     validate_request,
+    validate_status,
 )
 from repro.server.replica import ReplicaEngine
 from repro.server.server import StoreServer
@@ -59,6 +62,7 @@ __all__ = [
     "RemoteTxn",
     "ReplicaEngine",
     "RetryPolicy",
+    "STATUS_CORE_KEYS",
     "StoreClient",
     "StoreServer",
     "SUSPICION_STATES",
@@ -70,6 +74,8 @@ __all__ = [
     "ok_response",
     "promote",
     "raise_for_error",
+    "status_payload",
     "validate_request",
+    "validate_status",
     "wire_probe",
 ]

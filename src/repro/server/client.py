@@ -177,6 +177,17 @@ class StoreClient:
         return {k: v for k, v in response.items()
                 if k not in ("id", "ok")}
 
+    def metrics(self, traces: int = 0) -> dict:
+        """The server's observability snapshot: ``metrics``
+        (counters/gauges/histogram summaries), ``slow_commits``, and —
+        with ``traces=N`` — the N slowest recent ``traces``."""
+        fields: dict[str, Any] = {}
+        if traces:
+            fields["traces"] = traces
+        response = self.request("metrics", **fields)
+        return {k: v for k, v in response.items()
+                if k not in ("id", "ok")}
+
     def begin(self) -> RemoteTxn:
         response = self.request("begin")
         return RemoteTxn(self, response["txn"], response["base"])

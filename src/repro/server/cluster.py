@@ -49,6 +49,8 @@ from repro.errors import (
     StoreError,
     TransactionConflict,
 )
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import NULL_TRACER, Tracer
 from repro.server.client import StoreClient
 from repro.server.failover import promote
 from repro.server.protocol import SUSPICION_STATES
@@ -161,6 +163,26 @@ class HealthMonitor:
         self._rng = Random(seed)
         self._peers: dict[str, _Peer] = {}
         self.events: list[dict] = []
+        self.metrics: MetricsRegistry | None = None
+        self.tracer = NULL_TRACER
+        self._c_probes = None
+        self._c_misses = None
+        self._c_transitions = None
+
+    def attach_observability(self, metrics: MetricsRegistry | None = None,
+                             tracer: Tracer | None = None) -> None:
+        """Count probes/misses/suspicion transitions into a registry
+        (``cluster.*``) and stamp transitions into a tracer's timeline;
+        the per-peer ``probes``/``misses`` attributes stay as they
+        were."""
+        self.metrics = metrics
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        if metrics is None:
+            self._c_probes = self._c_misses = self._c_transitions = None
+        else:
+            self._c_probes = metrics.counter("cluster.probes")
+            self._c_misses = metrics.counter("cluster.probe_misses")
+            self._c_transitions = metrics.counter("cluster.transitions")
 
     # -- membership ----------------------------------------------------
     def add_peer(self, peer_id: str, probe: Callable[[], dict]) -> None:
@@ -190,6 +212,8 @@ class HealthMonitor:
     def _probe(self, peer: _Peer, now: float,
                transitions: list[dict]) -> None:
         peer.probes += 1
+        if self._c_probes is not None:
+            self._c_probes.inc()
         previous = peer.state
         try:
             status = peer.probe()
@@ -199,6 +223,8 @@ class HealthMonitor:
                     f"{type(status).__name__}, not a status mapping")
         except Exception as exc:
             peer.misses += 1
+            if self._c_misses is not None:
+                self._c_misses.inc()
             peer.last_error = repr(exc)
             if peer.misses >= self.dead_after:
                 peer.state = DEAD
@@ -219,6 +245,9 @@ class HealthMonitor:
                      "to": peer.state, "misses": peer.misses, "at": now}
             self.events.append(event)
             transitions.append(event)
+            if self._c_transitions is not None:
+                self._c_transitions.inc()
+            self.tracer.event("cluster.transition", event)
 
     # -- state ---------------------------------------------------------
     def _peer(self, peer_id: str) -> _Peer:
@@ -337,6 +366,18 @@ class Coordinator:
         self.events: list[dict] = []
         self._baseline_epoch = (replica.engine.epoch
                                 if replica.ready else 0)
+        self.tracer = NULL_TRACER
+        self._c_elections = None
+
+    def attach_observability(self, metrics: MetricsRegistry | None = None,
+                             tracer: Tracer | None = None) -> None:
+        """Count election rounds into a registry and stamp every
+        coordinator event (repinned/deferred/promoted/...) into a
+        tracer's timeline; :attr:`elections`/:attr:`events` stay as
+        they were."""
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self._c_elections = (None if metrics is None
+                             else metrics.counter("cluster.elections"))
 
     # -- the loop ------------------------------------------------------
     def step(self) -> dict | None:
@@ -373,6 +414,7 @@ class Coordinator:
         event = {"action": action, "replica_id": self.replica_id,
                  **fields}
         self.events.append(event)
+        self.tracer.event(f"cluster.{action}", event)
         return event
 
     # -- epoch re-pinning ----------------------------------------------
@@ -406,6 +448,13 @@ class Coordinator:
     # -- the election --------------------------------------------------
     def _elect(self) -> dict:
         self.elections += 1
+        if self._c_elections is not None:
+            self._c_elections.inc()
+        with self.tracer.span("cluster.election",
+                              replica=self.replica_id):
+            return self._elect_inner()
+
+    def _elect_inner(self) -> dict:
         candidates: dict[str, tuple[str, int, str]] = {}
         if self.replica.ready and not self.replica.promoted:
             candidates[self.replica_id] = election_rank(
@@ -512,6 +561,11 @@ class ReadBalancer:
         How many reads a cached ``behind_bytes`` measurement may
         serve before the next read re-asks ``status`` (1 = every
         read).
+    metrics:
+        A :class:`~repro.obs.metrics.MetricsRegistry` to count into
+        (``balancer.reads.<rid>``, ``balancer.fallbacks.*``,
+        ``balancer.ejections``); a private registry is created when
+        omitted, so the counter properties always work.
 
     The degradation ladder, in order: healthy in-budget replicas
     (rotation) → the primary → any reachable replica within
@@ -525,7 +579,8 @@ class ReadBalancer:
                  staleness_budget: int | Mapping[str, int] | None = None,
                  max_staleness: int | None = None,
                  monitor: Any = None, seed: int = 0,
-                 timeout: float = 5.0, refresh_every: int = 8):
+                 timeout: float = 5.0, refresh_every: int = 8,
+                 metrics: MetricsRegistry | None = None):
         self._replicas = {
             str(rid): (str(addr[0]), int(addr[1]))
             for rid, addr in dict(replicas).items()}
@@ -543,15 +598,37 @@ class ReadBalancer:
         self._behind: dict[str, int | None] = {}
         self._reads_since_refresh: dict[str, int] = {}
         self._cursor = Random(seed).randrange(len(self._replicas))
-        self.reads: dict[str, int] = {rid: 0 for rid in self._replicas}
-        self.fallbacks = {"primary": 0, "stale": 0}
-        self.ejections = 0
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._c_reads = {rid: self.metrics.counter(f"balancer.reads.{rid}")
+                         for rid in self._replicas}
+        self._c_fallbacks = {
+            kind: self.metrics.counter(f"balancer.fallbacks.{kind}")
+            for kind in ("primary", "stale")}
+        self._c_ejections = self.metrics.counter("balancer.ejections")
+
+    # -- counters (views over the registry instruments) ----------------
+    @property
+    def reads(self) -> dict[str, int]:
+        """Reads served per replica id."""
+        return {rid: c.value for rid, c in self._c_reads.items()}
+
+    @property
+    def fallbacks(self) -> dict[str, int]:
+        """Times each degradation rung (``primary``/``stale``) fired."""
+        return {kind: c.value for kind, c in self._c_fallbacks.items()}
+
+    @property
+    def ejections(self) -> int:
+        """Connections dropped after a retryable failure."""
+        return self._c_ejections.value
 
     # -- membership ----------------------------------------------------
     def add_replica(self, replica_id: str, address: Sequence) -> None:
         rid = str(replica_id)
         self._replicas[rid] = (str(address[0]), int(address[1]))
-        self.reads.setdefault(rid, 0)
+        if rid not in self._c_reads:
+            self._c_reads[rid] = self.metrics.counter(
+                f"balancer.reads.{rid}")
 
     def set_primary(self, address: Sequence) -> None:
         self._primary = (str(address[0]), int(address[1]))
@@ -576,7 +653,7 @@ class ReadBalancer:
         client = self._clients.pop(replica_id, None)
         if client is not None:
             client.close()
-            self.ejections += 1
+            self._c_ejections.inc()
         self._behind.pop(replica_id, None)
         self._reads_since_refresh.pop(replica_id, None)
 
@@ -643,7 +720,7 @@ class ReadBalancer:
                 self._drop(rid)
                 last = exc
                 continue
-            self.reads[rid] += 1
+            self._c_reads[rid].inc()
             self._reads_since_refresh[rid] = (
                 self._reads_since_refresh.get(rid, 0) + 1)
             return result
@@ -654,7 +731,7 @@ class ReadBalancer:
                                  timeout=self.timeout) as client:
                     result = client.read_at(relation, at=at,
                                             branch=branch)
-                self.fallbacks["primary"] += 1
+                self._c_fallbacks["primary"].inc()
                 return result
             except Exception as exc:
                 if not _read_retryable(exc):
@@ -678,8 +755,8 @@ class ReadBalancer:
                 self._drop(rid)
                 last = exc
                 continue
-            self.reads[rid] += 1
-            self.fallbacks["stale"] += 1
+            self._c_reads[rid].inc()
+            self._c_fallbacks["stale"].inc()
             return result
         raise last if last is not None else StoreError(
             f"no replica within budget could serve {relation!r} and "

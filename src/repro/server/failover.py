@@ -44,6 +44,7 @@ from repro.errors import (
     ServerOverloaded,
     StoreError,
 )
+from repro.obs.metrics import MetricsRegistry
 from repro.server.client import StoreClient
 from repro.server.replica import ReplicaEngine
 from repro.store.engine import StoreEngine
@@ -155,7 +156,8 @@ class RetryPolicy:
                  base_delay: float = 0.005, max_delay: float = 1.0,
                  deadline: float | None = None,
                  seed: int | None = None,
-                 retryable: tuple[type[BaseException], ...] | None = None):
+                 retryable: tuple[type[BaseException], ...] | None = None,
+                 metrics: MetricsRegistry | None = None):
         if max_attempts < 1:
             raise StoreError(
                 f"max_attempts must be >= 1, got {max_attempts}")
@@ -167,6 +169,8 @@ class RetryPolicy:
         self.retryable_types = (self.RETRYABLE if retryable is None
                                 else tuple(retryable))
         self._rng = Random(seed)
+        self._c_retries = (None if metrics is None
+                           else metrics.counter("retry.retries"))
 
     def retryable(self, exc: BaseException) -> bool:
         """Whether waiting and retrying can plausibly fix ``exc``."""
@@ -211,6 +215,8 @@ class RetryPolicy:
                 raise DeadlineExceeded(
                     f"{deadline}s deadline lapsed after {attempt} "
                     f"attempt(s); last failure: {last}") from last
+            if self._c_retries is not None:
+                self._c_retries.inc()
             self.sleep(delay)
         raise last
 
@@ -260,7 +266,8 @@ class FailoverClient:
                  policy: RetryPolicy | None = None,
                  deadline: float = 10.0,
                  staleness_budget: int | None = None,
-                 timeout: float = 5.0):
+                 timeout: float = 5.0,
+                 metrics: MetricsRegistry | None = None):
         self.addresses: list[tuple[str, int]] = [
             (str(a[0]), int(a[1])) for a in addresses]
         if not self.addresses:
@@ -273,6 +280,12 @@ class FailoverClient:
         self.epoch = 0  # highest epoch witnessed; the client-side fence
         self._client: StoreClient | None = None
         self._queue: list[list[dict]] = []
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._c_reconnects = self.metrics.counter("failover.reconnects")
+        self._c_fenced = self.metrics.counter("failover.fenced")
+        self._c_retries = self.metrics.counter("failover.retries")
+        self._c_replica_reads = self.metrics.counter(
+            "failover.replica_reads")
 
     # -- membership ----------------------------------------------------
     def add_address(self, address: Sequence) -> None:
@@ -312,6 +325,7 @@ class FailoverClient:
                     held=epoch, current=self.epoch)
                 continue
             self.epoch = epoch
+            self._c_reconnects.inc()
             return client
         raise last if last is not None else StoreError(
             "no candidate addresses")
@@ -384,6 +398,7 @@ class FailoverClient:
                 # retry: a promotion in flight heals exactly this.
                 if isinstance(exc, EpochFenced):
                     self.epoch = max(self.epoch, exc.current)
+                    self._c_fenced.inc()
                 self._drop_client()
                 last = exc
             else:
@@ -393,6 +408,7 @@ class FailoverClient:
                     # Demoted mid-conversation: drop it and re-resolve
                     # — the promoted one may already be listed.
                     self.epoch = max(self.epoch, exc.current)
+                    self._c_fenced.inc()
                     self._drop_client()
                     last = exc
                 except Exception as exc:
@@ -405,6 +421,7 @@ class FailoverClient:
                 raise DeadlineExceeded(
                     f"no primary accepted the operation before the "
                     f"deadline; last failure: {last}") from last
+            self._c_retries.inc()
             self.policy.sleep(delay)
 
     # -- reads ---------------------------------------------------------
@@ -449,7 +466,9 @@ class FailoverClient:
                         and (behind is None
                              or behind > self.staleness_budget)):
                     continue
-                return client.read(relation, branch=branch)
+                rows = client.read(relation, branch=branch)
+                self._c_replica_reads.inc()
+                return rows
             except Exception:
                 continue
             finally:

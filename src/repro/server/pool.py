@@ -15,12 +15,14 @@ import threading
 from contextlib import contextmanager
 
 from repro.errors import ProtocolError, StoreError
+from repro.obs.metrics import MetricsRegistry
 from repro.server.client import StoreClient
 
 
 class ClientPool:
     def __init__(self, host: str, port: int, size: int = 4,
-                 branch: str = "main", timeout: float = 30.0):
+                 branch: str = "main", timeout: float = 30.0,
+                 metrics: MetricsRegistry | None = None):
         if size < 1:
             raise StoreError("pool size must be at least 1")
         self.host = host
@@ -34,16 +36,20 @@ class ClientPool:
         self._lock = threading.Lock()
         self._open: list[StoreClient] = []
         self._closed = False
-        self._evicted = 0
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._c_evicted = self.metrics.counter("pool.evicted")
+        self._c_dials = self.metrics.counter("pool.dials")
+        self._c_discards = self.metrics.counter("pool.discards")
 
     @property
     def evicted(self) -> int:
-        """Stale idle connections quietly replaced so far (gauge)."""
-        return self._evicted
+        """Stale idle connections quietly replaced so far."""
+        return self._c_evicted.value
 
     def _dial(self) -> StoreClient:
         client = StoreClient(self.host, self.port, branch=self.branch,
                              timeout=self.timeout)
+        self._c_dials.inc()
         with self._lock:
             self._open.append(client)
         return client
@@ -65,7 +71,7 @@ class ClientPool:
         slot = self._slots.get()
         if slot is not None and slot.is_stale():
             self._discard(slot)
-            self._evicted += 1
+            self._c_evicted.inc()
             slot = None
         if slot is None:
             try:
@@ -87,6 +93,7 @@ class ClientPool:
             self._slots.put(client)
 
     def _discard(self, client: StoreClient) -> None:
+        self._c_discards.inc()
         with self._lock:
             if client in self._open:
                 self._open.remove(client)

@@ -40,13 +40,48 @@ message is one JSON object.  Requests carry a client-chosen ``id``
     Replica connections refuse with ``read-only``.  Response:
     ``branch``, ``at``.
 ``status``
-    Server-side statistics: connection and commit-queue gauges on a
-    primary, the staleness/lag report on a replica.  A server wired
-    into a cluster (``StoreServer(cluster=...)``) additionally gossips
-    its health view: a ``cluster`` object whose ``suspicion`` table
-    maps peer ids to ``{state, misses, probes, role, epoch,
-    behind_bytes}``, with ``state`` one of :data:`SUSPICION_STATES` —
-    so any client can ask one node what it believes about the others.
+    Server-side statistics.  Every status response — primary or
+    replica — shares one documented core (see *The status schema*
+    below); a primary adds its connection/commit-queue gauges, a
+    replica its staleness/lag report.  A server wired into a cluster
+    (``StoreServer(cluster=...)``) additionally gossips its health
+    view: a ``cluster`` object whose ``suspicion`` table maps peer ids
+    to ``{state, misses, probes, role, epoch, behind_bytes}``, with
+    ``state`` one of :data:`SUSPICION_STATES` — so any client can ask
+    one node what it believes about the others.
+``metrics``
+    The server's observability snapshot
+    (:meth:`repro.obs.metrics.MetricsRegistry.snapshot`): ``metrics``
+    (``{"counters", "gauges", "histograms"}`` — histograms summarised
+    as count/sum/min/max/p50/p95/p99), ``slow_commits`` (the engine's
+    threshold-gated slow-commit log, newest last), and — when the
+    request carries ``traces: N`` — ``traces``, the N slowest recent
+    traces from the server's ring buffer.
+
+The status schema
+-----------------
+``status`` responses historically invented their key shapes per role;
+the schema is now fixed (additively — every pre-existing key kept its
+name and meaning, consumers like ``election_rank`` still work):
+
+* Core, always present: ``role`` (``"primary"``/``"replica"``),
+  ``epoch`` (int, the promotion epoch), ``ready`` (bool — a primary is
+  always ready; a replica is ready once bootstrapped from its WAL),
+  and ``counters`` (a flat ``{name: number}`` map of the server's
+  registry counters/gauges — the uniform home of what used to be
+  ad-hoc attributes).
+* When ready: ``seq``, ``versions``, ``branches``.
+* Primary extras: ``connections``, ``max_connections``,
+  ``inflight_commits``, ``max_inflight_commits``, ``commits``,
+  ``frames_served``, ``bad_frames``, ``rejected_overloaded``,
+  ``idle_closed``, ``live_sessions``.
+* Replica extras: ``wal``, ``position`` (``[segment, offset]``),
+  ``behind_bytes``, ``applied_records``, ``promoted``, ``verify``,
+  ``seconds_since_sync``.
+* Optional: ``cluster`` (the gossip object above).
+
+:func:`validate_status` checks the core; the round-trip test in
+``tests/test_obs.py`` holds both roles to it.
 
 Responses are ``{"id": ..., "ok": true, ...payload}`` on success and
 ``{"id": ..., "ok": false, "error": {"code", "message", ...}}`` on
@@ -80,8 +115,11 @@ SUSPICION_STATES = ("alive", "suspect", "dead")
 #: Every operation a client may request, and which of them mutate.
 OPS = frozenset(
     {"hello", "ping", "begin", "stage", "commit", "read", "branch",
-     "status"})
+     "status", "metrics"})
 WRITE_OPS = frozenset({"begin", "stage", "commit", "branch"})
+
+#: The keys every ``status`` response must carry, whatever the role.
+STATUS_CORE_KEYS = ("role", "epoch", "ready", "counters")
 
 #: Error codes, most specific first.  ``bad-frame`` answers payloads the
 #: frame layer could delimit but not parse; ``fatal`` marks errors after
@@ -162,6 +200,48 @@ def raise_for_error(error: dict) -> None:
     if code == "read-only":
         raise StoreError(f"read-only replica: {message}")
     raise StoreError(message)
+
+
+def status_payload(role: str, epoch: int, ready: bool,
+                   counters: dict | None = None, **extra: Any) -> dict:
+    """A ``status`` response body with the schema's core fields in
+    place; role-specific extras ride along verbatim."""
+    return {"role": role, "epoch": int(epoch), "ready": bool(ready),
+            "counters": dict(counters or {}), **extra}
+
+
+def validate_status(status: dict) -> dict:
+    """Check a ``status`` body against the schema's core (see the
+    module docstring); returns it unchanged or raises
+    :class:`ProtocolError` naming the violation."""
+    for key in STATUS_CORE_KEYS:
+        if key not in status:
+            raise ProtocolError(f"status response lacks {key!r}")
+    role = status["role"]
+    if role not in ("primary", "replica"):
+        raise ProtocolError(f"status role must be primary/replica, "
+                            f"got {role!r}")
+    if not isinstance(status["epoch"], int) or status["epoch"] < 0:
+        raise ProtocolError(f"status epoch must be a non-negative int, "
+                            f"got {status['epoch']!r}")
+    if not isinstance(status["ready"], bool):
+        raise ProtocolError(f"status ready must be a bool, "
+                            f"got {status['ready']!r}")
+    counters = status["counters"]
+    if not isinstance(counters, dict):
+        raise ProtocolError("status counters must be an object")
+    for name, value in counters.items():
+        if not isinstance(name, str) or isinstance(value, bool) \
+                or not isinstance(value, (int, float)):
+            raise ProtocolError(
+                f"status counter {name!r} -> {value!r} is not a "
+                "name-to-number entry")
+    if status["ready"]:
+        for key in ("seq", "versions", "branches"):
+            if key not in status:
+                raise ProtocolError(
+                    f"ready status lacks {key!r}")
+    return status
 
 
 def validate_request(message: dict) -> tuple[Any, str]:

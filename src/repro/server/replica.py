@@ -32,6 +32,8 @@ import time
 from pathlib import Path
 
 from repro.errors import DeadlineExceeded, EpochFenced, StoreError
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import NULL_TRACER, Tracer
 from repro.store.engine import StoreEngine
 from repro.store.wal import WalCursor, WriteAheadLog
 
@@ -93,6 +95,41 @@ class ReplicaEngine:
         self._lock = threading.Lock()
         self._applied_records = 0
         self._last_sync: float | None = None
+        self.metrics: MetricsRegistry | None = None
+        self.tracer = NULL_TRACER
+        self._slow_commit_threshold: float | None = None
+        self._c_syncs = None
+        self._c_applied = None
+        self._g_behind = None
+
+    def attach_observability(self, metrics: MetricsRegistry | None = None,
+                             tracer: Tracer | None = None,
+                             slow_commit_threshold: float | None = None,
+                             ) -> None:
+        """Wire a registry/tracer into the tailer (``replica.*``
+        instruments) and through to the inner engine — including one
+        bootstrapped later, and therefore the engine a promotion turns
+        into the new primary, so commit-phase histograms start the
+        moment this node starts committing."""
+        self.metrics = metrics
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self._slow_commit_threshold = slow_commit_threshold
+        if metrics is None:
+            self._c_syncs = self._c_applied = self._g_behind = None
+        else:
+            self._c_syncs = metrics.counter("replica.syncs")
+            self._c_applied = metrics.counter("replica.applied_records")
+            self._g_behind = metrics.gauge("replica.behind_bytes")
+        if self._engine is not None:
+            self._engine.attach_observability(
+                metrics, tracer, slow_commit_threshold=slow_commit_threshold)
+
+    @property
+    def slow_commits(self):
+        """The inner engine's slow-commit log (empty until
+        bootstrapped) — uniform access for the ``metrics`` op."""
+        engine = self._engine
+        return () if engine is None else engine.slow_commits
 
     # ------------------------------------------------------------------
     # tailing
@@ -105,7 +142,7 @@ class ReplicaEngine:
         log corruption, and on a pruned-under-cursor segment — call
         :meth:`resync` for the latter.
         """
-        with self._lock:
+        with self._lock, self.tracer.span("replica.sync"):
             self._check_promoted()
             records = self._cursor.poll(max_records)
             if self._skip_to_checkpoint and self._engine is None:
@@ -124,6 +161,11 @@ class ReplicaEngine:
                 self._skip_to_checkpoint = False
             self._applied_records += applied
             self._last_sync = time.monotonic()
+            if self._c_syncs is not None:
+                self._c_syncs.inc()
+                if applied:
+                    self._c_applied.inc(applied)
+                self._g_behind.set(self._cursor.behind_bytes())
             return applied
 
     def _check_promoted(self) -> None:
@@ -147,6 +189,10 @@ class ReplicaEngine:
         if self._engine is None:
             self._engine = StoreEngine.from_wal_record(
                 record, validation=self.validation, verify=self.verify)
+            if self.metrics is not None:
+                self._engine.attach_observability(
+                    self.metrics, self.tracer,
+                    slow_commit_threshold=self._slow_commit_threshold)
             return
         self._engine.apply_wal_record(record, verify=self.verify)
 
@@ -293,14 +339,21 @@ class ReplicaEngine:
         """The staleness/lag report: where the replica is, how far
         behind the durable log it is, and what it serves."""
         engine = self._engine
+        behind = self.behind_bytes()
         status = {
             "role": "replica",
             "ready": engine is not None,
             "promoted": self.promoted,
             "epoch": engine.epoch if engine is not None else 0,
+            "counters": {
+                "replica.syncs": (self._c_syncs.value
+                                  if self._c_syncs is not None else 0),
+                "replica.applied_records": self._applied_records,
+                "replica.behind_bytes": behind,
+            },
             "wal": str(self.wal_path),
             "position": self._cursor.position(),
-            "behind_bytes": self.behind_bytes(),
+            "behind_bytes": behind,
             "applied_records": self._applied_records,
             "verify": self.verify,
             "seconds_since_sync": (

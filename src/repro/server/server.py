@@ -43,6 +43,9 @@ from typing import Any
 
 from repro.errors import EpochFenced, ProtocolError, StoreError
 from repro.io import FRAME_HEADER, MAX_FRAME_BYTES, encode_frame
+from repro.kernel.batch import sweep_counts
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Tracer
 from repro.server import protocol
 from repro.server.replica import ReplicaEngine
 from repro.store.engine import StoreEngine
@@ -93,6 +96,18 @@ class StoreServer:
         (a :class:`~repro.server.cluster.HealthMonitor`); when set,
         ``status`` responses carry it as their ``cluster`` field, so
         any client can ask one node what it believes about the others.
+    metrics, tracer:
+        The observability pair the ``metrics`` op serves.  By default
+        the server builds its own :class:`MetricsRegistry` and
+        :class:`Tracer` and attaches them to the engine
+        (``attach_observability``), so a plain ``serve --listen``
+        already records commit-phase histograms; pass shared instances
+        to aggregate several servers into one registry.  The server's
+        own counters (``server.*``) live in the registry; the old
+        ``_commits``-style attributes remain as read-only views.
+    slow_commit_threshold:
+        Seconds past which a commit lands in the engine's structured
+        slow-commit log (default 0.1; ``None`` disables the log).
     """
 
     def __init__(self, engine: StoreEngine | ReplicaEngine,
@@ -102,7 +117,10 @@ class StoreServer:
                  sync_interval: float = 0.02,
                  max_frame_bytes: int = MAX_FRAME_BYTES,
                  idle_timeout: float | None = None,
-                 cluster: Any = None):
+                 cluster: Any = None,
+                 metrics: MetricsRegistry | None = None,
+                 tracer: Tracer | None = None,
+                 slow_commit_threshold: float | None = 0.1):
         self.engine = engine
         self.cluster = cluster
         self.read_only = isinstance(engine, ReplicaEngine)
@@ -126,13 +144,51 @@ class StoreServer:
         self._startup_error: BaseException | None = None
         self._commit_slots: asyncio.Semaphore | None = None
         self._sync_task: asyncio.Task | None = None
-        self._connections = 0
-        self._commits = 0
-        self._inflight_commits = 0
-        self._rejected_overloaded = 0
-        self._frames_served = 0
-        self._bad_frames = 0
-        self._idle_closed = 0
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.tracer = tracer if tracer is not None \
+            else Tracer(clock=self.metrics.clock)
+        engine.attach_observability(
+            self.metrics, self.tracer,
+            slow_commit_threshold=slow_commit_threshold)
+        m = self.metrics
+        self._g_connections = m.gauge("server.connections")
+        self._g_inflight = m.gauge("server.inflight_commits")
+        self._c_commits = m.counter("server.commits")
+        self._c_rejected_overloaded = m.counter("server.rejected_overloaded")
+        self._c_frames_served = m.counter("server.frames_served")
+        self._c_bad_frames = m.counter("server.bad_frames")
+        self._c_idle_closed = m.counter("server.idle_closed")
+
+    # The pre-registry counter attributes, kept as read-only views so
+    # existing tests and callers keep working; the registry is the
+    # source of truth.
+    @property
+    def _connections(self) -> int:
+        return int(self._g_connections.value)
+
+    @property
+    def _inflight_commits(self) -> int:
+        return int(self._g_inflight.value)
+
+    @property
+    def _commits(self) -> int:
+        return self._c_commits.value
+
+    @property
+    def _rejected_overloaded(self) -> int:
+        return self._c_rejected_overloaded.value
+
+    @property
+    def _frames_served(self) -> int:
+        return self._c_frames_served.value
+
+    @property
+    def _bad_frames(self) -> int:
+        return self._c_bad_frames.value
+
+    @property
+    def _idle_closed(self) -> int:
+        return self._c_idle_closed.value
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -259,14 +315,14 @@ class StoreServer:
     async def _handle_connection(self, reader: asyncio.StreamReader,
                                  writer: asyncio.StreamWriter) -> None:
         if self._connections >= self.max_connections:
-            self._rejected_overloaded += 1
+            self._c_rejected_overloaded.inc()
             await self._send(writer, protocol.error_response(
                 None, "overloaded",
                 f"server at capacity ({self.max_connections} connections)",
                 fatal=True))
             writer.close()
             return
-        self._connections += 1
+        self._g_connections.inc()
         conn = _Connection()
         try:
             while True:
@@ -279,23 +335,23 @@ class StoreServer:
                 except asyncio.IncompleteReadError:
                     break  # client went away (possibly mid-frame)
                 except asyncio.TimeoutError:
-                    self._idle_closed += 1
+                    self._c_idle_closed.inc()
                     break  # idle past the bound: free the slot
                 except ProtocolError as exc:
                     fatal = getattr(exc, "fatal", False)
-                    self._bad_frames += 1
+                    self._c_bad_frames.inc()
                     await self._send(writer, protocol.error_response(
                         None, "bad-frame", str(exc), fatal=fatal))
                     if fatal:
                         break
                     continue
                 response = await self._dispatch(conn, message)
-                self._frames_served += 1
+                self._c_frames_served.inc()
                 await self._send(writer, response)
         except (ConnectionError, asyncio.CancelledError):
             pass
         finally:
-            self._connections -= 1
+            self._g_connections.dec()
             if conn.session is not None:
                 try:
                     conn.session.close()
@@ -336,16 +392,31 @@ class StoreServer:
         try:
             rid, op = protocol.validate_request(message)
         except ProtocolError as exc:
-            self._bad_frames += 1
+            self._c_bad_frames.inc()
             return {"id": message.get("id") if not isinstance(
                         message.get("id"), (dict, list)) else None,
                     "ok": False, "error": protocol.error_payload(exc)}
+        # Dispatch tracing is explicit timestamps, not a span context
+        # manager: the handler awaits, and a span held across an await
+        # would adopt concurrent dispatches as children.
+        tracer = self.tracer
+        start = tracer.clock() if tracer.enabled else 0.0
+        self.metrics.counter(f"server.ops.{op}").inc()
         try:
             handler = getattr(self, f"_op_{op}")
-            return await handler(conn, rid, message)
+            response = await handler(conn, rid, message)
         except Exception as exc:  # typed errors -> typed payloads
-            return {"id": rid, "ok": False,
-                    "error": protocol.error_payload(exc)}
+            response = {"id": rid, "ok": False,
+                        "error": protocol.error_payload(exc)}
+        if tracer.enabled:
+            end = tracer.clock()
+            tracer.record({
+                "name": "server.dispatch", "start": start, "end": end,
+                "duration": end - start,
+                "tags": {"op": op, "ok": bool(response.get("ok"))},
+                "spans": [],
+            })
+        return response
 
     @property
     def _store(self) -> StoreEngine:
@@ -382,16 +453,29 @@ class StoreServer:
     async def _op_ping(self, conn, rid, message) -> dict:
         return protocol.ok_response(rid, pong=True)
 
+    def _status_counters(self) -> dict:
+        """The registry's counters and gauges as one flat name->number
+        map — the ``counters`` section of the status schema."""
+        snap = self.metrics.snapshot()
+        counters = dict(snap["counters"])
+        counters.update(snap["gauges"])
+        return counters
+
     async def _op_status(self, conn, rid, message) -> dict:
         gossip = ({} if self.cluster is None
                   else {"cluster": self.cluster.gossip()})
         if self.read_only:
-            return protocol.ok_response(rid, **self.engine.status(),
-                                        **gossip)
+            body = self.engine.status()
+            counters = dict(body.get("counters", {}))
+            counters.update(self._status_counters())
+            body["counters"] = counters
+            return protocol.ok_response(rid, **body, **gossip)
         summary = self.engine.describe()
-        return protocol.ok_response(
-            rid, **gossip, role="primary",
+        return protocol.ok_response(rid, **gossip, **protocol.status_payload(
+            role="primary",
             epoch=summary.get("epoch", 0),
+            ready=True,
+            counters=self._status_counters(),
             connections=self._connections,
             max_connections=self.max_connections,
             inflight_commits=self._inflight_commits,
@@ -403,7 +487,26 @@ class StoreServer:
             idle_closed=self._idle_closed,
             live_sessions=len(self.service.live_sessions()),
             seq=summary["seq"], versions=summary["versions"],
-            branches=summary["branches"])
+            branches=summary["branches"]))
+
+    async def _op_metrics(self, conn, rid, message) -> dict:
+        traces = message.get("traces", 0)
+        if isinstance(traces, bool) or not isinstance(traces, int) \
+                or traces < 0:
+            raise ProtocolError("'traces' must be a non-negative integer")
+        snapshot = self.metrics.snapshot()
+        # The kernel cannot hold a registry (it never imports upward);
+        # its process-wide sweep counters are sampled in at read time.
+        snapshot["counters"].update(
+            {f"kernel.sweep.{k}": v for k, v in sweep_counts().items()})
+        payload: dict[str, Any] = {
+            "metrics": snapshot,
+            "slow_commits": list(getattr(self.engine,
+                                         "slow_commits", ()) or ()),
+        }
+        if traces:
+            payload["traces"] = self.tracer.slowest(traces)
+        return protocol.ok_response(rid, **payload)
 
     def _session(self, conn: _Connection) -> Session:
         if conn.session is None:
@@ -450,13 +553,13 @@ class StoreServer:
         del conn.txns[handle]  # the handle is consumed either way
         session = self._session(conn)
         async with self._commit_slots:  # write backpressure
-            self._inflight_commits += 1
+            self._g_inflight.inc()
             try:
                 version = await self._loop.run_in_executor(
                     None, session.commit, txn)
             finally:
-                self._inflight_commits -= 1
-        self._commits += 1
+                self._g_inflight.dec()
+        self._c_commits.inc()
         parent = version.parent.vid if version.parent is not None else None
         return protocol.ok_response(rid, version=version.vid,
                                     parent=parent, branch=version.branch)

@@ -43,6 +43,7 @@ from __future__ import annotations
 
 import threading
 import warnings
+from collections import deque
 from collections.abc import Iterable
 from pathlib import Path
 
@@ -55,6 +56,8 @@ from repro.errors import (
     TornTailWarning,
     TransactionConflict,
 )
+from repro.obs.metrics import MetricsRegistry, WalProbe
+from repro.obs.trace import NULL_TRACER, Tracer
 from repro.store.txn import (
     Transaction,
     ValidationPlan,
@@ -72,6 +75,34 @@ from repro.store.wal import (
 )
 
 VALIDATION_MODES = ("delta", "audit", "serial")
+
+# The commit path reads its clock unconditionally; with observability
+# detached the clock is this constant zero — six trivial calls per
+# commit instead of a branch per phase.
+_ZERO_CLOCK = lambda: 0.0  # noqa: E731
+
+# The commit gate's phase order; each lands in its own latency
+# histogram (``store.commit.<phase>_seconds``) plus ``total``.  fsync
+# is timed inside the WAL (see :class:`repro.obs.metrics.WalProbe`)
+# because it happens inside ``wal.append``.
+COMMIT_PHASES = ("rebase", "validate", "derive", "wal_append", "total")
+
+
+def _render_groups(writes: frozenset | None, limit: int = 8):
+    """The touched lhs-groups of a commit footprint, JSON-codable:
+    ``[relation, sorted-attrs, repr(projected-row)]`` per group, capped
+    at ``limit``; ``None`` for an unbounded footprint (wholesale
+    replace)."""
+    if writes is None:
+        return None
+    out = []
+    for key in sorted(writes, key=repr)[:limit]:
+        try:
+            relation, attrs, row = key
+            out.append([relation, sorted(str(a) for a in attrs), repr(row)])
+        except (TypeError, ValueError):
+            out.append([repr(key)])
+    return out
 
 
 class ProbeIndex:
@@ -224,6 +255,17 @@ class StoreEngine:
             if not isinstance(wal, WriteAheadLog):
                 wal = WriteAheadLog(target, sync=sync)
         self.wal = wal
+        # Observability is detached by default; attach_observability
+        # swaps in a real registry/tracer (servers do this on
+        # construction).  The zero clock keeps the commit path
+        # branch-free either way.
+        self.metrics = None
+        self.tracer = NULL_TRACER
+        self.slow_commit_threshold: float | None = None
+        self.slow_commits: deque = deque(maxlen=32)
+        self._obs_clock = _ZERO_CLOCK
+        self._obs_hists: tuple | None = None
+        self._obs_counters: dict | None = None
         if wal is not None:
             if _floor is None:
                 wal.append(snapshot_record(root, self._constraint_set,
@@ -360,35 +402,156 @@ class StoreEngine:
             raise StoreError("transaction was already committed")
         if txn.schema is not self.schema:
             raise StoreError("transaction belongs to a different store")
-        with self._lock:
-            head = self.graph.head(txn.branch)
-            index = self._indexes.get(txn.branch)
-            changes = txn.net_changes(head.state, index)
-            if not changes:
+        # Phase timing is explicit timestamp capture, not nested spans:
+        # the clock is a constant-zero callable while observability is
+        # detached, so the critical section carries six trivial calls
+        # instead of context-manager machinery (bounded <3% end to end
+        # by bench_a14_obs).
+        clock = self._obs_clock
+        counters = self._obs_counters
+        t0 = clock()
+        try:
+            with self._lock:
+                head = self.graph.head(txn.branch)
+                index = self._indexes.get(txn.branch)
+                changes = txn.net_changes(head.state, index)
+                if not changes:
+                    txn.committed = True
+                    if counters is not None:
+                        counters["noops"].inc()
+                    return head
+                writes = write_footprint(self.plan, changes)
+                if head is not txn.base:
+                    self._check_conflicts(txn, head, writes)
+                t1 = clock()
+                candidate, findings = self._validate(head.state, changes,
+                                                     index)
+                if findings:
+                    raise CommitRejected(
+                        f"commit of {changes!r} violates "
+                        f"{len(findings)} check(s)", tuple(findings))
+                t2 = clock()
+                if candidate is None:
+                    candidate = head.state.apply_changes(
+                        changes.added, changes.removed, changes.replaced,
+                        validate=False)
+                t3 = clock()
+                if self.wal is not None:
+                    self.wal.append(commit_record(
+                        self.graph.next_vid(), head.vid, txn.branch,
+                        txn.ops))
+                t4 = clock()
+                version = self.graph.add_commit(head, candidate, writes,
+                                                tuple(txn.ops), txn.branch)
+                if index is not None:
+                    index.apply(changes, candidate)
                 txn.committed = True
-                return head
-            writes = write_footprint(self.plan, changes)
-            if head is not txn.base:
-                self._check_conflicts(txn, head, writes)
-            candidate, findings = self._validate(head.state, changes, index)
-            if findings:
-                raise CommitRejected(
-                    f"commit of {changes!r} violates "
-                    f"{len(findings)} check(s)", tuple(findings))
-            if candidate is None:
-                candidate = head.state.apply_changes(
-                    changes.added, changes.removed, changes.replaced,
-                    validate=False)
+                self._after_commit_locked()
+        except TransactionConflict:
+            if counters is not None:
+                counters["conflicts"].inc()
+            raise
+        except CommitRejected:
+            if counters is not None:
+                counters["rejected"].inc()
+            raise
+        if counters is not None:
+            counters["commits"].inc()
+            self._record_commit(version, writes,
+                                t0, t1, t2, t3, t4, clock())
+        return version
+
+    def attach_observability(self, metrics: MetricsRegistry | None = None,
+                             tracer: Tracer | None = None,
+                             slow_commit_threshold: float | None = None,
+                             slow_commit_capacity: int = 32) -> None:
+        """Wire a metrics registry and/or tracer into the commit path.
+
+        With a registry attached every commit feeds the per-phase
+        latency histograms (``store.commit.<phase>_seconds`` for
+        rebase/validate/derive/wal_append/total, fsync via the WAL
+        probe) and outcome counters; with a tracer, each commit also
+        lands as one trace in the ring with its phases as child spans.
+        ``slow_commit_threshold`` (seconds, against ``metrics.clock``)
+        gates the structured slow-commit log kept on
+        :attr:`slow_commits`.  Passing ``metrics=None`` detaches
+        everything and restores the zero-cost path.
+        """
+        self.metrics = metrics
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.slow_commit_threshold = slow_commit_threshold
+        self.slow_commits = deque(maxlen=slow_commit_capacity)
+        if metrics is None:
+            self._obs_clock = _ZERO_CLOCK
+            self._obs_hists = None
+            self._obs_counters = None
             if self.wal is not None:
-                self.wal.append(commit_record(
-                    self.graph.next_vid(), head.vid, txn.branch, txn.ops))
-            version = self.graph.add_commit(head, candidate, writes,
-                                            tuple(txn.ops), txn.branch)
-            if index is not None:
-                index.apply(changes, candidate)
-            txn.committed = True
-            self._after_commit_locked()
-            return version
+                self.wal.probe = None
+            return
+        self._obs_clock = metrics.clock
+        self._obs_hists = tuple(
+            metrics.histogram(f"store.commit.{phase}_seconds")
+            for phase in COMMIT_PHASES)
+        self._obs_counters = {
+            "commits": metrics.counter("store.commits"),
+            "noops": metrics.counter("store.commit_noops"),
+            "conflicts": metrics.counter("store.commit_conflicts"),
+            "rejected": metrics.counter("store.commit_rejected"),
+            "retries": metrics.counter("store.commit_retries"),
+            "slow": metrics.counter("store.slow_commits"),
+        }
+        if self.wal is not None:
+            self.wal.probe = WalProbe(metrics)
+
+    def _record_commit(self, version: Version, writes: frozenset | None,
+                       t0: float, t1: float, t2: float, t3: float,
+                       t4: float, t5: float) -> None:
+        """Bookkeeping for one landed commit, outside the critical
+        section: phase histograms, one trace in the ring, and — past
+        the threshold — a structured slow-commit record."""
+        rebase, validate = t1 - t0, t2 - t1
+        derive, wal_append = t3 - t2, t4 - t3
+        total = t5 - t0
+        h_rebase, h_validate, h_derive, h_wal, h_total = self._obs_hists
+        h_rebase.observe(rebase)
+        h_validate.observe(validate)
+        h_derive.observe(derive)
+        probe = self.wal.probe if self.wal is not None else None
+        if self.wal is not None:
+            h_wal.observe(wal_append)
+        h_total.observe(total)
+        fsync = probe.last_fsync if probe is not None else 0.0
+        tracer = self.tracer
+        if tracer.enabled:
+            def phase(name, start, end, **tags):
+                return {"name": name, "start": start, "end": end,
+                        "duration": end - start, "tags": tags,
+                        "spans": []}
+            tracer.record({
+                "name": "store.commit",
+                "start": t0, "end": t5, "duration": total,
+                "tags": {"version": version.vid,
+                         "groups": None if writes is None else len(writes)},
+                "spans": [
+                    phase("commit.rebase", t0, t1),
+                    phase("commit.validate", t1, t2),
+                    phase("commit.derive", t2, t3),
+                    phase("commit.wal_append", t3, t4, fsync=fsync),
+                ],
+            })
+        threshold = self.slow_commit_threshold
+        if threshold is not None and total >= threshold:
+            self._obs_counters["slow"].inc()
+            self.slow_commits.append({
+                "version": version.vid,
+                "at": t5,
+                "total": total,
+                "phases": {"rebase": rebase, "validate": validate,
+                           "derive": derive, "wal_append": wal_append,
+                           "fsync": fsync},
+                "group_count": None if writes is None else len(writes),
+                "groups": _render_groups(writes),
+            })
 
     def _after_commit_locked(self) -> None:
         """Periodic checkpointing, driven by the commit counter (called

@@ -163,6 +163,9 @@ class Session:
                     head = self.engine.head_version(self.branch)
                 except StoreError as gone:
                     raise conflict from gone
+                counters = self.engine._obs_counters
+                if counters is not None:
+                    counters["retries"].inc()
                 attempt = attempt.rebased(head)
         return self.engine.commit(attempt)
 

@@ -122,6 +122,11 @@ class WriteAheadLog:
         self.segmented = (path.is_dir() or segment_records is not None
                           or segment_bytes is not None)
         self.path = path
+        # Duck-typed observability hook (repro.obs.metrics.WalProbe):
+        # when attached, append counts records/bytes into the registry
+        # and times the fsync so the commit pipeline can attribute it
+        # as its own phase.
+        self.probe = None
         if self.segmented:
             path.mkdir(parents=True, exist_ok=True)
             segments = self.segment_paths(path)
@@ -181,8 +186,19 @@ class WriteAheadLog:
         except ValueError as exc:  # racing close(): a closed handle
             raise StoreError(
                 f"WAL {self.path} is closed; cannot append: {exc}") from exc
+        probe = self.probe
         if self.sync:
-            os.fsync(self._fh.fileno())
+            if probe is not None:
+                before = probe.clock()
+                os.fsync(self._fh.fileno())
+                fsync_s = probe.clock() - before
+            else:
+                os.fsync(self._fh.fileno())
+                fsync_s = 0.0
+        else:
+            fsync_s = 0.0
+        if probe is not None:
+            probe.observe_append(len(data), fsync_s)
         self._count += 1
         self._bytes += len(data)
 

@@ -12,12 +12,14 @@ seed, so a CI failure replays from the printed recipe."""
 
 from __future__ import annotations
 
+import json
 import warnings
 from random import Random
 
 import pytest
 
 from repro.errors import EpochFenced, StoreError, TornTailWarning
+from repro.obs import MetricsRegistry, Tracer
 from repro.server import (
     Coordinator,
     FailoverClient,
@@ -656,7 +658,19 @@ class TestKillAndHealSweep:
         for seed in chaos_seeds(25):
             with warnings.catch_warnings():
                 warnings.simplefilter("ignore", TornTailWarning)
-                self._one_seed(tmp_path, seed)
+                try:
+                    self._one_seed(tmp_path, seed)
+                except BaseException:
+                    # The replay seed is in the assertion message; the
+                    # snapshot says what the cluster was *doing* —
+                    # probes, misses, transitions, elections — when it
+                    # failed.
+                    print(f"\nobservability at failure (seed={seed}):")
+                    print(json.dumps(self._obs.snapshot(), indent=2,
+                                     sort_keys=True))
+                    for event in self._obs_tracer.recent(20):
+                        print(f"  {event['name']} {event['tags']}")
+                    raise
 
     def _one_seed(self, tmp_path, seed):
         rng = Random(seed)
@@ -698,11 +712,14 @@ class TestKillAndHealSweep:
                 f.write(b'{"type": "commit", "ver')
 
         clock = FakeClock()
+        self._obs = MetricsRegistry()
+        self._obs_tracer = Tracer()
         monitors, coords = {}, {}
         for rid in ids:
             monitor = HealthMonitor(clock=clock, probe_interval=1.0,
                                     suspect_after=2, dead_after=4,
                                     seed=seed)
+            monitor.attach_observability(self._obs, self._obs_tracer)
             monitor.add_peer("primary",
                              wire_probe(primary_addr, timeout=0.2))
             for other in ids:
@@ -712,6 +729,8 @@ class TestKillAndHealSweep:
             monitors[rid] = monitor
             coords[rid] = Coordinator(rid, replicas[rid], monitor,
                                       promote_timeout=2.0)
+            coords[rid].attach_observability(self._obs,
+                                             self._obs_tracer)
 
         recipe = (f"seed={seed} pre={pre} laggy={laggy_id} "
                   f"torn={torn}")

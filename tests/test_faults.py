@@ -402,7 +402,18 @@ class TestChaosSweep:
                             client.close()
             head = [t.as_dict()
                     for t in engine.head_version().state.R("manager")]
-            for seed, row, vid in acked:
-                assert row in head, (
-                    f"acked commit lost: seed={seed} version={vid}")
+            try:
+                for seed, row, vid in acked:
+                    assert row in head, (
+                        f"acked commit lost: seed={seed} version={vid}")
+            except BaseException:
+                # The seed replays the failure; the server's own
+                # registry says what it actually served while the
+                # proxy was mangling traffic.
+                import json
+
+                print("\nserver metrics at failure:")
+                print(json.dumps(server.metrics.snapshot(), indent=2,
+                                 sort_keys=True))
+                raise
         engine.close()
